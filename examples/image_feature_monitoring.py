@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Distributed image-feature monitoring (the paper's image-analysis motivation).
+
+A search-engine company receives images at many data centers.  Each image is
+represented by a 128-dimensional SIFT-like descriptor; the company wants an
+always-fresh principal-component model of the global descriptor matrix (for
+near-duplicate detection, visual clustering, index maintenance, …) without
+shipping every descriptor to a central cluster.
+
+This example simulates ``m`` data centers receiving descriptor streams whose
+latent structure drifts over time (a new "visual theme" appears midway).  A
+:class:`DeterministicDirectionProtocol` (matrix protocol P2) maintains the
+approximation at the coordinator.  We periodically compare the top principal
+subspace of the sketch against the exact one and report the communication
+spent — demonstrating the continuous-tracking property: the approximation is
+valid at *every* time instant, not just at the end.
+
+Run with:  python examples/image_feature_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DeterministicDirectionProtocol
+from repro.utils.linalg import thin_svd
+
+NUM_SITES = 25
+DIMENSION = 128
+EPSILON = 0.1
+ROWS_PER_PHASE = 6_000
+CHECKPOINT_EVERY = 2_000
+
+
+def descriptor_batch(rng: np.random.Generator, basis: np.ndarray,
+                     count: int) -> np.ndarray:
+    """Sample SIFT-like descriptors concentrated on a low-dimensional basis."""
+    rank = basis.shape[0]
+    spectrum = np.exp(-np.arange(rank) / 3.0)
+    coefficients = rng.standard_normal((count, rank)) * spectrum
+    noise = 0.02 * rng.standard_normal((count, DIMENSION))
+    descriptors = coefficients @ basis + noise
+    # SIFT descriptors are non-negative and normalised; mimic that roughly.
+    return np.abs(descriptors)
+
+
+def subspace_alignment(exact_rows: np.ndarray, sketch_rows: np.ndarray,
+                       k: int = 10) -> float:
+    """Fraction of the exact top-k energy captured by the sketch's top-k subspace."""
+    _, _, exact_vt = thin_svd(exact_rows)
+    _, _, sketch_vt = thin_svd(sketch_rows)
+    exact_top = exact_vt[:k]
+    sketch_top = sketch_vt[:min(k, sketch_vt.shape[0])]
+    projected = exact_top @ sketch_top.T
+    return float(np.sum(projected ** 2)) / k
+
+
+def main() -> None:
+    rng = np.random.default_rng(2014)
+    # Two visual "themes": the second appears halfway through the stream.
+    theme_a = np.linalg.qr(rng.standard_normal((DIMENSION, 12)))[0].T
+    theme_b = np.linalg.qr(rng.standard_normal((DIMENSION, 12)))[0].T
+
+    protocol = DeterministicDirectionProtocol(
+        num_sites=NUM_SITES, dimension=DIMENSION, epsilon=EPSILON)
+
+    print(f"Simulating {NUM_SITES} data centers, d = {DIMENSION}, epsilon = {EPSILON}")
+    print(f"{'images':>8s} {'err':>10s} {'PC align':>10s} {'messages':>10s} "
+          f"{'naive msgs':>11s}")
+
+    history = []
+    observed = 0
+    for phase, basis in enumerate((theme_a, theme_b)):
+        descriptors = descriptor_batch(rng, basis, ROWS_PER_PHASE)
+        for row in descriptors:
+            protocol.process(observed % NUM_SITES, row)
+            history.append(row)
+            observed += 1
+            if observed % CHECKPOINT_EVERY == 0:
+                exact = np.vstack(history)
+                error = protocol.approximation_error()
+                alignment = subspace_alignment(exact, protocol.sketch_matrix())
+                print(f"{observed:8d} {error:10.4f} {alignment:10.3f} "
+                      f"{protocol.total_messages:10d} {observed:11d}")
+
+    exact = np.vstack(history)
+    print("\nFinal state:")
+    print(f"  approximation error        : {protocol.approximation_error():.4f} "
+          f"(guarantee: {EPSILON})")
+    print(f"  coordinator sketch rows    : {protocol.sketch_matrix().shape[0]}")
+    print(f"  total messages             : {protocol.total_messages} "
+          f"(naive streaming would use {exact.shape[0]})")
+    print(f"  estimated ||A||_F^2        : {protocol.estimated_squared_frobenius():.1f} "
+          f"(exact {float(np.sum(exact ** 2)):.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim: enables `pip install -e . --no-use-pep517` on offline hosts without the wheel package."""
+from setuptools import setup
+
+setup()

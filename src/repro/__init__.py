@@ -1,0 +1,105 @@
+"""repro — Continuous Matrix Approximation on Distributed Data (VLDB 2014).
+
+A complete reproduction of Ghashami, Phillips & Li, "Continuous Matrix
+Approximation on Distributed Data": the four distributed weighted
+heavy-hitter protocols (Section 4), the three distributed matrix-tracking
+protocols plus the appendix-C negative result (Section 5 / Appendix C), the
+sketching substrates they build on (Misra–Gries, SpaceSaving, Count–Min,
+Frequent Directions, priority sampling), a simulated multi-site streaming
+substrate with exact message accounting, and the full Section 6 experiment
+suite.
+
+Quickstart
+----------
+>>> from repro import DeterministicDirectionProtocol
+>>> from repro.data import make_pamap_like
+>>> dataset = make_pamap_like(num_rows=2_000)
+>>> protocol = DeterministicDirectionProtocol(num_sites=10,
+...                                           dimension=dataset.dimension,
+...                                           epsilon=0.1)
+>>> for index, row in enumerate(dataset.rows):
+...     protocol.process(index % 10, row)
+>>> protocol.approximation_error() <= 0.1
+True
+"""
+
+from .heavy_hitters import (
+    BatchedMisraGriesProtocol,
+    ExactForwardingProtocol,
+    HeavyHitter,
+    PrioritySamplingProtocol,
+    RandomizedReportingProtocol,
+    ThresholdedUpdatesProtocol,
+    WeightedHeavyHitterProtocol,
+    WithReplacementSamplingProtocol,
+)
+from .matrix_tracking import (
+    BatchedFrequentDirectionsProtocol,
+    CentralizedFDBaseline,
+    CentralizedSVDBaseline,
+    DeterministicDirectionProtocol,
+    MatrixPrioritySamplingProtocol,
+    MatrixTrackingProtocol,
+    SingularDirectionUpdateProtocol,
+    WithReplacementMatrixSamplingProtocol,
+)
+from .sketch import (
+    CountMinSketch,
+    ExactFrequencyCounter,
+    ExactMatrix,
+    FrequentDirections,
+    PrioritySample,
+    WeightedMisraGries,
+    WeightedReservoir,
+    WeightedSpaceSaving,
+    WithReplacementSamplers,
+)
+from .streaming import (
+    MatrixRow,
+    Network,
+    RoundRobinPartitioner,
+    UniformRandomPartitioner,
+    WeightedItem,
+    run_protocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # heavy hitters
+    "BatchedMisraGriesProtocol",
+    "ExactForwardingProtocol",
+    "HeavyHitter",
+    "PrioritySamplingProtocol",
+    "RandomizedReportingProtocol",
+    "ThresholdedUpdatesProtocol",
+    "WeightedHeavyHitterProtocol",
+    "WithReplacementSamplingProtocol",
+    # matrix tracking
+    "BatchedFrequentDirectionsProtocol",
+    "CentralizedFDBaseline",
+    "CentralizedSVDBaseline",
+    "DeterministicDirectionProtocol",
+    "MatrixPrioritySamplingProtocol",
+    "MatrixTrackingProtocol",
+    "SingularDirectionUpdateProtocol",
+    "WithReplacementMatrixSamplingProtocol",
+    # sketches
+    "CountMinSketch",
+    "ExactFrequencyCounter",
+    "ExactMatrix",
+    "FrequentDirections",
+    "PrioritySample",
+    "WeightedMisraGries",
+    "WeightedReservoir",
+    "WeightedSpaceSaving",
+    "WithReplacementSamplers",
+    # streaming substrate
+    "MatrixRow",
+    "Network",
+    "RoundRobinPartitioner",
+    "UniformRandomPartitioner",
+    "WeightedItem",
+    "run_protocol",
+]

@@ -1,0 +1,235 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Installs as the console script ``repro-experiments`` (see ``pyproject.toml``)
+and can also be invoked as ``python -m repro.cli``.  Each sub-command
+regenerates one table or figure of the paper with configurable workload sizes
+and prints the result as a text table, so the evaluation can be reproduced
+without going through pytest.
+
+Examples
+--------
+::
+
+    repro-experiments figure1 --num-items 50000 --num-sites 50
+    repro-experiments table1 --num-rows 8000
+    repro-experiments figure2 --dataset pamap --num-rows 6000
+    repro-experiments figure67 --dataset pamap
+    repro-experiments list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .evaluation.tables import format_table, render_figure
+from .experiments.config import HeavyHitterConfig, MatrixConfig
+from .experiments.heavy_hitters_experiments import (
+    figure1_sweep_epsilon,
+    figure1e_error_vs_messages,
+    figure1f_messages_vs_beta,
+)
+from .experiments.matrix_experiments import (
+    figure4_tradeoff,
+    figure67_p4_comparison,
+    figure_sweep_epsilon,
+    figure_sweep_sites,
+    table1_rows,
+)
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "figure1": "Heavy hitters: recall/precision/err/msg vs epsilon (panels a-d)",
+    "figure1e": "Heavy hitters: error vs messages trade-off (panel e)",
+    "figure1f": "Heavy hitters: messages vs beta (panel f)",
+    "table1": "Matrix tracking: err and msg for all methods on both datasets",
+    "figure2": "Matrix tracking on the PAMAP-like dataset (epsilon and site sweeps)",
+    "figure3": "Matrix tracking on the MSD-like dataset (epsilon and site sweeps)",
+    "figure4": "Matrix tracking: messages vs error frontier",
+    "figure67": "Appendix-C protocol P4 against P1-P3",
+}
+
+
+def _parse_float_list(text: str) -> List[float]:
+    try:
+        values = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a comma-separated float list: {text!r}") from exc
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one value")
+    return values
+
+
+def _parse_int_list(text: str) -> List[int]:
+    return [int(value) for value in _parse_float_list(text)]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of 'Continuous Matrix "
+                    "Approximation on Distributed Data' (VLDB 2014).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="List the available experiments.")
+
+    def add_hh_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--num-items", type=int, default=30_000,
+                         help="stream length (paper: 10^7)")
+        sub.add_argument("--num-sites", type=int, default=50,
+                         help="number of sites m (paper: 50)")
+        sub.add_argument("--universe-size", type=int, default=10_000,
+                         help="element universe size")
+        sub.add_argument("--beta", type=float, default=1_000.0,
+                         help="weight upper bound (paper: 1000)")
+        sub.add_argument("--phi", type=float, default=0.05,
+                         help="heavy hitter threshold (paper: 0.05)")
+        sub.add_argument("--epsilons", type=_parse_float_list,
+                         default=[1e-3, 5e-3, 1e-2, 5e-2],
+                         help="comma-separated epsilon grid")
+        sub.add_argument("--seed", type=int, default=2014)
+
+    def add_matrix_options(sub: argparse.ArgumentParser,
+                           with_dataset: bool = True) -> None:
+        if with_dataset:
+            sub.add_argument("--dataset", choices=["pamap", "msd"], default="pamap",
+                             help="dataset surrogate to use")
+        sub.add_argument("--num-rows", type=int, default=6_000,
+                         help="number of matrix rows (paper: 629k / 300k)")
+        sub.add_argument("--num-sites", type=int, default=50,
+                         help="number of sites m (paper: 50)")
+        sub.add_argument("--epsilons", type=_parse_float_list,
+                         default=[5e-3, 1e-2, 5e-2, 1e-1, 5e-1],
+                         help="comma-separated epsilon grid")
+        sub.add_argument("--sites", type=_parse_int_list, default=[10, 25, 50, 100],
+                         help="comma-separated site-count grid")
+        sub.add_argument("--seed", type=int, default=2014)
+
+    for name in ("figure1", "figure1e", "figure1f"):
+        sub = subparsers.add_parser(name, help=_EXPERIMENTS[name])
+        add_hh_options(sub)
+
+    sub = subparsers.add_parser("table1", help=_EXPERIMENTS["table1"])
+    add_matrix_options(sub, with_dataset=False)
+
+    for name in ("figure2", "figure3", "figure4", "figure67"):
+        sub = subparsers.add_parser(name, help=_EXPERIMENTS[name])
+        add_matrix_options(sub, with_dataset=(name in ("figure4", "figure67")))
+
+    return parser
+
+
+def _hh_config(args: argparse.Namespace) -> HeavyHitterConfig:
+    return HeavyHitterConfig(
+        num_items=args.num_items,
+        universe_size=args.universe_size,
+        beta=args.beta,
+        phi=args.phi,
+        num_sites=args.num_sites,
+        seed=args.seed,
+        epsilon_grid=list(args.epsilons),
+    )
+
+
+def _matrix_config(args: argparse.Namespace) -> MatrixConfig:
+    return MatrixConfig(
+        num_rows=args.num_rows,
+        num_sites=args.num_sites,
+        seed=args.seed,
+        epsilon_grid=list(args.epsilons),
+        site_grid=list(args.sites),
+    )
+
+
+def _emit(text: str, out) -> None:
+    print(text, file=out)
+    print("", file=out)
+
+
+def _run_figure1(args, out) -> None:
+    result = figure1_sweep_epsilon(_hh_config(args))
+    for metric, title in (("recall", "Figure 1(a): recall vs epsilon"),
+                          ("precision", "Figure 1(b): precision vs epsilon"),
+                          ("err", "Figure 1(c): avg error of true HH vs epsilon"),
+                          ("msg", "Figure 1(d): messages vs epsilon")):
+        _emit(render_figure(result, metric, title), out)
+
+
+def _run_figure1e(args, out) -> None:
+    rows = figure1e_error_vs_messages(_hh_config(args))
+    _emit(format_table(rows, title="Figure 1(e): error vs messages"), out)
+
+
+def _run_figure1f(args, out) -> None:
+    result = figure1f_messages_vs_beta(_hh_config(args))
+    _emit(render_figure(result, "msg", "Figure 1(f): messages vs beta"), out)
+
+
+def _run_table1(args, out) -> None:
+    rows = table1_rows(_matrix_config(args))
+    _emit(format_table(rows, columns=["dataset", "method", "err", "msg",
+                                      "sketch_rows", "rank"],
+                       title="Table 1"), out)
+
+
+def _run_figure23(args, out, dataset: str, label: str) -> None:
+    config = _matrix_config(args)
+    eps = figure_sweep_epsilon(dataset, config)
+    sites = figure_sweep_sites(dataset, config)
+    _emit(render_figure(eps, "err", f"Figure {label}(a): error vs epsilon"), out)
+    _emit(render_figure(eps, "msg", f"Figure {label}(b): messages vs epsilon"), out)
+    _emit(render_figure(sites, "msg", f"Figure {label}(c): messages vs sites"), out)
+    _emit(render_figure(sites, "err", f"Figure {label}(d): error vs sites"), out)
+
+
+def _run_figure4(args, out) -> None:
+    rows = figure4_tradeoff(args.dataset, _matrix_config(args))
+    _emit(format_table(rows, title=f"Figure 4: messages vs error ({args.dataset})"), out)
+
+
+def _run_figure67(args, out) -> None:
+    results = figure67_p4_comparison(args.dataset, _matrix_config(args))
+    _emit(render_figure(results["err_vs_epsilon"], "err",
+                        f"Figures 6/7(a): error vs epsilon with P4 ({args.dataset})"), out)
+    _emit(render_figure(results["err_vs_sites"], "err",
+                        f"Figures 6/7(b): error vs sites with P4 ({args.dataset})"), out)
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        rows = [{"experiment": name, "description": description}
+                for name, description in _EXPERIMENTS.items()]
+        _emit(format_table(rows, title="Available experiments"), out)
+        return 0
+    if args.command == "figure1":
+        _run_figure1(args, out)
+    elif args.command == "figure1e":
+        _run_figure1e(args, out)
+    elif args.command == "figure1f":
+        _run_figure1f(args, out)
+    elif args.command == "table1":
+        _run_table1(args, out)
+    elif args.command == "figure2":
+        _run_figure23(args, out, "pamap", "2")
+    elif args.command == "figure3":
+        _run_figure23(args, out, "msd", "3")
+    elif args.command == "figure4":
+        _run_figure4(args, out)
+    elif args.command == "figure67":
+        _run_figure67(args, out)
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

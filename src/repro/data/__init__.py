@@ -1,0 +1,26 @@
+"""Workload generators: Zipfian weighted streams and synthetic matrix datasets."""
+
+from .datasets import available_datasets, load_dataset, register_dataset
+from .synthetic_matrix import (
+    SyntheticMatrix,
+    make_high_rank_matrix,
+    make_low_rank_matrix,
+    make_msd_like,
+    make_pamap_like,
+    row_stream,
+)
+from .zipfian import WeightedStreamSample, ZipfianStreamGenerator
+
+__all__ = [
+    "available_datasets",
+    "load_dataset",
+    "register_dataset",
+    "SyntheticMatrix",
+    "make_high_rank_matrix",
+    "make_low_rank_matrix",
+    "make_msd_like",
+    "make_pamap_like",
+    "row_stream",
+    "WeightedStreamSample",
+    "ZipfianStreamGenerator",
+]

@@ -1,0 +1,142 @@
+"""Zipfian weighted stream generator (the Section 6.1 workload).
+
+The heavy-hitters experiments of the paper draw 10^7 element labels from a
+Zipfian distribution with skew 2 over a bounded universe and assign each item
+an independent uniform weight in ``[1, β]`` (weights need not be integers).
+:class:`ZipfianStreamGenerator` reproduces that workload with configurable
+size so the same experiments can run at laptop scale, and exposes the exact
+per-element weights for ground-truth evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..streaming.items import WeightedItem
+from ..utils.rng import SeedLike, as_generator
+from ..utils.validation import check_non_negative_float, check_positive_int
+
+__all__ = ["ZipfianStreamGenerator", "WeightedStreamSample"]
+
+
+@dataclass(frozen=True)
+class WeightedStreamSample:
+    """A fully materialised weighted stream plus its ground truth.
+
+    Attributes
+    ----------
+    items:
+        The stream as a list of ``(element, weight)`` tuples, in arrival order.
+    element_weights:
+        Exact total weight per element.
+    total_weight:
+        Exact total weight ``W`` of the stream.
+    """
+
+    items: List[Tuple[int, float]]
+    element_weights: Dict[int, float]
+    total_weight: float
+
+    def heavy_hitters(self, phi: float) -> List[int]:
+        """Exact ``φ``-weighted heavy hitters of the sample."""
+        if not 0.0 < phi <= 1.0:
+            raise ValueError(f"phi must lie in (0, 1], got {phi!r}")
+        threshold = phi * self.total_weight
+        hitters = [element for element, weight in self.element_weights.items()
+                   if weight >= threshold]
+        hitters.sort(key=lambda element: -self.element_weights[element])
+        return hitters
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class ZipfianStreamGenerator:
+    """Generates weighted streams with Zipfian element labels.
+
+    Parameters
+    ----------
+    universe_size:
+        Size ``u`` of the element universe ``{0, …, u-1}``.
+    skew:
+        Zipf exponent; the paper uses 2.
+    beta:
+        Upper bound ``β`` on item weights; weights are uniform in ``[1, β]``.
+    seed:
+        Seed or generator controlling both labels and weights.
+    """
+
+    def __init__(self, universe_size: int = 10_000, skew: float = 2.0,
+                 beta: float = 1_000.0, seed: SeedLike = None):
+        self._universe_size = check_positive_int(universe_size, name="universe_size")
+        self._skew = check_non_negative_float(skew, name="skew")
+        if self._skew <= 0.0:
+            raise ValueError("skew must be strictly positive")
+        self._beta = check_non_negative_float(beta, name="beta")
+        if self._beta < 1.0:
+            raise ValueError(f"beta must be at least 1, got {beta!r}")
+        self._rng = as_generator(seed)
+        ranks = np.arange(1, self._universe_size + 1, dtype=np.float64)
+        probabilities = ranks ** (-self._skew)
+        self._probabilities = probabilities / probabilities.sum()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def universe_size(self) -> int:
+        """Size of the element universe."""
+        return self._universe_size
+
+    @property
+    def skew(self) -> float:
+        """Zipf exponent."""
+        return self._skew
+
+    @property
+    def beta(self) -> float:
+        """Upper bound on item weights."""
+        return self._beta
+
+    def element_probabilities(self) -> np.ndarray:
+        """The Zipfian probability of each element (most frequent first)."""
+        return self._probabilities.copy()
+
+    # ------------------------------------------------------------- generation
+    def generate(self, num_items: int) -> WeightedStreamSample:
+        """Materialise a stream of ``num_items`` weighted items with ground truth."""
+        num_items = check_positive_int(num_items, name="num_items")
+        elements = self._rng.choice(
+            self._universe_size, size=num_items, p=self._probabilities
+        )
+        if self._beta > 1.0:
+            weights = self._rng.uniform(1.0, self._beta, size=num_items)
+        else:
+            weights = np.ones(num_items)
+        items = list(zip(elements.tolist(), weights.tolist()))
+        element_weights: Dict[int, float] = {}
+        for element, weight in items:
+            element_weights[element] = element_weights.get(element, 0.0) + weight
+        return WeightedStreamSample(
+            items=items,
+            element_weights=element_weights,
+            total_weight=float(weights.sum()),
+        )
+
+    def stream(self, num_items: int) -> Iterator[WeightedItem]:
+        """Yield ``num_items`` :class:`WeightedItem` objects lazily."""
+        num_items = check_positive_int(num_items, name="num_items")
+        for _ in range(num_items):
+            element = int(self._rng.choice(self._universe_size, p=self._probabilities))
+            if self._beta > 1.0:
+                weight = float(self._rng.uniform(1.0, self._beta))
+            else:
+                weight = 1.0
+            yield WeightedItem(element=element, weight=weight)
+
+    def __repr__(self) -> str:
+        return (
+            f"ZipfianStreamGenerator(universe_size={self._universe_size}, "
+            f"skew={self._skew}, beta={self._beta})"
+        )

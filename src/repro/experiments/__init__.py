@@ -1,0 +1,42 @@
+"""Experiment drivers reproducing every table and figure of the paper."""
+
+from .config import HeavyHitterConfig, MatrixConfig
+from .heavy_hitters_experiments import (
+    build_protocols as build_heavy_hitter_protocols,
+    feed_sample,
+    figure1_sweep_epsilon,
+    figure1e_error_vs_messages,
+    figure1f_messages_vs_beta,
+    generate_stream,
+    theoretical_message_bounds,
+)
+from .matrix_experiments import (
+    build_protocols as build_matrix_protocols,
+    feed_dataset,
+    figure4_tradeoff,
+    figure67_p4_comparison,
+    figure_sweep_epsilon,
+    figure_sweep_sites,
+    load_experiment_dataset,
+    table1_rows,
+)
+
+__all__ = [
+    "HeavyHitterConfig",
+    "MatrixConfig",
+    "build_heavy_hitter_protocols",
+    "feed_sample",
+    "figure1_sweep_epsilon",
+    "figure1e_error_vs_messages",
+    "figure1f_messages_vs_beta",
+    "generate_stream",
+    "theoretical_message_bounds",
+    "build_matrix_protocols",
+    "feed_dataset",
+    "figure4_tradeoff",
+    "figure67_p4_comparison",
+    "figure_sweep_epsilon",
+    "figure_sweep_sites",
+    "load_experiment_dataset",
+    "table1_rows",
+]

@@ -1,0 +1,83 @@
+"""Default experiment configurations.
+
+The defaults mirror Section 6 of the paper (φ = 0.05, ε = 10⁻³ for heavy
+hitters / 0.1 for matrices, m = 50 sites, β = 1000, Zipf skew 2) but scale
+the stream/matrix sizes down so the full benchmark suite completes in minutes
+on a laptop.  Every size is a plain dataclass field, so reproducing the
+paper's original scale is a matter of passing larger numbers.
+
+Two practical deviations from the asymptotic constants are centralised here:
+
+* ``sample_constant`` scales the ``s = Θ((1/ε²)log(1/ε))`` sample size of the
+  sampling protocols; the paper does not report its constant, and at reduced
+  stream lengths a constant of 1 would mean "sample everything".
+* ``max_samplers_with_replacement`` caps the number of independent
+  with-replacement samplers, since each stream item costs ``O(s)`` work under
+  that protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["HeavyHitterConfig", "MatrixConfig"]
+
+
+@dataclass
+class HeavyHitterConfig:
+    """Configuration of the Section 6.1 weighted heavy-hitter experiments."""
+
+    num_items: int = 30_000
+    universe_size: int = 10_000
+    skew: float = 2.0
+    beta: float = 1_000.0
+    phi: float = 0.05
+    epsilon: float = 1e-3
+    num_sites: int = 50
+    seed: int = 42
+    sample_constant: float = 0.05
+    max_samplers_with_replacement: int = 500
+    epsilon_grid: List[float] = field(
+        default_factory=lambda: [5e-4, 1e-3, 5e-3, 1e-2, 5e-2]
+    )
+    beta_grid: List[float] = field(
+        default_factory=lambda: [1.0, 10.0, 100.0, 1_000.0, 10_000.0]
+    )
+
+    def scaled(self, num_items: int) -> "HeavyHitterConfig":
+        """Return a copy with a different stream length (other fields unchanged)."""
+        copy = HeavyHitterConfig(**self.__dict__)
+        copy.num_items = num_items
+        return copy
+
+
+@dataclass
+class MatrixConfig:
+    """Configuration of the Section 6.2 matrix-tracking experiments."""
+
+    dataset: str = "pamap"
+    num_rows: int = 8_000
+    epsilon: float = 0.1
+    num_sites: int = 50
+    seed: int = 42
+    sample_constant: float = 1.0
+    max_samplers_with_replacement: int = 300
+    pamap_rank: int = 30
+    msd_rank: int = 50
+    epsilon_grid: List[float] = field(
+        default_factory=lambda: [5e-3, 1e-2, 5e-2, 1e-1, 5e-1]
+    )
+    site_grid: List[int] = field(default_factory=lambda: [10, 25, 50, 75, 100])
+    coordinator_sketch_size: Optional[int] = None
+
+    def for_dataset(self, dataset: str) -> "MatrixConfig":
+        """Return a copy targeting a different dataset."""
+        copy = MatrixConfig(**self.__dict__)
+        copy.dataset = dataset
+        return copy
+
+    def rank_for(self, dataset: Optional[str] = None) -> int:
+        """The Table-1 truncation rank for the given (or configured) dataset."""
+        name = (dataset or self.dataset).lower()
+        return self.pamap_rank if name == "pamap" else self.msd_rank

@@ -1,0 +1,228 @@
+"""Experiment drivers for the weighted heavy-hitter figures (Figure 1a–1f).
+
+Each public function reproduces one panel (or group of panels) of Figure 1:
+
+* :func:`figure1_sweep_epsilon` — panels (a) recall, (b) precision, (c) err
+  and (d) msg versus ``ε`` (one sweep provides all four metrics).
+* :func:`figure1e_error_vs_messages` — panel (e): the error/communication
+  trade-off obtained by re-reading the ε sweep as (msg, err) pairs.
+* :func:`figure1f_messages_vs_beta` — panel (f): message counts versus the
+  weight upper bound ``β`` with all protocols tuned to a common target error.
+
+All drivers return :class:`~repro.evaluation.sweep.SweepResult` objects (or
+plain row lists) so benchmarks and tests can assert on the *shape* of the
+results; rendering helpers live in :mod:`repro.evaluation.tables`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, List, Optional
+
+from ..data.zipfian import WeightedStreamSample, ZipfianStreamGenerator
+from ..evaluation.metrics import evaluate_heavy_hitter_protocol
+from ..evaluation.sweep import ParameterSweep, SweepResult
+from ..heavy_hitters import (
+    BatchedMisraGriesProtocol,
+    PrioritySamplingProtocol,
+    RandomizedReportingProtocol,
+    ThresholdedUpdatesProtocol,
+    WeightedHeavyHitterProtocol,
+    WithReplacementSamplingProtocol,
+)
+from ..sketch.priority_sampler import sample_size_for_epsilon
+from ..streaming.partition import RoundRobinPartitioner
+from .config import HeavyHitterConfig
+
+__all__ = [
+    "generate_stream",
+    "build_protocols",
+    "feed_sample",
+    "run_single_protocol",
+    "figure1_sweep_epsilon",
+    "figure1e_error_vs_messages",
+    "figure1f_messages_vs_beta",
+]
+
+ProtocolFactory = Callable[[float], WeightedHeavyHitterProtocol]
+
+
+def generate_stream(config: HeavyHitterConfig,
+                    beta: Optional[float] = None) -> WeightedStreamSample:
+    """Generate the Zipfian weighted stream described by ``config``."""
+    generator = ZipfianStreamGenerator(
+        universe_size=config.universe_size,
+        skew=config.skew,
+        beta=beta if beta is not None else config.beta,
+        seed=config.seed,
+    )
+    return generator.generate(config.num_items)
+
+
+def _sample_size(config: HeavyHitterConfig, epsilon: float) -> int:
+    size = sample_size_for_epsilon(epsilon, config.sample_constant)
+    return max(1, min(size, config.num_items))
+
+
+def _wr_sample_size(config: HeavyHitterConfig, epsilon: float) -> int:
+    return min(_sample_size(config, epsilon), config.max_samplers_with_replacement)
+
+
+def build_protocols(config: HeavyHitterConfig, epsilon: Optional[float] = None,
+                    num_sites: Optional[int] = None,
+                    include_with_replacement: bool = False,
+                    ) -> Dict[str, WeightedHeavyHitterProtocol]:
+    """Construct fresh instances of P1–P4 for one experiment cell."""
+    eps = epsilon if epsilon is not None else config.epsilon
+    sites = num_sites if num_sites is not None else config.num_sites
+    protocols: Dict[str, WeightedHeavyHitterProtocol] = {
+        "P1": BatchedMisraGriesProtocol(num_sites=sites, epsilon=eps),
+        "P2": ThresholdedUpdatesProtocol(num_sites=sites, epsilon=eps),
+        "P3": PrioritySamplingProtocol(
+            num_sites=sites, epsilon=eps,
+            sample_size=_sample_size(config, eps), seed=config.seed,
+        ),
+        "P4": RandomizedReportingProtocol(num_sites=sites, epsilon=eps,
+                                          seed=config.seed),
+    }
+    if include_with_replacement:
+        protocols["P3wr"] = WithReplacementSamplingProtocol(
+            num_sites=sites, epsilon=eps,
+            num_samplers=_wr_sample_size(config, eps), seed=config.seed,
+        )
+    return protocols
+
+
+def feed_sample(protocol: WeightedHeavyHitterProtocol,
+                sample: WeightedStreamSample) -> None:
+    """Feed a materialised stream into a protocol using round-robin partitioning."""
+    partitioner = RoundRobinPartitioner(protocol.num_sites)
+    for index, (element, weight) in enumerate(sample.items):
+        protocol.process(partitioner.assign(index, element), element, weight)
+
+
+def run_single_protocol(protocol: WeightedHeavyHitterProtocol,
+                        sample: WeightedStreamSample,
+                        phi: float, name: str) -> Dict[str, float]:
+    """Feed the stream and return the Section 6.1 metrics as a dictionary."""
+    feed_sample(protocol, sample)
+    evaluation = evaluate_heavy_hitter_protocol(
+        protocol, sample.element_weights, phi,
+        total_weight=sample.total_weight, name=name,
+    )
+    return evaluation.as_dict()
+
+
+# --------------------------------------------------------------- figure drivers
+def figure1_sweep_epsilon(config: Optional[HeavyHitterConfig] = None,
+                          epsilons: Optional[List[float]] = None,
+                          include_with_replacement: bool = False) -> SweepResult:
+    """Figure 1(a)–(d): recall / precision / err / msg versus ``ε``."""
+    config = config or HeavyHitterConfig()
+    epsilons = epsilons if epsilons is not None else config.epsilon_grid
+    sample = generate_stream(config)
+
+    factories: Dict[str, ProtocolFactory] = {}
+    for name in build_protocols(config,
+                                include_with_replacement=include_with_replacement):
+        factories[name] = _factory_for(config, name)
+
+    def run_one(protocol: WeightedHeavyHitterProtocol, value: float) -> Dict[str, float]:
+        return run_single_protocol(protocol, sample, config.phi,
+                                   name=type(protocol).__name__)
+
+    sweep = ParameterSweep(parameter="epsilon", values=epsilons)
+    return sweep.run(factories, run_one)
+
+
+def _factory_for(config: HeavyHitterConfig, name: str) -> ProtocolFactory:
+    """Return a factory building protocol ``name`` at a given ε."""
+
+    def factory(epsilon: float) -> WeightedHeavyHitterProtocol:
+        return build_protocols(config, epsilon=epsilon,
+                               include_with_replacement=True)[name]
+
+    return factory
+
+
+def figure1e_error_vs_messages(config: Optional[HeavyHitterConfig] = None,
+                               epsilons: Optional[List[float]] = None
+                               ) -> List[Dict[str, float]]:
+    """Figure 1(e): (messages, error) pairs per protocol, varying ε.
+
+    Returns flat rows with ``protocol``, ``epsilon``, ``msg`` and ``err`` so
+    the trade-off frontier can be inspected per protocol.
+    """
+    result = figure1_sweep_epsilon(config, epsilons)
+    rows = []
+    for record in result.records:
+        rows.append({
+            "protocol": record.protocol,
+            "epsilon": record.value,
+            "msg": record.metrics["msg"],
+            "err": record.metrics["err"],
+        })
+    return rows
+
+
+def figure1f_messages_vs_beta(config: Optional[HeavyHitterConfig] = None,
+                              betas: Optional[List[float]] = None) -> SweepResult:
+    """Figure 1(f): messages versus the weight upper bound ``β``.
+
+    The paper tunes each protocol to a common measured error before varying
+    ``β``; here all protocols use the config's default ε, which achieves the
+    same goal of holding accuracy fixed while the weight scale changes.
+    """
+    config = config or HeavyHitterConfig()
+    betas = betas if betas is not None else config.beta_grid
+
+    protocol_names = list(build_protocols(config))
+
+    def factory_for(name: str) -> Callable[[float], WeightedHeavyHitterProtocol]:
+        def factory(beta: float) -> WeightedHeavyHitterProtocol:
+            return build_protocols(config)[name]
+
+        return factory
+
+    factories = {name: factory_for(name) for name in protocol_names}
+
+    samples: Dict[float, WeightedStreamSample] = {}
+
+    def run_one(protocol: WeightedHeavyHitterProtocol, beta: float) -> Dict[str, float]:
+        if beta not in samples:
+            samples[beta] = generate_stream(config, beta=beta)
+        sample = samples[beta]
+        return run_single_protocol(protocol, sample, config.phi,
+                                   name=type(protocol).__name__)
+
+    sweep = ParameterSweep(parameter="beta", values=betas)
+    return sweep.run(factories, run_one)
+
+
+def exact_reference(config: HeavyHitterConfig,
+                    sample: Optional[WeightedStreamSample] = None
+                    ) -> Dict[Hashable, float]:
+    """Exact per-element weights of the configured stream (ground truth)."""
+    if sample is None:
+        sample = generate_stream(config)
+    return dict(sample.element_weights)
+
+
+def theoretical_message_bounds(config: HeavyHitterConfig, epsilon: float
+                               ) -> Dict[str, float]:
+    """The asymptotic message bounds of Section 4 evaluated at the config.
+
+    Useful for sanity checks: measured message counts should not exceed the
+    bounds by more than constant factors.
+    """
+    m = config.num_sites
+    n = config.num_items
+    beta = config.beta
+    log_bn = math.log(max(2.0, beta * n))
+    s = _sample_size(config, epsilon)
+    return {
+        "P1": (m / epsilon ** 2) * log_bn,
+        "P2": (m / epsilon) * log_bn,
+        "P3": (m + s) * math.log(max(2.0, beta * n / s)),
+        "P4": (math.sqrt(m) / epsilon) * log_bn,
+    }

@@ -1,0 +1,255 @@
+"""Experiment drivers for the matrix-tracking tables and figures.
+
+Covers Table 1, Figures 2(a)–(d) (PAMAP-like data), Figures 3(a)–(d)
+(MSD-like data), Figure 4 (error/communication trade-off) and Figures 6/7
+(the appendix-C protocol P4 versus P1–P3).
+
+The datasets are the synthetic surrogates documented in DESIGN.md; everything
+else — protocol parameters, sweep grids, metrics — follows Section 6.2 of the
+paper.  All drivers return structured results (sweep objects or row lists)
+that the benchmark harness prints and that tests assert shape properties on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..data.datasets import load_dataset
+from ..data.synthetic_matrix import SyntheticMatrix
+from ..evaluation.metrics import evaluate_matrix_protocol
+from ..evaluation.sweep import ParameterSweep, SweepResult
+from ..matrix_tracking import (
+    BatchedFrequentDirectionsProtocol,
+    CentralizedFDBaseline,
+    CentralizedSVDBaseline,
+    DeterministicDirectionProtocol,
+    MatrixPrioritySamplingProtocol,
+    MatrixTrackingProtocol,
+    SingularDirectionUpdateProtocol,
+    WithReplacementMatrixSamplingProtocol,
+)
+from ..sketch.priority_sampler import sample_size_for_epsilon
+from ..streaming.partition import RoundRobinPartitioner
+from .config import MatrixConfig
+
+__all__ = [
+    "load_experiment_dataset",
+    "build_protocols",
+    "feed_dataset",
+    "run_single_protocol",
+    "table1_rows",
+    "figure_sweep_epsilon",
+    "figure_sweep_sites",
+    "figure4_tradeoff",
+    "figure67_p4_comparison",
+]
+
+ProtocolFactory = Callable[[float], MatrixTrackingProtocol]
+
+
+def load_experiment_dataset(config: MatrixConfig,
+                            dataset: Optional[str] = None) -> SyntheticMatrix:
+    """Load the surrogate dataset named by ``dataset`` (or the config default)."""
+    name = (dataset or config.dataset).lower()
+    return load_dataset(name, num_rows=config.num_rows, seed=config.seed)
+
+
+def _sample_size(config: MatrixConfig, epsilon: float, num_rows: int) -> int:
+    size = sample_size_for_epsilon(epsilon, config.sample_constant)
+    return max(1, min(size, num_rows))
+
+
+def _wr_sample_size(config: MatrixConfig, epsilon: float, num_rows: int) -> int:
+    return min(_sample_size(config, epsilon, num_rows),
+               config.max_samplers_with_replacement)
+
+
+def build_protocols(config: MatrixConfig, dimension: int, num_rows: int,
+                    epsilon: Optional[float] = None,
+                    num_sites: Optional[int] = None,
+                    include_with_replacement: bool = False,
+                    include_p4: bool = False,
+                    ) -> Dict[str, MatrixTrackingProtocol]:
+    """Construct fresh instances of the matrix protocols for one experiment cell."""
+    eps = epsilon if epsilon is not None else config.epsilon
+    sites = num_sites if num_sites is not None else config.num_sites
+    protocols: Dict[str, MatrixTrackingProtocol] = {
+        "P1": BatchedFrequentDirectionsProtocol(
+            num_sites=sites, dimension=dimension, epsilon=eps,
+            coordinator_sketch_size=config.coordinator_sketch_size,
+        ),
+        "P2": DeterministicDirectionProtocol(
+            num_sites=sites, dimension=dimension, epsilon=eps,
+            coordinator_sketch_size=config.coordinator_sketch_size,
+        ),
+        "P3": MatrixPrioritySamplingProtocol(
+            num_sites=sites, dimension=dimension, epsilon=eps,
+            sample_size=_sample_size(config, eps, num_rows), seed=config.seed,
+        ),
+    }
+    if include_with_replacement:
+        protocols["P3wr"] = WithReplacementMatrixSamplingProtocol(
+            num_sites=sites, dimension=dimension, epsilon=eps,
+            num_samplers=_wr_sample_size(config, eps, num_rows), seed=config.seed,
+        )
+    if include_p4:
+        protocols["P4"] = SingularDirectionUpdateProtocol(
+            num_sites=sites, dimension=dimension, epsilon=eps, seed=config.seed,
+        )
+    return protocols
+
+
+def feed_dataset(protocol: MatrixTrackingProtocol, rows: np.ndarray) -> None:
+    """Feed the rows of a matrix into a protocol using round-robin partitioning."""
+    partitioner = RoundRobinPartitioner(protocol.num_sites)
+    for index in range(rows.shape[0]):
+        protocol.process(partitioner.assign(index, None), rows[index])
+
+
+def run_single_protocol(protocol: MatrixTrackingProtocol, rows: np.ndarray,
+                        name: str) -> Dict[str, float]:
+    """Feed the rows and return the Section 6.2 metrics as a dictionary."""
+    feed_dataset(protocol, rows)
+    evaluation = evaluate_matrix_protocol(protocol, name=name)
+    return evaluation.as_dict()
+
+
+# ------------------------------------------------------------------ Table 1
+def table1_rows(config: Optional[MatrixConfig] = None,
+                datasets: Optional[List[str]] = None) -> List[Dict[str, float]]:
+    """Table 1: err and msg for P1, P2, P3wor, P3wr, FD and SVD on both datasets."""
+    config = config or MatrixConfig()
+    datasets = datasets or ["pamap", "msd"]
+    rows: List[Dict[str, float]] = []
+    for dataset_name in datasets:
+        dataset = load_experiment_dataset(config, dataset_name)
+        rank = config.rank_for(dataset_name)
+        protocols = build_protocols(
+            config, dataset.dimension, dataset.num_rows,
+            include_with_replacement=True,
+        )
+        named = {
+            "P1": protocols["P1"],
+            "P2": protocols["P2"],
+            "P3wor": protocols["P3"],
+            "P3wr": protocols["P3wr"],
+            "FD": CentralizedFDBaseline(
+                num_sites=config.num_sites, dimension=dataset.dimension,
+                sketch_size=rank,
+            ),
+            "SVD": CentralizedSVDBaseline(
+                num_sites=config.num_sites, dimension=dataset.dimension, rank=rank,
+            ),
+        }
+        for name, protocol in named.items():
+            metrics = run_single_protocol(protocol, dataset.rows, name)
+            metrics["dataset"] = dataset_name
+            metrics["rank"] = rank
+            metrics["method"] = name
+            rows.append(metrics)
+    return rows
+
+
+# ----------------------------------------------------------------- ε sweeps
+def figure_sweep_epsilon(dataset_name: str,
+                         config: Optional[MatrixConfig] = None,
+                         epsilons: Optional[List[float]] = None,
+                         include_p4: bool = False) -> SweepResult:
+    """Figures 2(a)/(b) and 3(a)/(b): err and msg versus ``ε`` for one dataset.
+
+    With ``include_p4=True`` the sweep also reproduces Figures 6(a)/7(a).
+    """
+    config = (config or MatrixConfig()).for_dataset(dataset_name)
+    epsilons = epsilons if epsilons is not None else config.epsilon_grid
+    dataset = load_experiment_dataset(config)
+
+    def factory_for(name: str) -> ProtocolFactory:
+        def factory(epsilon: float) -> MatrixTrackingProtocol:
+            return build_protocols(
+                config, dataset.dimension, dataset.num_rows, epsilon=epsilon,
+                include_with_replacement=True, include_p4=include_p4,
+            )[name]
+
+        return factory
+
+    names = list(build_protocols(config, dataset.dimension, dataset.num_rows,
+                                 include_p4=include_p4))
+    factories = {name: factory_for(name) for name in names}
+
+    def run_one(protocol: MatrixTrackingProtocol, value: float) -> Dict[str, float]:
+        return run_single_protocol(protocol, dataset.rows, type(protocol).__name__)
+
+    sweep = ParameterSweep(parameter="epsilon", values=epsilons)
+    return sweep.run(factories, run_one)
+
+
+# -------------------------------------------------------------- site sweeps
+def figure_sweep_sites(dataset_name: str,
+                       config: Optional[MatrixConfig] = None,
+                       site_counts: Optional[List[int]] = None,
+                       include_p4: bool = False) -> SweepResult:
+    """Figures 2(c)/(d) and 3(c)/(d): msg and err versus the number of sites ``m``.
+
+    With ``include_p4=True`` the sweep also reproduces Figures 6(b)/7(b).
+    """
+    config = (config or MatrixConfig()).for_dataset(dataset_name)
+    site_counts = site_counts if site_counts is not None else config.site_grid
+    dataset = load_experiment_dataset(config)
+
+    def factory_for(name: str) -> Callable[[int], MatrixTrackingProtocol]:
+        def factory(num_sites: int) -> MatrixTrackingProtocol:
+            return build_protocols(
+                config, dataset.dimension, dataset.num_rows,
+                num_sites=num_sites, include_p4=include_p4,
+            )[name]
+
+        return factory
+
+    names = list(build_protocols(config, dataset.dimension, dataset.num_rows,
+                                 include_p4=include_p4))
+    factories = {name: factory_for(name) for name in names}
+
+    def run_one(protocol: MatrixTrackingProtocol, value: int) -> Dict[str, float]:
+        return run_single_protocol(protocol, dataset.rows, type(protocol).__name__)
+
+    sweep = ParameterSweep(parameter="num_sites", values=site_counts)
+    return sweep.run(factories, run_one)
+
+
+# ----------------------------------------------------------------- Figure 4
+def figure4_tradeoff(dataset_name: str,
+                     config: Optional[MatrixConfig] = None,
+                     epsilons: Optional[List[float]] = None
+                     ) -> List[Dict[str, float]]:
+    """Figure 4: the (err, msg) frontier per protocol, obtained by varying ε."""
+    result = figure_sweep_epsilon(dataset_name, config, epsilons)
+    rows = []
+    for record in result.records:
+        rows.append({
+            "protocol": record.protocol,
+            "epsilon": record.value,
+            "err": record.metrics["err"],
+            "msg": record.metrics["msg"],
+        })
+    return rows
+
+
+# ------------------------------------------------------------- Figures 6 & 7
+def figure67_p4_comparison(dataset_name: str,
+                           config: Optional[MatrixConfig] = None,
+                           epsilons: Optional[List[float]] = None,
+                           site_counts: Optional[List[int]] = None
+                           ) -> Dict[str, SweepResult]:
+    """Figures 6 and 7: the appendix-C protocol P4 against P1–P3.
+
+    Returns the ε sweep (panel a) and the site sweep (panel b) for the given
+    dataset, both including P4.
+    """
+    return {
+        "err_vs_epsilon": figure_sweep_epsilon(dataset_name, config, epsilons,
+                                               include_p4=True),
+        "err_vs_sites": figure_sweep_sites(dataset_name, config, site_counts,
+                                           include_p4=True),
+    }

@@ -1,0 +1,29 @@
+"""Distributed weighted heavy-hitter protocols (Section 4 of the paper).
+
+The four protocols proposed by the paper plus the exact forwarding baseline:
+
+* :class:`BatchedMisraGriesProtocol` — **P1**, batched Misra–Gries summaries.
+* :class:`ThresholdedUpdatesProtocol` — **P2**, per-element threshold updates.
+* :class:`PrioritySamplingProtocol` — **P3** (without replacement).
+* :class:`WithReplacementSamplingProtocol` — **P3wr**.
+* :class:`RandomizedReportingProtocol` — **P4**, randomized reporting.
+* :class:`ExactForwardingProtocol` — zero-error baseline.
+"""
+
+from .base import HeavyHitter, WeightedHeavyHitterProtocol
+from .exact import ExactForwardingProtocol
+from .p1_batched_mg import BatchedMisraGriesProtocol
+from .p2_threshold import ThresholdedUpdatesProtocol
+from .p3_sampling import PrioritySamplingProtocol, WithReplacementSamplingProtocol
+from .p4_randomized import RandomizedReportingProtocol
+
+__all__ = [
+    "HeavyHitter",
+    "WeightedHeavyHitterProtocol",
+    "ExactForwardingProtocol",
+    "BatchedMisraGriesProtocol",
+    "ThresholdedUpdatesProtocol",
+    "PrioritySamplingProtocol",
+    "WithReplacementSamplingProtocol",
+    "RandomizedReportingProtocol",
+]

@@ -1,0 +1,118 @@
+"""Interface for distributed weighted heavy-hitter protocols (Section 4).
+
+A weighted heavy-hitter protocol coordinates ``m`` sites that each observe a
+stream of ``(element, weight)`` pairs.  At any time the coordinator must be
+able to
+
+* estimate the total stream weight ``W`` within ``ε·W``,
+* estimate every element's weight ``f_e`` within ``ε·W``, and
+* report the ``φ``-weighted heavy hitters: an element is returned when its
+  estimated relative weight is at least ``φ − ε/2`` (the reporting rule of
+  Lemma 1 of the paper), which guarantees every true ``φ``-heavy hitter is
+  returned and nothing below ``φ − ε`` is returned.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+from ..streaming.protocol import DistributedProtocol
+from ..utils.validation import check_epsilon, check_phi, check_weight
+
+__all__ = ["HeavyHitter", "WeightedHeavyHitterProtocol"]
+
+
+@dataclass(frozen=True)
+class HeavyHitter:
+    """One reported heavy hitter: the element, its estimated and relative weight."""
+
+    element: Hashable
+    estimated_weight: float
+    relative_weight: float
+
+
+class WeightedHeavyHitterProtocol(DistributedProtocol):
+    """Base class for the four weighted heavy-hitter protocols P1–P4.
+
+    Parameters
+    ----------
+    num_sites:
+        Number of distributed sites ``m``.
+    epsilon:
+        Approximation parameter ``ε``: all estimates are within ``ε·W``.
+    keep_message_records:
+        Retain the full per-message log (for debugging/tests only).
+    """
+
+    def __init__(self, num_sites: int, epsilon: float,
+                 keep_message_records: bool = False):
+        super().__init__(num_sites, keep_message_records=keep_message_records)
+        self._epsilon = check_epsilon(epsilon)
+        self._observed_weight = 0.0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def epsilon(self) -> float:
+        """The approximation parameter ``ε``."""
+        return self._epsilon
+
+    @property
+    def observed_weight(self) -> float:
+        """Exact total weight fed into the protocol (ground truth ``W``).
+
+        Maintained for evaluation convenience only; protocol decisions never
+        use it.
+        """
+        return self._observed_weight
+
+    def _record_observation(self, weight: float) -> float:
+        """Validate ``weight``, update the ground-truth totals and item count."""
+        weight = check_weight(weight, name="weight")
+        self._observed_weight += weight
+        self._count_item()
+        return weight
+
+    # ----------------------------------------------------------- protocol API
+    @abc.abstractmethod
+    def process(self, site: int, element: Hashable, weight: float = 1.0) -> None:
+        """Handle the arrival of ``(element, weight)`` at ``site``."""
+
+    @abc.abstractmethod
+    def estimate(self, element: Hashable) -> float:
+        """Coordinator estimate ``Ŵ_e`` of the total weight of ``element``."""
+
+    @abc.abstractmethod
+    def estimated_total_weight(self) -> float:
+        """Coordinator estimate ``Ŵ`` of the total stream weight."""
+
+    @abc.abstractmethod
+    def estimates(self) -> Dict[Hashable, float]:
+        """All candidate elements retained by the coordinator with estimates."""
+
+    # --------------------------------------------------------------- queries
+    def heavy_hitters(self, phi: float) -> List[HeavyHitter]:
+        """Return elements with estimated relative weight at least ``φ − ε/2``.
+
+        The result is sorted by decreasing estimated weight.  Following
+        Lemma 1 of the paper this rule returns every true ``φ``-heavy hitter
+        and never returns an element of relative weight below ``φ − ε``
+        (provided the protocol meets its estimation guarantees).
+        """
+        phi = check_phi(phi, name="phi")
+        total = self.estimated_total_weight()
+        if total <= 0.0:
+            return []
+        cutoff = phi - self._epsilon / 2.0
+        hitters = []
+        for element, estimate in self.estimates().items():
+            relative = estimate / total
+            if relative >= cutoff:
+                hitters.append(HeavyHitter(element, estimate, relative))
+        hitters.sort(key=lambda hitter: (-hitter.estimated_weight, repr(hitter.element)))
+        return hitters
+
+    def heavy_hitter_elements(self, phi: float) -> List[Hashable]:
+        """Convenience wrapper returning only the element labels."""
+        return [hitter.element for hitter in self.heavy_hitters(phi)]

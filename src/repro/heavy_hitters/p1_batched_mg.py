@@ -1,0 +1,132 @@
+"""Protocol P1: batched Misra–Gries summaries (Section 4.1, Algorithms 4.1/4.2).
+
+Each site runs a weighted Misra–Gries summary with error parameter
+``ε' = ε/2`` (i.e. ``2/ε`` counters) over the items it receives and tracks the
+total weight ``W_i`` it has accumulated since its last communication.  When
+``W_i`` reaches the threshold ``τ = (ε/2m)·Ŵ`` — with ``Ŵ`` the coordinator's
+current estimate of the global weight — the site ships its entire summary and
+``W_i`` to the coordinator and resets.  The coordinator merges incoming
+summaries into a single Misra–Gries summary (mergeability keeps the error
+bound) and re-broadcasts ``Ŵ`` whenever its tracked total has grown by more
+than a ``(1 + ε/2)`` factor.
+
+Guarantees (Lemma 2): every element estimate is within ``ε·W`` and the total
+communication is ``O((m/ε²)·log(βN))`` message units (each shipped summary
+counts as one unit per retained counter, matching the paper's element-count
+accounting).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional
+
+from ..sketch.misra_gries import WeightedMisraGries
+from ..utils.validation import check_positive_int
+from .base import WeightedHeavyHitterProtocol
+
+__all__ = ["BatchedMisraGriesProtocol"]
+
+
+class _SiteState:
+    """Per-site state: the local MG summary and the unreported weight."""
+
+    def __init__(self, num_counters: int):
+        self.summary: WeightedMisraGries[Hashable] = WeightedMisraGries(num_counters)
+        self.weight_since_send = 0.0
+
+
+class BatchedMisraGriesProtocol(WeightedHeavyHitterProtocol):
+    """Weighted heavy hitters protocol P1 (batched Misra–Gries).
+
+    Parameters
+    ----------
+    num_sites:
+        Number of sites ``m``.
+    epsilon:
+        Target additive error ``ε`` (relative to the total weight ``W``).
+    num_counters:
+        Number of Misra–Gries counters per site; defaults to ``ceil(2/ε)``
+        (the paper's ``ε' = ε/2``).
+    keep_message_records:
+        Retain a full message log (tests only).
+    """
+
+    def __init__(self, num_sites: int, epsilon: float,
+                 num_counters: Optional[int] = None,
+                 keep_message_records: bool = False):
+        super().__init__(num_sites, epsilon, keep_message_records=keep_message_records)
+        if num_counters is None:
+            num_counters = max(1, math.ceil(2.0 / self.epsilon))
+        self._num_counters = check_positive_int(num_counters, name="num_counters")
+        self._sites: List[_SiteState] = [
+            _SiteState(self._num_counters) for _ in range(num_sites)
+        ]
+        # Coordinator state.
+        self._coordinator_summary: WeightedMisraGries[Hashable] = WeightedMisraGries(
+            self._num_counters
+        )
+        self._coordinator_weight = 0.0      # W_C: total weight of received summaries
+        self._broadcast_weight = 0.0        # Ŵ: last broadcast estimate
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_counters(self) -> int:
+        """Misra–Gries counters per site (and at the coordinator)."""
+        return self._num_counters
+
+    @property
+    def broadcast_weight(self) -> float:
+        """The current global weight estimate ``Ŵ`` known to all sites."""
+        return self._broadcast_weight
+
+    def _site_threshold(self) -> float:
+        """The site send threshold ``τ = (ε/2m)·Ŵ``."""
+        return (self.epsilon / (2.0 * self.num_sites)) * self._broadcast_weight
+
+    # ---------------------------------------------------------------- site side
+    def process(self, site: int, element: Hashable, weight: float = 1.0) -> None:
+        weight = self._record_observation(weight)
+        state = self._sites[site]
+        state.summary.update(element, weight)
+        state.weight_since_send += weight
+        if state.weight_since_send >= self._site_threshold():
+            self._flush_site(site)
+
+    def _flush_site(self, site: int) -> None:
+        """Ship the site's summary and accumulated weight to the coordinator."""
+        state = self._sites[site]
+        retained = state.summary.to_dict()
+        units = max(1, len(retained)) + 1  # counters plus the weight scalar
+        self.network.send_summary(site, units=units, description="MG summary")
+        self._receive_summary(state.summary, state.weight_since_send)
+        state.summary = WeightedMisraGries(self._num_counters)
+        state.weight_since_send = 0.0
+
+    # --------------------------------------------------------- coordinator side
+    def _receive_summary(self, summary: WeightedMisraGries, weight: float) -> None:
+        self._coordinator_summary = self._coordinator_summary.merge(summary)
+        self._coordinator_weight += weight
+        needs_broadcast = (
+            self._broadcast_weight <= 0.0
+            or self._coordinator_weight / self._broadcast_weight > 1.0 + self.epsilon / 2.0
+        )
+        if needs_broadcast:
+            self._broadcast_weight = self._coordinator_weight
+            self.network.broadcast(description="updated weight estimate")
+
+    # ---------------------------------------------------------------- queries
+    def estimate(self, element: Hashable) -> float:
+        return self._coordinator_summary.estimate(element)
+
+    def estimated_total_weight(self) -> float:
+        return self._coordinator_weight
+
+    def estimates(self) -> Dict[Hashable, float]:
+        return self._coordinator_summary.to_dict()
+
+    def flush_all_sites(self) -> None:
+        """Force every site to ship its pending summary (used by tests)."""
+        for site in range(self.num_sites):
+            if self._sites[site].weight_since_send > 0.0:
+                self._flush_site(site)

@@ -1,0 +1,142 @@
+"""Protocol P4: randomized reporting (Section 4.4, Algorithm 4.7).
+
+This protocol extends the unweighted randomized tracking protocol of Huang,
+Yi and Zhang to weighted items.  Each site ``j`` keeps the exact weight
+``f_e(A_j)`` of every element it has observed and, given the coordinator's
+current global weight estimate ``Ŵ``, a reporting rate
+``p = 2√m / (ε·Ŵ)``.  When an item ``(e, w)`` arrives the site sends its
+*current local total* ``f_e(A_j)`` to the coordinator with probability
+``p̄ = 1 − e^{−p·w}`` (the weighted generalisation of flipping one coin per
+unit of weight).  The coordinator stores, per (site, element), the latest
+report corrected upward by ``1/p`` — the expected weight of ``e`` that will
+arrive at the site before its next successful report — and estimates
+``f_e(A)`` by summing the corrected reports over sites.
+
+The global estimate ``Ŵ`` is maintained by a standard doubling scheme: each
+site reports its local total weight whenever it doubles, and the coordinator
+broadcasts a new ``Ŵ`` whenever the summed reports double.
+
+Guarantees (Theorem 3): ``O((√m/ε)·log(βN))`` messages and, with probability
+at least 0.75, all estimates within ``ε·W``.  The success probability can be
+boosted by running independent copies and taking medians; the experiment
+drivers use a single copy as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Tuple
+
+from ..utils.rng import SeedLike, as_generator, spawn
+from .base import WeightedHeavyHitterProtocol
+
+__all__ = ["RandomizedReportingProtocol"]
+
+
+class _SiteState:
+    """Per-site state for protocol P4."""
+
+    def __init__(self) -> None:
+        self.local_counts: Dict[Hashable, float] = {}
+        self.local_weight = 0.0
+        self.weight_at_last_report = 0.0
+
+
+class RandomizedReportingProtocol(WeightedHeavyHitterProtocol):
+    """Weighted heavy hitters protocol P4 (randomized reporting).
+
+    Parameters
+    ----------
+    num_sites:
+        Number of sites ``m``.
+    epsilon:
+        Target additive error ``ε`` (holds with constant probability).
+    seed:
+        Seed for the per-site reporting coins.
+    keep_message_records:
+        Retain a full message log (tests only).
+    """
+
+    def __init__(self, num_sites: int, epsilon: float, seed: SeedLike = None,
+                 keep_message_records: bool = False):
+        super().__init__(num_sites, epsilon, keep_message_records=keep_message_records)
+        self._site_rngs = spawn(as_generator(seed), num_sites)
+        self._sites: List[_SiteState] = [_SiteState() for _ in range(num_sites)]
+        # Coordinator state.
+        self._reported_weight = 0.0      # sum of site total-weight reports
+        self._broadcast_weight = 0.0     # Ŵ known to the sites
+        # Latest corrected report per (site, element).
+        self._corrected_reports: Dict[Tuple[int, Hashable], float] = {}
+        # Latest corrected local-total report per site (the "all items are one
+        # element" special case of the same estimator, giving an εW-accurate
+        # total weight without extra messages).
+        self._corrected_totals: Dict[int, float] = {}
+
+    # ------------------------------------------------------------ properties
+    @property
+    def broadcast_weight(self) -> float:
+        """The global weight estimate ``Ŵ`` currently known to all sites."""
+        return self._broadcast_weight
+
+    def _reporting_rate(self) -> float:
+        """The per-unit-weight reporting rate ``p = 2√m / (ε·Ŵ)`` (capped at 1)."""
+        if self._broadcast_weight <= 0.0:
+            return 1.0
+        rate = 2.0 * math.sqrt(self.num_sites) / (self.epsilon * self._broadcast_weight)
+        return min(1.0, rate)
+
+    # ---------------------------------------------------------------- site side
+    def process(self, site: int, element: Hashable, weight: float = 1.0) -> None:
+        weight = self._record_observation(weight)
+        state = self._sites[site]
+        state.local_counts[element] = state.local_counts.get(element, 0.0) + weight
+        state.local_weight += weight
+        self._maybe_report_total(site, state)
+        rate = self._reporting_rate()
+        send_probability = 1.0 - math.exp(-rate * weight) if rate < 1.0 else 1.0
+        if self._site_rngs[site].uniform(0.0, 1.0) <= send_probability:
+            self._send_element_report(site, element, state.local_counts[element], rate)
+
+    def _maybe_report_total(self, site: int, state: _SiteState) -> None:
+        """Report the site's local total weight whenever it has doubled."""
+        if state.local_weight >= max(1.0, 2.0 * state.weight_at_last_report):
+            delta = state.local_weight - state.weight_at_last_report
+            state.weight_at_last_report = state.local_weight
+            self.network.send_scalar(site, description="local weight doubled")
+            self._reported_weight += delta
+            needs_broadcast = (
+                self._broadcast_weight <= 0.0
+                or self._reported_weight >= 2.0 * self._broadcast_weight
+            )
+            if needs_broadcast:
+                self._broadcast_weight = self._reported_weight
+                self.network.broadcast(description="updated global weight estimate")
+
+    def _send_element_report(self, site: int, element: Hashable,
+                             local_total: float, rate: float) -> None:
+        """Ship the site's current local total for ``element``."""
+        self.network.send_vector(site, description=f"element report {element!r}")
+        correction = (1.0 / rate - 1.0) if rate < 1.0 else 0.0
+        self._corrected_reports[(site, element)] = local_total + correction
+        self._corrected_totals[site] = self._sites[site].local_weight + correction
+
+    # ---------------------------------------------------------------- queries
+    def estimate(self, element: Hashable) -> float:
+        return sum(
+            report
+            for (site, candidate), report in self._corrected_reports.items()
+            if candidate == element
+        )
+
+    def estimated_total_weight(self) -> float:
+        if self._corrected_totals:
+            return sum(self._corrected_totals.values())
+        if self._reported_weight > 0.0:
+            return self._reported_weight
+        return self._broadcast_weight
+
+    def estimates(self) -> Dict[Hashable, float]:
+        grouped: Dict[Hashable, float] = {}
+        for (_, element), report in self._corrected_reports.items():
+            grouped[element] = grouped.get(element, 0.0) + report
+        return grouped

@@ -1,0 +1,175 @@
+"""Matrix protocol P2: deterministic direction thresholds (Section 5.2, Algs. 5.3/5.4).
+
+Each site ``j`` accumulates its unsent rows in a local matrix ``B_j`` and
+tracks ``F_j``, the squared Frobenius norm received since it last reported to
+the coordinator.  The coordinator maintains ``F̂``, an ε-approximation of
+``‖A‖²_F``, and a matrix ``B`` built from the *directions* sites send:
+
+* when ``F_j ≥ (ε/m)·F̂`` the site sends the scalar ``F_j`` and resets it;
+* after appending the new row, the site computes the SVD of ``B_j`` and sends
+  every direction ``σ_ℓ·v_ℓ`` whose squared singular value reaches
+  ``(ε/m)·F̂``, zeroing those singular values locally.
+
+After ``m`` scalar messages the coordinator broadcasts the updated ``F̂``
+(starting a new round).  Because the site only ever retains directions whose
+squared norm is below the threshold, the mass missing from the coordinator is
+at most ``ε·‖A‖²_F`` in every direction, giving the one-sided guarantee
+``0 ≤ ‖Ax‖² − ‖Bx‖² ≤ ε·‖A‖²_F`` (Theorem 4) with only
+``O((m/ε)·log(βN))`` messages.
+
+Implementation note: computing an SVD on every arrival is unnecessary.  Since
+``σ₁²(B_j)`` can only exceed the threshold after enough new squared norm has
+arrived (``σ₁²`` grows by at most the added squared Frobenius norm), the site
+defers the SVD until ``σ₁²(residual at last SVD) + added norm`` reaches the
+threshold.  This preserves the guarantee — directions are still sent no later
+than the naive schedule requires — while making the per-row cost amortised.
+
+The coordinator may optionally compress its stacked directions with a
+Frequent Directions sketch (``coordinator_sketch_size``), as suggested at the
+end of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..sketch.frequent_directions import FrequentDirections
+from ..utils.linalg import thin_svd
+from ..utils.validation import check_positive_int
+from .base import MatrixTrackingProtocol
+
+__all__ = ["DeterministicDirectionProtocol"]
+
+
+class _SiteState:
+    """Per-site state for protocol P2."""
+
+    def __init__(self, dimension: int):
+        self.dimension = dimension
+        self.rows: List[np.ndarray] = []       # residual B_j as raw rows/directions
+        self.norm_since_scalar = 0.0            # F_j
+        self.top_bound = 0.0                    # upper bound on σ₁²(B_j)
+
+    def append(self, row: np.ndarray) -> None:
+        self.rows.append(row)
+        self.top_bound += float(np.dot(row, row))
+
+    def residual_matrix(self) -> np.ndarray:
+        if not self.rows:
+            return np.zeros((0, self.dimension))
+        return np.vstack(self.rows)
+
+
+class DeterministicDirectionProtocol(MatrixTrackingProtocol):
+    """Matrix tracking protocol P2 (deterministic direction thresholds).
+
+    Parameters
+    ----------
+    num_sites:
+        Number of sites ``m``.
+    dimension:
+        Number of columns ``d``.
+    epsilon:
+        Target error ``ε`` relative to ``‖A‖²_F``.
+    coordinator_sketch_size:
+        If given, the coordinator compresses received directions with a
+        Frequent Directions sketch of this many rows instead of stacking them
+        exactly (Section 5.2's space reduction).
+    keep_message_records:
+        Retain a full message log (tests only).
+    """
+
+    def __init__(self, num_sites: int, dimension: int, epsilon: float,
+                 coordinator_sketch_size: Optional[int] = None,
+                 keep_message_records: bool = False):
+        super().__init__(num_sites, dimension, epsilon,
+                         keep_message_records=keep_message_records)
+        self._sites = [_SiteState(dimension) for _ in range(num_sites)]
+        self._estimated_norm = 0.0               # F̂
+        self._scalar_messages_this_round = 0
+        self._rounds_completed = 0
+        self._coordinator_rows: List[np.ndarray] = []
+        self._coordinator_sketch: Optional[FrequentDirections] = None
+        if coordinator_sketch_size is not None:
+            size = check_positive_int(coordinator_sketch_size,
+                                      name="coordinator_sketch_size")
+            self._coordinator_sketch = FrequentDirections(dimension=dimension,
+                                                          sketch_size=size)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def estimated_norm(self) -> float:
+        """The coordinator's running estimate ``F̂`` of ``‖A‖²_F``."""
+        return self._estimated_norm
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of completed rounds (broadcasts of ``F̂``)."""
+        return self._rounds_completed
+
+    def _threshold(self) -> float:
+        """The direction/scalar threshold ``(ε/m)·F̂``."""
+        return (self.epsilon / self.num_sites) * self._estimated_norm
+
+    # ---------------------------------------------------------------- site side
+    def process(self, site: int, row: np.ndarray) -> None:
+        row = self._record_observation(row)
+        state = self._sites[site]
+        row_norm = float(np.dot(row, row))
+        state.norm_since_scalar += row_norm
+        if state.norm_since_scalar >= self._threshold():
+            self._send_scalar(site, state.norm_since_scalar)
+            state.norm_since_scalar = 0.0
+        state.append(row)
+        if state.top_bound >= self._threshold():
+            self._emit_heavy_directions(site)
+
+    def _emit_heavy_directions(self, site: int) -> None:
+        """SVD the site's residual and ship every direction above threshold."""
+        state = self._sites[site]
+        residual = state.residual_matrix()
+        if residual.size == 0:
+            state.top_bound = 0.0
+            return
+        _, singular_values, vt = thin_svd(residual)
+        squared = singular_values ** 2
+        threshold = self._threshold()
+        heavy = squared >= max(threshold, 1e-300)
+        light = ~heavy & (squared > 0.0)
+        for value, direction in zip(singular_values[heavy], vt[heavy, :]):
+            self.network.send_vector(site, description="heavy direction")
+            self._receive_direction(value * direction)
+        # The residual now consists of the light directions only.
+        remaining = singular_values[light, np.newaxis] * vt[light, :]
+        state.rows = [row for row in remaining]
+        state.top_bound = float(squared[light].max()) if light.any() else 0.0
+
+    def _send_scalar(self, site: int, norm: float) -> None:
+        """Ship the scalar message ``F_j``."""
+        self.network.send_scalar(site, description="site squared norm")
+        self._estimated_norm += norm
+        self._scalar_messages_this_round += 1
+        if self._scalar_messages_this_round >= self.num_sites:
+            self._scalar_messages_this_round = 0
+            self._rounds_completed += 1
+            self.network.broadcast(description="round boundary: new norm estimate")
+
+    # --------------------------------------------------------- coordinator side
+    def _receive_direction(self, direction_row: np.ndarray) -> None:
+        if self._coordinator_sketch is not None:
+            self._coordinator_sketch.update(direction_row)
+        else:
+            self._coordinator_rows.append(direction_row)
+
+    # ---------------------------------------------------------------- queries
+    def sketch_matrix(self) -> np.ndarray:
+        if self._coordinator_sketch is not None:
+            return self._coordinator_sketch.compacted_matrix()
+        if not self._coordinator_rows:
+            return np.zeros((0, self.dimension))
+        return np.vstack(self._coordinator_rows)
+
+    def estimated_squared_frobenius(self) -> float:
+        return self._estimated_norm

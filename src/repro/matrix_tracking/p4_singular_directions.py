@@ -1,0 +1,140 @@
+"""Matrix protocol P4: randomized singular-direction updates (Appendix C).
+
+This is the paper's *negative result*: the natural matrix analogue of the
+randomized heavy-hitters protocol P4.  Each site ``j`` keeps the exact
+covariance of its local rows and an approximation ``Â_j`` that is also known
+to the coordinator.  With probability ``p̄ = 1 − e^{−p‖a‖²}`` (where
+``p = 2√m/(ε·F̂)``) the site reports, for every right singular vector ``v_i``
+of ``Â_j``, the updated squared norm ``‖A_j v_i‖² + 1/p`` — a single vector
+message ``z`` of length ``d`` — and both parties set ``Â_j = diag(z)·Vᵀ``.
+
+Because such an update rescales the energy along the *existing* right
+singular vectors but never rotates them (the right singular vectors of
+``Z·Vᵀ`` are again the columns of ``V``), the approximation basis stays at
+its initial value forever.  Along directions that are not in that basis the
+error is uncontrolled, which is exactly why the paper shows this protocol
+cannot match the guarantees of P1–P3 — Figures 6 and 7 demonstrate the error
+blow-up on real data, and the benchmark drivers reproduce those figures with
+this implementation.
+
+Communication is ``O((√m/ε)·log(βN))`` messages (as for heavy hitters P4),
+which is why the approach would be attractive if it worked.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..utils.rng import SeedLike, as_generator, spawn
+from .base import MatrixTrackingProtocol
+
+__all__ = ["SingularDirectionUpdateProtocol"]
+
+
+class _SiteState:
+    """Per-site state for the appendix-C protocol."""
+
+    def __init__(self, dimension: int):
+        self.covariance = np.zeros((dimension, dimension))   # A_jᵀA_j (exact)
+        self.local_norm = 0.0                                 # ‖A_j‖²_F
+        self.norm_at_last_report = 0.0
+        # Right singular basis of the approximation; never rotates (see module
+        # docstring) so it stays at the standard basis it is initialised with.
+        self.basis = np.eye(dimension)
+        self.scales = np.zeros(dimension)                     # z values
+
+
+class SingularDirectionUpdateProtocol(MatrixTrackingProtocol):
+    """Matrix tracking protocol P4 (appendix C; known to be unsound).
+
+    Parameters
+    ----------
+    num_sites:
+        Number of sites ``m``.
+    dimension:
+        Number of columns ``d``.
+    epsilon:
+        Nominal error parameter ``ε`` (the protocol does *not* achieve it in
+        general; that is the point of the appendix).
+    seed:
+        Seed for the per-site reporting coins.
+    keep_message_records:
+        Retain a full message log (tests only).
+    """
+
+    def __init__(self, num_sites: int, dimension: int, epsilon: float,
+                 seed: SeedLike = None, keep_message_records: bool = False):
+        super().__init__(num_sites, dimension, epsilon,
+                         keep_message_records=keep_message_records)
+        self._site_rngs = spawn(as_generator(seed), num_sites)
+        self._sites: List[_SiteState] = [_SiteState(dimension) for _ in range(num_sites)]
+        self._reported_norm = 0.0     # sum of site norm reports
+        self._broadcast_norm = 0.0    # F̂ known to the sites
+
+    # ------------------------------------------------------------ properties
+    @property
+    def broadcast_norm(self) -> float:
+        """The global squared-Frobenius estimate ``F̂`` known to all sites."""
+        return self._broadcast_norm
+
+    def _reporting_rate(self) -> float:
+        """The reporting rate ``p = 2√m / (ε·F̂)`` (capped at 1)."""
+        if self._broadcast_norm <= 0.0:
+            return 1.0
+        rate = 2.0 * math.sqrt(self.num_sites) / (self.epsilon * self._broadcast_norm)
+        return min(1.0, rate)
+
+    # ---------------------------------------------------------------- site side
+    def process(self, site: int, row: np.ndarray) -> None:
+        row = self._record_observation(row)
+        state = self._sites[site]
+        weight = float(np.dot(row, row))
+        state.covariance += np.outer(row, row)
+        state.local_norm += weight
+        self._maybe_report_norm(site, state)
+        rate = self._reporting_rate()
+        send_probability = 1.0 - math.exp(-rate * weight) if rate < 1.0 else 1.0
+        if self._site_rngs[site].uniform(0.0, 1.0) <= send_probability:
+            self._send_direction_update(site, state, rate)
+
+    def _maybe_report_norm(self, site: int, state: _SiteState) -> None:
+        """Report the site's local squared norm whenever it has doubled."""
+        if state.local_norm >= max(1e-12, 2.0 * state.norm_at_last_report):
+            delta = state.local_norm - state.norm_at_last_report
+            state.norm_at_last_report = state.local_norm
+            self.network.send_scalar(site, description="local norm doubled")
+            self._reported_norm += delta
+            needs_broadcast = (
+                self._broadcast_norm <= 0.0
+                or self._reported_norm >= 2.0 * self._broadcast_norm
+            )
+            if needs_broadcast:
+                self._broadcast_norm = self._reported_norm
+                self.network.broadcast(description="updated global norm estimate")
+
+    def _send_direction_update(self, site: int, state: _SiteState, rate: float) -> None:
+        """Ship the length-``d`` vector of per-direction norms ``z``."""
+        self.network.send_vector(site, description="direction-norm vector z")
+        correction = (1.0 / rate) if rate < 1.0 else 0.0
+        # z_i² = ‖A_j v_i‖² + 1/p, computed from the exact local covariance.
+        energies = np.einsum("ij,jk,ik->i", state.basis.T, state.covariance, state.basis.T)
+        state.scales = np.sqrt(np.maximum(energies + correction, 0.0))
+
+    # ---------------------------------------------------------------- queries
+    def sketch_matrix(self) -> np.ndarray:
+        blocks = []
+        for state in self._sites:
+            if not np.any(state.scales):
+                continue
+            blocks.append(state.scales[:, np.newaxis] * state.basis.T)
+        if not blocks:
+            return np.zeros((0, self.dimension))
+        return np.vstack(blocks)
+
+    def estimated_squared_frobenius(self) -> float:
+        if self._reported_norm > 0.0:
+            return self._reported_norm
+        return self._broadcast_norm

@@ -1,0 +1,46 @@
+"""Single-stream summaries (sketches) used as building blocks by the protocols.
+
+Frequency summaries
+    :class:`WeightedMisraGries`, :class:`WeightedSpaceSaving`,
+    :class:`CountMinSketch`, :class:`ExactFrequencyCounter`.
+
+Matrix summaries
+    :class:`FrequentDirections`, :class:`ExactMatrix`.
+
+Weighted samplers
+    :class:`PrioritySample` (without replacement),
+    :class:`WithReplacementSamplers`, :class:`WeightedReservoir`.
+"""
+
+from .base import FrequencySketch, MatrixSketch
+from .count_min import CountMinSketch
+from .exact import ExactFrequencyCounter, ExactMatrix
+from .frequent_directions import FrequentDirections
+from .misra_gries import WeightedMisraGries
+from .priority_sampler import (
+    PrioritySample,
+    SampledItem,
+    WithReplacementSamplers,
+    sample_size_for_epsilon,
+)
+from .relative_error_fd import RelativeErrorFrequentDirections
+from .reservoir import ReservoirItem, WeightedReservoir
+from .space_saving import WeightedSpaceSaving
+
+__all__ = [
+    "FrequencySketch",
+    "MatrixSketch",
+    "CountMinSketch",
+    "ExactFrequencyCounter",
+    "ExactMatrix",
+    "FrequentDirections",
+    "WeightedMisraGries",
+    "PrioritySample",
+    "SampledItem",
+    "WithReplacementSamplers",
+    "sample_size_for_epsilon",
+    "RelativeErrorFrequentDirections",
+    "ReservoirItem",
+    "WeightedReservoir",
+    "WeightedSpaceSaving",
+]

@@ -1,0 +1,113 @@
+"""Abstract interfaces for single-stream summaries.
+
+Two families of summaries are used by the paper:
+
+* :class:`FrequencySketch` — summarises a stream of ``(element, weight)``
+  pairs and answers weighted-frequency queries.  Implementations include the
+  weighted Misra–Gries summary, weighted SpaceSaving, Count–Min and the exact
+  counter baseline.
+* :class:`MatrixSketch` — summarises a stream of matrix rows ``a_i ∈ R^d`` and
+  maintains a small matrix ``B`` approximating the covariance of the stream.
+  Implementations include Frequent Directions and the exact-covariance
+  baseline.
+
+Both interfaces expose ``merge`` because the distributed protocol P1 relies on
+the mergeability of the underlying summaries (Agarwal et al., "Mergeable
+summaries", PODS 2012).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Generic, Hashable, Iterable, List, Tuple, TypeVar
+
+import numpy as np
+
+__all__ = ["FrequencySketch", "MatrixSketch"]
+
+Element = TypeVar("Element", bound=Hashable)
+
+
+class FrequencySketch(abc.ABC, Generic[Element]):
+    """Summary of a weighted item stream supporting frequency estimation."""
+
+    @abc.abstractmethod
+    def update(self, element: Element, weight: float = 1.0) -> None:
+        """Process one stream item with the given (positive) weight."""
+
+    @abc.abstractmethod
+    def estimate(self, element: Element) -> float:
+        """Return an estimate of the total weight of ``element`` seen so far."""
+
+    @property
+    @abc.abstractmethod
+    def total_weight(self) -> float:
+        """Total weight of all items processed by this summary."""
+
+    @abc.abstractmethod
+    def to_dict(self) -> Dict[Element, float]:
+        """Return the retained (element -> estimated weight) map."""
+
+    def update_many(self, items: Iterable[Tuple[Element, float]]) -> None:
+        """Process an iterable of ``(element, weight)`` pairs."""
+        for element, weight in items:
+            self.update(element, weight)
+
+    def heavy_hitters(self, phi: float) -> List[Tuple[Element, float]]:
+        """Return retained elements whose estimated weight is at least ``phi * W``.
+
+        ``W`` is the total weight processed by this summary.  The result is
+        sorted by decreasing estimated weight.
+        """
+        if not 0.0 < phi <= 1.0:
+            raise ValueError(f"phi must lie in (0, 1], got {phi!r}")
+        threshold = phi * self.total_weight
+        found = [(element, weight) for element, weight in self.to_dict().items()
+                 if weight >= threshold]
+        found.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+        return found
+
+    def __len__(self) -> int:
+        return len(self.to_dict())
+
+
+class MatrixSketch(abc.ABC):
+    """Summary of a stream of rows supporting covariance approximation."""
+
+    @abc.abstractmethod
+    def update(self, row: np.ndarray) -> None:
+        """Process one row of the streaming matrix."""
+
+    @abc.abstractmethod
+    def sketch_matrix(self) -> np.ndarray:
+        """Return the current sketch ``B`` as a 2-d array with ``d`` columns."""
+
+    @property
+    @abc.abstractmethod
+    def dimension(self) -> int:
+        """Number of columns ``d`` of the sketched matrix."""
+
+    @property
+    @abc.abstractmethod
+    def squared_frobenius(self) -> float:
+        """Exact squared Frobenius norm of all rows processed so far."""
+
+    def update_many(self, rows: Iterable[np.ndarray]) -> None:
+        """Process an iterable of rows in order."""
+        for row in rows:
+            self.update(row)
+
+    def covariance(self) -> np.ndarray:
+        """Return ``BᵀB`` for the current sketch ``B``."""
+        sketch = self.sketch_matrix()
+        if sketch.size == 0:
+            return np.zeros((self.dimension, self.dimension))
+        return sketch.T @ sketch
+
+    def squared_norm_along(self, x: np.ndarray) -> float:
+        """Return ``‖Bx‖²`` for the current sketch ``B`` and direction ``x``."""
+        sketch = self.sketch_matrix()
+        if sketch.size == 0:
+            return 0.0
+        product = sketch @ np.asarray(x, dtype=np.float64)
+        return float(np.dot(product, product))

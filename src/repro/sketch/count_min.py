@@ -1,0 +1,126 @@
+"""Count–Min sketch for weighted streams.
+
+The Count–Min sketch [Cormode & Muthukrishnan 2005] is the randomized,
+hash-based alternative to the deterministic Misra–Gries summary mentioned in
+Section 3 of the paper.  It is included here as an additional substrate (it is
+the per-site summary used by the Cormode–Garofalakis prediction-sketch
+protocol discussed in related work) and as a baseline in the test-suite.
+
+Guarantees, for width ``w = ceil(e/ε)`` and depth ``t = ceil(ln(1/δ))``:
+``f_e ≤ f̂_e ≤ f_e + ε·W`` with probability at least ``1 − δ``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generic, Hashable, TypeVar
+
+import numpy as np
+
+from ..utils.rng import SeedLike, as_generator
+from ..utils.validation import check_positive_int, check_weight
+from .base import FrequencySketch
+
+__all__ = ["CountMinSketch"]
+
+Element = TypeVar("Element", bound=Hashable)
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class CountMinSketch(FrequencySketch[Element], Generic[Element]):
+    """Count–Min sketch with ``depth`` rows of ``width`` counters each.
+
+    Parameters
+    ----------
+    width:
+        Number of counters per hash row.
+    depth:
+        Number of independent hash rows.
+    seed:
+        Seed (or generator) for the pairwise-independent hash functions.
+    """
+
+    def __init__(self, width: int, depth: int, seed: SeedLike = None):
+        self._width = check_positive_int(width, name="width")
+        self._depth = check_positive_int(depth, name="depth")
+        rng = as_generator(seed)
+        self._table = np.zeros((self._depth, self._width), dtype=np.float64)
+        self._hash_a = rng.integers(1, _MERSENNE_PRIME, size=self._depth, dtype=np.int64)
+        self._hash_b = rng.integers(0, _MERSENNE_PRIME, size=self._depth, dtype=np.int64)
+        self._total_weight = 0.0
+        # Track keys so heavy_hitters / to_dict can enumerate candidates.  The
+        # key set is bounded by the number of *distinct* elements, which in the
+        # paper's universe model is bounded by |[u]|.
+        self._seen: Dict[Element, None] = {}
+
+    @classmethod
+    def from_error(cls, epsilon: float, delta: float = 0.01,
+                   seed: SeedLike = None) -> "CountMinSketch[Element]":
+        """Size the sketch for additive error ``epsilon*W`` with prob. ``1-delta``."""
+        if not 0.0 < epsilon <= 1.0:
+            raise ValueError(f"epsilon must lie in (0, 1], got {epsilon!r}")
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must lie in (0, 1), got {delta!r}")
+        width = max(1, math.ceil(math.e / epsilon))
+        depth = max(1, math.ceil(math.log(1.0 / delta)))
+        return cls(width=width, depth=depth, seed=seed)
+
+    @property
+    def width(self) -> int:
+        """Counters per hash row."""
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        """Number of hash rows."""
+        return self._depth
+
+    @property
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    def _buckets(self, element: Element) -> np.ndarray:
+        key = hash(element) & 0x7FFFFFFFFFFFFFFF
+        mixed = (self._hash_a * key + self._hash_b) % _MERSENNE_PRIME
+        return (mixed % self._width).astype(np.int64)
+
+    def update(self, element: Element, weight: float = 1.0) -> None:
+        weight = check_weight(weight, name="weight")
+        buckets = self._buckets(element)
+        self._table[np.arange(self._depth), buckets] += weight
+        self._total_weight += weight
+        self._seen[element] = None
+
+    def estimate(self, element: Element) -> float:
+        buckets = self._buckets(element)
+        return float(self._table[np.arange(self._depth), buckets].min())
+
+    def to_dict(self) -> Dict[Element, float]:
+        return {element: self.estimate(element) for element in self._seen}
+
+    def error_bound(self) -> float:
+        """Expected additive over-count bound ``e * W / width``."""
+        return math.e * self._total_weight / self._width
+
+    def merge(self, other: "CountMinSketch[Element]") -> "CountMinSketch[Element]":
+        """Merge two sketches built with identical dimensions and hash seeds."""
+        if not isinstance(other, CountMinSketch):
+            raise TypeError("can only merge with another CountMinSketch")
+        if (self._width != other._width or self._depth != other._depth
+                or not np.array_equal(self._hash_a, other._hash_a)
+                or not np.array_equal(self._hash_b, other._hash_b)):
+            raise ValueError("can only merge CountMin sketches with identical layout and hashes")
+        merged = CountMinSketch[Element](self._width, self._depth)
+        merged._hash_a = self._hash_a.copy()
+        merged._hash_b = self._hash_b.copy()
+        merged._table = self._table + other._table
+        merged._total_weight = self._total_weight + other._total_weight
+        merged._seen = {**self._seen, **other._seen}
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"CountMinSketch(width={self._width}, depth={self._depth}, "
+            f"total_weight={self._total_weight:.4g})"
+        )

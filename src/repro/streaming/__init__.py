@@ -1,0 +1,33 @@
+"""Distributed-streaming substrate: items, partitioning, network, protocols, runner."""
+
+from .items import MatrixRow, WeightedItem
+from .network import CommunicationLog, Direction, MessageKind, MessageRecord, Network
+from .partition import (
+    BlockPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    UniformRandomPartitioner,
+)
+from .protocol import DistributedProtocol
+from .runner import QueryObservation, RunResult, run_many, run_protocol
+
+__all__ = [
+    "MatrixRow",
+    "WeightedItem",
+    "CommunicationLog",
+    "Direction",
+    "MessageKind",
+    "MessageRecord",
+    "Network",
+    "BlockPartitioner",
+    "HashPartitioner",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "UniformRandomPartitioner",
+    "DistributedProtocol",
+    "QueryObservation",
+    "RunResult",
+    "run_many",
+    "run_protocol",
+]

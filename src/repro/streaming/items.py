@@ -1,0 +1,93 @@
+"""Stream item types.
+
+The distributed streaming model of the paper has two item flavours:
+
+* weighted items ``(element, weight)`` for the heavy-hitters protocols of
+  Section 4, represented by :class:`WeightedItem`;
+* matrix rows ``a ∈ R^d`` for the matrix-tracking protocols of Section 5,
+  represented by :class:`MatrixRow` whose implicit weight is ``‖a‖²``.
+
+Both types also carry the index of the site at which they arrive once a
+stream has been partitioned (see :mod:`repro.streaming.partition`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+import numpy as np
+
+from ..utils.validation import check_row, check_weight
+
+__all__ = ["WeightedItem", "MatrixRow"]
+
+
+@dataclass(frozen=True)
+class WeightedItem:
+    """A weighted stream element ``(element, weight)`` arriving at ``site``.
+
+    Attributes
+    ----------
+    element:
+        The element label (any hashable), an element of the universe ``[u]``.
+    weight:
+        Strictly positive weight ``w ∈ [1, β]`` in the paper's model.
+    site:
+        Index of the site observing the item, or ``None`` if unassigned.
+    """
+
+    element: Hashable
+    weight: float = 1.0
+    site: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_weight(self.weight, name="weight")
+
+    def at_site(self, site: int) -> "WeightedItem":
+        """Return a copy of this item assigned to ``site``."""
+        return WeightedItem(element=self.element, weight=self.weight, site=site)
+
+
+@dataclass(frozen=True)
+class MatrixRow:
+    """A matrix row arriving at ``site``; its weight is the squared norm.
+
+    Attributes
+    ----------
+    values:
+        The row ``a ∈ R^d`` as a 1-d float array.
+    site:
+        Index of the site observing the row, or ``None`` if unassigned.
+    """
+
+    values: np.ndarray
+    site: Optional[int] = None
+    _weight: float = field(init=False, repr=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        array = check_row(self.values, name="values")
+        object.__setattr__(self, "values", array)
+        object.__setattr__(self, "_weight", float(np.dot(array, array)))
+
+    @property
+    def weight(self) -> float:
+        """The implicit weight ``‖a‖²`` of the row."""
+        return self._weight
+
+    @property
+    def dimension(self) -> int:
+        """Number of columns ``d``."""
+        return int(self.values.shape[0])
+
+    def at_site(self, site: int) -> "MatrixRow":
+        """Return a copy of this row assigned to ``site``."""
+        return MatrixRow(values=self.values, site=site)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatrixRow):
+            return NotImplemented
+        return self.site == other.site and np.array_equal(self.values, other.values)
+
+    def __hash__(self) -> int:
+        return hash((self.site, self.values.tobytes()))

@@ -1,0 +1,210 @@
+"""Simulated communication substrate with message accounting.
+
+The paper measures protocols by the *number of messages* exchanged between the
+sites and the coordinator, "where each message is a row of length d, the same
+as the input stream" (Section 5), and by the number of scalar/vector messages
+for the matrix protocols (Section 6 metrics).  This module provides that
+accounting as a first-class object so every protocol reports communication in
+exactly the paper's units:
+
+* :class:`MessageKind` distinguishes scalar messages (a single number such as
+  a weight total), vector messages (one element or one row/direction), and
+  broadcast messages (coordinator to all sites).
+* :class:`CommunicationLog` records every transmission with its direction and
+  unit count and exposes aggregate counters.
+* :class:`Network` wires ``m`` site endpoints and a coordinator endpoint to a
+  shared log, and optionally retains full message payloads for debugging.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..utils.validation import check_positive_int
+
+__all__ = ["MessageKind", "Direction", "MessageRecord", "CommunicationLog", "Network"]
+
+
+class MessageKind(str, enum.Enum):
+    """The unit type of a transmission, following the paper's accounting."""
+
+    SCALAR = "scalar"
+    VECTOR = "vector"
+    SUMMARY = "summary"
+    BROADCAST = "broadcast"
+
+
+class Direction(str, enum.Enum):
+    """Direction of a transmission relative to the coordinator."""
+
+    SITE_TO_COORDINATOR = "site_to_coordinator"
+    COORDINATOR_TO_SITE = "coordinator_to_site"
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One logged transmission."""
+
+    direction: Direction
+    kind: MessageKind
+    site: Optional[int]
+    units: int
+    sequence: int
+    description: str = ""
+
+
+@dataclass
+class CommunicationLog:
+    """Aggregated message counters plus (optionally) the full record list.
+
+    Parameters
+    ----------
+    keep_records:
+        If True every transmission is retained in :attr:`records`; protocols
+        disable this for long runs to keep memory bounded.
+    """
+
+    keep_records: bool = False
+    records: List[MessageRecord] = field(default_factory=list)
+    _sequence: int = 0
+    _units_by_kind: Dict[MessageKind, int] = field(default_factory=dict)
+    _units_by_direction: Dict[Direction, int] = field(default_factory=dict)
+    _transmissions: int = 0
+
+    def record(self, direction: Direction, kind: MessageKind, units: int,
+               site: Optional[int] = None, description: str = "") -> None:
+        """Log one transmission of ``units`` message units."""
+        if units < 0:
+            raise ValueError(f"units must be non-negative, got {units}")
+        if units == 0:
+            return
+        self._sequence += 1
+        self._transmissions += 1
+        self._units_by_kind[kind] = self._units_by_kind.get(kind, 0) + units
+        self._units_by_direction[direction] = (
+            self._units_by_direction.get(direction, 0) + units
+        )
+        if self.keep_records:
+            self.records.append(
+                MessageRecord(
+                    direction=direction,
+                    kind=kind,
+                    site=site,
+                    units=units,
+                    sequence=self._sequence,
+                    description=description,
+                )
+            )
+
+    # ------------------------------------------------------------- aggregates
+    @property
+    def total_messages(self) -> int:
+        """Total message units exchanged in both directions."""
+        return sum(self._units_by_kind.values())
+
+    @property
+    def total_transmissions(self) -> int:
+        """Number of logged transmissions (batched messages count once)."""
+        return self._transmissions
+
+    @property
+    def upstream_messages(self) -> int:
+        """Units sent from sites to the coordinator."""
+        return self._units_by_direction.get(Direction.SITE_TO_COORDINATOR, 0)
+
+    @property
+    def downstream_messages(self) -> int:
+        """Units sent from the coordinator to sites (broadcasts included)."""
+        return self._units_by_direction.get(Direction.COORDINATOR_TO_SITE, 0)
+
+    def messages_of_kind(self, kind: MessageKind) -> int:
+        """Units of a particular :class:`MessageKind`."""
+        return self._units_by_kind.get(kind, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary (useful for reports)."""
+        summary = {f"kind_{kind.value}": units for kind, units in self._units_by_kind.items()}
+        summary["total_messages"] = self.total_messages
+        summary["upstream_messages"] = self.upstream_messages
+        summary["downstream_messages"] = self.downstream_messages
+        summary["total_transmissions"] = self.total_transmissions
+        return summary
+
+    def __iter__(self) -> Iterator[MessageRecord]:
+        return iter(self.records)
+
+
+class Network:
+    """Star network connecting ``num_sites`` sites to one coordinator.
+
+    All transmissions are routed through :attr:`log` which performs the
+    message accounting; the optional payload inbox is only used by protocols
+    that want to decouple "send" from "deliver" (not needed by the synchronous
+    protocols in this library, but exercised in tests).
+    """
+
+    def __init__(self, num_sites: int, keep_records: bool = False):
+        self._num_sites = check_positive_int(num_sites, name="num_sites")
+        self.log = CommunicationLog(keep_records=keep_records)
+        self._inbox: List[Any] = []
+
+    @property
+    def num_sites(self) -> int:
+        """Number of sites ``m``."""
+        return self._num_sites
+
+    def _check_site(self, site: int) -> int:
+        if not 0 <= site < self._num_sites:
+            raise ValueError(f"site index {site} out of range [0, {self._num_sites})")
+        return site
+
+    # ----------------------------------------------------------- site uplink
+    def send_scalar(self, site: int, description: str = "", units: int = 1) -> None:
+        """Record a scalar message (e.g. a weight total) from ``site``."""
+        self.log.record(Direction.SITE_TO_COORDINATOR, MessageKind.SCALAR, units,
+                        site=self._check_site(site), description=description)
+
+    def send_vector(self, site: int, description: str = "", units: int = 1) -> None:
+        """Record ``units`` vector messages (elements or rows) from ``site``."""
+        self.log.record(Direction.SITE_TO_COORDINATOR, MessageKind.VECTOR, units,
+                        site=self._check_site(site), description=description)
+
+    def send_summary(self, site: int, units: int, description: str = "") -> None:
+        """Record a summary transmission counted as ``units`` message units."""
+        self.log.record(Direction.SITE_TO_COORDINATOR, MessageKind.SUMMARY, units,
+                        site=self._check_site(site), description=description)
+
+    def deliver(self, payload: Any) -> None:
+        """Place a payload in the coordinator inbox (optional, for async tests)."""
+        self._inbox.append(payload)
+
+    def drain_inbox(self) -> List[Any]:
+        """Return and clear all undelivered payloads."""
+        payloads, self._inbox = self._inbox, []
+        return payloads
+
+    # ------------------------------------------------------- coordinator side
+    def broadcast(self, description: str = "", units_per_site: int = 1) -> None:
+        """Record a broadcast from the coordinator to all sites."""
+        self.log.record(Direction.COORDINATOR_TO_SITE, MessageKind.BROADCAST,
+                        units_per_site * self._num_sites, description=description)
+
+    def send_to_site(self, site: int, description: str = "", units: int = 1) -> None:
+        """Record a unicast message from the coordinator to one site."""
+        self.log.record(Direction.COORDINATOR_TO_SITE, MessageKind.SCALAR, units,
+                        site=self._check_site(site), description=description)
+
+    # --------------------------------------------------------------- metrics
+    @property
+    def total_messages(self) -> int:
+        """Total message units exchanged so far."""
+        return self.log.total_messages
+
+    def message_counts(self) -> Dict[str, int]:
+        """Return the aggregate counters of the underlying log."""
+        return self.log.as_dict()
+
+    def __repr__(self) -> str:
+        return f"Network(num_sites={self._num_sites}, total_messages={self.total_messages})"

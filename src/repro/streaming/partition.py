@@ -1,0 +1,120 @@
+"""Stream partitioners: assigning a global stream to ``m`` sites.
+
+In the distributed streaming model every stream item arrives at exactly one
+site.  Which site observes which item is adversarial in the theory, but the
+experiments need concrete assignments.  Three policies are provided:
+
+* :class:`RoundRobinPartitioner` — item ``i`` goes to site ``i mod m``
+  (the default used by the experiment drivers; it maximises interleaving and
+  therefore stresses the coordination logic most).
+* :class:`UniformRandomPartitioner` — each item independently goes to a
+  uniformly random site.
+* :class:`HashPartitioner` — items are routed by a hash of their element
+  label, clustering all copies of an element on one site (the "skewed" regime
+  where per-site summaries see very unbalanced loads).
+* :class:`BlockPartitioner` — contiguous blocks of the stream go to each
+  site, modelling geographically partitioned logs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Iterable, Iterator, Sequence, TypeVar
+
+from ..utils.rng import SeedLike, as_generator
+from ..utils.validation import check_positive_int, check_site_count
+
+__all__ = [
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "UniformRandomPartitioner",
+    "HashPartitioner",
+    "BlockPartitioner",
+]
+
+Item = TypeVar("Item")
+
+
+class Partitioner(abc.ABC):
+    """Assigns each stream item to one of ``num_sites`` sites."""
+
+    def __init__(self, num_sites: int):
+        self._num_sites = check_site_count(num_sites)
+
+    @property
+    def num_sites(self) -> int:
+        """Number of sites ``m``."""
+        return self._num_sites
+
+    @abc.abstractmethod
+    def assign(self, index: int, item: Item) -> int:
+        """Return the site index in ``[0, num_sites)`` for the ``index``-th item."""
+
+    def partition(self, stream: Iterable[Item]) -> Iterator[tuple]:
+        """Yield ``(site, item)`` pairs for every item of ``stream`` in order."""
+        for index, item in enumerate(stream):
+            yield self.assign(index, item), item
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Item ``i`` is observed by site ``i mod m``."""
+
+    def assign(self, index: int, item: Item) -> int:
+        return index % self._num_sites
+
+
+class UniformRandomPartitioner(Partitioner):
+    """Each item is observed by an independently uniform random site."""
+
+    def __init__(self, num_sites: int, seed: SeedLike = None):
+        super().__init__(num_sites)
+        self._rng = as_generator(seed)
+
+    def assign(self, index: int, item: Item) -> int:
+        return int(self._rng.integers(0, self._num_sites))
+
+
+class HashPartitioner(Partitioner):
+    """Items are routed by a hash of a key derived from the item.
+
+    Parameters
+    ----------
+    num_sites:
+        Number of sites.
+    key:
+        Callable extracting a hashable key from an item; defaults to using
+        the item itself (which works for element labels and tuples).
+    """
+
+    def __init__(self, num_sites: int, key=None):
+        super().__init__(num_sites)
+        self._key = key if key is not None else _identity
+
+    def assign(self, index: int, item: Item) -> int:
+        label: Hashable = self._key(item)
+        return hash(label) % self._num_sites
+
+
+class BlockPartitioner(Partitioner):
+    """The stream is cut into ``m`` contiguous blocks, one per site.
+
+    Requires the total stream length up front so the block size is known.
+    """
+
+    def __init__(self, num_sites: int, stream_length: int):
+        super().__init__(num_sites)
+        self._stream_length = check_positive_int(stream_length, name="stream_length")
+        self._block = max(1, -(-self._stream_length // self._num_sites))
+
+    def assign(self, index: int, item: Item) -> int:
+        return min(index // self._block, self._num_sites - 1)
+
+
+def _identity(item):
+    """Default key extractor used by :class:`HashPartitioner`."""
+    if isinstance(item, tuple) and item:
+        return item[0]
+    element = getattr(item, "element", None)
+    if element is not None:
+        return element
+    return item

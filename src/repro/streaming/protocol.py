@@ -1,0 +1,99 @@
+"""Base class shared by every distributed streaming protocol.
+
+A protocol owns a :class:`~repro.streaming.network.Network` (which performs
+the message accounting), knows how many sites it coordinates, and receives
+stream items through :meth:`DistributedProtocol.observe`, which dispatches to
+the protocol-specific ``process`` method implemented by subclasses.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict
+
+from ..utils.validation import check_site_count
+from .network import Network
+
+__all__ = ["DistributedProtocol"]
+
+
+class DistributedProtocol(abc.ABC):
+    """Common machinery for distributed streaming protocols.
+
+    Parameters
+    ----------
+    num_sites:
+        Number of distributed sites ``m``.
+    keep_message_records:
+        If True, the network retains a full per-message log (memory heavy;
+        useful in tests and debugging only).
+    """
+
+    def __init__(self, num_sites: int, keep_message_records: bool = False):
+        self._num_sites = check_site_count(num_sites)
+        self._network = Network(num_sites, keep_records=keep_message_records)
+        self._items_processed = 0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_sites(self) -> int:
+        """Number of sites ``m``."""
+        return self._num_sites
+
+    @property
+    def network(self) -> Network:
+        """The simulated star network (exposes the communication log)."""
+        return self._network
+
+    @property
+    def total_messages(self) -> int:
+        """Total message units exchanged so far (the paper's ``msg`` metric)."""
+        return self._network.total_messages
+
+    @property
+    def items_processed(self) -> int:
+        """Number of stream items processed so far (``n`` in the paper)."""
+        return self._items_processed
+
+    def message_counts(self) -> Dict[str, int]:
+        """Break down of exchanged messages by kind and direction."""
+        return self._network.message_counts()
+
+    # -------------------------------------------------------------- ingestion
+    @abc.abstractmethod
+    def process(self, site: int, *args: Any) -> None:
+        """Handle the arrival of one stream item at ``site``."""
+
+    def observe(self, site: int, item: Any) -> None:
+        """Dispatch a stream item (dataclass, tuple or raw payload) to ``process``.
+
+        Heavy-hitter protocols accept :class:`~repro.streaming.items.WeightedItem`
+        instances or ``(element, weight)`` tuples; matrix protocols accept
+        :class:`~repro.streaming.items.MatrixRow` instances or raw rows.
+        Subclasses override :meth:`_unpack` if they need custom handling.
+        """
+        args = self._unpack(item)
+        self.process(site, *args)
+
+    def _unpack(self, item: Any):
+        """Convert a stream item into the positional arguments of ``process``."""
+        values = getattr(item, "values", None)
+        if values is not None:
+            return (values,)
+        element = getattr(item, "element", None)
+        if element is not None:
+            return (element, item.weight)
+        if isinstance(item, tuple):
+            return item
+        return (item,)
+
+    def _count_item(self) -> None:
+        """Record that one more stream item has been consumed."""
+        self._items_processed += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(num_sites={self._num_sites}, "
+            f"items_processed={self._items_processed}, "
+            f"total_messages={self.total_messages})"
+        )

@@ -1,0 +1,156 @@
+"""Drivers that feed partitioned streams into distributed protocols.
+
+The runner is deliberately simple: the protocols in this library are
+synchronous (a site reacts to each arriving item immediately, possibly
+triggering coordinator work in the same step), so "running" a protocol is a
+loop over ``(site, item)`` pairs.  What the runner adds is
+
+* uniform handling of the different stream item shapes,
+* an optional *query schedule*: the caller can pass a set of item counts at
+  which a user-supplied query callback is invoked, matching the paper's
+  "continuous queries at arbitrary time instances" evaluation, and
+* a trace of the communication cost over time, which several figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from .partition import Partitioner, RoundRobinPartitioner
+from .protocol import DistributedProtocol
+
+__all__ = ["QueryObservation", "RunResult", "run_protocol", "run_many"]
+
+
+@dataclass(frozen=True)
+class QueryObservation:
+    """The outcome of one scheduled query during a run."""
+
+    items_processed: int
+    total_messages: int
+    result: Any
+
+
+@dataclass
+class RunResult:
+    """Summary of one protocol run over one stream."""
+
+    protocol: DistributedProtocol
+    items_processed: int
+    total_messages: int
+    message_counts: Dict[str, int]
+    observations: List[QueryObservation] = field(default_factory=list)
+
+    @property
+    def final_observation(self) -> Optional[QueryObservation]:
+        """The last scheduled query outcome, if any query was scheduled."""
+        if not self.observations:
+            return None
+        return self.observations[-1]
+
+
+def run_protocol(
+    protocol: DistributedProtocol,
+    stream: Iterable[Any],
+    partitioner: Optional[Partitioner] = None,
+    query_at: Optional[Sequence[int]] = None,
+    query: Optional[Callable[[DistributedProtocol], Any]] = None,
+    query_at_end: bool = True,
+) -> RunResult:
+    """Feed ``stream`` into ``protocol`` and optionally run scheduled queries.
+
+    Parameters
+    ----------
+    protocol:
+        Any :class:`~repro.streaming.protocol.DistributedProtocol`.
+    stream:
+        Iterable of stream items (``WeightedItem``, ``MatrixRow``, tuples or
+        raw rows).  Items that already carry a ``site`` attribute are routed
+        to that site; otherwise the ``partitioner`` decides.
+    partitioner:
+        Site assignment policy; defaults to round-robin over the protocol's
+        ``num_sites``.
+    query_at:
+        Item counts (1-based) after which ``query`` is invoked.
+    query:
+        Callback evaluated on the protocol at each scheduled query point; its
+        return value is stored in the run result.
+    query_at_end:
+        If True and a ``query`` callback is given, one extra query is made
+        after the entire stream is consumed (the paper reports errors from
+        queries at the very end of the stream).
+
+    Returns
+    -------
+    RunResult
+        Totals plus the list of query observations.
+    """
+    if partitioner is None:
+        partitioner = RoundRobinPartitioner(protocol.num_sites)
+    elif partitioner.num_sites != protocol.num_sites:
+        raise ValueError(
+            f"partitioner has {partitioner.num_sites} sites but protocol has "
+            f"{protocol.num_sites}"
+        )
+    schedule = sorted(set(query_at)) if query_at else []
+    schedule_position = 0
+    observations: List[QueryObservation] = []
+
+    for index, item in enumerate(stream):
+        site = getattr(item, "site", None)
+        if site is None:
+            site = partitioner.assign(index, item)
+        protocol.observe(site, item)
+        count = index + 1
+        while (query is not None and schedule_position < len(schedule)
+               and schedule[schedule_position] <= count):
+            observations.append(
+                QueryObservation(
+                    items_processed=count,
+                    total_messages=protocol.total_messages,
+                    result=query(protocol),
+                )
+            )
+            schedule_position += 1
+
+    if query is not None and query_at_end:
+        last_count = protocol.items_processed
+        if not observations or observations[-1].items_processed != last_count:
+            observations.append(
+                QueryObservation(
+                    items_processed=last_count,
+                    total_messages=protocol.total_messages,
+                    result=query(protocol),
+                )
+            )
+
+    return RunResult(
+        protocol=protocol,
+        items_processed=protocol.items_processed,
+        total_messages=protocol.total_messages,
+        message_counts=protocol.message_counts(),
+        observations=observations,
+    )
+
+
+def run_many(
+    protocols: Dict[str, DistributedProtocol],
+    stream_factory: Callable[[], Iterable[Any]],
+    partitioner_factory: Optional[Callable[[DistributedProtocol], Partitioner]] = None,
+    query: Optional[Callable[[DistributedProtocol], Any]] = None,
+) -> Dict[str, RunResult]:
+    """Run several protocols over identical copies of the same stream.
+
+    ``stream_factory`` is called once per protocol so that generator-based
+    streams can be replayed; use a deterministic seed inside the factory to
+    guarantee all protocols see the same data.
+    """
+    results: Dict[str, RunResult] = {}
+    for name, protocol in protocols.items():
+        partitioner = (partitioner_factory(protocol)
+                       if partitioner_factory is not None else None)
+        results[name] = run_protocol(
+            protocol, stream_factory(), partitioner=partitioner, query=query
+        )
+    return results

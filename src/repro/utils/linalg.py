@@ -1,0 +1,206 @@
+"""Linear-algebra helpers used throughout the matrix-tracking code.
+
+These are thin, well-tested wrappers around ``numpy.linalg`` that implement
+the handful of operations the paper relies on repeatedly:
+
+* robust (thin) singular value decompositions,
+* squared norms of a matrix along a direction, ``‖Ax‖²``,
+* the covariance approximation error ``‖AᵀA − BᵀB‖₂ / ‖A‖²_F`` used as the
+  ``err`` metric in Section 6,
+* best rank-``k`` approximations and projections onto a sketch's row space
+  (used by the relative-error extension of Frequent Directions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .validation import check_matrix, check_rank
+
+__all__ = [
+    "thin_svd",
+    "squared_norm_along",
+    "squared_frobenius",
+    "covariance",
+    "covariance_error",
+    "spectral_norm",
+    "best_rank_k",
+    "project_onto_rowspace",
+    "stack_rows",
+    "directional_errors",
+]
+
+
+def thin_svd(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute a thin SVD ``matrix = U @ diag(s) @ Vt`` robustly.
+
+    Falls back to the Gesvd-style driver via ``scipy`` semantics by adding a
+    tiny amount of jitter if LAPACK fails to converge, which can happen for
+    rank-deficient matrices with repeated singular values.
+
+    Returns
+    -------
+    (U, s, Vt):
+        ``U`` has shape ``(n, r)``, ``s`` shape ``(r,)`` (non-increasing) and
+        ``Vt`` shape ``(r, d)`` with ``r = min(n, d)``.
+    """
+    array = np.asarray(matrix, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"thin_svd expects a 2-d array, got shape {array.shape}")
+    if array.size == 0:
+        n, d = array.shape
+        r = min(n, d)
+        return np.zeros((n, r)), np.zeros(r), np.zeros((r, d))
+    try:
+        u, s, vt = np.linalg.svd(array, full_matrices=False)
+    except np.linalg.LinAlgError:
+        jitter = 1e-12 * (np.abs(array).max() or 1.0)
+        noisy = array + jitter * np.random.default_rng(0).standard_normal(array.shape)
+        u, s, vt = np.linalg.svd(noisy, full_matrices=False)
+    return u, s, vt
+
+
+def squared_norm_along(matrix: np.ndarray, x: np.ndarray) -> float:
+    """Return ``‖Ax‖²`` for a matrix ``A`` and direction ``x``."""
+    array = np.asarray(matrix, dtype=np.float64)
+    vector = np.asarray(x, dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    product = array @ vector
+    return float(np.dot(product, product))
+
+
+def squared_frobenius(matrix: np.ndarray) -> float:
+    """Return the squared Frobenius norm ``‖A‖²_F``."""
+    array = np.asarray(matrix, dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    return float(np.sum(array * array))
+
+
+def covariance(matrix: np.ndarray) -> np.ndarray:
+    """Return the (uncentered) covariance ``AᵀA`` of a row matrix."""
+    array = np.asarray(matrix, dtype=np.float64)
+    if array.size == 0:
+        if array.ndim == 2:
+            return np.zeros((array.shape[1], array.shape[1]))
+        return np.zeros((0, 0))
+    return array.T @ array
+
+
+def spectral_norm(matrix: np.ndarray) -> float:
+    """Return the spectral (operator 2-) norm of a matrix."""
+    array = np.asarray(matrix, dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    return float(np.linalg.norm(array, 2))
+
+
+def covariance_error(original: np.ndarray, sketch: np.ndarray,
+                     normalizer: Optional[float] = None) -> float:
+    """Paper metric ``err = ‖AᵀA − BᵀB‖₂ / ‖A‖²_F``.
+
+    Equivalently ``max_{‖x‖=1} |‖Ax‖² − ‖Bx‖²| / ‖A‖²_F``.
+
+    Parameters
+    ----------
+    original:
+        The exact matrix ``A`` (rows observed so far).
+    sketch:
+        The approximation ``B`` maintained by a protocol.
+    normalizer:
+        Override for ``‖A‖²_F``; defaults to the squared Frobenius norm of
+        ``original``. Returns 0 if the normaliser is zero.
+    """
+    a = check_matrix(original, name="original")
+    b = np.asarray(sketch, dtype=np.float64)
+    if b.size == 0:
+        b = np.zeros((0, a.shape[1]))
+    b = check_matrix(b, name="sketch")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"original has {a.shape[1]} columns but sketch has {b.shape[1]}"
+        )
+    denom = squared_frobenius(a) if normalizer is None else float(normalizer)
+    if denom <= 0.0:
+        return 0.0
+    difference = covariance(a) - covariance(b)
+    return spectral_norm(difference) / denom
+
+
+def best_rank_k(matrix: np.ndarray, k: int) -> np.ndarray:
+    """Return ``A_k``, the best rank-``k`` approximation of ``A`` (Frobenius)."""
+    array = check_matrix(matrix, name="matrix")
+    rank = check_rank(k, name="k")
+    u, s, vt = thin_svd(array)
+    rank = min(rank, s.shape[0])
+    return (u[:, :rank] * s[:rank]) @ vt[:rank, :]
+
+
+def project_onto_rowspace(matrix: np.ndarray, basis_rows: np.ndarray) -> np.ndarray:
+    """Project the rows of ``matrix`` onto the row space of ``basis_rows``.
+
+    Used by the relative-error Frequent Directions guarantee
+    ``‖A − π_{B_k}(A)‖²_F ≤ (1 + ε) ‖A − A_k‖²_F``.
+    """
+    array = check_matrix(matrix, name="matrix")
+    basis = np.asarray(basis_rows, dtype=np.float64)
+    if basis.size == 0:
+        return np.zeros_like(array)
+    basis = check_matrix(basis, name="basis_rows")
+    if basis.shape[1] != array.shape[1]:
+        raise ValueError("matrix and basis_rows must have the same number of columns")
+    _, s, vt = thin_svd(basis)
+    nonzero = s > max(s[0], 1.0) * 1e-12 if s.size else np.zeros(0, dtype=bool)
+    v = vt[nonzero, :]
+    if v.size == 0:
+        return np.zeros_like(array)
+    return (array @ v.T) @ v
+
+
+def stack_rows(*blocks: np.ndarray) -> np.ndarray:
+    """Vertically stack row blocks, ignoring empty ones; always returns 2-d."""
+    arrays = []
+    width = None
+    for block in blocks:
+        array = np.asarray(block, dtype=np.float64)
+        if array.size == 0:
+            continue
+        if array.ndim == 1:
+            array = array[np.newaxis, :]
+        if width is None:
+            width = array.shape[1]
+        elif array.shape[1] != width:
+            raise ValueError("all row blocks must have the same number of columns")
+        arrays.append(array)
+    if not arrays:
+        return np.zeros((0, 0))
+    return np.vstack(arrays)
+
+
+def directional_errors(original: np.ndarray, sketch: np.ndarray,
+                       directions: np.ndarray) -> np.ndarray:
+    """Return ``|‖Ax‖² − ‖Bx‖²| / ‖A‖²_F`` for each row ``x`` of ``directions``.
+
+    Useful for spot-checking the error guarantee along specific directions
+    (e.g. the top singular vectors of ``A``) without forming ``AᵀA``.
+    """
+    a = check_matrix(original, name="original")
+    b = np.asarray(sketch, dtype=np.float64)
+    if b.size == 0:
+        b = np.zeros((0, a.shape[1]))
+    dirs = check_matrix(directions, name="directions")
+    denom = squared_frobenius(a)
+    if denom <= 0.0:
+        return np.zeros(dirs.shape[0])
+    errors = np.empty(dirs.shape[0])
+    for index, direction in enumerate(dirs):
+        norm = np.linalg.norm(direction)
+        if norm == 0:
+            errors[index] = 0.0
+            continue
+        unit = direction / norm
+        errors[index] = abs(squared_norm_along(a, unit) - squared_norm_along(b, unit)) / denom
+    return errors

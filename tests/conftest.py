@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are intentionally small (a few thousand stream items at most) so
+the entire suite runs in well under a minute; the benchmark harness under
+``benchmarks/`` exercises the paper-scale configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_matrix import make_msd_like, make_pamap_like
+from repro.data.zipfian import ZipfianStreamGenerator
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A session-wide deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def zipf_sample():
+    """A small Zipfian weighted stream with ground truth (3,000 items)."""
+    generator = ZipfianStreamGenerator(universe_size=500, skew=2.0, beta=100.0, seed=7)
+    return generator.generate(3_000)
+
+
+@pytest.fixture(scope="session")
+def unit_weight_sample():
+    """A Zipfian stream with all weights equal to one (for unweighted checks)."""
+    generator = ZipfianStreamGenerator(universe_size=200, skew=2.0, beta=1.0, seed=11)
+    return generator.generate(2_000)
+
+
+@pytest.fixture(scope="session")
+def low_rank_dataset():
+    """A small PAMAP-like (low-rank) matrix dataset."""
+    return make_pamap_like(num_rows=1_500, seed=3)
+
+
+@pytest.fixture(scope="session")
+def high_rank_dataset():
+    """A small MSD-like (high-rank) matrix dataset."""
+    return make_msd_like(num_rows=1_500, seed=5)
+
+
+@pytest.fixture()
+def small_matrix(rng) -> np.ndarray:
+    """A generic dense matrix for sketch-level tests."""
+    return rng.standard_normal((400, 12))

@@ -1,0 +1,93 @@
+"""Tests for the repro-experiments command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+TINY_HH = ["--num-items", "2000", "--universe-size", "300", "--num-sites", "5",
+           "--epsilons", "0.01,0.05"]
+TINY_MATRIX = ["--num-rows", "600", "--num-sites", "5",
+               "--epsilons", "0.05,0.5", "--sites", "4,8"]
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    code = main(argv, out=buffer)
+    return code, buffer.getvalue()
+
+
+class TestParser:
+    def test_all_experiment_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("list", "figure1", "figure1e", "figure1f", "table1",
+                        "figure2", "figure3", "figure4", "figure67"):
+            args = parser.parse_args([command] if command == "list"
+                                     else [command])
+            assert args.command == command
+
+    def test_epsilon_list_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure1", "--epsilons", "0.01,0.02"])
+        assert args.epsilons == [0.01, 0.02]
+
+    def test_invalid_epsilon_list_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure1", "--epsilons", "abc"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self):
+        code, output = run_cli(["list"])
+        assert code == 0
+        assert "figure1" in output
+        assert "table1" in output
+
+    def test_figure1(self):
+        code, output = run_cli(["figure1", *TINY_HH])
+        assert code == 0
+        assert "Figure 1(a)" in output
+        assert "Figure 1(d)" in output
+        assert "P1" in output and "P4" in output
+
+    def test_figure1e(self):
+        code, output = run_cli(["figure1e", *TINY_HH])
+        assert code == 0
+        assert "Figure 1(e)" in output
+
+    def test_figure1f(self):
+        code, output = run_cli(["figure1f", *TINY_HH, "--beta", "100"])
+        assert code == 0
+        assert "Figure 1(f)" in output
+
+    def test_table1(self):
+        code, output = run_cli(["table1", *TINY_MATRIX])
+        assert code == 0
+        assert "Table 1" in output
+        assert "P3wor" in output
+        assert "SVD" in output
+
+    def test_figure2(self):
+        code, output = run_cli(["figure2", *TINY_MATRIX])
+        assert code == 0
+        assert "Figure 2(a)" in output
+        assert "Figure 2(d)" in output
+
+    def test_figure4(self):
+        code, output = run_cli(["figure4", "--dataset", "msd", *TINY_MATRIX])
+        assert code == 0
+        assert "Figure 4" in output
+        assert "msd" in output
+
+    def test_figure67(self):
+        code, output = run_cli(["figure67", "--dataset", "pamap", *TINY_MATRIX])
+        assert code == 0
+        assert "P4" in output

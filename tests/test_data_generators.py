@@ -1,0 +1,174 @@
+"""Unit tests for the workload generators (Zipfian streams, synthetic matrices)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import available_datasets, load_dataset, register_dataset
+from repro.data.synthetic_matrix import (
+    SyntheticMatrix,
+    make_high_rank_matrix,
+    make_low_rank_matrix,
+    make_msd_like,
+    make_pamap_like,
+    row_stream,
+)
+from repro.data.zipfian import ZipfianStreamGenerator
+from repro.streaming.items import MatrixRow
+
+
+class TestZipfianStreamGenerator:
+    def test_stream_length_and_weight_bounds(self):
+        generator = ZipfianStreamGenerator(universe_size=100, skew=2.0, beta=50.0,
+                                           seed=0)
+        sample = generator.generate(2_000)
+        assert len(sample) == 2_000
+        weights = [weight for _, weight in sample.items]
+        assert min(weights) >= 1.0
+        assert max(weights) <= 50.0
+
+    def test_ground_truth_consistency(self):
+        generator = ZipfianStreamGenerator(universe_size=100, seed=1)
+        sample = generator.generate(1_000)
+        assert sum(sample.element_weights.values()) == pytest.approx(sample.total_weight)
+        recomputed = {}
+        for element, weight in sample.items:
+            recomputed[element] = recomputed.get(element, 0.0) + weight
+        assert recomputed == pytest.approx(sample.element_weights)
+
+    def test_skew_concentrates_mass(self):
+        generator = ZipfianStreamGenerator(universe_size=1_000, skew=2.0, beta=1.0,
+                                           seed=2)
+        sample = generator.generate(5_000)
+        top_share = max(sample.element_weights.values()) / sample.total_weight
+        assert top_share > 0.3  # zipf(2) puts ~60% of mass on the top element
+
+    def test_heavy_hitters_helper(self):
+        generator = ZipfianStreamGenerator(universe_size=50, skew=2.0, seed=3)
+        sample = generator.generate(2_000)
+        hitters = sample.heavy_hitters(0.05)
+        assert hitters
+        for element in hitters:
+            assert sample.element_weights[element] >= 0.05 * sample.total_weight
+        with pytest.raises(ValueError):
+            sample.heavy_hitters(0.0)
+
+    def test_unit_weights_when_beta_is_one(self):
+        generator = ZipfianStreamGenerator(universe_size=10, beta=1.0, seed=4)
+        sample = generator.generate(100)
+        assert all(weight == 1.0 for _, weight in sample.items)
+
+    def test_lazy_stream_yields_weighted_items(self):
+        generator = ZipfianStreamGenerator(universe_size=10, seed=5)
+        items = list(generator.stream(25))
+        assert len(items) == 25
+        assert all(item.weight >= 1.0 for item in items)
+
+    def test_probabilities_sum_to_one(self):
+        generator = ZipfianStreamGenerator(universe_size=200, skew=1.5, seed=6)
+        assert generator.element_probabilities().sum() == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfianStreamGenerator(universe_size=0)
+        with pytest.raises(ValueError):
+            ZipfianStreamGenerator(skew=0.0)
+        with pytest.raises(ValueError):
+            ZipfianStreamGenerator(beta=0.5)
+
+    def test_deterministic_given_seed(self):
+        first = ZipfianStreamGenerator(universe_size=100, seed=9).generate(200)
+        second = ZipfianStreamGenerator(universe_size=100, seed=9).generate(200)
+        assert first.items == second.items
+
+
+class TestSyntheticMatrices:
+    def test_low_rank_matrix_is_low_rank(self):
+        matrix = make_low_rank_matrix(500, 20, effective_rank=5, seed=0)
+        singular_values = np.linalg.svd(matrix, compute_uv=False)
+        energy = singular_values ** 2
+        assert energy[:5].sum() / energy.sum() > 0.999
+
+    def test_high_rank_matrix_keeps_tail_energy(self):
+        matrix = make_high_rank_matrix(500, 30, decay=0.97, seed=0)
+        singular_values = np.linalg.svd(matrix, compute_uv=False)
+        energy = singular_values ** 2
+        assert energy[15:].sum() / energy.sum() > 0.05
+
+    def test_shapes(self):
+        assert make_low_rank_matrix(50, 8, 3, seed=1).shape == (50, 8)
+        assert make_high_rank_matrix(60, 9, seed=1).shape == (60, 9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_low_rank_matrix(10, 5, effective_rank=6)
+        with pytest.raises(ValueError):
+            make_high_rank_matrix(10, 5, decay=1.5)
+
+    def test_pamap_like_properties(self, low_rank_dataset):
+        assert low_rank_dataset.dimension == 44
+        assert low_rank_dataset.recommended_rank == 30
+        # Rank-30 truncation keeps essentially all energy.
+        s = np.linalg.svd(low_rank_dataset.rows, compute_uv=False)
+        tail = (s[30:] ** 2).sum() / (s ** 2).sum()
+        assert tail < 1e-4
+
+    def test_msd_like_properties(self, high_rank_dataset):
+        assert high_rank_dataset.dimension == 90
+        assert high_rank_dataset.recommended_rank == 50
+        s = np.linalg.svd(high_rank_dataset.rows, compute_uv=False)
+        tail = (s[50:] ** 2).sum() / (s ** 2).sum()
+        assert tail > 1e-3
+
+    def test_metadata_helpers(self, low_rank_dataset):
+        assert low_rank_dataset.num_rows == low_rank_dataset.rows.shape[0]
+        assert low_rank_dataset.squared_frobenius == pytest.approx(
+            float(np.sum(low_rank_dataset.rows ** 2)))
+        assert low_rank_dataset.max_row_norm_squared() >= 0.0
+
+    def test_row_stream(self, low_rank_dataset):
+        rows = list(row_stream(low_rank_dataset.rows[:10]))
+        assert len(rows) == 10
+        assert all(isinstance(row, MatrixRow) for row in rows)
+        assert rows[0].site is None
+
+    def test_row_stream_with_assignments(self, low_rank_dataset):
+        assignments = np.arange(10) % 3
+        rows = list(row_stream(low_rank_dataset.rows[:10], assignments))
+        assert [row.site for row in rows] == list(assignments)
+
+    def test_row_stream_validation(self, low_rank_dataset):
+        with pytest.raises(ValueError):
+            list(row_stream(low_rank_dataset.rows[:10], np.zeros(3)))
+        with pytest.raises(ValueError):
+            list(row_stream(np.zeros(5)))
+
+
+class TestDatasetRegistry:
+    def test_available(self):
+        names = available_datasets()
+        assert "pamap" in names
+        assert "msd" in names
+
+    def test_load_with_row_override(self):
+        dataset = load_dataset("pamap", num_rows=123)
+        assert dataset.num_rows == 123
+
+    def test_load_is_case_insensitive(self):
+        assert load_dataset("MSD", num_rows=50).name == "msd_like"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("does-not-exist")
+
+    def test_register_custom(self):
+        def factory(num_rows=10, seed=0):
+            return SyntheticMatrix(name="custom", rows=np.ones((num_rows, 3)),
+                                   recommended_rank=1, description="test")
+
+        register_dataset("custom-test", factory)
+        dataset = load_dataset("custom-test", num_rows=7)
+        assert dataset.num_rows == 7
+        with pytest.raises(ValueError):
+            register_dataset("", factory)

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs end to end and produces sane output."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "image_feature_monitoring.py",
+    "network_traffic_heavy_hitters.py",
+    "distributed_lsi_logs.py",
+]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"example {name} is missing"
+    return subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=600, check=False,
+    )
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_cleanly(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_both_problems():
+    result = run_example("quickstart.py")
+    assert "matrix tracking" in result.stdout.lower()
+    assert "heavy hitters" in result.stdout.lower()
+    assert "err" in result.stdout
+
+
+def test_traffic_example_reports_heavy_destinations():
+    result = run_example("network_traffic_heavy_hitters.py")
+    assert "True heavy destinations" in result.stdout
+    assert "10.0." in result.stdout

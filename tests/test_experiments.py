@@ -1,0 +1,176 @@
+"""Tests for the experiment drivers (scaled-down versions of every figure/table)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import HeavyHitterConfig, MatrixConfig
+from repro.experiments.heavy_hitters_experiments import (
+    build_protocols as build_hh_protocols,
+    figure1_sweep_epsilon,
+    figure1e_error_vs_messages,
+    figure1f_messages_vs_beta,
+    generate_stream,
+    theoretical_message_bounds,
+)
+from repro.experiments.matrix_experiments import (
+    build_protocols as build_matrix_protocols,
+    figure4_tradeoff,
+    figure67_p4_comparison,
+    figure_sweep_epsilon,
+    figure_sweep_sites,
+    load_experiment_dataset,
+    table1_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_hh_config():
+    return HeavyHitterConfig(num_items=4_000, universe_size=500, num_sites=10,
+                             seed=1, epsilon_grid=[5e-3, 5e-2],
+                             beta_grid=[1.0, 100.0])
+
+
+@pytest.fixture(scope="module")
+def tiny_matrix_config():
+    return MatrixConfig(num_rows=1_200, num_sites=10, seed=1,
+                        epsilon_grid=[5e-2, 5e-1], site_grid=[5, 20])
+
+
+class TestHeavyHitterConfig:
+    def test_defaults_match_paper(self):
+        config = HeavyHitterConfig()
+        assert config.phi == 0.05
+        assert config.num_sites == 50
+        assert config.beta == 1_000.0
+        assert config.skew == 2.0
+
+    def test_scaled(self):
+        config = HeavyHitterConfig().scaled(10)
+        assert config.num_items == 10
+
+    def test_build_protocols_labels(self, tiny_hh_config):
+        protocols = build_hh_protocols(tiny_hh_config, include_with_replacement=True)
+        assert set(protocols) == {"P1", "P2", "P3", "P4", "P3wr"}
+
+    def test_theoretical_bounds_ordering(self, tiny_hh_config):
+        bounds = theoretical_message_bounds(tiny_hh_config, epsilon=0.01)
+        assert bounds["P2"] < bounds["P1"]
+        assert bounds["P4"] < bounds["P2"]
+
+
+class TestFigure1:
+    def test_epsilon_sweep_shapes(self, tiny_hh_config):
+        result = figure1_sweep_epsilon(tiny_hh_config)
+        assert result.parameter == "epsilon"
+        assert set(result.protocols()) == {"P1", "P2", "P3", "P4"}
+        assert result.values() == tiny_hh_config.epsilon_grid
+        recall = result.series("recall")
+        for protocol, values in recall.items():
+            assert all(value >= 0.99 for value in values), protocol
+
+    def test_errors_below_guarantee(self, tiny_hh_config):
+        # An absolute estimation error of eps*W translates into a relative
+        # error of at most eps/phi on a true phi-heavy hitter.
+        result = figure1_sweep_epsilon(tiny_hh_config)
+        for record in result.records:
+            if record.protocol == "P4":
+                continue  # randomized, constant-probability guarantee
+            assert record.metrics["err"] <= record.value / tiny_hh_config.phi + 1e-9
+
+    def test_messages_decrease_with_epsilon_for_p2(self, tiny_hh_config):
+        result = figure1_sweep_epsilon(tiny_hh_config)
+        messages = result.series("msg")["P2"]
+        assert messages[0] >= messages[-1]
+
+    def test_error_vs_messages_rows(self, tiny_hh_config):
+        rows = figure1e_error_vs_messages(tiny_hh_config)
+        assert len(rows) == 4 * len(tiny_hh_config.epsilon_grid)
+        assert {"protocol", "epsilon", "msg", "err"} <= set(rows[0])
+
+    def test_beta_sweep(self, tiny_hh_config):
+        result = figure1f_messages_vs_beta(tiny_hh_config)
+        assert result.parameter == "beta"
+        assert result.values() == tiny_hh_config.beta_grid
+        for protocol, series in result.series("recall").items():
+            assert all(value >= 0.99 for value in series), protocol
+
+
+class TestMatrixConfig:
+    def test_defaults_match_paper(self):
+        config = MatrixConfig()
+        assert config.epsilon == 0.1
+        assert config.num_sites == 50
+        assert config.pamap_rank == 30
+        assert config.msd_rank == 50
+
+    def test_rank_for(self):
+        config = MatrixConfig()
+        assert config.rank_for("pamap") == 30
+        assert config.rank_for("msd") == 50
+
+    def test_build_protocols_labels(self, tiny_matrix_config):
+        dataset = load_experiment_dataset(tiny_matrix_config, "pamap")
+        protocols = build_matrix_protocols(
+            tiny_matrix_config, dataset.dimension, dataset.num_rows,
+            include_with_replacement=True, include_p4=True)
+        assert set(protocols) == {"P1", "P2", "P3", "P3wr", "P4"}
+
+
+class TestTable1:
+    def test_rows_cover_all_methods_and_datasets(self, tiny_matrix_config):
+        rows = table1_rows(tiny_matrix_config)
+        methods = {row["method"] for row in rows}
+        datasets = {row["dataset"] for row in rows}
+        assert methods == {"P1", "P2", "P3wor", "P3wr", "FD", "SVD"}
+        assert datasets == {"pamap", "msd"}
+        assert len(rows) == 12
+
+    def test_qualitative_shape(self, tiny_matrix_config):
+        rows = {(row["dataset"], row["method"]): row
+                for row in table1_rows(tiny_matrix_config)}
+        # The low-rank dataset is essentially exactly recoverable by SVD/FD.
+        assert rows[("pamap", "SVD")]["err"] < 1e-4
+        assert rows[("pamap", "FD")]["err"] < 1e-3
+        # The high-rank dataset keeps residual error even for SVD at rank 50.
+        assert rows[("msd", "SVD")]["err"] > 1e-4
+        # P2 and P3 save communication relative to the send-everything baselines.
+        for dataset in ("pamap", "msd"):
+            naive = rows[(dataset, "SVD")]["msg"]
+            assert rows[(dataset, "P2")]["msg"] < naive
+            assert rows[(dataset, "P3wor")]["msg"] < naive
+
+
+class TestMatrixSweeps:
+    def test_epsilon_sweep(self, tiny_matrix_config):
+        result = figure_sweep_epsilon("pamap", tiny_matrix_config)
+        assert set(result.protocols()) == {"P1", "P2", "P3"}
+        errors = result.series("err")
+        # P2's error grows (weakly) with epsilon.
+        assert errors["P2"][0] <= errors["P2"][-1] + 1e-6
+        # All protocols respect their guarantee.
+        for record in result.records:
+            assert record.metrics["err"] <= max(record.value, 0.35)
+
+    def test_site_sweep(self, tiny_matrix_config):
+        result = figure_sweep_sites("msd", tiny_matrix_config)
+        assert result.parameter == "num_sites"
+        messages = result.series("msg")
+        # P2 and P3 messages grow with the number of sites.
+        assert messages["P2"][-1] >= messages["P2"][0]
+        assert messages["P3"][-1] >= messages["P3"][0]
+
+    def test_figure4_rows(self, tiny_matrix_config):
+        rows = figure4_tradeoff("pamap", tiny_matrix_config)
+        assert {"protocol", "epsilon", "err", "msg"} <= set(rows[0])
+        assert len(rows) == 3 * len(tiny_matrix_config.epsilon_grid)
+
+    def test_figure67_includes_p4_and_shows_blowup(self, tiny_matrix_config):
+        results = figure67_p4_comparison("pamap", tiny_matrix_config,
+                                         epsilons=[5e-2],
+                                         site_counts=[10])
+        eps_sweep = results["err_vs_epsilon"]
+        assert "P4" in eps_sweep.protocols()
+        p4_error = eps_sweep.series("err")["P4"][0]
+        p2_error = eps_sweep.series("err")["P2"][0]
+        assert p4_error > p2_error

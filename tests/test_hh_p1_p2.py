@@ -1,0 +1,147 @@
+"""Unit tests for weighted heavy-hitter protocols P1 and P2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.heavy_hitters.p1_batched_mg import BatchedMisraGriesProtocol
+from repro.heavy_hitters.p2_threshold import ThresholdedUpdatesProtocol
+from repro.streaming.partition import RoundRobinPartitioner
+
+
+def feed(protocol, items):
+    partitioner = RoundRobinPartitioner(protocol.num_sites)
+    for index, (element, weight) in enumerate(items):
+        protocol.process(partitioner.assign(index, element), element, weight)
+
+
+EPSILON = 0.02
+
+
+class TestProtocolP1:
+    def test_estimates_within_epsilon_w(self, zipf_sample):
+        protocol = BatchedMisraGriesProtocol(num_sites=10, epsilon=EPSILON)
+        feed(protocol, zipf_sample.items)
+        budget = EPSILON * zipf_sample.total_weight
+        for element, truth in zipf_sample.element_weights.items():
+            assert abs(protocol.estimate(element) - truth) <= budget + 1e-6
+
+    def test_total_weight_estimate_close(self, zipf_sample):
+        protocol = BatchedMisraGriesProtocol(num_sites=10, epsilon=EPSILON)
+        feed(protocol, zipf_sample.items)
+        assert protocol.estimated_total_weight() == pytest.approx(
+            zipf_sample.total_weight, rel=EPSILON
+        )
+
+    def test_heavy_hitters_recall_is_perfect(self, zipf_sample):
+        protocol = BatchedMisraGriesProtocol(num_sites=10, epsilon=EPSILON)
+        feed(protocol, zipf_sample.items)
+        returned = set(protocol.heavy_hitter_elements(0.05))
+        for element in zipf_sample.heavy_hitters(0.05):
+            assert element in returned
+
+    def test_no_false_positives_below_phi_minus_epsilon(self, zipf_sample):
+        protocol = BatchedMisraGriesProtocol(num_sites=10, epsilon=EPSILON)
+        feed(protocol, zipf_sample.items)
+        phi = 0.05
+        for hitter in protocol.heavy_hitters(phi):
+            truth = zipf_sample.element_weights.get(hitter.element, 0.0)
+            assert truth / zipf_sample.total_weight >= phi - EPSILON - 1e-9
+
+    def test_communication_much_smaller_than_naive_elementwise(self, zipf_sample):
+        # P1 batches whole summaries; compare against one message per item
+        # times the summary size it would take to send raw items.
+        protocol = BatchedMisraGriesProtocol(num_sites=5, epsilon=0.05)
+        feed(protocol, zipf_sample.items)
+        assert protocol.total_messages < len(zipf_sample.items) * 2
+
+    def test_broadcast_weight_monotone(self, zipf_sample):
+        protocol = BatchedMisraGriesProtocol(num_sites=5, epsilon=0.05)
+        last = 0.0
+        partitioner = RoundRobinPartitioner(5)
+        for index, (element, weight) in enumerate(zipf_sample.items[:500]):
+            protocol.process(partitioner.assign(index, element), element, weight)
+            assert protocol.broadcast_weight >= last
+            last = protocol.broadcast_weight
+
+    def test_flush_all_sites_makes_estimates_exact_for_small_stream(self):
+        protocol = BatchedMisraGriesProtocol(num_sites=3, epsilon=0.5, num_counters=100)
+        items = [("a", 5.0), ("b", 1.0), ("a", 2.0), ("c", 4.0)]
+        feed(protocol, items)
+        protocol.flush_all_sites()
+        assert protocol.estimate("a") == pytest.approx(7.0)
+        assert protocol.estimate("c") == pytest.approx(4.0)
+
+    def test_custom_counter_count(self):
+        protocol = BatchedMisraGriesProtocol(num_sites=2, epsilon=0.1, num_counters=7)
+        assert protocol.num_counters == 7
+
+    def test_default_counter_count(self):
+        protocol = BatchedMisraGriesProtocol(num_sites=2, epsilon=0.1)
+        assert protocol.num_counters == 20
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            BatchedMisraGriesProtocol(num_sites=2, epsilon=0.0)
+
+
+class TestProtocolP2:
+    def test_estimates_within_epsilon_w(self, zipf_sample):
+        protocol = ThresholdedUpdatesProtocol(num_sites=10, epsilon=EPSILON)
+        feed(protocol, zipf_sample.items)
+        budget = EPSILON * zipf_sample.total_weight
+        for element, truth in zipf_sample.element_weights.items():
+            assert abs(protocol.estimate(element) - truth) <= budget + 1e-6
+
+    def test_total_weight_tracked_within_epsilon(self, zipf_sample):
+        protocol = ThresholdedUpdatesProtocol(num_sites=10, epsilon=EPSILON)
+        feed(protocol, zipf_sample.items)
+        assert abs(protocol.estimated_total_weight() - zipf_sample.total_weight) \
+            <= EPSILON * zipf_sample.total_weight + 1e-6
+
+    def test_heavy_hitter_recall(self, zipf_sample):
+        protocol = ThresholdedUpdatesProtocol(num_sites=10, epsilon=EPSILON)
+        feed(protocol, zipf_sample.items)
+        returned = set(protocol.heavy_hitter_elements(0.05))
+        for element in zipf_sample.heavy_hitters(0.05):
+            assert element in returned
+
+    def test_fewer_messages_than_p1(self, zipf_sample):
+        epsilon = 0.01
+        p1 = BatchedMisraGriesProtocol(num_sites=10, epsilon=epsilon)
+        p2 = ThresholdedUpdatesProtocol(num_sites=10, epsilon=epsilon)
+        feed(p1, zipf_sample.items)
+        feed(p2, zipf_sample.items)
+        assert p2.total_messages < p1.total_messages
+
+    def test_rounds_progress(self, zipf_sample):
+        protocol = ThresholdedUpdatesProtocol(num_sites=5, epsilon=0.05)
+        feed(protocol, zipf_sample.items)
+        assert protocol.rounds_completed >= 1
+
+    def test_space_bounded_variant_still_accurate(self, zipf_sample):
+        space = ThresholdedUpdatesProtocol.default_site_space(10, 0.05)
+        protocol = ThresholdedUpdatesProtocol(num_sites=10, epsilon=0.05,
+                                              site_space=space)
+        feed(protocol, zipf_sample.items)
+        budget = 2 * 0.05 * zipf_sample.total_weight
+        for element in zipf_sample.heavy_hitters(0.05):
+            truth = zipf_sample.element_weights[element]
+            assert abs(protocol.estimate(element) - truth) <= budget
+
+    def test_default_site_space_formula(self):
+        assert ThresholdedUpdatesProtocol.default_site_space(50, 0.1) == 500
+
+    def test_estimates_dictionary(self, zipf_sample):
+        protocol = ThresholdedUpdatesProtocol(num_sites=5, epsilon=0.05)
+        feed(protocol, zipf_sample.items)
+        estimates = protocol.estimates()
+        assert estimates
+        for element, value in estimates.items():
+            assert protocol.estimate(element) == pytest.approx(value)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ThresholdedUpdatesProtocol(num_sites=0, epsilon=0.1)
+        with pytest.raises(ValueError):
+            ThresholdedUpdatesProtocol(num_sites=2, epsilon=0.1, site_space=0)

@@ -1,0 +1,169 @@
+"""Unit tests for weighted heavy-hitter protocols P3 (wor/wr) and P4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.heavy_hitters.exact import ExactForwardingProtocol
+from repro.heavy_hitters.p3_sampling import (
+    PrioritySamplingProtocol,
+    WithReplacementSamplingProtocol,
+)
+from repro.heavy_hitters.p4_randomized import RandomizedReportingProtocol
+from repro.streaming.partition import RoundRobinPartitioner
+
+
+def feed(protocol, items):
+    partitioner = RoundRobinPartitioner(protocol.num_sites)
+    for index, (element, weight) in enumerate(items):
+        protocol.process(partitioner.assign(index, element), element, weight)
+
+
+class TestProtocolP3WithoutReplacement:
+    def test_heavy_hitter_recall(self, zipf_sample):
+        protocol = PrioritySamplingProtocol(num_sites=10, epsilon=0.05,
+                                            sample_size=400, seed=0)
+        feed(protocol, zipf_sample.items)
+        returned = set(protocol.heavy_hitter_elements(0.05))
+        for element in zipf_sample.heavy_hitters(0.05):
+            assert element in returned
+
+    def test_estimates_of_heavy_elements(self, zipf_sample):
+        protocol = PrioritySamplingProtocol(num_sites=10, epsilon=0.05,
+                                            sample_size=500, seed=1)
+        feed(protocol, zipf_sample.items)
+        budget = 0.1 * zipf_sample.total_weight
+        for element in zipf_sample.heavy_hitters(0.05):
+            truth = zipf_sample.element_weights[element]
+            assert abs(protocol.estimate(element) - truth) <= budget
+
+    def test_total_weight_estimate(self, zipf_sample):
+        protocol = PrioritySamplingProtocol(num_sites=10, epsilon=0.05,
+                                            sample_size=500, seed=2)
+        feed(protocol, zipf_sample.items)
+        assert protocol.estimated_total_weight() == pytest.approx(
+            zipf_sample.total_weight, rel=0.25
+        )
+
+    def test_exact_when_sample_holds_everything(self):
+        items = [("a", 3.0), ("b", 1.0), ("a", 2.0), ("c", 10.0)]
+        protocol = PrioritySamplingProtocol(num_sites=2, epsilon=0.5,
+                                            sample_size=100, seed=0)
+        feed(protocol, items)
+        assert protocol.estimate("a") == pytest.approx(5.0)
+        assert protocol.estimate("c") == pytest.approx(10.0)
+        assert protocol.estimated_total_weight() == pytest.approx(16.0)
+
+    def test_fewer_messages_than_forwarding_everything(self, zipf_sample):
+        exact = ExactForwardingProtocol(num_sites=10)
+        sampled = PrioritySamplingProtocol(num_sites=10, epsilon=0.05,
+                                           sample_size=100, seed=3)
+        feed(exact, zipf_sample.items)
+        feed(sampled, zipf_sample.items)
+        assert sampled.total_messages < exact.total_messages
+
+    def test_rounds_advance_and_threshold_doubles(self, zipf_sample):
+        protocol = PrioritySamplingProtocol(num_sites=10, epsilon=0.05,
+                                            sample_size=50, seed=4)
+        feed(protocol, zipf_sample.items)
+        assert protocol.rounds_completed >= 1
+        assert protocol.threshold == pytest.approx(2.0 ** protocol.rounds_completed)
+
+    def test_retained_sample_size_bounded(self, zipf_sample):
+        sample_size = 60
+        protocol = PrioritySamplingProtocol(num_sites=10, epsilon=0.05,
+                                            sample_size=sample_size, seed=5)
+        feed(protocol, zipf_sample.items)
+        # Q_j plus Q_{j+1} never exceeds the previous round's content plus s.
+        assert len(protocol.sample_with_adjusted_weights()) <= 3 * sample_size
+
+    def test_default_sample_size_from_epsilon(self):
+        protocol = PrioritySamplingProtocol(num_sites=2, epsilon=0.1)
+        assert protocol.sample_size >= 100
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(ValueError):
+            PrioritySamplingProtocol(num_sites=2, epsilon=0.1, sample_size=0)
+
+
+class TestProtocolP3WithReplacement:
+    def test_heavy_hitter_recall(self, zipf_sample):
+        protocol = WithReplacementSamplingProtocol(num_sites=10, epsilon=0.05,
+                                                   num_samplers=300, seed=0)
+        feed(protocol, zipf_sample.items)
+        returned = set(protocol.heavy_hitter_elements(0.05))
+        for element in zipf_sample.heavy_hitters(0.05):
+            assert element in returned
+
+    def test_total_weight_estimate(self, zipf_sample):
+        protocol = WithReplacementSamplingProtocol(num_sites=10, epsilon=0.05,
+                                                   num_samplers=300, seed=1)
+        feed(protocol, zipf_sample.items)
+        assert protocol.estimated_total_weight() == pytest.approx(
+            zipf_sample.total_weight, rel=0.3
+        )
+
+    def test_exact_mode_before_any_rejection(self):
+        items = [("a", 2.0), ("b", 4.0)]
+        protocol = WithReplacementSamplingProtocol(num_sites=1, epsilon=0.5,
+                                                   num_samplers=10, seed=0)
+        feed(protocol, items)
+        assert protocol.estimate("b") == pytest.approx(4.0)
+
+    def test_uses_more_messages_than_wor_at_same_size(self, zipf_sample):
+        wor = PrioritySamplingProtocol(num_sites=10, epsilon=0.05,
+                                       sample_size=150, seed=7)
+        wr = WithReplacementSamplingProtocol(num_sites=10, epsilon=0.05,
+                                             num_samplers=150, seed=7)
+        feed(wor, zipf_sample.items)
+        feed(wr, zipf_sample.items)
+        assert wr.total_messages >= wor.total_messages
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            WithReplacementSamplingProtocol(num_sites=2, epsilon=0.1, num_samplers=0)
+
+
+class TestProtocolP4:
+    def test_heavy_hitter_recall(self, zipf_sample):
+        protocol = RandomizedReportingProtocol(num_sites=10, epsilon=0.05, seed=0)
+        feed(protocol, zipf_sample.items)
+        returned = set(protocol.heavy_hitter_elements(0.05))
+        for element in zipf_sample.heavy_hitters(0.05):
+            assert element in returned
+
+    def test_estimates_of_heavy_elements_reasonable(self, zipf_sample):
+        protocol = RandomizedReportingProtocol(num_sites=10, epsilon=0.05, seed=1)
+        feed(protocol, zipf_sample.items)
+        budget = 3 * 0.05 * zipf_sample.total_weight
+        for element in zipf_sample.heavy_hitters(0.05):
+            truth = zipf_sample.element_weights[element]
+            assert abs(protocol.estimate(element) - truth) <= budget
+
+    def test_total_weight_estimate(self, zipf_sample):
+        protocol = RandomizedReportingProtocol(num_sites=10, epsilon=0.05, seed=2)
+        feed(protocol, zipf_sample.items)
+        assert protocol.estimated_total_weight() == pytest.approx(
+            zipf_sample.total_weight, rel=0.3
+        )
+
+    def test_broadcast_weight_is_lower_bound_of_true_weight(self, zipf_sample):
+        protocol = RandomizedReportingProtocol(num_sites=10, epsilon=0.05, seed=3)
+        feed(protocol, zipf_sample.items)
+        assert protocol.broadcast_weight <= zipf_sample.total_weight + 1e-6
+        assert protocol.broadcast_weight > 0.0
+
+    def test_message_savings_at_moderate_epsilon(self, zipf_sample):
+        protocol = RandomizedReportingProtocol(num_sites=25, epsilon=0.1, seed=4)
+        feed(protocol, zipf_sample.items)
+        assert protocol.total_messages < len(zipf_sample.items)
+
+    def test_estimates_dict_consistent(self, zipf_sample):
+        protocol = RandomizedReportingProtocol(num_sites=5, epsilon=0.1, seed=5)
+        feed(protocol, zipf_sample.items[:500])
+        for element, value in protocol.estimates().items():
+            assert protocol.estimate(element) == pytest.approx(value)
+
+    def test_empty_protocol_returns_no_hitters(self):
+        protocol = RandomizedReportingProtocol(num_sites=2, epsilon=0.1, seed=0)
+        assert protocol.heavy_hitters(0.1) == []

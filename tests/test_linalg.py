@@ -1,0 +1,159 @@
+"""Unit tests for repro.utils.linalg."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.linalg import (
+    best_rank_k,
+    covariance,
+    covariance_error,
+    directional_errors,
+    project_onto_rowspace,
+    spectral_norm,
+    squared_frobenius,
+    squared_norm_along,
+    stack_rows,
+    thin_svd,
+)
+
+
+class TestThinSVD:
+    def test_reconstruction(self, rng):
+        matrix = rng.standard_normal((20, 6))
+        u, s, vt = thin_svd(matrix)
+        assert np.allclose(u @ np.diag(s) @ vt, matrix, atol=1e-10)
+
+    def test_singular_values_sorted(self, rng):
+        matrix = rng.standard_normal((15, 4))
+        _, s, _ = thin_svd(matrix)
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_empty_matrix(self):
+        u, s, vt = thin_svd(np.zeros((0, 5)))
+        assert u.shape == (0, 0)
+        assert s.shape == (0,)
+        assert vt.shape == (0, 5)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            thin_svd(np.ones(3))
+
+
+class TestNorms:
+    def test_squared_norm_along_matches_direct(self, rng):
+        matrix = rng.standard_normal((30, 5))
+        x = rng.standard_normal(5)
+        expected = float(np.linalg.norm(matrix @ x) ** 2)
+        assert squared_norm_along(matrix, x) == pytest.approx(expected)
+
+    def test_squared_norm_empty(self):
+        assert squared_norm_along(np.zeros((0, 4)), np.ones(4)) == 0.0
+
+    def test_squared_frobenius(self, rng):
+        matrix = rng.standard_normal((10, 3))
+        assert squared_frobenius(matrix) == pytest.approx(float(np.sum(matrix ** 2)))
+
+    def test_squared_frobenius_empty(self):
+        assert squared_frobenius(np.zeros((0, 3))) == 0.0
+
+    def test_spectral_norm_diagonal(self):
+        assert spectral_norm(np.diag([3.0, 1.0, 2.0])) == pytest.approx(3.0)
+
+    def test_spectral_norm_empty(self):
+        assert spectral_norm(np.zeros((0, 0))) == 0.0
+
+
+class TestCovariance:
+    def test_covariance_matches_definition(self, rng):
+        matrix = rng.standard_normal((12, 4))
+        assert np.allclose(covariance(matrix), matrix.T @ matrix)
+
+    def test_covariance_empty(self):
+        assert covariance(np.zeros((0, 4))).shape == (4, 4)
+
+
+class TestCovarianceError:
+    def test_zero_for_identical_matrices(self, rng):
+        matrix = rng.standard_normal((25, 6))
+        assert covariance_error(matrix, matrix.copy()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_manual_computation(self, rng):
+        a = rng.standard_normal((30, 5))
+        b = rng.standard_normal((10, 5))
+        expected = np.linalg.norm(a.T @ a - b.T @ b, 2) / np.sum(a ** 2)
+        assert covariance_error(a, b) == pytest.approx(expected)
+
+    def test_empty_sketch_gives_relative_spectral_norm(self, rng):
+        a = rng.standard_normal((30, 5))
+        expected = np.linalg.norm(a.T @ a, 2) / np.sum(a ** 2)
+        assert covariance_error(a, np.zeros((0, 5))) == pytest.approx(expected)
+
+    def test_column_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            covariance_error(rng.standard_normal((5, 3)), rng.standard_normal((5, 4)))
+
+    def test_error_bounded_by_one_when_sketch_underestimates(self, rng):
+        # Any row-subset sketch B of A satisfies ||A^T A - B^T B||_2 <= ||A||_F^2.
+        a = rng.standard_normal((40, 6))
+        b = a[:10]
+        assert covariance_error(a, b) <= 1.0 + 1e-12
+
+
+class TestRankAndProjection:
+    def test_best_rank_k_exact_for_full_rank(self, rng):
+        matrix = rng.standard_normal((8, 4))
+        assert np.allclose(best_rank_k(matrix, 4), matrix, atol=1e-10)
+
+    def test_best_rank_k_is_best(self, rng):
+        matrix = rng.standard_normal((30, 6))
+        approx = best_rank_k(matrix, 2)
+        assert np.linalg.matrix_rank(approx, tol=1e-8) <= 2
+        # Error equals the tail singular values.
+        s = np.linalg.svd(matrix, compute_uv=False)
+        expected_error = np.sqrt(np.sum(s[2:] ** 2))
+        assert np.linalg.norm(matrix - approx) == pytest.approx(expected_error)
+
+    def test_projection_onto_own_rowspace_is_identity(self, rng):
+        matrix = rng.standard_normal((10, 5))
+        assert np.allclose(project_onto_rowspace(matrix, matrix), matrix, atol=1e-8)
+
+    def test_projection_onto_empty_basis_is_zero(self, rng):
+        matrix = rng.standard_normal((10, 5))
+        assert np.allclose(project_onto_rowspace(matrix, np.zeros((0, 5))), 0.0)
+
+    def test_projection_reduces_norm(self, rng):
+        matrix = rng.standard_normal((20, 6))
+        basis = rng.standard_normal((2, 6))
+        projected = project_onto_rowspace(matrix, basis)
+        assert squared_frobenius(projected) <= squared_frobenius(matrix) + 1e-9
+
+
+class TestStackRows:
+    def test_stacks_mixed_blocks(self):
+        stacked = stack_rows(np.ones((2, 3)), np.zeros((0, 3)), np.full(3, 2.0))
+        assert stacked.shape == (3, 3)
+        assert np.allclose(stacked[-1], 2.0)
+
+    def test_all_empty(self):
+        assert stack_rows(np.zeros((0, 3))).shape == (0, 0)
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            stack_rows(np.ones((1, 3)), np.ones((1, 4)))
+
+
+class TestDirectionalErrors:
+    def test_zero_for_identical(self, rng):
+        matrix = rng.standard_normal((15, 4))
+        directions = np.eye(4)
+        errors = directional_errors(matrix, matrix, directions)
+        assert np.allclose(errors, 0.0, atol=1e-12)
+
+    def test_bounded_by_covariance_error(self, rng):
+        a = rng.standard_normal((40, 5))
+        b = a[:25]
+        overall = covariance_error(a, b)
+        errors = directional_errors(a, b, np.eye(5))
+        assert np.all(errors <= overall + 1e-9)

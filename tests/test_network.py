@@ -1,0 +1,107 @@
+"""Unit tests for the simulated network / message accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming.network import (
+    CommunicationLog,
+    Direction,
+    MessageKind,
+    Network,
+)
+
+
+class TestCommunicationLog:
+    def test_counts_by_kind_and_direction(self):
+        log = CommunicationLog()
+        log.record(Direction.SITE_TO_COORDINATOR, MessageKind.VECTOR, 3)
+        log.record(Direction.SITE_TO_COORDINATOR, MessageKind.SCALAR, 1)
+        log.record(Direction.COORDINATOR_TO_SITE, MessageKind.BROADCAST, 10)
+        assert log.total_messages == 14
+        assert log.upstream_messages == 4
+        assert log.downstream_messages == 10
+        assert log.messages_of_kind(MessageKind.VECTOR) == 3
+        assert log.total_transmissions == 3
+
+    def test_zero_units_ignored(self):
+        log = CommunicationLog()
+        log.record(Direction.SITE_TO_COORDINATOR, MessageKind.SCALAR, 0)
+        assert log.total_messages == 0
+        assert log.total_transmissions == 0
+
+    def test_negative_units_rejected(self):
+        log = CommunicationLog()
+        with pytest.raises(ValueError):
+            log.record(Direction.SITE_TO_COORDINATOR, MessageKind.SCALAR, -1)
+
+    def test_records_retained_when_requested(self):
+        log = CommunicationLog(keep_records=True)
+        log.record(Direction.SITE_TO_COORDINATOR, MessageKind.VECTOR, 2, site=1,
+                   description="rows")
+        assert len(log.records) == 1
+        record = log.records[0]
+        assert record.site == 1
+        assert record.units == 2
+        assert record.description == "rows"
+        assert list(iter(log)) == log.records
+
+    def test_records_not_retained_by_default(self):
+        log = CommunicationLog()
+        log.record(Direction.SITE_TO_COORDINATOR, MessageKind.VECTOR, 2)
+        assert log.records == []
+
+    def test_as_dict_keys(self):
+        log = CommunicationLog()
+        log.record(Direction.SITE_TO_COORDINATOR, MessageKind.SCALAR, 1)
+        summary = log.as_dict()
+        assert summary["total_messages"] == 1
+        assert summary["kind_scalar"] == 1
+        assert "upstream_messages" in summary
+
+
+class TestNetwork:
+    def test_site_uplinks(self):
+        network = Network(num_sites=4)
+        network.send_scalar(0)
+        network.send_vector(1, units=5)
+        network.send_summary(2, units=7)
+        assert network.total_messages == 13
+        counts = network.message_counts()
+        assert counts["kind_scalar"] == 1
+        assert counts["kind_vector"] == 5
+        assert counts["kind_summary"] == 7
+
+    def test_broadcast_counts_per_site(self):
+        network = Network(num_sites=6)
+        network.broadcast()
+        assert network.total_messages == 6
+        network.broadcast(units_per_site=2)
+        assert network.total_messages == 18
+
+    def test_unicast_downstream(self):
+        network = Network(num_sites=3)
+        network.send_to_site(1)
+        assert network.log.downstream_messages == 1
+
+    def test_invalid_site_rejected(self):
+        network = Network(num_sites=2)
+        with pytest.raises(ValueError):
+            network.send_scalar(2)
+        with pytest.raises(ValueError):
+            network.send_vector(-1)
+
+    def test_inbox_deliver_and_drain(self):
+        network = Network(num_sites=1)
+        network.deliver({"payload": 1})
+        network.deliver({"payload": 2})
+        drained = network.drain_inbox()
+        assert len(drained) == 2
+        assert network.drain_inbox() == []
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Network(num_sites=0)
+
+    def test_repr(self):
+        assert "num_sites=3" in repr(Network(num_sites=3))

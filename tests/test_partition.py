@@ -1,0 +1,83 @@
+"""Unit tests for stream partitioners."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.streaming.items import WeightedItem
+from repro.streaming.partition import (
+    BlockPartitioner,
+    HashPartitioner,
+    RoundRobinPartitioner,
+    UniformRandomPartitioner,
+)
+
+
+class TestRoundRobin:
+    def test_cycles_through_sites(self):
+        partitioner = RoundRobinPartitioner(num_sites=3)
+        assignments = [partitioner.assign(index, None) for index in range(7)]
+        assert assignments == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_partition_yields_pairs(self):
+        partitioner = RoundRobinPartitioner(num_sites=2)
+        pairs = list(partitioner.partition(["a", "b", "c"]))
+        assert pairs == [(0, "a"), (1, "b"), (0, "c")]
+
+    def test_invalid_site_count(self):
+        with pytest.raises(ValueError):
+            RoundRobinPartitioner(num_sites=0)
+
+
+class TestUniformRandom:
+    def test_in_range_and_roughly_balanced(self):
+        partitioner = UniformRandomPartitioner(num_sites=4, seed=0)
+        counts = collections.Counter(
+            partitioner.assign(index, None) for index in range(4000)
+        )
+        assert set(counts) <= {0, 1, 2, 3}
+        for site in range(4):
+            assert 800 <= counts[site] <= 1200
+
+    def test_deterministic_given_seed(self):
+        first = UniformRandomPartitioner(num_sites=5, seed=3)
+        second = UniformRandomPartitioner(num_sites=5, seed=3)
+        assert [first.assign(i, None) for i in range(50)] == [
+            second.assign(i, None) for i in range(50)
+        ]
+
+
+class TestHashPartitioner:
+    def test_same_element_same_site(self):
+        partitioner = HashPartitioner(num_sites=7)
+        assert partitioner.assign(0, "elephant") == partitioner.assign(99, "elephant")
+
+    def test_key_extraction_from_tuple_and_item(self):
+        partitioner = HashPartitioner(num_sites=5)
+        tuple_site = partitioner.assign(0, ("label", 3.0))
+        item_site = partitioner.assign(1, WeightedItem(element="label", weight=1.0))
+        plain_site = partitioner.assign(2, "label")
+        assert tuple_site == item_site == plain_site
+
+    def test_custom_key(self):
+        partitioner = HashPartitioner(num_sites=3, key=lambda item: item["user"])
+        first = partitioner.assign(0, {"user": "alice", "bytes": 10})
+        second = partitioner.assign(1, {"user": "alice", "bytes": 99})
+        assert first == second
+
+
+class TestBlockPartitioner:
+    def test_contiguous_blocks(self):
+        partitioner = BlockPartitioner(num_sites=3, stream_length=9)
+        assignments = [partitioner.assign(index, None) for index in range(9)]
+        assert assignments == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_overflow_clamps_to_last_site(self):
+        partitioner = BlockPartitioner(num_sites=2, stream_length=4)
+        assert partitioner.assign(10, None) == 1
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            BlockPartitioner(num_sites=2, stream_length=0)

@@ -1,0 +1,143 @@
+"""Unit tests for priority sampling (without and with replacement)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.priority_sampler import (
+    PrioritySample,
+    SampledItem,
+    WithReplacementSamplers,
+    sample_size_for_epsilon,
+)
+
+
+class TestSampleSizeRule:
+    def test_monotone_in_epsilon(self):
+        assert sample_size_for_epsilon(0.01) > sample_size_for_epsilon(0.1)
+
+    def test_constant_scales(self):
+        assert sample_size_for_epsilon(0.1, constant=2.0) >= sample_size_for_epsilon(0.1)
+
+    def test_at_least_one(self):
+        assert sample_size_for_epsilon(1.0) >= 1
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            sample_size_for_epsilon(0.0)
+
+
+class TestSampledItem:
+    def test_adjusted_weight(self):
+        item = SampledItem(payload="a", weight=2.0, priority=7.0)
+        assert item.adjusted_weight(1.0) == 2.0
+        assert item.adjusted_weight(5.0) == 5.0
+
+
+class TestPrioritySample:
+    def test_exact_when_under_capacity(self):
+        sampler = PrioritySample(sample_size=100, seed=0)
+        for index in range(10):
+            sampler.update(f"item-{index}", float(index + 1))
+        assert len(sampler) == 10
+        assert sampler.estimate_total_weight() == pytest.approx(55.0)
+        assert sampler.estimate("item-9") == pytest.approx(10.0)
+
+    def test_sample_size_respected(self, zipf_sample):
+        sampler = PrioritySample(sample_size=50, seed=1)
+        for element, weight in zipf_sample.items:
+            sampler.update(element, weight)
+        assert len(sampler) <= 51
+        assert len(sampler) >= 50
+
+    def test_total_weight_estimate_unbiasedish(self, zipf_sample):
+        # Average over several independent samplers; the mean estimate should
+        # be within a few percent of the truth.
+        estimates = []
+        for seed in range(8):
+            sampler = PrioritySample(sample_size=200, seed=seed)
+            for element, weight in zipf_sample.items:
+                sampler.update(element, weight)
+            estimates.append(sampler.estimate_total_weight())
+        mean = float(np.mean(estimates))
+        assert mean == pytest.approx(zipf_sample.total_weight, rel=0.1)
+
+    def test_heavy_element_estimates(self, zipf_sample):
+        sampler = PrioritySample(sample_size=400, seed=3)
+        for element, weight in zipf_sample.items:
+            sampler.update(element, weight)
+        estimates = sampler.to_dict()
+        for element in zipf_sample.heavy_hitters(0.05):
+            truth = zipf_sample.element_weights[element]
+            assert estimates.get(element, 0.0) == pytest.approx(
+                truth, rel=0.35, abs=0.05 * zipf_sample.total_weight
+            )
+
+    def test_threshold_zero_when_underfull(self):
+        sampler = PrioritySample(sample_size=10, seed=0)
+        sampler.update("a", 1.0)
+        assert sampler.threshold() == 0.0
+
+    def test_items_seen_and_total_weight(self):
+        sampler = PrioritySample(sample_size=5, seed=0)
+        for index in range(20):
+            sampler.update(index, 2.0)
+        assert sampler.items_seen == 20
+        assert sampler.total_weight == pytest.approx(40.0)
+
+    def test_rejects_bad_weight(self):
+        sampler = PrioritySample(sample_size=5, seed=0)
+        with pytest.raises(ValueError):
+            sampler.update("a", 0.0)
+
+    def test_rejects_bad_sample_size(self):
+        with pytest.raises(ValueError):
+            PrioritySample(sample_size=0)
+
+
+class TestWithReplacementSamplers:
+    def test_sample_one_per_sampler(self, zipf_sample):
+        samplers = WithReplacementSamplers(num_samplers=20, seed=2)
+        for element, weight in zipf_sample.items[:500]:
+            samplers.update(element, weight)
+        assert len(samplers.sample()) == 20
+
+    def test_total_weight_estimate(self, zipf_sample):
+        estimates = []
+        for seed in range(6):
+            samplers = WithReplacementSamplers(num_samplers=150, seed=seed)
+            for element, weight in zipf_sample.items:
+                samplers.update(element, weight)
+            estimates.append(samplers.estimate_total_weight())
+        assert float(np.mean(estimates)) == pytest.approx(
+            zipf_sample.total_weight, rel=0.15
+        )
+
+    def test_heavy_elements_sampled_frequently(self, zipf_sample):
+        samplers = WithReplacementSamplers(num_samplers=200, seed=0)
+        for element, weight in zipf_sample.items:
+            samplers.update(element, weight)
+        heaviest = max(zipf_sample.element_weights,
+                       key=zipf_sample.element_weights.get)
+        payloads = [item.payload for item in samplers.sample()]
+        expected_share = (zipf_sample.element_weights[heaviest]
+                          / zipf_sample.total_weight)
+        observed_share = payloads.count(heaviest) / len(payloads)
+        assert observed_share == pytest.approx(expected_share, abs=0.15)
+
+    def test_estimate_and_to_dict_consistent(self, zipf_sample):
+        samplers = WithReplacementSamplers(num_samplers=50, seed=1)
+        for element, weight in zipf_sample.items[:1000]:
+            samplers.update(element, weight)
+        estimates = samplers.to_dict()
+        for element, value in estimates.items():
+            assert samplers.estimate(element) == pytest.approx(value)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            WithReplacementSamplers(num_samplers=0)
+
+    def test_empty_estimate_total(self):
+        samplers = WithReplacementSamplers(num_samplers=3, seed=0)
+        assert samplers.estimate_total_weight() == 0.0

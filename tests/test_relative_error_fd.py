@@ -1,0 +1,90 @@
+"""Unit tests for the relative-error Frequent Directions extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.relative_error_fd import RelativeErrorFrequentDirections
+from repro.utils.linalg import best_rank_k, squared_frobenius
+
+
+def tail_energy(matrix: np.ndarray, rank: int) -> float:
+    """Exact ``||A - A_k||_F^2``."""
+    return squared_frobenius(matrix - best_rank_k(matrix, rank))
+
+
+class TestRelativeErrorFrequentDirections:
+    def test_sketch_size_rule(self):
+        sketch = RelativeErrorFrequentDirections(dimension=20, rank=5, epsilon=0.5)
+        assert sketch.sketch_size == 5 + 10
+        assert sketch.rank == 5
+        assert sketch.epsilon == 0.5
+
+    def test_tail_energy_bracketed(self, rng):
+        matrix = rng.standard_normal((400, 15))
+        rank, epsilon = 4, 0.5
+        sketch = RelativeErrorFrequentDirections(dimension=15, rank=rank,
+                                                 epsilon=epsilon)
+        sketch.update_many(matrix)
+        exact_tail = tail_energy(matrix, rank)
+        estimate = sketch.tail_energy_estimate()
+        assert estimate >= exact_tail - 1e-6
+        assert estimate <= (1.0 + epsilon) * exact_tail + 1e-6
+
+    def test_projection_reconstruction_bound(self, rng):
+        matrix = rng.standard_normal((300, 12))
+        rank, epsilon = 3, 0.5
+        sketch = RelativeErrorFrequentDirections(dimension=12, rank=rank,
+                                                 epsilon=epsilon)
+        sketch.update_many(matrix)
+        exact_tail = tail_energy(matrix, rank)
+        projected_error = sketch.reconstruction_error(matrix)
+        assert projected_error <= (1.0 + epsilon) * exact_tail + 1e-6
+        assert projected_error >= exact_tail - 1e-6
+
+    def test_near_exact_on_low_rank_input(self, rng):
+        basis = rng.standard_normal((3, 10))
+        matrix = rng.standard_normal((500, 3)) @ basis
+        sketch = RelativeErrorFrequentDirections(dimension=10, rank=3, epsilon=0.5)
+        sketch.update_many(matrix)
+        assert sketch.tail_energy_estimate() <= 1e-6 * squared_frobenius(matrix) + 1e-9
+        assert sketch.reconstruction_error(matrix) <= 1e-6 * squared_frobenius(matrix) + 1e-9
+
+    def test_top_k_sketch_shape(self, rng):
+        matrix = rng.standard_normal((100, 8))
+        sketch = RelativeErrorFrequentDirections(dimension=8, rank=2, epsilon=1.0)
+        sketch.update_many(matrix)
+        assert sketch.top_k_sketch().shape == (2, 8)
+
+    def test_empty_sketch(self):
+        sketch = RelativeErrorFrequentDirections(dimension=6, rank=2, epsilon=0.5)
+        assert sketch.top_k_sketch().shape == (0, 6)
+        assert sketch.tail_energy_estimate() == 0.0
+        assert sketch.rows_seen == 0
+
+    def test_merge(self, rng):
+        matrix = rng.standard_normal((200, 10))
+        left = RelativeErrorFrequentDirections(dimension=10, rank=3, epsilon=0.5)
+        right = RelativeErrorFrequentDirections(dimension=10, rank=3, epsilon=0.5)
+        left.update_many(matrix[:100])
+        right.update_many(matrix[100:])
+        merged = left.merge(right)
+        exact_tail = tail_energy(matrix, 3)
+        # Merging doubles the additive error budget at worst.
+        assert merged.tail_energy_estimate() <= (1.0 + 2 * 0.5) * exact_tail + 1e-6
+        assert merged.squared_frobenius == pytest.approx(squared_frobenius(matrix))
+
+    def test_merge_validation(self):
+        sketch = RelativeErrorFrequentDirections(dimension=6, rank=2, epsilon=0.5)
+        with pytest.raises(TypeError):
+            sketch.merge(object())
+        with pytest.raises(ValueError):
+            sketch.merge(RelativeErrorFrequentDirections(dimension=6, rank=3,
+                                                         epsilon=0.5))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RelativeErrorFrequentDirections(dimension=5, rank=6, epsilon=0.5)
+        with pytest.raises(ValueError):
+            RelativeErrorFrequentDirections(dimension=5, rank=2, epsilon=0.0)

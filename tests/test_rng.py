@@ -1,0 +1,66 @@
+"""Unit tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, random_unit_vector, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        first = as_generator(42).uniform(size=5)
+        second = as_generator(42).uniform(size=5)
+        assert np.allclose(first, second)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert as_generator(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(9)
+        assert isinstance(as_generator(sequence), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(as_generator(0), 5)
+        assert len(children) == 5
+
+    def test_spawned_streams_differ(self):
+        children = spawn(as_generator(0), 2)
+        assert not np.allclose(children[0].uniform(size=10), children[1].uniform(size=10))
+
+    def test_spawn_zero(self):
+        assert spawn(as_generator(0), 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(0), -1)
+
+    def test_spawn_is_deterministic_given_parent_seed(self):
+        first = spawn(as_generator(7), 3)
+        second = spawn(as_generator(7), 3)
+        for lhs, rhs in zip(first, second):
+            assert np.allclose(lhs.uniform(size=4), rhs.uniform(size=4))
+
+
+class TestRandomUnitVector:
+    def test_unit_norm(self):
+        vector = random_unit_vector(10, as_generator(3))
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_dimension(self):
+        assert random_unit_vector(7, as_generator(3)).shape == (7,)
+
+    def test_rejects_non_positive_dimension(self):
+        with pytest.raises(ValueError):
+            random_unit_vector(0)

@@ -1,0 +1,117 @@
+"""Unit tests for the protocol runner and the DistributedProtocol base class."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.heavy_hitters.exact import ExactForwardingProtocol
+from repro.matrix_tracking.baselines import CentralizedSVDBaseline
+from repro.streaming.items import MatrixRow, WeightedItem
+from repro.streaming.partition import RoundRobinPartitioner
+from repro.streaming.runner import run_many, run_protocol
+
+
+class TestRunProtocolWithWeightedItems:
+    def test_feeds_all_items(self, zipf_sample):
+        protocol = ExactForwardingProtocol(num_sites=5)
+        result = run_protocol(protocol, [WeightedItem(element=e, weight=w)
+                                         for e, w in zipf_sample.items[:500]])
+        assert result.items_processed == 500
+        assert result.total_messages >= 500
+        assert protocol.estimated_total_weight() == pytest.approx(
+            sum(w for _, w in zipf_sample.items[:500])
+        )
+
+    def test_tuples_accepted(self):
+        protocol = ExactForwardingProtocol(num_sites=2)
+        run_protocol(protocol, [("a", 1.0), ("b", 2.0), ("a", 3.0)])
+        assert protocol.estimate("a") == pytest.approx(4.0)
+
+    def test_items_with_site_attribute_routed_directly(self):
+        protocol = ExactForwardingProtocol(num_sites=3, keep_message_records=True)
+        items = [WeightedItem(element="x", weight=1.0, site=2) for _ in range(4)]
+        run_protocol(protocol, items)
+        sites = {record.site for record in protocol.network.log.records
+                 if record.site is not None}
+        assert sites == {2}
+
+    def test_query_schedule(self):
+        protocol = ExactForwardingProtocol(num_sites=2)
+        result = run_protocol(
+            protocol,
+            [("a", 1.0)] * 10,
+            query_at=[3, 7],
+            query=lambda p: p.estimate("a"),
+        )
+        counts = [obs.items_processed for obs in result.observations]
+        assert counts == [3, 7, 10]
+        assert result.observations[0].result == pytest.approx(3.0)
+        assert result.final_observation.result == pytest.approx(10.0)
+
+    def test_no_final_query_when_disabled(self):
+        protocol = ExactForwardingProtocol(num_sites=2)
+        result = run_protocol(
+            protocol, [("a", 1.0)] * 5, query_at=[2],
+            query=lambda p: p.estimate("a"), query_at_end=False,
+        )
+        assert [obs.items_processed for obs in result.observations] == [2]
+
+    def test_partitioner_mismatch_rejected(self):
+        protocol = ExactForwardingProtocol(num_sites=2)
+        with pytest.raises(ValueError):
+            run_protocol(protocol, [("a", 1.0)],
+                         partitioner=RoundRobinPartitioner(num_sites=3))
+
+    def test_final_observation_none_without_query(self):
+        protocol = ExactForwardingProtocol(num_sites=2)
+        result = run_protocol(protocol, [("a", 1.0)])
+        assert result.final_observation is None
+        assert result.observations == []
+
+
+class TestRunProtocolWithRows:
+    def test_matrix_rows_accepted(self, rng):
+        rows = rng.standard_normal((50, 4))
+        protocol = CentralizedSVDBaseline(num_sites=4, dimension=4)
+        result = run_protocol(protocol, (MatrixRow(values=row) for row in rows))
+        assert result.items_processed == 50
+        assert protocol.observed_squared_frobenius == pytest.approx(float(np.sum(rows ** 2)))
+
+    def test_message_counts_in_result(self, rng):
+        rows = rng.standard_normal((20, 3))
+        protocol = CentralizedSVDBaseline(num_sites=2, dimension=3)
+        result = run_protocol(protocol, (MatrixRow(values=row) for row in rows))
+        assert result.message_counts["total_messages"] == result.total_messages
+        assert result.total_messages == 20
+
+
+class TestRunMany:
+    def test_identical_streams_per_protocol(self):
+        protocols = {
+            "first": ExactForwardingProtocol(num_sites=2),
+            "second": ExactForwardingProtocol(num_sites=2),
+        }
+
+        def stream_factory():
+            return [("a", 1.0), ("b", 2.0), ("a", 1.5)]
+
+        results = run_many(protocols, stream_factory)
+        assert set(results) == {"first", "second"}
+        assert (results["first"].protocol.estimate("a")
+                == results["second"].protocol.estimate("a"))
+
+
+class TestProtocolBase:
+    def test_repr_and_counters(self):
+        protocol = ExactForwardingProtocol(num_sites=3)
+        protocol.process(0, "a", 1.0)
+        text = repr(protocol)
+        assert "num_sites=3" in text
+        assert protocol.items_processed == 1
+
+    def test_message_counts_dict(self):
+        protocol = ExactForwardingProtocol(num_sites=3)
+        protocol.process(1, "a", 2.0)
+        counts = protocol.message_counts()
+        assert counts["total_messages"] == protocol.total_messages

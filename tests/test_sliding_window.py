@@ -1,0 +1,137 @@
+"""Tests for the sliding-window extension (the paper's stated open problem)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrix_tracking.sliding_window import (
+    SlidingWindowFrequentDirections,
+    SlidingWindowMatrixProtocol,
+)
+from repro.utils.linalg import covariance_error
+
+
+class TestSlidingWindowFrequentDirections:
+    def test_coverage_error_bounded(self, rng):
+        epsilon = 0.2
+        tracker = SlidingWindowFrequentDirections(dimension=10, window_size=300,
+                                                  epsilon=epsilon)
+        rows = rng.standard_normal((1_200, 10))
+        tracker.update_many(rows)
+        assert tracker.coverage_error() <= epsilon + 1e-9
+
+    def test_forgets_old_distribution(self, rng):
+        # First phase lives in one subspace, second phase in an orthogonal one;
+        # after the window slides past the first phase, the sketch's energy
+        # must be concentrated in the new subspace.
+        dimension = 8
+        window = 200
+        tracker = SlidingWindowFrequentDirections(dimension=dimension,
+                                                  window_size=window, epsilon=0.2)
+        old_phase = np.zeros((600, dimension))
+        old_phase[:, 0] = rng.standard_normal(600) * 5.0
+        new_phase = np.zeros((600, dimension))
+        new_phase[:, -1] = rng.standard_normal(600) * 5.0
+        tracker.update_many(old_phase)
+        tracker.update_many(new_phase)
+        sketch = tracker.sketch_matrix()
+        energy_old = float(np.linalg.norm(sketch[:, 0]) ** 2)
+        energy_new = float(np.linalg.norm(sketch[:, -1]) ** 2)
+        assert energy_new > 10 * max(energy_old, 1e-12)
+
+    def test_window_and_block_accounting(self, rng):
+        tracker = SlidingWindowFrequentDirections(dimension=5, window_size=100,
+                                                  epsilon=0.25, num_blocks=4)
+        rows = rng.standard_normal((350, 5))
+        tracker.update_many(rows)
+        assert tracker.block_size == 25
+        assert tracker.rows_seen == 350
+        # Never more blocks than needed to cover the window plus one stale.
+        assert tracker.active_blocks <= 5
+        assert 0.0 <= tracker.staleness_fraction() <= 0.3
+
+    def test_small_stream_is_exact(self, rng):
+        rows = rng.standard_normal((40, 6))
+        tracker = SlidingWindowFrequentDirections(dimension=6, window_size=100,
+                                                  epsilon=0.1)
+        tracker.update_many(rows)
+        assert covariance_error(rows, tracker.sketch_matrix()) <= 0.1 + 1e-9
+        assert tracker.staleness_fraction() == 0.0
+
+    def test_empty_tracker(self):
+        tracker = SlidingWindowFrequentDirections(dimension=4, window_size=10,
+                                                  epsilon=0.5)
+        assert tracker.sketch_matrix().shape == (0, 4)
+        assert tracker.coverage_error() == 0.0
+        assert tracker.squared_norm_along(np.ones(4)) == 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SlidingWindowFrequentDirections(dimension=0, window_size=10, epsilon=0.5)
+        with pytest.raises(ValueError):
+            SlidingWindowFrequentDirections(dimension=3, window_size=0, epsilon=0.5)
+        with pytest.raises(ValueError):
+            SlidingWindowFrequentDirections(dimension=3, window_size=10, epsilon=0.0)
+
+
+class TestSlidingWindowMatrixProtocol:
+    def test_coverage_error_bounded(self, rng):
+        epsilon = 0.2
+        protocol = SlidingWindowMatrixProtocol(num_sites=4, dimension=8,
+                                               epsilon=epsilon, window_size=300)
+        rows = rng.standard_normal((900, 8)) * 2.0
+        for index in range(rows.shape[0]):
+            protocol.process(index % 4, rows[index])
+        assert protocol.coverage_error() <= epsilon + 1e-9
+
+    def test_blocks_expire_and_messages_accumulate(self, rng):
+        protocol = SlidingWindowMatrixProtocol(num_sites=3, dimension=6,
+                                               epsilon=0.25, window_size=90,
+                                               num_blocks=3)
+        rows = rng.standard_normal((400, 6)) * 2.0
+        for index in range(rows.shape[0]):
+            protocol.process(index % 3, rows[index])
+        assert protocol.block_size == 30
+        assert protocol.active_blocks <= 4
+        # The total communication includes the retired blocks' cost.
+        assert protocol.total_messages > 0
+        active_only = sum(entry["protocol"].total_messages
+                          for entry in protocol._active)
+        assert protocol.total_messages >= active_only
+
+    def test_covered_rows_track_recent_data(self, rng):
+        protocol = SlidingWindowMatrixProtocol(num_sites=2, dimension=5,
+                                               epsilon=0.25, window_size=60,
+                                               num_blocks=3)
+        rows = rng.standard_normal((300, 5))
+        for index in range(rows.shape[0]):
+            protocol.process(index % 2, rows[index])
+        covered = protocol.covered_squared_frobenius()
+        window_norm = float(np.sum(rows[-60:] ** 2))
+        # The covered rows are the window plus at most one extra block.
+        extra_norm = float(np.sum(rows[-80:] ** 2))
+        assert covered >= window_norm - 1e-6
+        assert covered <= extra_norm + 1e-6
+
+    def test_custom_protocol_factory(self, rng):
+        from repro.matrix_tracking import BatchedFrequentDirectionsProtocol
+
+        def factory():
+            return BatchedFrequentDirectionsProtocol(num_sites=2, dimension=4,
+                                                     epsilon=0.3)
+
+        protocol = SlidingWindowMatrixProtocol(num_sites=2, dimension=4,
+                                               epsilon=0.3, window_size=50,
+                                               protocol_factory=factory)
+        rows = rng.standard_normal((120, 4))
+        for index in range(rows.shape[0]):
+            protocol.process(index % 2, rows[index])
+        assert protocol.coverage_error() <= 0.3 + 1e-9
+
+    def test_empty_protocol(self):
+        protocol = SlidingWindowMatrixProtocol(num_sites=2, dimension=3,
+                                               epsilon=0.5, window_size=10)
+        assert protocol.sketch_matrix().shape == (0, 3)
+        assert protocol.coverage_error() == 0.0
+        assert protocol.total_messages == 0

@@ -1,0 +1,116 @@
+"""Unit tests for the weighted SpaceSaving sketch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketch.space_saving import WeightedSpaceSaving
+
+
+class TestSpaceSaving:
+    def test_exact_when_under_capacity(self):
+        sketch = WeightedSpaceSaving(num_counters=10)
+        sketch.update("a", 4.0)
+        sketch.update("b", 2.0)
+        sketch.update("a", 1.0)
+        assert sketch.estimate("a") == pytest.approx(5.0)
+        assert sketch.overestimate_of("a") == 0.0
+        assert sketch.guaranteed_weight("a") == pytest.approx(5.0)
+
+    def test_estimates_never_underestimate_retained(self, zipf_sample):
+        sketch = WeightedSpaceSaving(num_counters=25)
+        sketch.update_many(zipf_sample.items)
+        for element, estimate in sketch.to_dict().items():
+            truth = zipf_sample.element_weights[element]
+            assert estimate + 1e-9 >= truth - sketch.overestimate_of(element)
+            assert estimate >= 0.0
+
+    def test_overcount_bounded_by_w_over_l(self, zipf_sample):
+        num_counters = 25
+        sketch = WeightedSpaceSaving(num_counters=num_counters)
+        sketch.update_many(zipf_sample.items)
+        bound = zipf_sample.total_weight / num_counters
+        for element, estimate in sketch.to_dict().items():
+            truth = zipf_sample.element_weights[element]
+            assert estimate - truth <= bound + 1e-9
+
+    def test_heavy_elements_are_retained(self, zipf_sample):
+        num_counters = 40
+        sketch = WeightedSpaceSaving(num_counters=num_counters)
+        sketch.update_many(zipf_sample.items)
+        retained = set(sketch.to_dict())
+        threshold = zipf_sample.total_weight / num_counters
+        for element, weight in zipf_sample.element_weights.items():
+            if weight > threshold:
+                assert element in retained
+
+    def test_capacity_never_exceeded(self, zipf_sample):
+        sketch = WeightedSpaceSaving(num_counters=6)
+        for element, weight in zipf_sample.items:
+            sketch.update(element, weight)
+            assert len(sketch) <= 6
+
+    def test_total_weight(self):
+        sketch = WeightedSpaceSaving(num_counters=2)
+        sketch.update("x", 1.5)
+        sketch.update("y", 2.5)
+        sketch.update("z", 3.0)
+        assert sketch.total_weight == pytest.approx(7.0)
+
+    def test_eviction_inherits_counter(self):
+        sketch = WeightedSpaceSaving(num_counters=1)
+        sketch.update("a", 5.0)
+        sketch.update("b", 1.0)
+        # b evicted a and inherited its counter value.
+        assert sketch.estimate("b") == pytest.approx(6.0)
+        assert sketch.overestimate_of("b") == pytest.approx(5.0)
+        assert sketch.guaranteed_weight("b") == pytest.approx(1.0)
+        assert sketch.estimate("a") == 0.0
+
+    def test_from_epsilon(self):
+        assert WeightedSpaceSaving.from_epsilon(0.05).num_counters == 20
+        with pytest.raises(ValueError):
+            WeightedSpaceSaving.from_epsilon(0.0)
+
+    def test_rejects_invalid_weight(self):
+        sketch = WeightedSpaceSaving(num_counters=2)
+        with pytest.raises(ValueError):
+            sketch.update("a", -1.0)
+
+    def test_error_bound_value(self):
+        sketch = WeightedSpaceSaving(num_counters=4)
+        sketch.update("a", 8.0)
+        assert sketch.error_bound() == pytest.approx(2.0)
+
+
+class TestSpaceSavingMerge:
+    def test_merge_totals(self, zipf_sample):
+        half = len(zipf_sample.items) // 2
+        left = WeightedSpaceSaving(num_counters=20)
+        right = WeightedSpaceSaving(num_counters=20)
+        left.update_many(zipf_sample.items[:half])
+        right.update_many(zipf_sample.items[half:])
+        merged = left.merge(right)
+        assert merged.total_weight == pytest.approx(zipf_sample.total_weight)
+        assert len(merged) <= 20
+
+    def test_merge_error_bound(self, zipf_sample):
+        num_counters = 30
+        half = len(zipf_sample.items) // 2
+        left = WeightedSpaceSaving(num_counters=num_counters)
+        right = WeightedSpaceSaving(num_counters=num_counters)
+        left.update_many(zipf_sample.items[:half])
+        right.update_many(zipf_sample.items[half:])
+        merged = left.merge(right)
+        bound = 2.0 * zipf_sample.total_weight / num_counters
+        for element, estimate in merged.to_dict().items():
+            truth = zipf_sample.element_weights.get(element, 0.0)
+            assert estimate - truth <= bound + 1e-9
+
+    def test_merge_requires_same_size(self):
+        with pytest.raises(ValueError):
+            WeightedSpaceSaving(2).merge(WeightedSpaceSaving(3))
+
+    def test_merge_requires_same_type(self):
+        with pytest.raises(TypeError):
+            WeightedSpaceSaving(2).merge("not a sketch")

@@ -1,0 +1,69 @@
+"""Unit tests for stream item types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streaming.items import MatrixRow, WeightedItem
+
+
+class TestWeightedItem:
+    def test_fields(self):
+        item = WeightedItem(element="ip-10.0.0.1", weight=3.5)
+        assert item.element == "ip-10.0.0.1"
+        assert item.weight == 3.5
+        assert item.site is None
+
+    def test_default_weight(self):
+        assert WeightedItem(element=1).weight == 1.0
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            WeightedItem(element=1, weight=0.0)
+        with pytest.raises(ValueError):
+            WeightedItem(element=1, weight=-2.0)
+
+    def test_at_site(self):
+        item = WeightedItem(element="a", weight=2.0)
+        assigned = item.at_site(3)
+        assert assigned.site == 3
+        assert assigned.element == "a"
+        assert item.site is None
+
+    def test_frozen(self):
+        item = WeightedItem(element="a")
+        with pytest.raises(AttributeError):
+            item.weight = 5.0
+
+
+class TestMatrixRow:
+    def test_weight_is_squared_norm(self):
+        row = MatrixRow(values=np.array([3.0, 4.0]))
+        assert row.weight == pytest.approx(25.0)
+        assert row.dimension == 2
+
+    def test_values_coerced_to_float_array(self):
+        row = MatrixRow(values=[1, 2, 3])
+        assert row.values.dtype == np.float64
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            MatrixRow(values=[1.0, float("inf")])
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            MatrixRow(values=np.ones((2, 2)))
+
+    def test_at_site(self):
+        row = MatrixRow(values=np.array([1.0, 0.0]))
+        assert row.at_site(7).site == 7
+
+    def test_equality_and_hash(self):
+        first = MatrixRow(values=np.array([1.0, 2.0]), site=0)
+        second = MatrixRow(values=np.array([1.0, 2.0]), site=0)
+        third = MatrixRow(values=np.array([1.0, 2.5]), site=0)
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != third
+        assert first != "not a row"
