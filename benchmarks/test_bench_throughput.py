@@ -1,0 +1,50 @@
+"""Ingestion throughput: the batched engine versus per-item dispatch.
+
+The tentpole claim of the batched ingestion engine is a ≥10× items/sec win
+on the paper's Zipfian heavy-hitters workload.  This harness measures both
+dispatch paths over identical streams, prints the items/sec table (so the
+perf trajectory lands in CI logs), and asserts the win.
+
+The hard 10× assertion runs on the heavy-hitter workload at a stream length
+where flush costs are amortised (the paper's streams are 10^7 items; we use
+10^6 by default, scaled by ``REPRO_BENCH_SCALE``).  The matrix workload is
+SVD-compaction-bound in both paths, so it only asserts a >1.5× win.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.tables import format_table
+from repro.evaluation.throughput import (
+    measure_heavy_hitter_throughput,
+    measure_matrix_throughput,
+)
+
+
+class TestBatchedIngestionThroughput:
+    def test_heavy_hitters_zipfian_10x(self, benchmark, bench_scale, run_once):
+        result = run_once(
+            benchmark, measure_heavy_hitter_throughput,
+            num_items=int(1_000_000 * bench_scale), repeats=3,
+        )
+        print()
+        print(format_table([result.as_dict()],
+                           title="Heavy hitters ingestion throughput"))
+        assert result.batched_rate > 0
+        # The acceptance bar for the batched engine: one order of magnitude.
+        assert result.speedup >= 10.0, (
+            f"batched path is only {result.speedup:.1f}x the per-item path "
+            f"({result.batched_rate:,.0f} vs {result.per_item_rate:,.0f} items/s)"
+        )
+
+    def test_matrix_rows_faster_batched(self, benchmark, bench_scale, run_once):
+        result = run_once(
+            benchmark, measure_matrix_throughput,
+            num_rows=int(100_000 * bench_scale), repeats=2,
+        )
+        print()
+        print(format_table([result.as_dict()],
+                           title="Matrix-row ingestion throughput"))
+        # Both paths share the FD compaction SVDs, which bound the win.
+        assert result.speedup >= 1.5, (
+            f"batched path is only {result.speedup:.1f}x the per-item path"
+        )

@@ -24,6 +24,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .evaluation.tables import format_table, render_figure
+from .evaluation.throughput import BENCH_CHUNK_SIZE, throughput_report_rows
 from .experiments.config import HeavyHitterConfig, MatrixConfig
 from .experiments.heavy_hitters_experiments import (
     figure1_sweep_epsilon,
@@ -49,7 +50,17 @@ _EXPERIMENTS = {
     "figure3": "Matrix tracking on the MSD-like dataset (epsilon and site sweeps)",
     "figure4": "Matrix tracking: messages vs error frontier",
     "figure67": "Appendix-C protocol P4 against P1-P3",
+    "bench": "Ingestion throughput: per-item vs batched engine (items/sec)",
 }
+
+
+def _parse_chunk_size(text: str) -> Optional[int]:
+    if text.lower() in ("none", "0"):
+        return None
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("chunk size must be non-negative")
+    return value
 
 
 def _parse_float_list(text: str) -> List[float]:
@@ -92,6 +103,8 @@ def build_parser() -> argparse.ArgumentParser:
                          default=[1e-3, 5e-3, 1e-2, 5e-2],
                          help="comma-separated epsilon grid")
         sub.add_argument("--seed", type=int, default=2014)
+        sub.add_argument("--chunk-size", type=_parse_chunk_size, default=4096,
+                         help="engine chunk size ('none' = item-at-a-time)")
 
     def add_matrix_options(sub: argparse.ArgumentParser,
                            with_dataset: bool = True) -> None:
@@ -108,6 +121,8 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--sites", type=_parse_int_list, default=[10, 25, 50, 100],
                          help="comma-separated site-count grid")
         sub.add_argument("--seed", type=int, default=2014)
+        sub.add_argument("--chunk-size", type=_parse_chunk_size, default=4096,
+                         help="engine chunk size ('none' = item-at-a-time)")
 
     for name in ("figure1", "figure1e", "figure1f"):
         sub = subparsers.add_parser(name, help=_EXPERIMENTS[name])
@@ -119,6 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
     for name in ("figure2", "figure3", "figure4", "figure67"):
         sub = subparsers.add_parser(name, help=_EXPERIMENTS[name])
         add_matrix_options(sub, with_dataset=(name in ("figure4", "figure67")))
+
+    sub = subparsers.add_parser("bench", help=_EXPERIMENTS["bench"])
+    sub.add_argument("--num-items", type=int, default=1_000_000,
+                     help="Zipfian stream length for the heavy-hitter workload")
+    sub.add_argument("--num-rows", type=int, default=100_000,
+                     help="row count for the synthetic-matrix workload")
+    sub.add_argument("--chunk-size", type=int, default=BENCH_CHUNK_SIZE,
+                     help="engine chunk size for the batched path")
+    sub.add_argument("--seed", type=int, default=2014)
 
     return parser
 
@@ -132,6 +156,7 @@ def _hh_config(args: argparse.Namespace) -> HeavyHitterConfig:
         num_sites=args.num_sites,
         seed=args.seed,
         epsilon_grid=list(args.epsilons),
+        chunk_size=args.chunk_size,
     )
 
 
@@ -142,6 +167,7 @@ def _matrix_config(args: argparse.Namespace) -> MatrixConfig:
         seed=args.seed,
         epsilon_grid=list(args.epsilons),
         site_grid=list(args.sites),
+        chunk_size=args.chunk_size,
     )
 
 
@@ -191,6 +217,19 @@ def _run_figure4(args, out) -> None:
     _emit(format_table(rows, title=f"Figure 4: messages vs error ({args.dataset})"), out)
 
 
+def _run_bench(args, out) -> None:
+    rows = throughput_report_rows(num_items=args.num_items,
+                                  num_rows=args.num_rows,
+                                  chunk_size=args.chunk_size,
+                                  seed=args.seed)
+    _emit(format_table(rows, title="Ingestion throughput (per-item vs batched)"),
+          out)
+    for row in rows:
+        _emit(f"{row['workload']}: {row['batched_items_per_sec']:,} items/sec "
+              f"batched vs {row['per_item_items_per_sec']:,} items/sec per-item "
+              f"({row['speedup']}x)", out)
+
+
 def _run_figure67(args, out) -> None:
     results = figure67_p4_comparison(args.dataset, _matrix_config(args))
     _emit(render_figure(results["err_vs_epsilon"], "err",
@@ -226,6 +265,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         _run_figure4(args, out)
     elif args.command == "figure67":
         _run_figure67(args, out)
+    elif args.command == "bench":
+        _run_bench(args, out)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return 0

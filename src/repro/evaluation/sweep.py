@@ -19,7 +19,10 @@ into per-protocol series (for figures) or flat rows (for tables).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..streaming.partition import Partitioner
+from ..streaming.runner import StreamingEngine
 
 __all__ = ["SweepRecord", "SweepResult", "ParameterSweep"]
 
@@ -133,6 +136,59 @@ class ParameterSweep:
             for name, factory in protocol_factories.items():
                 protocol = factory(value)
                 metrics = run_one(protocol, value)
+                result.records.append(
+                    SweepRecord(protocol=name, parameter=self._parameter,
+                                value=value, metrics=dict(metrics))
+                )
+        return result
+
+    def run_streaming(
+        self,
+        protocol_factories: Mapping[str, Callable[[Any], Any]],
+        stream: Any,
+        evaluate: Callable[[Any, Any], Dict[str, Any]],
+        engine: Optional[StreamingEngine] = None,
+        partitioner_factory: Optional[Callable[[Any], Partitioner]] = None,
+    ) -> SweepResult:
+        """Execute the sweep by replaying one stream through the engine.
+
+        The streaming analogue of :meth:`run`: for every (protocol, value)
+        cell a fresh protocol is built, ``stream`` — ideally a columnar batch
+        (:class:`~repro.streaming.items.WeightedItemBatch`,
+        :class:`~repro.streaming.items.MatrixRowBatch` or a 2-d row array) so
+        the engine can slice it zero-copy — is ingested through ``engine``
+        (chunked/batched by default), and ``evaluate(protocol, value)``
+        produces the cell's metrics.
+
+        Parameters
+        ----------
+        protocol_factories:
+            Maps protocol labels to callables ``value -> protocol``.
+        stream:
+            The workload replayed into every cell.
+        evaluate:
+            Callable ``(protocol, value) -> metrics dict`` run after
+            ingestion.
+        engine:
+            The :class:`~repro.streaming.runner.StreamingEngine` to ingest
+            with; defaults to a fresh engine with the default chunk size.
+        partitioner_factory:
+            Optional callable ``protocol -> Partitioner``; defaults to the
+            engine's round-robin assignment.
+        """
+        engine = engine if engine is not None else StreamingEngine()
+        if not (hasattr(stream, "__getitem__") or isinstance(stream, (list, tuple))):
+            # One-shot iterators would be exhausted by the first cell,
+            # silently starving every later cell — materialise once.
+            stream = list(stream)
+        result = SweepResult(parameter=self._parameter)
+        for value in self._values:
+            for name, factory in protocol_factories.items():
+                protocol = factory(value)
+                partitioner = (partitioner_factory(protocol)
+                               if partitioner_factory is not None else None)
+                engine.run(protocol, stream, partitioner=partitioner)
+                metrics = evaluate(protocol, value)
                 result.records.append(
                     SweepRecord(protocol=name, parameter=self._parameter,
                                 value=value, metrics=dict(metrics))

@@ -1,0 +1,178 @@
+"""Ingestion-throughput measurement: per-item versus batched dispatch.
+
+The batched ingestion engine exists to make the reproduction fast enough for
+paper-scale streams (10^7 items), so its win must be measurable.  This module
+times the same protocol over the same workload through both dispatch paths —
+the historical item-at-a-time loop and the engine's chunked
+``observe_batch`` path — and reports items/second plus the speedup factor.
+
+Used by the ``repro-experiments bench`` CLI sub-command, the
+``benchmarks/test_bench_throughput.py`` harness, and the CI smoke benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..data.synthetic_matrix import make_pamap_like
+from ..data.zipfian import ZipfianStreamGenerator
+from ..heavy_hitters.p1_batched_mg import BatchedMisraGriesProtocol
+from ..matrix_tracking.p1_batched_fd import BatchedFrequentDirectionsProtocol
+from ..streaming.items import WeightedItemBatch
+from ..streaming.runner import StreamingEngine
+
+__all__ = [
+    "BENCH_CHUNK_SIZE",
+    "ThroughputResult",
+    "measure_heavy_hitter_throughput",
+    "measure_matrix_throughput",
+    "throughput_report_rows",
+]
+
+#: Chunk size used by the throughput benchmarks (larger than the engine
+#: default: at benchmark scale the bigger slices amortise per-chunk work).
+BENCH_CHUNK_SIZE = 16_384
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Per-item versus batched ingestion timings for one workload."""
+
+    workload: str
+    protocol: str
+    num_items: int
+    chunk_size: int
+    per_item_seconds: float
+    batched_seconds: float
+
+    @property
+    def per_item_rate(self) -> float:
+        """Items per second through the item-at-a-time path."""
+        return self.num_items / max(self.per_item_seconds, 1e-12)
+
+    @property
+    def batched_rate(self) -> float:
+        """Items per second through the batched engine path."""
+        return self.num_items / max(self.batched_seconds, 1e-12)
+
+    @property
+    def speedup(self) -> float:
+        """``batched_rate / per_item_rate``."""
+        return self.per_item_seconds / max(self.batched_seconds, 1e-12)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten into a report row (for tables and CI logs)."""
+        return {
+            "workload": self.workload,
+            "protocol": self.protocol,
+            "items": self.num_items,
+            "chunk": self.chunk_size,
+            "per_item_items_per_sec": round(self.per_item_rate),
+            "batched_items_per_sec": round(self.batched_rate),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def _time_run(engine: StreamingEngine, protocol: Any, stream: Any) -> float:
+    started = time.perf_counter()
+    engine.run(protocol, stream)
+    return time.perf_counter() - started
+
+
+def measure_heavy_hitter_throughput(
+    num_items: int = 1_000_000,
+    num_sites: int = 10,
+    epsilon: float = 0.05,
+    universe_size: int = 10_000,
+    beta: float = 1_000.0,
+    skew: float = 2.0,
+    seed: int = 2014,
+    chunk_size: int = BENCH_CHUNK_SIZE,
+    protocol_factory: Optional[Callable[[], Any]] = None,
+    repeats: int = 1,
+) -> ThroughputResult:
+    """Time protocol P1 over the paper's Zipfian weighted-item workload.
+
+    The same materialised stream is replayed into fresh protocol instances:
+    once item-at-a-time (``chunk_size=None`` engine) and ``repeats`` times
+    through the batched path (best time wins — the batched run is short
+    enough that scheduler noise would otherwise dominate it).  Defaults
+    mirror the Section 6.1 workload at a tenth of the paper's 10^7 length.
+    """
+    generator = ZipfianStreamGenerator(universe_size=universe_size, skew=skew,
+                                       beta=beta, seed=seed)
+    sample = generator.generate(num_items)
+    batch = WeightedItemBatch.from_pairs(sample.items)
+    if protocol_factory is None:
+        def protocol_factory() -> BatchedMisraGriesProtocol:
+            return BatchedMisraGriesProtocol(num_sites=num_sites, epsilon=epsilon)
+    per_item_protocol = protocol_factory()
+    per_item_seconds = _time_run(StreamingEngine(chunk_size=None),
+                                 per_item_protocol, sample.items)
+    batched_protocol = protocol_factory()
+    batched_seconds = min(
+        _time_run(StreamingEngine(chunk_size=chunk_size), protocol_factory()
+                  if attempt else batched_protocol, batch)
+        for attempt in range(max(1, repeats))
+    )
+    return ThroughputResult(
+        workload="zipfian-heavy-hitters",
+        protocol=type(batched_protocol).__name__,
+        num_items=num_items,
+        chunk_size=chunk_size,
+        per_item_seconds=per_item_seconds,
+        batched_seconds=batched_seconds,
+    )
+
+
+def measure_matrix_throughput(
+    num_rows: int = 100_000,
+    num_sites: int = 10,
+    epsilon: float = 0.2,
+    seed: int = 2014,
+    chunk_size: int = BENCH_CHUNK_SIZE,
+    protocol_factory: Optional[Callable[[int], Any]] = None,
+    repeats: int = 1,
+) -> ThroughputResult:
+    """Time matrix protocol P1 over the PAMAP-like synthetic row workload."""
+    dataset = make_pamap_like(num_rows=num_rows, seed=seed)
+    rows = np.ascontiguousarray(dataset.rows, dtype=np.float64)
+    if protocol_factory is None:
+        def protocol_factory(dimension: int) -> BatchedFrequentDirectionsProtocol:
+            return BatchedFrequentDirectionsProtocol(
+                num_sites=num_sites, dimension=dimension, epsilon=epsilon)
+    per_item_protocol = protocol_factory(dataset.dimension)
+    per_item_seconds = _time_run(StreamingEngine(chunk_size=None),
+                                 per_item_protocol, rows)
+    batched_protocol = protocol_factory(dataset.dimension)
+    batched_seconds = min(
+        _time_run(StreamingEngine(chunk_size=chunk_size), protocol_factory(dataset.dimension)
+                  if attempt else batched_protocol, rows)
+        for attempt in range(max(1, repeats))
+    )
+    return ThroughputResult(
+        workload="synthetic-matrix",
+        protocol=type(batched_protocol).__name__,
+        num_items=num_rows,
+        chunk_size=chunk_size,
+        per_item_seconds=per_item_seconds,
+        batched_seconds=batched_seconds,
+    )
+
+
+def throughput_report_rows(num_items: int = 1_000_000,
+                           num_rows: int = 100_000,
+                           chunk_size: int = BENCH_CHUNK_SIZE,
+                           seed: int = 2014) -> List[Dict[str, Any]]:
+    """Measure both workloads and return flat table rows."""
+    results = [
+        measure_heavy_hitter_throughput(num_items=num_items,
+                                        chunk_size=chunk_size, seed=seed),
+        measure_matrix_throughput(num_rows=num_rows,
+                                  chunk_size=chunk_size, seed=seed),
+    ]
+    return [result.as_dict() for result in results]

@@ -36,6 +36,8 @@ class HeavyHitterConfig:
     epsilon: float = 1e-3
     num_sites: int = 50
     seed: int = 42
+    #: Engine chunk size for batched ingestion; ``None`` = item-at-a-time.
+    chunk_size: Optional[int] = 4096
     sample_constant: float = 0.05
     max_samplers_with_replacement: int = 500
     epsilon_grid: List[float] = field(
@@ -61,6 +63,8 @@ class MatrixConfig:
     epsilon: float = 0.1
     num_sites: int = 50
     seed: int = 42
+    #: Engine chunk size for batched ingestion; ``None`` = item-at-a-time.
+    chunk_size: Optional[int] = 4096
     sample_constant: float = 1.0
     max_samplers_with_replacement: int = 300
     pamap_rank: int = 30

@@ -31,7 +31,9 @@ from ..heavy_hitters import (
     WithReplacementSamplingProtocol,
 )
 from ..sketch.priority_sampler import sample_size_for_epsilon
+from ..streaming.items import WeightedItemBatch
 from ..streaming.partition import RoundRobinPartitioner
+from ..streaming.runner import DEFAULT_CHUNK_SIZE, StreamingEngine
 from .config import HeavyHitterConfig
 
 __all__ = [
@@ -94,18 +96,30 @@ def build_protocols(config: HeavyHitterConfig, epsilon: Optional[float] = None,
 
 
 def feed_sample(protocol: WeightedHeavyHitterProtocol,
-                sample: WeightedStreamSample) -> None:
-    """Feed a materialised stream into a protocol using round-robin partitioning."""
-    partitioner = RoundRobinPartitioner(protocol.num_sites)
-    for index, (element, weight) in enumerate(sample.items):
-        protocol.process(partitioner.assign(index, element), element, weight)
+                sample: WeightedStreamSample,
+                chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE) -> None:
+    """Feed a materialised stream into a protocol using round-robin partitioning.
+
+    Ingestion goes through the :class:`~repro.streaming.runner.StreamingEngine`
+    batched path (columnar chunks of ``chunk_size`` items); pass
+    ``chunk_size=None`` for the historical item-at-a-time dispatch.
+    """
+    engine = StreamingEngine(chunk_size=chunk_size)
+    if chunk_size is None:
+        stream: object = list(sample.items)
+    else:
+        stream = WeightedItemBatch.from_pairs(sample.items)
+    engine.run(protocol, stream,
+               partitioner=RoundRobinPartitioner(protocol.num_sites))
 
 
 def run_single_protocol(protocol: WeightedHeavyHitterProtocol,
                         sample: WeightedStreamSample,
-                        phi: float, name: str) -> Dict[str, float]:
+                        phi: float, name: str,
+                        chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE
+                        ) -> Dict[str, float]:
     """Feed the stream and return the Section 6.1 metrics as a dictionary."""
-    feed_sample(protocol, sample)
+    feed_sample(protocol, sample, chunk_size=chunk_size)
     evaluation = evaluate_heavy_hitter_protocol(
         protocol, sample.element_weights, phi,
         total_weight=sample.total_weight, name=name,
@@ -117,22 +131,33 @@ def run_single_protocol(protocol: WeightedHeavyHitterProtocol,
 def figure1_sweep_epsilon(config: Optional[HeavyHitterConfig] = None,
                           epsilons: Optional[List[float]] = None,
                           include_with_replacement: bool = False) -> SweepResult:
-    """Figure 1(a)–(d): recall / precision / err / msg versus ``ε``."""
+    """Figure 1(a)–(d): recall / precision / err / msg versus ``ε``.
+
+    The stream is materialised once as a columnar batch and replayed into
+    every sweep cell through the streaming engine's batched path.
+    """
     config = config or HeavyHitterConfig()
     epsilons = epsilons if epsilons is not None else config.epsilon_grid
     sample = generate_stream(config)
+    if config.chunk_size is None:
+        stream: object = list(sample.items)
+    else:
+        stream = WeightedItemBatch.from_pairs(sample.items)
 
     factories: Dict[str, ProtocolFactory] = {}
     for name in build_protocols(config,
                                 include_with_replacement=include_with_replacement):
         factories[name] = _factory_for(config, name)
 
-    def run_one(protocol: WeightedHeavyHitterProtocol, value: float) -> Dict[str, float]:
-        return run_single_protocol(protocol, sample, config.phi,
-                                   name=type(protocol).__name__)
+    def evaluate(protocol: WeightedHeavyHitterProtocol, value: float) -> Dict[str, float]:
+        return evaluate_heavy_hitter_protocol(
+            protocol, sample.element_weights, config.phi,
+            total_weight=sample.total_weight, name=type(protocol).__name__,
+        ).as_dict()
 
     sweep = ParameterSweep(parameter="epsilon", values=epsilons)
-    return sweep.run(factories, run_one)
+    return sweep.run_streaming(factories, stream, evaluate,
+                               engine=StreamingEngine(chunk_size=config.chunk_size))
 
 
 def _factory_for(config: HeavyHitterConfig, name: str) -> ProtocolFactory:
@@ -193,7 +218,8 @@ def figure1f_messages_vs_beta(config: Optional[HeavyHitterConfig] = None,
             samples[beta] = generate_stream(config, beta=beta)
         sample = samples[beta]
         return run_single_protocol(protocol, sample, config.phi,
-                                   name=type(protocol).__name__)
+                                   name=type(protocol).__name__,
+                                   chunk_size=config.chunk_size)
 
     sweep = ParameterSweep(parameter="beta", values=betas)
     return sweep.run(factories, run_one)

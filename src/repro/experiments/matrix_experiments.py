@@ -32,6 +32,7 @@ from ..matrix_tracking import (
 )
 from ..sketch.priority_sampler import sample_size_for_epsilon
 from ..streaming.partition import RoundRobinPartitioner
+from ..streaming.runner import DEFAULT_CHUNK_SIZE, StreamingEngine
 from .config import MatrixConfig
 
 __all__ = [
@@ -101,17 +102,27 @@ def build_protocols(config: MatrixConfig, dimension: int, num_rows: int,
     return protocols
 
 
-def feed_dataset(protocol: MatrixTrackingProtocol, rows: np.ndarray) -> None:
-    """Feed the rows of a matrix into a protocol using round-robin partitioning."""
-    partitioner = RoundRobinPartitioner(protocol.num_sites)
-    for index in range(rows.shape[0]):
-        protocol.process(partitioner.assign(index, None), rows[index])
+def feed_dataset(protocol: MatrixTrackingProtocol, rows: np.ndarray,
+                 chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE) -> None:
+    """Feed the rows of a matrix into a protocol using round-robin partitioning.
+
+    The row block is sliced zero-copy by the
+    :class:`~repro.streaming.runner.StreamingEngine` and dispatched through
+    the batched path; pass ``chunk_size=None`` for item-at-a-time dispatch.
+    """
+    engine = StreamingEngine(chunk_size=chunk_size)
+    rows = np.asarray(rows, dtype=np.float64)
+    stream = rows if chunk_size is not None else list(rows)
+    engine.run(protocol, stream,
+               partitioner=RoundRobinPartitioner(protocol.num_sites))
 
 
 def run_single_protocol(protocol: MatrixTrackingProtocol, rows: np.ndarray,
-                        name: str) -> Dict[str, float]:
+                        name: str,
+                        chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE
+                        ) -> Dict[str, float]:
     """Feed the rows and return the Section 6.2 metrics as a dictionary."""
-    feed_dataset(protocol, rows)
+    feed_dataset(protocol, rows, chunk_size=chunk_size)
     evaluation = evaluate_matrix_protocol(protocol, name=name)
     return evaluation.as_dict()
 
@@ -144,7 +155,8 @@ def table1_rows(config: Optional[MatrixConfig] = None,
             ),
         }
         for name, protocol in named.items():
-            metrics = run_single_protocol(protocol, dataset.rows, name)
+            metrics = run_single_protocol(protocol, dataset.rows, name,
+                                          chunk_size=config.chunk_size)
             metrics["dataset"] = dataset_name
             metrics["rank"] = rank
             metrics["method"] = name
@@ -178,11 +190,12 @@ def figure_sweep_epsilon(dataset_name: str,
                                  include_p4=include_p4))
     factories = {name: factory_for(name) for name in names}
 
-    def run_one(protocol: MatrixTrackingProtocol, value: float) -> Dict[str, float]:
-        return run_single_protocol(protocol, dataset.rows, type(protocol).__name__)
+    def evaluate(protocol: MatrixTrackingProtocol, value: float) -> Dict[str, float]:
+        return evaluate_matrix_protocol(protocol, name=type(protocol).__name__).as_dict()
 
     sweep = ParameterSweep(parameter="epsilon", values=epsilons)
-    return sweep.run(factories, run_one)
+    return sweep.run_streaming(factories, dataset.rows, evaluate,
+                               engine=StreamingEngine(chunk_size=config.chunk_size))
 
 
 # -------------------------------------------------------------- site sweeps
@@ -211,11 +224,12 @@ def figure_sweep_sites(dataset_name: str,
                                  include_p4=include_p4))
     factories = {name: factory_for(name) for name in names}
 
-    def run_one(protocol: MatrixTrackingProtocol, value: int) -> Dict[str, float]:
-        return run_single_protocol(protocol, dataset.rows, type(protocol).__name__)
+    def evaluate(protocol: MatrixTrackingProtocol, value: int) -> Dict[str, float]:
+        return evaluate_matrix_protocol(protocol, name=type(protocol).__name__).as_dict()
 
     sweep = ParameterSweep(parameter="num_sites", values=site_counts)
-    return sweep.run(factories, run_one)
+    return sweep.run_streaming(factories, dataset.rows, evaluate,
+                               engine=StreamingEngine(chunk_size=config.chunk_size))
 
 
 # ----------------------------------------------------------------- Figure 4

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Hashable, List
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
 
 from ..streaming.protocol import DistributedProtocol
-from ..utils.validation import check_epsilon, check_phi, check_weight
+from ..utils.validation import check_epsilon, check_phi, check_weight, check_weight_batch
 
 __all__ = ["HeavyHitter", "WeightedHeavyHitterProtocol"]
 
@@ -73,6 +75,19 @@ class WeightedHeavyHitterProtocol(DistributedProtocol):
         self._observed_weight += weight
         self._count_item()
         return weight
+
+    def _record_observations(self, weights: Optional[Sequence[float]],
+                             count: int) -> np.ndarray:
+        """Batch analogue of :meth:`_record_observation`.
+
+        Validates a whole weight column at once (``None`` means unit
+        weights), updates the ground-truth totals and the item count, and
+        returns the weights as a float array.
+        """
+        weights = check_weight_batch(weights, count=count)
+        self._observed_weight += float(weights.sum())
+        self._count_items(count)
+        return weights
 
     # ----------------------------------------------------------- protocol API
     @abc.abstractmethod

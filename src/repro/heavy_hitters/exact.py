@@ -8,7 +8,7 @@ one vector message, so its total communication equals the stream length.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Optional, Sequence
 
 from ..sketch.exact import ExactFrequencyCounter
 from .base import WeightedHeavyHitterProtocol
@@ -28,6 +28,20 @@ class ExactForwardingProtocol(WeightedHeavyHitterProtocol):
         weight = self._record_observation(weight)
         self.network.send_vector(site, description=f"item {element!r}")
         self._coordinator.update(element, weight)
+
+    def process_batch(self, site: int, elements: Sequence[Hashable],
+                      weights: Optional[Sequence[float]] = None) -> None:
+        """Forward a whole site batch: one logged transmission of ``n`` units.
+
+        Message *units* (the paper's metric) match the per-item path exactly;
+        only the number of logged transmissions differs.
+        """
+        weights = self._record_observations(weights, len(elements))
+        if weights.shape[0] == 0:
+            return
+        self.network.send_vector(site, units=int(weights.shape[0]),
+                                 description="forwarded batch")
+        self._coordinator.update_batch(elements, weights)
 
     def estimate(self, element: Hashable) -> float:
         return self._coordinator.estimate(element)

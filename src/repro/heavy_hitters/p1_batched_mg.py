@@ -19,8 +19,11 @@ accounting).
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Sequence
 
+import numpy as np
+
+from ..sketch.base import aggregate_weighted_batch
 from ..sketch.misra_gries import WeightedMisraGries
 from ..utils.validation import check_positive_int
 from .base import WeightedHeavyHitterProtocol
@@ -93,11 +96,59 @@ class BatchedMisraGriesProtocol(WeightedHeavyHitterProtocol):
         if state.weight_since_send >= self._site_threshold():
             self._flush_site(site)
 
+    def process_batch(self, site: int, elements: Sequence[Hashable],
+                      weights: Optional[Sequence[float]] = None) -> None:
+        """Vectorized site-batch ingestion.
+
+        The batch is split at flush boundaries with one cumulative-sum scan
+        per segment: the first index where the site's accumulated weight
+        would reach the threshold ``τ = (ε/2m)·Ŵ`` is located vectorized,
+        everything up to (and including) it is folded into the site summary
+        with one aggregated Misra–Gries update, the site flushes, and the
+        scan restarts on the remainder with the refreshed threshold.  Flush
+        *timing* (after which item a summary ships) therefore matches
+        item-at-a-time ingestion up to floating-point accumulation order;
+        only the summary contents follow
+        the aggregated-update semantics of
+        :meth:`~repro.sketch.misra_gries.WeightedMisraGries.update_batch`.
+        """
+        weights = self._record_observations(weights, len(elements))
+        state = self._sites[site]
+        total = weights.shape[0]
+        if total == 0:
+            return
+        cumulative = np.cumsum(weights)
+        start = 0
+        consumed = 0.0  # cumulative weight of already-ingested prefix
+        while start < total:
+            # First index whose inclusion lifts the site's accumulated weight
+            # to the threshold; the cumsum is monotone, so one binary search
+            # replaces a per-item comparison loop.
+            target = consumed + self._site_threshold() - state.weight_since_send
+            stop = int(np.searchsorted(cumulative, target, side="left"))
+            if stop >= total:
+                segment_weight = float(cumulative[-1]) - consumed
+                state.summary.ingest_aggregated(
+                    *aggregate_weighted_batch(elements[start:], weights[start:]),
+                    segment_weight,
+                )
+                state.weight_since_send += segment_weight
+                return
+            segment_weight = float(cumulative[stop]) - consumed
+            state.summary.ingest_aggregated(
+                *aggregate_weighted_batch(elements[start:stop + 1],
+                                          weights[start:stop + 1]),
+                segment_weight,
+            )
+            state.weight_since_send += segment_weight
+            consumed = float(cumulative[stop])
+            self._flush_site(site)
+            start = stop + 1
+
     def _flush_site(self, site: int) -> None:
         """Ship the site's summary and accumulated weight to the coordinator."""
         state = self._sites[site]
-        retained = state.summary.to_dict()
-        units = max(1, len(retained)) + 1  # counters plus the weight scalar
+        units = max(1, len(state.summary)) + 1  # counters plus the weight scalar
         self.network.send_summary(site, units=units, description="MG summary")
         self._receive_summary(state.summary, state.weight_since_send)
         state.summary = WeightedMisraGries(self._num_counters)
@@ -105,7 +156,7 @@ class BatchedMisraGriesProtocol(WeightedHeavyHitterProtocol):
 
     # --------------------------------------------------------- coordinator side
     def _receive_summary(self, summary: WeightedMisraGries, weight: float) -> None:
-        self._coordinator_summary = self._coordinator_summary.merge(summary)
+        self._coordinator_summary.merge_in_place(summary)
         self._coordinator_weight += weight
         needs_broadcast = (
             self._broadcast_weight <= 0.0

@@ -26,7 +26,12 @@ import numpy as np
 
 from ..streaming.protocol import DistributedProtocol
 from ..utils.linalg import spectral_norm
-from ..utils.validation import check_epsilon, check_positive_int, check_row
+from ..utils.validation import (
+    check_epsilon,
+    check_positive_int,
+    check_row,
+    check_row_batch,
+)
 
 __all__ = ["MatrixTrackingProtocol"]
 
@@ -81,6 +86,21 @@ class MatrixTrackingProtocol(DistributedProtocol):
         self._observed_squared_frobenius += float(np.dot(row, row))
         self._count_item()
         return row
+
+    def _record_observations(self, rows: np.ndarray) -> np.ndarray:
+        """Batch analogue of :meth:`_record_observation`.
+
+        Validates a whole row block at once and updates the ground-truth
+        covariance with a single BLAS product (equal to the per-row outer
+        products up to floating-point summation order).
+        """
+        rows = check_row_batch(rows, self._dimension, name="rows")
+        if rows.shape[0] == 0:
+            return rows
+        self._observed_covariance += rows.T @ rows
+        self._observed_squared_frobenius += float(np.einsum("ij,ij->", rows, rows))
+        self._count_items(rows.shape[0])
+        return rows
 
     # ----------------------------------------------------------- protocol API
     @abc.abstractmethod

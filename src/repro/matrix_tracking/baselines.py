@@ -55,6 +55,15 @@ class CentralizedSVDBaseline(MatrixTrackingProtocol):
         self.network.send_vector(site, description="raw row")
         self._store.update(row)
 
+    def process_batch(self, site: int, rows: np.ndarray) -> None:
+        """Forward a site batch in one transmission of ``n`` message units."""
+        rows = self._record_observations(rows)
+        if rows.shape[0] == 0:
+            return
+        self.network.send_vector(site, units=int(rows.shape[0]),
+                                 description="raw row batch")
+        self._store.append_batch(rows)
+
     def sketch_matrix(self) -> np.ndarray:
         if self._rank is None:
             return self._store.matrix()
@@ -95,6 +104,15 @@ class CentralizedFDBaseline(MatrixTrackingProtocol):
         row = self._record_observation(row)
         self.network.send_vector(site, description="raw row")
         self._sketch.update(row)
+
+    def process_batch(self, site: int, rows: np.ndarray) -> None:
+        """Forward a site batch in one transmission of ``n`` message units."""
+        rows = self._record_observations(rows)
+        if rows.shape[0] == 0:
+            return
+        self.network.send_vector(site, units=int(rows.shape[0]),
+                                 description="raw row batch")
+        self._sketch.append_batch(rows)
 
     def sketch_matrix(self) -> np.ndarray:
         return self._sketch.compacted_matrix()

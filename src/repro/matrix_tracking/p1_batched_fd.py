@@ -105,6 +105,35 @@ class BatchedFrequentDirectionsProtocol(MatrixTrackingProtocol):
         if state.norm_since_send >= self._site_threshold():
             self._flush_site(site)
 
+    def process_batch(self, site: int, rows: np.ndarray) -> None:
+        """Vectorized site-batch ingestion.
+
+        Mirrors the per-row path exactly: a cumulative-sum scan over the
+        batch's squared row norms locates the first index where the site's
+        accumulated norm reaches the threshold ``τ = (ε/2m)·F̂``, the rows up
+        to (and including) it are block-appended to the site's FD sketch
+        (bit-identical to per-row appends), the site flushes, and the scan
+        restarts with the refreshed threshold.
+        """
+        rows = self._record_observations(rows)
+        state = self._sites[site]
+        norms = np.einsum("ij,ij->i", rows, rows)
+        total = rows.shape[0]
+        start = 0
+        while start < total:
+            threshold = self._site_threshold()
+            cumulative = state.norm_since_send + np.cumsum(norms[start:])
+            crossings = np.nonzero(cumulative >= threshold)[0]
+            if crossings.size == 0:
+                state.sketch.append_batch(rows[start:])
+                state.norm_since_send = float(cumulative[-1])
+                return
+            stop = int(crossings[0])
+            state.sketch.append_batch(rows[start:start + stop + 1])
+            state.norm_since_send = float(cumulative[stop])
+            self._flush_site(site)
+            start += stop + 1
+
     def _flush_site(self, site: int) -> None:
         """Ship the site's sketch rows and accumulated squared norm."""
         state = self._sites[site]
@@ -118,8 +147,7 @@ class BatchedFrequentDirectionsProtocol(MatrixTrackingProtocol):
 
     # --------------------------------------------------------- coordinator side
     def _receive(self, sketch_rows: np.ndarray, norm: float) -> None:
-        for row in sketch_rows:
-            self._coordinator_sketch.update(row)
+        self._coordinator_sketch.append_batch(sketch_rows)
         self._coordinator_norm += norm
         needs_broadcast = (
             self._broadcast_norm <= 0.0

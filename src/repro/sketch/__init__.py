@@ -12,7 +12,7 @@ Weighted samplers
     :class:`WithReplacementSamplers`, :class:`WeightedReservoir`.
 """
 
-from .base import FrequencySketch, MatrixSketch
+from .base import FrequencySketch, MatrixSketch, aggregate_weighted_batch
 from .count_min import CountMinSketch
 from .exact import ExactFrequencyCounter, ExactMatrix
 from .frequent_directions import FrequentDirections
@@ -30,6 +30,7 @@ from .space_saving import WeightedSpaceSaving
 __all__ = [
     "FrequencySketch",
     "MatrixSketch",
+    "aggregate_weighted_batch",
     "CountMinSketch",
     "ExactFrequencyCounter",
     "ExactMatrix",

@@ -19,13 +19,54 @@ summaries", PODS 2012).
 from __future__ import annotations
 
 import abc
-from typing import Dict, Generic, Hashable, Iterable, List, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
-__all__ = ["FrequencySketch", "MatrixSketch"]
+__all__ = ["FrequencySketch", "MatrixSketch", "aggregate_weighted_batch"]
 
 Element = TypeVar("Element", bound=Hashable)
+
+
+def aggregate_weighted_batch(
+    elements: Sequence, weights: np.ndarray
+) -> Tuple[List, List[float]]:
+    """Collapse a weighted batch into ``(unique elements, summed weights)``.
+
+    The workhorse of the batched ingestion path: a Zipfian chunk of thousands
+    of items typically contains only a few dozen distinct elements, so
+    summaries can apply one aggregated update per distinct element instead of
+    one dictionary operation per item.  Uses ``np.unique`` when the elements
+    form a sortable homogeneous array and falls back to a dictionary sweep for
+    object/mixed element types.  Within each element, weights are summed in
+    arrival order.
+    """
+    # For small batches a plain dictionary sweep beats np.unique (whose fixed
+    # overhead dominates below roughly a hundred items).
+    if len(elements) >= 128:
+        array: Optional[np.ndarray] = None
+        if isinstance(elements, np.ndarray):
+            array = elements
+        else:
+            try:
+                candidate = np.asarray(elements)
+            except (ValueError, TypeError):  # ragged / unconvertible element types
+                candidate = None
+            if candidate is not None and candidate.ndim == 1:
+                array = candidate
+        if array is not None and array.ndim == 1 and array.dtype != object:
+            uniques, inverse = np.unique(array, return_inverse=True)
+            totals = np.zeros(uniques.shape[0], dtype=np.float64)
+            np.add.at(totals, inverse, weights)
+            return uniques.tolist(), totals.tolist()
+    if isinstance(elements, np.ndarray):
+        elements = elements.tolist()
+    if isinstance(weights, np.ndarray):
+        weights = weights.tolist()
+    grouped: Dict = {}
+    for element, weight in zip(elements, weights):
+        grouped[element] = grouped.get(element, 0.0) + weight
+    return list(grouped.keys()), list(grouped.values())
 
 
 class FrequencySketch(abc.ABC, Generic[Element]):
@@ -52,6 +93,25 @@ class FrequencySketch(abc.ABC, Generic[Element]):
         """Process an iterable of ``(element, weight)`` pairs."""
         for element, weight in items:
             self.update(element, weight)
+
+    def update_batch(self, elements: Sequence[Element],
+                     weights: Optional[Sequence[float]] = None) -> None:
+        """Process a batch of elements with per-item ``weights`` (default 1).
+
+        The default implementation loops over :meth:`update`, so every
+        summary supports the batch API; concrete sketches override it with
+        vectorized kernels.  Overrides may aggregate duplicate elements
+        before updating — the summary's error guarantee is preserved, but the
+        retained state need not be bit-identical to item-at-a-time ingestion
+        (see each sketch's ``update_batch`` docstring for its exact
+        semantics).
+        """
+        if weights is None:
+            for element in elements:
+                self.update(element)
+        else:
+            for element, weight in zip(elements, weights):
+                self.update(element, float(weight))
 
     def heavy_hitters(self, phi: float) -> List[Tuple[Element, float]]:
         """Return retained elements whose estimated weight is at least ``phi * W``.
@@ -95,6 +155,18 @@ class MatrixSketch(abc.ABC):
     def update_many(self, rows: Iterable[np.ndarray]) -> None:
         """Process an iterable of rows in order."""
         for row in rows:
+            self.update(row)
+
+    def append_batch(self, rows: np.ndarray) -> None:
+        """Process a block of rows (2-d array, one row per stream item).
+
+        The default implementation loops over :meth:`update`; concrete
+        sketches override it with block kernels (e.g. Frequent Directions
+        copies whole slices into its buffer with one compaction per fill).
+        Overrides must be equivalent to processing the rows one at a time in
+        order.
+        """
+        for row in np.asarray(rows, dtype=np.float64):
             self.update(row)
 
     def covariance(self) -> np.ndarray:

@@ -13,12 +13,12 @@ Guarantees, for width ``w = ceil(e/ε)`` and depth ``t = ceil(ln(1/δ))``:
 from __future__ import annotations
 
 import math
-from typing import Dict, Generic, Hashable, TypeVar
+from typing import Dict, Generic, Hashable, Optional, Sequence, TypeVar
 
 import numpy as np
 
 from ..utils.rng import SeedLike, as_generator
-from ..utils.validation import check_positive_int, check_weight
+from ..utils.validation import check_positive_int, check_weight, check_weight_batch
 from .base import FrequencySketch
 
 __all__ = ["CountMinSketch"]
@@ -91,6 +91,36 @@ class CountMinSketch(FrequencySketch[Element], Generic[Element]):
         self._table[np.arange(self._depth), buckets] += weight
         self._total_weight += weight
         self._seen[element] = None
+
+    def update_batch(self, elements: Sequence[Element],
+                     weights: Optional[Sequence[float]] = None) -> None:
+        """Vectorized batch update: bit-identical to repeated :meth:`update`.
+
+        Hash keys are computed per element (Python ``hash`` is the only
+        per-item step), all bucket indices are derived with one vectorized
+        mix per hash row, and the counters are accumulated with ``np.add.at``
+        — which applies the per-item additions in arrival order, so the table
+        matches item-at-a-time ingestion exactly.
+        """
+        n = len(elements)
+        weights = check_weight_batch(weights, count=n)
+        if n == 0:
+            return
+        if isinstance(elements, np.ndarray) and elements.dtype != object:
+            element_list = elements.tolist()
+        else:
+            element_list = list(elements)
+        keys = np.fromiter(
+            (hash(element) & 0x7FFFFFFFFFFFFFFF for element in element_list),
+            dtype=np.int64, count=n,
+        )
+        # Same int64 arithmetic (including wraparound) as _buckets, applied
+        # row-by-row so each table cell accumulates in arrival order.
+        for row in range(self._depth):
+            mixed = (self._hash_a[row] * keys + self._hash_b[row]) % _MERSENNE_PRIME
+            np.add.at(self._table[row], (mixed % self._width).astype(np.int64), weights)
+        self._total_weight += float(weights.sum())
+        self._seen.update(dict.fromkeys(element_list))
 
     def estimate(self, element: Element) -> float:
         buckets = self._buckets(element)

@@ -14,13 +14,19 @@ row of Table 1.
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Hashable, List, Optional, TypeVar
+from typing import Dict, Generic, Hashable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
 from ..utils.linalg import thin_svd
-from ..utils.validation import check_positive_int, check_row, check_weight
-from .base import FrequencySketch, MatrixSketch
+from ..utils.validation import (
+    check_positive_int,
+    check_row,
+    check_row_batch,
+    check_weight,
+    check_weight_batch,
+)
+from .base import FrequencySketch, MatrixSketch, aggregate_weighted_batch
 
 __all__ = ["ExactFrequencyCounter", "ExactMatrix"]
 
@@ -42,6 +48,21 @@ class ExactFrequencyCounter(FrequencySketch[Element], Generic[Element]):
         weight = check_weight(weight, name="weight")
         self._counts[element] = self._counts.get(element, 0.0) + weight
         self._total_weight += weight
+
+    def update_batch(self, elements: Sequence[Element],
+                     weights: Optional[Sequence[float]] = None) -> None:
+        """Add a batch of items, aggregating duplicates first.
+
+        Exact counting is order- and grouping-oblivious, so this matches
+        repeated :meth:`update` up to floating-point summation order.
+        """
+        weights = check_weight_batch(weights, count=len(elements))
+        if len(elements) == 0:
+            return
+        uniques, totals = aggregate_weighted_batch(elements, weights)
+        for element, total in zip(uniques, totals):
+            self._counts[element] = self._counts.get(element, 0.0) + total
+        self._total_weight += float(weights.sum())
 
     def estimate(self, element: Element) -> float:
         return self._counts.get(element, 0.0)
@@ -109,6 +130,22 @@ class ExactMatrix(MatrixSketch):
         self._covariance += np.outer(row, row)
         self._squared_frobenius += float(np.dot(row, row))
         self._rows_seen += 1
+
+    def append_batch(self, rows: np.ndarray) -> None:
+        """Add a block of rows with one BLAS covariance update.
+
+        Matches repeated :meth:`update` up to floating-point summation order
+        (the covariance accumulates ``rowsᵀ·rows`` per block instead of one
+        outer product per row).
+        """
+        rows = check_row_batch(rows, self._dimension, name="rows")
+        if rows.shape[0] == 0:
+            return
+        if self._keep_rows:
+            self._rows.extend(rows)
+        self._covariance += rows.T @ rows
+        self._squared_frobenius += float(np.einsum("ij,ij->", rows, rows))
+        self._rows_seen += rows.shape[0]
 
     def matrix(self) -> np.ndarray:
         """Return the full stored matrix (requires ``keep_rows=True``)."""

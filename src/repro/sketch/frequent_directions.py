@@ -30,7 +30,7 @@ from typing import Optional
 import numpy as np
 
 from ..utils.linalg import thin_svd
-from ..utils.validation import check_positive_int, check_row
+from ..utils.validation import check_positive_int, check_row, check_row_batch
 from .base import MatrixSketch
 
 __all__ = ["FrequentDirections"]
@@ -129,6 +129,30 @@ class FrequentDirections(MatrixSketch):
         self._filled += 1
         self._rows_seen += 1
         self._squared_frobenius += float(np.dot(row, row))
+
+    def append_batch(self, rows: np.ndarray) -> None:
+        """Append a block of rows, compacting once per buffer fill.
+
+        Bit-identical to repeated :meth:`update`: rows are copied into the
+        buffer in whole slices and a compaction is triggered exactly when the
+        buffer fills, which is the same schedule the per-row path follows
+        (compaction inputs — the buffer contents — are identical, so the SVDs
+        and shrinkage are too).  Only the squared-Frobenius accumulator may
+        differ in the last few ulps because it sums per block instead of per
+        row.
+        """
+        rows = check_row_batch(rows, self._dimension, name="rows")
+        total = rows.shape[0]
+        start = 0
+        while start < total:
+            if self._filled == self._capacity:
+                self._compact()
+            take = min(self._capacity - self._filled, total - start)
+            self._buffer[self._filled:self._filled + take, :] = rows[start:start + take]
+            self._filled += take
+            start += take
+        self._rows_seen += total
+        self._squared_frobenius += float(np.einsum("ij,ij->", rows, rows))
 
     def _compact(self) -> None:
         """Shrink the buffer back to ``sketch_size`` retained directions."""

@@ -17,10 +17,12 @@ the kept ones.  Protocol P1 for weighted heavy hitters relies on this.
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Hashable, List, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
 
-from ..utils.validation import check_positive_int, check_weight
-from .base import FrequencySketch
+import numpy as np
+
+from ..utils.validation import check_positive_int, check_weight, check_weight_batch
+from .base import FrequencySketch, aggregate_weighted_batch
 
 __all__ = ["WeightedMisraGries"]
 
@@ -104,6 +106,52 @@ class WeightedMisraGries(FrequencySketch[Element], Generic[Element]):
             else:  # pragma: no cover - cannot happen: delta freed >= 1 slot
                 raise RuntimeError("Misra-Gries shrink failed to free a counter")
 
+    def update_batch(self, elements: Sequence[Element],
+                     weights: Optional[Sequence[float]] = None) -> None:
+        """Process a whole batch with one merge-style sweep.
+
+        Duplicate elements are aggregated (``np.unique`` for homogeneous
+        arrays, a dictionary sweep otherwise), the aggregated totals are added
+        into the counters, and a single shrink — subtracting the
+        ``(ℓ+1)``-st largest counter value, exactly as :meth:`merge` does —
+        restores the counter budget.  This is equivalent to merging the
+        summary with an exact counter of the batch, so the Misra–Gries
+        guarantee ``0 ≤ f_e − f̂_e ≤ shrink_total ≤ W/ℓ`` is preserved; the
+        retained counters may differ from item-at-a-time ingestion (which
+        interleaves many small shrinks) but obey the same bound.
+        """
+        weights = check_weight_batch(weights, count=len(elements))
+        if len(elements) == 0:
+            return
+        uniques, totals = aggregate_weighted_batch(elements, weights)
+        self.ingest_aggregated(uniques, totals, float(weights.sum()))
+
+    def ingest_aggregated(self, uniques: Sequence[Element],
+                          totals: Sequence[float], batch_weight: float) -> None:
+        """Fold pre-aggregated ``(element, total)`` pairs into the summary.
+
+        The merge-sweep kernel shared by :meth:`update_batch` and
+        :meth:`merge_in_place`.  Callers are responsible for validation:
+        ``totals`` must be strictly positive with one entry per distinct
+        element and ``batch_weight`` must equal their sum (up to float
+        rounding).
+        """
+        self._total_weight += batch_weight
+        counters = self._counters
+        for element, total in zip(uniques, totals):
+            counters[element] = counters.get(element, 0.0) + total
+        if len(counters) > self._num_counters:
+            ordered: List[Tuple[Element, float]] = sorted(
+                counters.items(), key=lambda pair: pair[1], reverse=True
+            )
+            pivot = ordered[self._num_counters][1]
+            self._shrink_total += pivot
+            self._counters = {
+                element: weight - pivot
+                for element, weight in ordered[: self._num_counters]
+                if weight - pivot > 0.0
+            }
+
     def estimate(self, element: Element) -> float:
         return self._counters.get(element, 0.0)
 
@@ -151,6 +199,29 @@ class WeightedMisraGries(FrequencySketch[Element], Generic[Element]):
         else:
             merged._counters = combined
         return merged
+
+    def merge_in_place(self, other: "WeightedMisraGries[Element]") -> None:
+        """Fold ``other`` into this summary (same semantics as :meth:`merge`).
+
+        Avoids building a new summary object and copying both counter maps —
+        the coordinator in protocol P1 merges thousands of small site
+        summaries, where the allocation churn is measurable.
+        """
+        if not isinstance(other, WeightedMisraGries):
+            raise TypeError("can only merge with another WeightedMisraGries")
+        if other._num_counters != self._num_counters:
+            raise ValueError(
+                "cannot merge summaries with different counter counts "
+                f"({self._num_counters} vs {other._num_counters})"
+            )
+        self._shrink_total += other._shrink_total
+        self.ingest_aggregated(
+            list(other._counters.keys()), list(other._counters.values()),
+            other._total_weight,
+        )
+
+    def __len__(self) -> int:
+        return len(self._counters)
 
     def __repr__(self) -> str:
         return (

@@ -15,10 +15,12 @@ Guarantees, with ``W`` the total processed weight and ``ℓ`` counters:
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Hashable, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, Optional, Sequence, Tuple, TypeVar
 
-from ..utils.validation import check_positive_int, check_weight
-from .base import FrequencySketch
+import numpy as np
+
+from ..utils.validation import check_positive_int, check_weight, check_weight_batch
+from .base import FrequencySketch, aggregate_weighted_batch
 
 __all__ = ["WeightedSpaceSaving"]
 
@@ -70,6 +72,35 @@ class WeightedSpaceSaving(FrequencySketch[Element], Generic[Element]):
         victim = min(self._counters, key=lambda key: self._counters[key][0])
         victim_estimate, _ = self._counters.pop(victim)
         self._counters[element] = (victim_estimate + weight, victim_estimate)
+
+    def update_batch(self, elements: Sequence[Element],
+                     weights: Optional[Sequence[float]] = None) -> None:
+        """Process a batch by aggregating duplicates first.
+
+        Duplicate elements are collapsed into one total per distinct element
+        and the totals are applied through the standard SpaceSaving update
+        rule (increment, claim a free counter, or evict the minimum).  This
+        equals item-at-a-time ingestion of the *aggregated* stream, which for
+        SpaceSaving only tightens the over-count: evictions can happen no
+        more often than in the un-aggregated order, so
+        ``f_e ≤ f̂_e ≤ f_e + W/ℓ`` still holds.
+        """
+        weights = check_weight_batch(weights, count=len(elements))
+        if len(elements) == 0:
+            return
+        uniques, totals = aggregate_weighted_batch(elements, weights)
+        counters = self._counters
+        for element, total in zip(uniques, totals):
+            if element in counters:
+                estimate, overcount = counters[element]
+                counters[element] = (estimate + total, overcount)
+            elif len(counters) < self._num_counters:
+                counters[element] = (total, 0.0)
+            else:
+                victim = min(counters, key=lambda key: counters[key][0])
+                victim_estimate, _ = counters.pop(victim)
+                counters[element] = (victim_estimate + total, victim_estimate)
+        self._total_weight += float(weights.sum())
 
     def estimate(self, element: Element) -> float:
         if element in self._counters:

@@ -1,6 +1,6 @@
 """Distributed-streaming substrate: items, partitioning, network, protocols, runner."""
 
-from .items import MatrixRow, WeightedItem
+from .items import MatrixRow, MatrixRowBatch, WeightedItem, WeightedItemBatch
 from .network import CommunicationLog, Direction, MessageKind, MessageRecord, Network
 from .partition import (
     BlockPartitioner,
@@ -10,11 +10,20 @@ from .partition import (
     UniformRandomPartitioner,
 )
 from .protocol import DistributedProtocol
-from .runner import QueryObservation, RunResult, run_many, run_protocol
+from .runner import (
+    DEFAULT_CHUNK_SIZE,
+    QueryObservation,
+    RunResult,
+    StreamingEngine,
+    run_many,
+    run_protocol,
+)
 
 __all__ = [
     "MatrixRow",
+    "MatrixRowBatch",
     "WeightedItem",
+    "WeightedItemBatch",
     "CommunicationLog",
     "Direction",
     "MessageKind",
@@ -26,8 +35,10 @@ __all__ = [
     "RoundRobinPartitioner",
     "UniformRandomPartitioner",
     "DistributedProtocol",
+    "DEFAULT_CHUNK_SIZE",
     "QueryObservation",
     "RunResult",
+    "StreamingEngine",
     "run_many",
     "run_protocol",
 ]

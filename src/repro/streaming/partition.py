@@ -21,6 +21,8 @@ from __future__ import annotations
 import abc
 from typing import Hashable, Iterable, Iterator, Sequence, TypeVar
 
+import numpy as np
+
 from ..utils.rng import SeedLike, as_generator
 from ..utils.validation import check_positive_int, check_site_count
 
@@ -50,6 +52,23 @@ class Partitioner(abc.ABC):
     def assign(self, index: int, item: Item) -> int:
         """Return the site index in ``[0, num_sites)`` for the ``index``-th item."""
 
+    def assign_batch(self, indices: Sequence[int], items: Sequence[Item]) -> np.ndarray:
+        """Return the site of every ``(index, item)`` pair as an int array.
+
+        Determinism contract: for every partitioner in this module the batch
+        path returns exactly the assignments the item path would — stateless
+        partitioners compute the same function of the index/item, and the
+        seeded :class:`UniformRandomPartitioner` consumes its generator
+        identically in both paths (one bounded draw per item, in order).  The
+        default implementation simply loops over :meth:`assign`; vectorized
+        overrides must preserve this contract (it is covered by tests).
+        """
+        index_array = np.asarray(indices, dtype=np.int64)
+        return np.fromiter(
+            (self.assign(int(index), item) for index, item in zip(index_array, items)),
+            dtype=np.int64, count=index_array.shape[0],
+        )
+
     def partition(self, stream: Iterable[Item]) -> Iterator[tuple]:
         """Yield ``(site, item)`` pairs for every item of ``stream`` in order."""
         for index, item in enumerate(stream):
@@ -57,14 +76,27 @@ class Partitioner(abc.ABC):
 
 
 class RoundRobinPartitioner(Partitioner):
-    """Item ``i`` is observed by site ``i mod m``."""
+    """Item ``i`` is observed by site ``i mod m``.
+
+    Stateless and index-determined: item and batch paths trivially agree.
+    """
 
     def assign(self, index: int, item: Item) -> int:
         return index % self._num_sites
 
+    def assign_batch(self, indices: Sequence[int], items: Sequence[Item]) -> np.ndarray:
+        return np.asarray(indices, dtype=np.int64) % self._num_sites
+
 
 class UniformRandomPartitioner(Partitioner):
-    """Each item is observed by an independently uniform random site."""
+    """Each item is observed by an independently uniform random site.
+
+    Determinism: two partitioners built with the same seed produce the same
+    assignment sequence, and a single partitioner produces the same sequence
+    whether it is consumed through :meth:`assign` or :meth:`assign_batch`
+    (NumPy's ``Generator.integers`` draws bounded integers one at a time in
+    either case, so the underlying bit stream is consumed identically).
+    """
 
     def __init__(self, num_sites: int, seed: SeedLike = None):
         super().__init__(num_sites)
@@ -72,6 +104,10 @@ class UniformRandomPartitioner(Partitioner):
 
     def assign(self, index: int, item: Item) -> int:
         return int(self._rng.integers(0, self._num_sites))
+
+    def assign_batch(self, indices: Sequence[int], items: Sequence[Item]) -> np.ndarray:
+        count = len(np.asarray(indices, dtype=np.int64))
+        return self._rng.integers(0, self._num_sites, size=count, dtype=np.int64)
 
 
 class HashPartitioner(Partitioner):
@@ -84,6 +120,11 @@ class HashPartitioner(Partitioner):
     key:
         Callable extracting a hashable key from an item; defaults to using
         the item itself (which works for element labels and tuples).
+
+    Determinism: assignments depend only on the key's ``hash``, so item and
+    batch paths always agree, and repeated runs agree within one interpreter
+    process.  Across processes, integer keys are stable but ``str``/``bytes``
+    keys follow ``PYTHONHASHSEED`` — pin it for cross-process reproducibility.
     """
 
     def __init__(self, num_sites: int, key=None):
@@ -93,6 +134,17 @@ class HashPartitioner(Partitioner):
     def assign(self, index: int, item: Item) -> int:
         label: Hashable = self._key(item)
         return hash(label) % self._num_sites
+
+    def assign_batch(self, indices: Sequence[int], items: Sequence[Item]) -> np.ndarray:
+        # ``hash`` of arbitrary labels cannot be vectorized; the win over the
+        # base default is skipping the per-item index bookkeeping.
+        labels = items.elements if hasattr(items, "elements") and self._key is _identity \
+            else None
+        if labels is not None:
+            iterator = (hash(label) % self._num_sites for label in labels.tolist())
+        else:
+            iterator = (hash(self._key(item)) % self._num_sites for item in items)
+        return np.fromiter(iterator, dtype=np.int64, count=len(items))
 
 
 class BlockPartitioner(Partitioner):
@@ -108,6 +160,10 @@ class BlockPartitioner(Partitioner):
 
     def assign(self, index: int, item: Item) -> int:
         return min(index // self._block, self._num_sites - 1)
+
+    def assign_batch(self, indices: Sequence[int], items: Sequence[Item]) -> np.ndarray:
+        blocks = np.asarray(indices, dtype=np.int64) // self._block
+        return np.minimum(blocks, self._num_sites - 1)
 
 
 def _identity(item):

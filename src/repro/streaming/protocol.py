@@ -4,14 +4,29 @@ A protocol owns a :class:`~repro.streaming.network.Network` (which performs
 the message accounting), knows how many sites it coordinates, and receives
 stream items through :meth:`DistributedProtocol.observe`, which dispatches to
 the protocol-specific ``process`` method implemented by subclasses.
+
+Batched ingestion: :meth:`DistributedProtocol.observe_batch` accepts a whole
+chunk of ``(site, item)`` assignments at once, groups the chunk by site
+(stable — each site sees its items in arrival order), and hands every site's
+sub-batch to :meth:`DistributedProtocol.process_batch`.  The default
+``process_batch`` loops over ``process``, so every protocol supports the
+batch API out of the box; protocols with vectorizable hot paths (P1 in both
+families, the centralized baselines) override it.  Note that grouping by
+site is itself a reordering of the chunk: protocols whose coordination
+interleaves across sites (threshold broadcasts, sampling rounds) may take a
+different — equally valid under the paper's adversarial-order model — message
+trace than strict arrival-order ingestion.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict
+from typing import Any, Dict, Sequence, Tuple
+
+import numpy as np
 
 from ..utils.validation import check_site_count
+from .items import MatrixRowBatch, WeightedItemBatch, _as_element_column
 from .network import Network
 
 __all__ = ["DistributedProtocol"]
@@ -87,9 +102,97 @@ class DistributedProtocol(abc.ABC):
             return item
         return (item,)
 
+    # -------------------------------------------------------- batch ingestion
+    def observe_batch(self, site_ids: Sequence[int], items: Any) -> None:
+        """Dispatch a chunk of stream items to per-site batch updates.
+
+        Parameters
+        ----------
+        site_ids:
+            One site index per item (shape ``(n,)``).
+        items:
+            A :class:`~repro.streaming.items.WeightedItemBatch`,
+            :class:`~repro.streaming.items.MatrixRowBatch`, 2-d row array, or
+            any sequence of per-item objects accepted by :meth:`observe`.
+
+        The chunk is grouped by site with a stable sort (each site receives
+        its items in arrival order) and each group is handed to
+        :meth:`process_batch` in ascending site order.
+        """
+        columns = self._unpack_batch(items)
+        count = int(columns[0].shape[0]) if columns else 0
+        sites = np.asarray(site_ids, dtype=np.int64)
+        if sites.shape != (count,):
+            raise ValueError(
+                f"site_ids must have shape ({count},), got {sites.shape}"
+            )
+        if count == 0:
+            return
+        if np.any(sites < 0) or np.any(sites >= self._num_sites):
+            raise ValueError(
+                f"site indices must lie in [0, {self._num_sites}), "
+                f"got range [{sites.min()}, {sites.max()}]"
+            )
+        first = int(sites[0])
+        if np.all(sites == first):
+            self.process_batch(first, *columns)
+            return
+        order = np.argsort(sites, kind="stable")
+        sorted_sites = sites[order]
+        boundaries = np.nonzero(np.diff(sorted_sites))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [count]))
+        for start, end in zip(starts, ends):
+            group = order[start:end]
+            self.process_batch(
+                int(sorted_sites[start]), *(column[group] for column in columns)
+            )
+
+    def process_batch(self, site: int, *columns: np.ndarray) -> None:
+        """Handle a batch of stream items arriving at one ``site``.
+
+        ``columns`` are the positional arguments of :meth:`process` in
+        columnar form (e.g. an element array and a weight array, or a 2-d row
+        block).  The default implementation replays the batch through
+        :meth:`process` one item at a time — exact but slow; protocols with
+        vectorizable site updates override it.
+        """
+        for args in zip(*columns):
+            self.process(site, *args)
+
+    def _unpack_batch(self, items: Any) -> Tuple[np.ndarray, ...]:
+        """Convert a chunk of stream items into columnar ``process`` arguments."""
+        if isinstance(items, WeightedItemBatch):
+            return (items.elements, items.weights)
+        if isinstance(items, MatrixRowBatch):
+            return (items.values,)
+        if isinstance(items, np.ndarray) and items.ndim == 2:
+            return (items.astype(np.float64, copy=False),)
+        item_list = list(items)
+        if not item_list:
+            return (np.empty(0, dtype=object),)
+        unpacked = [self._unpack(item) for item in item_list]
+        width = len(unpacked[0])
+        if any(len(args) != width for args in unpacked):
+            raise ValueError("cannot batch stream items of mixed shapes")
+        columns = []
+        for position in range(width):
+            values = [args[position] for args in unpacked]
+            if isinstance(values[0], np.ndarray):
+                columns.append(np.asarray(values, dtype=np.float64))
+            elif isinstance(values[0], float):
+                columns.append(np.asarray(values, dtype=np.float64))
+            else:
+                columns.append(_as_element_column(values))
+        return tuple(columns)
+
     def _count_item(self) -> None:
         """Record that one more stream item has been consumed."""
         self._items_processed += 1
+
+    def _count_items(self, count: int) -> None:
+        """Record that ``count`` more stream items have been consumed."""
+        self._items_processed += int(count)
 
     def __repr__(self) -> str:
         return (

@@ -20,7 +20,9 @@ __all__ = [
     "check_non_negative_float",
     "check_probability",
     "check_weight",
+    "check_weight_batch",
     "check_row",
+    "check_row_batch",
     "check_matrix",
     "check_unit_vector",
     "check_site_count",
@@ -116,6 +118,33 @@ def check_weight(weight: float, beta: Optional[float] = None, *, name: str = "we
     return result
 
 
+def check_weight_batch(weights: Optional[Sequence[float]], *,
+                       count: Optional[int] = None,
+                       name: str = "weights") -> np.ndarray:
+    """Validate a batch of item weights and return it as a 1-d float array.
+
+    The batch analogue of :func:`check_weight`: every entry must be finite and
+    strictly positive.  An empty batch is allowed (and returned unchanged).
+    When ``count`` is given the batch length must match it, and ``None``
+    weights mean "unit weight per item" (a length-``count`` array of ones) —
+    the convention shared by every ``update_batch`` kernel.
+    """
+    if weights is None:
+        if count is None:
+            raise ValueError(f"{name} may only be None when count is given")
+        return np.ones(count, dtype=np.float64)
+    array = np.asarray(weights, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if count is not None and array.shape[0] != count:
+        raise ValueError(f"got {count} elements but {array.shape[0]} {name}")
+    if array.size and not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if array.size and np.any(array <= 0.0):
+        raise ValueError(f"{name} must be strictly positive everywhere")
+    return array
+
+
 def check_row(row: Sequence[float], dimension: Optional[int] = None, *, name: str = "row") -> np.ndarray:
     """Validate a single matrix row and return it as a 1-d float array.
 
@@ -136,6 +165,31 @@ def check_row(row: Sequence[float], dimension: Optional[int] = None, *, name: st
     if dimension is not None and array.shape[0] != dimension:
         raise ValueError(
             f"{name} has {array.shape[0]} columns but the stream dimension is {dimension}"
+        )
+    return array
+
+
+def check_row_batch(rows: Iterable[Sequence[float]], dimension: Optional[int] = None, *,
+                    name: str = "rows") -> np.ndarray:
+    """Validate a batch of matrix rows and return it as a 2-d float array.
+
+    The batch analogue of :func:`check_row`: a single 1-d row is promoted to a
+    one-row matrix, every entry must be finite, and the number of columns must
+    match ``dimension`` when given.  An empty ``(0, d)`` batch is allowed.
+    """
+    array = np.asarray(rows, dtype=np.float64)
+    if array.ndim == 1:
+        if array.size:
+            array = array[np.newaxis, :]
+        else:  # genuinely empty input: normalise to a (0, d) block
+            array = array.reshape(0, dimension if dimension is not None else 0)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be two-dimensional, got shape {array.shape}")
+    if array.size and not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if dimension is not None and array.shape[1] != dimension:
+        raise ValueError(
+            f"{name} has {array.shape[1]} columns but the stream dimension is {dimension}"
         )
     return array
 

@@ -81,3 +81,70 @@ class TestBlockPartitioner:
     def test_invalid_length(self):
         with pytest.raises(ValueError):
             BlockPartitioner(num_sites=2, stream_length=0)
+
+
+class TestBatchAssignmentDeterminism:
+    """Satellite guarantees: same seed => same assignments, item and batch paths agree."""
+
+    def test_round_robin_batch_matches_item_path(self):
+        partitioner = RoundRobinPartitioner(num_sites=3)
+        indices = list(range(17))
+        batch = partitioner.assign_batch(indices, [None] * 17)
+        assert list(batch) == [partitioner.assign(i, None) for i in indices]
+
+    def test_uniform_random_same_seed_same_assignment_item_path(self):
+        first = UniformRandomPartitioner(num_sites=7, seed=42)
+        second = UniformRandomPartitioner(num_sites=7, seed=42)
+        assert [first.assign(i, None) for i in range(200)] == [
+            second.assign(i, None) for i in range(200)
+        ]
+
+    def test_uniform_random_batch_path_matches_item_path(self):
+        # The documented contract: a seeded partitioner consumes its generator
+        # identically through assign() and assign_batch().
+        item_path = UniformRandomPartitioner(num_sites=7, seed=42)
+        batch_path = UniformRandomPartitioner(num_sites=7, seed=42)
+        expected = [item_path.assign(i, None) for i in range(500)]
+        got = batch_path.assign_batch(list(range(500)), [None] * 500)
+        assert list(got) == expected
+
+    def test_uniform_random_mixed_consumption_stays_deterministic(self):
+        # Interleaving item and batch draws must equal pure item draws.
+        reference = UniformRandomPartitioner(num_sites=5, seed=9)
+        mixed = UniformRandomPartitioner(num_sites=5, seed=9)
+        expected = [reference.assign(i, None) for i in range(30)]
+        got = [mixed.assign(0, None)]
+        got.extend(mixed.assign_batch(list(range(1, 20)), [None] * 19).tolist())
+        got.extend(mixed.assign(i, None) for i in range(20, 30))
+        assert got == expected
+
+    def test_hash_batch_path_matches_item_path(self):
+        partitioner = HashPartitioner(num_sites=11)
+        items = [WeightedItem(element=f"user-{i % 13}", weight=1.0) for i in range(50)]
+        batch = partitioner.assign_batch(list(range(50)), items)
+        assert list(batch) == [partitioner.assign(i, item)
+                               for i, item in enumerate(items)]
+
+    def test_hash_batch_path_on_columnar_batch(self):
+        from repro.streaming.items import WeightedItemBatch
+
+        partitioner = HashPartitioner(num_sites=11)
+        pairs = [(f"user-{i % 13}", 1.0) for i in range(50)]
+        batch = WeightedItemBatch.from_pairs(pairs)
+        got = partitioner.assign_batch(list(range(50)), batch)
+        assert list(got) == [partitioner.assign(i, element)
+                             for i, (element, _) in enumerate(pairs)]
+
+    def test_hash_same_seed_same_assignment_across_instances(self):
+        first = HashPartitioner(num_sites=5)
+        second = HashPartitioner(num_sites=5)
+        elements = [f"k{i}" for i in range(40)]
+        assert [first.assign(i, e) for i, e in enumerate(elements)] == [
+            second.assign(i, e) for i, e in enumerate(elements)
+        ]
+
+    def test_block_batch_matches_item_path(self):
+        partitioner = BlockPartitioner(num_sites=4, stream_length=10)
+        indices = list(range(15))  # includes overflow past stream_length
+        batch = partitioner.assign_batch(indices, [None] * 15)
+        assert list(batch) == [partitioner.assign(i, None) for i in indices]

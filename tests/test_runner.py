@@ -1,4 +1,4 @@
-"""Unit tests for the protocol runner and the DistributedProtocol base class."""
+"""Unit tests for the streaming engine and the DistributedProtocol base class."""
 
 from __future__ import annotations
 
@@ -7,9 +7,9 @@ import pytest
 
 from repro.heavy_hitters.exact import ExactForwardingProtocol
 from repro.matrix_tracking.baselines import CentralizedSVDBaseline
-from repro.streaming.items import MatrixRow, WeightedItem
+from repro.streaming.items import MatrixRow, MatrixRowBatch, WeightedItem, WeightedItemBatch
 from repro.streaming.partition import RoundRobinPartitioner
-from repro.streaming.runner import run_many, run_protocol
+from repro.streaming.runner import StreamingEngine, run_many, run_protocol
 
 
 class TestRunProtocolWithWeightedItems:
@@ -115,3 +115,117 @@ class TestProtocolBase:
         protocol.process(1, "a", 2.0)
         counts = protocol.message_counts()
         assert counts["total_messages"] == protocol.total_messages
+
+
+class TestStreamingEngineBatched:
+    def test_columnar_batch_matches_per_item_results(self, zipf_sample):
+        items = zipf_sample.items[:800]
+        per_item = ExactForwardingProtocol(num_sites=4)
+        run_protocol(per_item, items)
+        batched = ExactForwardingProtocol(num_sites=4)
+        StreamingEngine(chunk_size=128).run(
+            batched, WeightedItemBatch.from_pairs(items))
+        assert batched.items_processed == per_item.items_processed
+        assert batched.total_messages == per_item.total_messages
+        for element in set(element for element, _ in items):
+            assert batched.estimate(element) == pytest.approx(
+                per_item.estimate(element))
+
+    def test_query_schedule_respected_across_chunk_boundaries(self):
+        # Chunks must split at scheduled counts: every query sees the
+        # protocol after exactly the scheduled number of items.
+        protocol = ExactForwardingProtocol(num_sites=2)
+        batch = WeightedItemBatch.from_pairs([("a", 1.0)] * 100)
+        result = StreamingEngine(chunk_size=32).run(
+            protocol, batch, query_at=[5, 31, 32, 33, 90],
+            query=lambda p: p.estimate("a"))
+        counts = [obs.items_processed for obs in result.observations]
+        assert counts == [5, 31, 32, 33, 90, 100]
+        for observation in result.observations:
+            assert observation.result == pytest.approx(
+                float(observation.items_processed))
+
+    def test_generator_stream_is_chunked(self):
+        protocol = ExactForwardingProtocol(num_sites=3)
+        stream = (("x", 1.0) for _ in range(257))
+        result = StreamingEngine(chunk_size=64).run(protocol, stream)
+        assert result.items_processed == 257
+        assert protocol.estimate("x") == pytest.approx(257.0)
+
+    def test_items_with_site_attribute_routed_directly_in_batched_mode(self):
+        protocol = ExactForwardingProtocol(num_sites=3, keep_message_records=True)
+        items = [WeightedItem(element="x", weight=1.0, site=2) for _ in range(10)]
+        StreamingEngine(chunk_size=4).run(protocol, items)
+        sites = {record.site for record in protocol.network.log.records
+                 if record.site is not None}
+        assert sites == {2}
+
+    def test_columnar_batch_sites_override_partitioner(self):
+        protocol = ExactForwardingProtocol(num_sites=3, keep_message_records=True)
+        batch = WeightedItemBatch.from_pairs([("x", 1.0)] * 6,
+                                             sites=[1, 1, 1, 1, 1, 1])
+        StreamingEngine(chunk_size=2).run(protocol, batch)
+        sites = {record.site for record in protocol.network.log.records
+                 if record.site is not None}
+        assert sites == {1}
+
+    def test_matrix_row_batch_stream(self, rng):
+        rows = rng.standard_normal((90, 5))
+        protocol = CentralizedSVDBaseline(num_sites=3, dimension=5)
+        result = StreamingEngine(chunk_size=32).run(
+            protocol, MatrixRowBatch(values=rows))
+        assert result.items_processed == 90
+        assert protocol.observed_squared_frobenius == pytest.approx(
+            float(np.sum(rows ** 2)))
+
+    def test_raw_2d_array_stream(self, rng):
+        rows = rng.standard_normal((50, 4))
+        protocol = CentralizedSVDBaseline(num_sites=2, dimension=4)
+        result = StreamingEngine(chunk_size=16).run(protocol, rows)
+        assert result.items_processed == 50
+        assert result.total_messages == 50
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingEngine(chunk_size=0)
+        with pytest.raises(ValueError):
+            StreamingEngine(chunk_size=-5)
+
+
+class TestRunBookkeeping:
+    """The engine's run-local count is the single source of truth (issue fix)."""
+
+    def test_pre_fed_protocol_gets_no_duplicate_final_query(self):
+        protocol = ExactForwardingProtocol(num_sites=2)
+        # Protocol has seen items before the run: its lifetime counter is
+        # ahead of the run's counter.
+        protocol.process(0, "warmup", 1.0)
+        protocol.process(1, "warmup", 1.0)
+        result = run_protocol(protocol, [("a", 1.0)] * 10, query_at=[10],
+                              query=lambda p: p.estimate("a"))
+        # One query at item 10 of *this run*; no spurious extra observation
+        # at the lifetime count of 12.
+        counts = [obs.items_processed for obs in result.observations]
+        assert counts == [10]
+        assert result.items_processed == 10
+        assert protocol.items_processed == 12
+
+    def test_pre_fed_protocol_gets_exactly_one_end_query(self):
+        protocol = ExactForwardingProtocol(num_sites=2)
+        protocol.process(0, "warmup", 1.0)
+        result = run_protocol(protocol, [("a", 1.0)] * 5,
+                              query=lambda p: p.estimate("a"))
+        counts = [obs.items_processed for obs in result.observations]
+        assert counts == [5]
+
+    def test_batched_and_per_item_agree_on_counts(self, zipf_sample):
+        items = zipf_sample.items[:300]
+        for chunk_size in (None, 64):
+            protocol = ExactForwardingProtocol(num_sites=3)
+            protocol.process(0, "warmup", 1.0)
+            result = run_protocol(protocol, items, query_at=[100, 250],
+                                  query=lambda p: p.items_processed,
+                                  chunk_size=chunk_size)
+            assert [obs.items_processed for obs in result.observations] == \
+                [100, 250, 300]
+            assert result.items_processed == 300

@@ -67,3 +67,96 @@ class TestMatrixRow:
         assert hash(first) == hash(second)
         assert first != third
         assert first != "not a row"
+
+
+class TestWeightedItemBatch:
+    def test_from_pairs_and_accessors(self):
+        from repro.streaming.items import WeightedItemBatch
+
+        batch = WeightedItemBatch.from_pairs([("a", 1.0), ("b", 2.5), ("a", 3.0)])
+        assert len(batch) == 3
+        assert batch.total_weight == pytest.approx(6.5)
+        assert batch.sites is None
+        assert list(batch.elements) == ["a", "b", "a"]
+
+    def test_rejects_bad_weights(self):
+        from repro.streaming.items import WeightedItemBatch
+
+        with pytest.raises(ValueError):
+            WeightedItemBatch(elements=np.array([1, 2]), weights=np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            WeightedItemBatch(elements=np.array([1, 2]), weights=np.array([1.0]))
+
+    def test_sites_length_checked(self):
+        from repro.streaming.items import WeightedItemBatch
+
+        with pytest.raises(ValueError):
+            WeightedItemBatch(elements=np.array([1, 2]),
+                              weights=np.array([1.0, 2.0]),
+                              sites=np.array([0]))
+
+    def test_slicing_and_indexing(self):
+        from repro.streaming.items import WeightedItemBatch
+
+        batch = WeightedItemBatch(elements=np.array([7, 8, 9]),
+                                  weights=np.array([1.0, 2.0, 3.0]),
+                                  sites=np.array([0, 1, 0]))
+        view = batch[1:]
+        assert len(view) == 2
+        assert list(view.elements) == [8, 9]
+        assert list(view.sites) == [1, 0]
+        item = batch[2]
+        assert item.element == 9 and item.weight == 3.0 and item.site == 0
+
+    def test_iteration_yields_items(self):
+        from repro.streaming.items import WeightedItem, WeightedItemBatch
+
+        batch = WeightedItemBatch.from_pairs([("x", 2.0)])
+        items = list(batch)
+        assert isinstance(items[0], WeightedItem)
+        assert items[0].element == "x"
+
+    def test_from_items_keeps_sites(self):
+        from repro.streaming.items import WeightedItem, WeightedItemBatch
+
+        batch = WeightedItemBatch.from_items(
+            [WeightedItem("a", 1.0, site=2), WeightedItem("b", 2.0, site=0)])
+        assert list(batch.sites) == [2, 0]
+        with pytest.raises(ValueError):
+            WeightedItemBatch.from_items(
+                [WeightedItem("a", 1.0, site=2), WeightedItem("b", 2.0)])
+
+    def test_tuple_elements_stay_object_column(self):
+        from repro.streaming.items import WeightedItemBatch
+
+        batch = WeightedItemBatch.from_pairs([(("u", 1), 1.0), (("v", 2), 2.0)])
+        assert batch.elements.dtype == object
+        assert batch.elements[0] == ("u", 1)
+
+
+class TestMatrixRowBatch:
+    def test_from_rows_and_accessors(self):
+        from repro.streaming.items import MatrixRowBatch
+
+        batch = MatrixRowBatch.from_rows([np.array([1.0, 0.0]), np.array([0.0, 2.0])])
+        assert len(batch) == 2
+        assert batch.dimension == 2
+        assert batch.squared_frobenius == pytest.approx(5.0)
+
+    def test_slicing_and_indexing(self):
+        from repro.streaming.items import MatrixRow, MatrixRowBatch
+
+        values = np.arange(6, dtype=np.float64).reshape(3, 2)
+        batch = MatrixRowBatch(values=values, sites=np.array([0, 1, 2]))
+        view = batch[:2]
+        assert len(view) == 2
+        assert list(view.sites) == [0, 1]
+        row = batch[1]
+        assert isinstance(row, MatrixRow)
+        assert row.site == 1
+
+    def test_rejects_non_finite(self):
+        from repro.streaming.items import MatrixRowBatch
+
+        with pytest.raises(ValueError):
+            MatrixRowBatch(values=np.array([[1.0, np.inf]]))
