@@ -36,6 +36,34 @@ class TestBatchedIngestionThroughput:
             f"({result.batched_rate:,.0f} vs {result.per_item_rate:,.0f} items/s)"
         )
 
+    def test_heavy_hitters_p2_threshold_3x(self, benchmark, bench_scale, run_once):
+        """P2's trigger-split kernel: ≥3x on the same Zipfian workload."""
+        result = run_once(
+            benchmark, measure_heavy_hitter_throughput,
+            num_items=int(1_000_000 * bench_scale), protocol="P2", repeats=3,
+        )
+        print()
+        print(format_table([result.as_dict()],
+                           title="Heavy hitters P2 ingestion throughput"))
+        assert result.speedup >= 3.0, (
+            f"P2 batched path is only {result.speedup:.1f}x the per-item path "
+            f"({result.batched_rate:,.0f} vs {result.per_item_rate:,.0f} items/s)"
+        )
+
+    def test_heavy_hitters_p3_sampling_3x(self, benchmark, bench_scale, run_once):
+        """P3's block-draw kernel: ≥3x on the same Zipfian workload."""
+        result = run_once(
+            benchmark, measure_heavy_hitter_throughput,
+            num_items=int(1_000_000 * bench_scale), protocol="P3", repeats=3,
+        )
+        print()
+        print(format_table([result.as_dict()],
+                           title="Heavy hitters P3 ingestion throughput"))
+        assert result.speedup >= 3.0, (
+            f"P3 batched path is only {result.speedup:.1f}x the per-item path "
+            f"({result.batched_rate:,.0f} vs {result.per_item_rate:,.0f} items/s)"
+        )
+
     def test_matrix_rows_faster_batched(self, benchmark, bench_scale, run_once):
         result = run_once(
             benchmark, measure_matrix_throughput,

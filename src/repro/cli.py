@@ -24,7 +24,11 @@ import sys
 from typing import List, Optional, Sequence
 
 from .evaluation.tables import format_table, render_figure
-from .evaluation.throughput import BENCH_CHUNK_SIZE, throughput_report_rows
+from .evaluation.throughput import (
+    BENCH_CHUNK_SIZE,
+    HH_BENCH_PROTOCOLS,
+    throughput_report_rows,
+)
 from .experiments.config import HeavyHitterConfig, MatrixConfig
 from .experiments.heavy_hitters_experiments import (
     figure1_sweep_epsilon,
@@ -75,6 +79,19 @@ def _parse_float_list(text: str) -> List[float]:
 
 def _parse_int_list(text: str) -> List[int]:
     return [int(value) for value in _parse_float_list(text)]
+
+
+def _parse_protocol_list(text: str) -> List[str]:
+    names = [part.strip().upper() for part in text.split(",") if part.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError("expected at least one protocol name")
+    unknown = [name for name in names if name not in HH_BENCH_PROTOCOLS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown protocol(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(HH_BENCH_PROTOCOLS))}"
+        )
+    return names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -142,6 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="row count for the synthetic-matrix workload")
     sub.add_argument("--chunk-size", type=int, default=BENCH_CHUNK_SIZE,
                      help="engine chunk size for the batched path")
+    sub.add_argument("--protocols", type=_parse_protocol_list,
+                     default=["P1", "P2", "P3"],
+                     help="comma-separated heavy-hitter protocols to bench "
+                          f"(choices: {','.join(sorted(HH_BENCH_PROTOCOLS))})")
     sub.add_argument("--seed", type=int, default=2014)
 
     return parser
@@ -221,12 +242,14 @@ def _run_bench(args, out) -> None:
     rows = throughput_report_rows(num_items=args.num_items,
                                   num_rows=args.num_rows,
                                   chunk_size=args.chunk_size,
-                                  seed=args.seed)
+                                  seed=args.seed,
+                                  hh_protocols=args.protocols)
     _emit(format_table(rows, title="Ingestion throughput (per-item vs batched)"),
           out)
     for row in rows:
-        _emit(f"{row['workload']}: {row['batched_items_per_sec']:,} items/sec "
-              f"batched vs {row['per_item_items_per_sec']:,} items/sec per-item "
+        _emit(f"{row['workload']} [{row['protocol']}]: "
+              f"{row['batched_items_per_sec']:,} items/sec batched vs "
+              f"{row['per_item_items_per_sec']:,} items/sec per-item "
               f"({row['speedup']}x)", out)
 
 

@@ -14,19 +14,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.synthetic_matrix import make_pamap_like
 from ..data.zipfian import ZipfianStreamGenerator
 from ..heavy_hitters.p1_batched_mg import BatchedMisraGriesProtocol
+from ..heavy_hitters.p2_threshold import ThresholdedUpdatesProtocol
+from ..heavy_hitters.p3_sampling import PrioritySamplingProtocol
+from ..heavy_hitters.p4_randomized import RandomizedReportingProtocol
 from ..matrix_tracking.p1_batched_fd import BatchedFrequentDirectionsProtocol
 from ..streaming.items import WeightedItemBatch
 from ..streaming.runner import StreamingEngine
 
 __all__ = [
     "BENCH_CHUNK_SIZE",
+    "HH_BENCH_PROTOCOLS",
     "ThroughputResult",
     "measure_heavy_hitter_throughput",
     "measure_matrix_throughput",
@@ -36,6 +40,20 @@ __all__ = [
 #: Chunk size used by the throughput benchmarks (larger than the engine
 #: default: at benchmark scale the bigger slices amortise per-chunk work).
 BENCH_CHUNK_SIZE = 16_384
+
+#: Heavy-hitter protocols the bench can exercise, now that P2-P4 have native
+#: ``process_batch`` kernels.  Each factory takes ``(num_sites, epsilon,
+#: seed)``; the deterministic protocols ignore the seed.
+HH_BENCH_PROTOCOLS: Dict[str, Callable[[int, float, int], Any]] = {
+    "P1": lambda m, eps, seed: BatchedMisraGriesProtocol(
+        num_sites=m, epsilon=eps),
+    "P2": lambda m, eps, seed: ThresholdedUpdatesProtocol(
+        num_sites=m, epsilon=eps),
+    "P3": lambda m, eps, seed: PrioritySamplingProtocol(
+        num_sites=m, epsilon=eps, sample_size=400, seed=seed),
+    "P4": lambda m, eps, seed: RandomizedReportingProtocol(
+        num_sites=m, epsilon=eps, seed=seed),
+}
 
 
 @dataclass(frozen=True)
@@ -93,26 +111,42 @@ def measure_heavy_hitter_throughput(
     seed: int = 2014,
     chunk_size: int = BENCH_CHUNK_SIZE,
     protocol_factory: Optional[Callable[[], Any]] = None,
+    protocol: str = "P1",
     repeats: int = 1,
+    stream: Optional[Tuple[List[Any], WeightedItemBatch]] = None,
 ) -> ThroughputResult:
-    """Time protocol P1 over the paper's Zipfian weighted-item workload.
+    """Time a heavy-hitters protocol over the paper's Zipfian workload.
 
-    The same materialised stream is replayed into fresh protocol instances:
+    ``protocol`` selects one of :data:`HH_BENCH_PROTOCOLS` (P1-P4, all with
+    native batch kernels); ``protocol_factory`` overrides it entirely.  The
+    same materialised stream is replayed into fresh protocol instances:
     once item-at-a-time (``chunk_size=None`` engine) and ``repeats`` times
     through the batched path (best time wins — the batched run is short
     enough that scheduler noise would otherwise dominate it).  Defaults
     mirror the Section 6.1 workload at a tenth of the paper's 10^7 length.
+    ``stream`` short-circuits generation with a prebuilt ``(items, batch)``
+    pair so multi-protocol reports build the workload once.
     """
-    generator = ZipfianStreamGenerator(universe_size=universe_size, skew=skew,
-                                       beta=beta, seed=seed)
-    sample = generator.generate(num_items)
-    batch = WeightedItemBatch.from_pairs(sample.items)
+    if stream is None:
+        generator = ZipfianStreamGenerator(universe_size=universe_size,
+                                           skew=skew, beta=beta, seed=seed)
+        sample = generator.generate(num_items)
+        stream = (sample.items, WeightedItemBatch.from_pairs(sample.items))
+    items, batch = stream
+    num_items = len(items)
     if protocol_factory is None:
-        def protocol_factory() -> BatchedMisraGriesProtocol:
-            return BatchedMisraGriesProtocol(num_sites=num_sites, epsilon=epsilon)
+        if protocol not in HH_BENCH_PROTOCOLS:
+            raise ValueError(
+                f"unknown bench protocol {protocol!r}; "
+                f"expected one of {sorted(HH_BENCH_PROTOCOLS)}"
+            )
+        name = protocol
+
+        def protocol_factory() -> Any:
+            return HH_BENCH_PROTOCOLS[name](num_sites, epsilon, seed)
     per_item_protocol = protocol_factory()
     per_item_seconds = _time_run(StreamingEngine(chunk_size=None),
-                                 per_item_protocol, sample.items)
+                                 per_item_protocol, items)
     batched_protocol = protocol_factory()
     batched_seconds = min(
         _time_run(StreamingEngine(chunk_size=chunk_size), protocol_factory()
@@ -167,12 +201,27 @@ def measure_matrix_throughput(
 def throughput_report_rows(num_items: int = 1_000_000,
                            num_rows: int = 100_000,
                            chunk_size: int = BENCH_CHUNK_SIZE,
-                           seed: int = 2014) -> List[Dict[str, Any]]:
-    """Measure both workloads and return flat table rows."""
+                           seed: int = 2014,
+                           hh_protocols: Sequence[str] = ("P1", "P2", "P3"),
+                           ) -> List[Dict[str, Any]]:
+    """Measure the heavy-hitter workload per protocol plus the matrix workload.
+
+    The Zipfian stream is generated once and shared across the heavy-hitter
+    protocols (every measurement replays it into fresh protocol instances).
+    """
+    # Pin the workload parameters to measure_heavy_hitter_throughput's
+    # defaults explicitly so the shared stream cannot silently drift from
+    # what direct measure_* calls would generate.
+    generator = ZipfianStreamGenerator(universe_size=10_000, skew=2.0,
+                                       beta=1_000.0, seed=seed)
+    sample = generator.generate(num_items)
+    stream = (sample.items, WeightedItemBatch.from_pairs(sample.items))
     results = [
         measure_heavy_hitter_throughput(num_items=num_items,
-                                        chunk_size=chunk_size, seed=seed),
-        measure_matrix_throughput(num_rows=num_rows,
-                                  chunk_size=chunk_size, seed=seed),
+                                        chunk_size=chunk_size, seed=seed,
+                                        protocol=protocol, stream=stream)
+        for protocol in hh_protocols
     ]
+    results.append(measure_matrix_throughput(num_rows=num_rows,
+                                             chunk_size=chunk_size, seed=seed))
     return [result.as_dict() for result in results]

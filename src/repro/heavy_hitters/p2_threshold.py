@@ -25,9 +25,14 @@ sketch of ``O(m/ε)`` counters (the paper's space reduction); pass
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
 
 from ..sketch.space_saving import WeightedSpaceSaving
+from ..streaming.items import _as_element_column
+from ..streaming.network import MessageKind
+from ..streaming.protocol import first_crossing, group_positions_by_element
 from ..utils.validation import check_positive_int
 from .base import WeightedHeavyHitterProtocol
 
@@ -138,6 +143,118 @@ class ThresholdedUpdatesProtocol(WeightedHeavyHitterProtocol):
         if pending_delta >= self._threshold():
             self._send_element(site, element, pending_delta)
             state.reset_element(element)
+
+    def process_batch(self, site: int, elements: Sequence[Hashable],
+                      weights: Optional[Sequence[float]] = None) -> None:
+        """Vectorized site-batch ingestion.
+
+        The batch is split at every total-weight trigger: a binary search on
+        the cumulative weights locates the first item that lifts ``W_i`` to
+        the threshold ``(ε/m)·Ŵ`` (which is where ``Ŵ`` — and hence the
+        threshold — next changes).  Within the trigger-free segment before
+        it, the threshold is constant and distinct elements' pending deltas
+        evolve independently, so each element's ``Δ_e`` send events are
+        found with binary searches on its own cumulative weights and the
+        message accounting advances in one batched step.  The trigger item
+        itself replays the per-item order exactly: accumulate, ship ``W_i``,
+        then check its element against the refreshed threshold.  Message
+        counts and coordinator state match per-item ingestion of the same
+        site-grouped order (up to floating-point summation order).
+
+        Sites bounded by a SpaceSaving sketch (``site_space``) couple their
+        elements through counter evictions, so they replay the exact
+        per-item path instead.
+        """
+        state = self._sites[site]
+        if state.sketch is not None:
+            if weights is None:
+                for element in elements:
+                    self.process(site, element)
+            else:
+                for element, weight in zip(elements, weights):
+                    self.process(site, element, float(weight))
+            return
+        weights = self._record_observations(weights, len(elements))
+        total = weights.shape[0]
+        if total == 0:
+            return
+        if not (isinstance(elements, np.ndarray) and elements.ndim == 1):
+            elements = _as_element_column(list(elements))
+        cumulative = np.cumsum(weights)
+        consumed = 0.0
+        start = 0
+        while start < total:
+            threshold = self._threshold()
+            trigger = first_crossing(cumulative, threshold,
+                                     carry=state.weight_since_total - consumed,
+                                     start=start)
+            stop = min(trigger, total)
+            if stop > start:
+                self._apply_element_updates(site, state, elements[start:stop],
+                                            weights[start:stop], threshold)
+            if trigger >= total:
+                state.weight_since_total += float(cumulative[-1]) - consumed
+                return
+            element = elements[trigger]
+            new_delta = state.deltas.get(element, 0.0) + float(weights[trigger])
+            state.deltas[element] = new_delta
+            total_weight = (state.weight_since_total
+                            + float(cumulative[trigger]) - consumed)
+            self._send_total(site, total_weight)
+            state.weight_since_total = 0.0
+            consumed = float(cumulative[trigger])
+            if new_delta >= self._threshold():
+                self._send_element(site, element, new_delta)
+                state.reset_element(element)
+            start = trigger + 1
+
+    def _apply_element_updates(self, site: int, state: _SiteState,
+                               elements: np.ndarray, weights: np.ndarray,
+                               threshold: float) -> None:
+        """Per-element delta tracking for a segment with no total trigger.
+
+        Each element's send events telescope: the mass delivered to the
+        coordinator over all of its sends is the initial pending delta plus
+        the cumulative weight at the last crossing, and the leftover becomes
+        the new pending delta — so the coordinator estimate (additive) and
+        the site state are updated once per element, and the vector-message
+        count once per segment, exactly matching the per-item event
+        sequence.
+        """
+        sends = 0
+        for element, positions in group_positions_by_element(elements):
+            group_cumulative = np.cumsum(weights[positions])
+            length = group_cumulative.shape[0]
+            initial = state.deltas.get(element, 0.0)
+            final = initial + float(group_cumulative[-1])
+            if final < threshold:
+                state.deltas[element] = final
+                continue
+            carry = initial
+            offset = 0.0
+            last_sent = -1
+            while True:
+                crossing = last_sent + 1 + int(np.searchsorted(
+                    group_cumulative[last_sent + 1:], threshold + offset - carry,
+                    side="left"))
+                if crossing >= length:
+                    break
+                sends += 1
+                last_sent = crossing
+                offset = float(group_cumulative[crossing])
+                carry = 0.0
+            delivered = initial + float(group_cumulative[last_sent])
+            self._element_estimates[element] = (
+                self._element_estimates.get(element, 0.0) + delivered
+            )
+            leftover = float(group_cumulative[-1]) - float(group_cumulative[last_sent])
+            if leftover > 0.0:
+                state.deltas[element] = leftover
+            else:
+                state.deltas.pop(element, None)
+        if sends:
+            self.network.send_batch(site, sends, kind=MessageKind.VECTOR,
+                                    description="element updates")
 
     def _send_total(self, site: int, weight: float) -> None:
         """Site ships the scalar message ``(total, W_i)``."""

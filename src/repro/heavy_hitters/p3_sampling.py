@@ -25,11 +25,12 @@ replacement protocol estimates all frequencies within ``ε·W`` using
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..sketch.priority_sampler import sample_size_for_epsilon
+from ..streaming.protocol import forward_accepted_samples
 from ..utils.rng import SeedLike, as_generator, spawn
 from ..utils.validation import check_positive_int
 from .base import WeightedHeavyHitterProtocol
@@ -104,6 +105,44 @@ class PrioritySamplingProtocol(WeightedHeavyHitterProtocol):
             return
         self.network.send_vector(site, description=f"sampled item {element!r}")
         self._receive(element, weight, priority)
+
+    def process_batch(self, site: int, elements: Sequence[Hashable],
+                      weights: Optional[Sequence[float]] = None) -> None:
+        """Vectorized site-batch ingestion.
+
+        All priority draws for the batch come from one block draw of the
+        site's generator — the same RNG stream, consumed in the same
+        per-item order, as item-at-a-time ingestion — so with a fixed seed
+        the message sequence and coordinator sample are identical to the
+        per-item path over the same site-grouped order.  Rejections
+        (``ρ < τ``) are skipped wholesale; accepted items are forwarded one
+        at a time because each can end the round and double ``τ``, at which
+        point the remaining tail is re-filtered against the new threshold.
+        """
+        weights = self._record_observations(weights, len(elements))
+        count = weights.shape[0]
+        if count == 0:
+            return
+        rng = self._site_rngs[site]
+        uniforms = rng.uniform(0.0, 1.0, size=count)
+        invalid = uniforms <= 0.0
+        while np.any(invalid):  # pragma: no cover - measure-zero event
+            uniforms[invalid] = rng.uniform(0.0, 1.0, size=int(invalid.sum()))
+            invalid = uniforms <= 0.0
+        priorities = weights / uniforms
+
+        def forward(index: int, threshold: float) -> None:
+            self.network.send_vector(
+                site, description=f"sampled item {elements[index]!r}")
+            self._receive(elements[index], float(weights[index]),
+                          float(priorities[index]))
+
+        forward_accepted_samples(count, priorities,
+                                 lambda: self._threshold, forward,
+                                 self._mark_inexact)
+
+    def _mark_inexact(self) -> None:
+        self._is_exact = False
 
     # --------------------------------------------------------- coordinator side
     def _receive(self, element: Hashable, weight: float, priority: float) -> None:
@@ -254,6 +293,43 @@ class WithReplacementSamplingProtocol(WeightedHeavyHitterProtocol):
             return
         self.network.send_vector(site, description=f"sampled item {element!r}")
         self._receive(element, weight, successes, priorities[successes])
+
+    def process_batch(self, site: int, elements: Sequence[Hashable],
+                      weights: Optional[Sequence[float]] = None) -> None:
+        """Vectorized site-batch ingestion.
+
+        One ``(n, s)`` block draw replaces ``n`` per-item draws of ``s``
+        uniforms — the identical RNG stream — so seeded runs reproduce the
+        per-item path over the same site-grouped order exactly.  An item is
+        forwarded when any of its ``s`` priorities clears ``τ``; forwarded
+        items are handed to the coordinator one at a time because each can
+        advance the round, after which the tail is re-filtered.  The
+        ``_is_exact`` flag flips at the first skipped item, before any later
+        forwarded item reaches the coordinator, matching per-item order.
+        """
+        weights = self._record_observations(weights, len(elements))
+        count = weights.shape[0]
+        if count == 0:
+            return
+        rng = self._site_rngs[site]
+        uniforms = rng.uniform(0.0, 1.0, size=(count, self._num_samplers))
+        uniforms = np.clip(uniforms, 1e-300, None)
+        priorities = weights[:, np.newaxis] / uniforms
+        best = priorities.max(axis=1)
+
+        def forward(index: int, threshold: float) -> None:
+            successes = np.nonzero(priorities[index] >= threshold)[0]
+            self.network.send_vector(
+                site, description=f"sampled item {elements[index]!r}")
+            self._receive(elements[index], float(weights[index]),
+                          successes, priorities[index][successes])
+
+        forward_accepted_samples(count, best,
+                                 lambda: self._threshold, forward,
+                                 self._mark_inexact)
+
+    def _mark_inexact(self) -> None:
+        self._is_exact = False
 
     # --------------------------------------------------------- coordinator side
     def _receive(self, element: Hashable, weight: float,

@@ -25,8 +25,13 @@ drivers use a single copy as in the paper.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..streaming.items import _as_element_column
+from ..streaming.network import MessageKind
+from ..streaming.protocol import first_crossing, group_positions_by_element
 from ..utils.rng import SeedLike, as_generator, spawn
 from .base import WeightedHeavyHitterProtocol
 
@@ -96,6 +101,104 @@ class RandomizedReportingProtocol(WeightedHeavyHitterProtocol):
         send_probability = 1.0 - math.exp(-rate * weight) if rate < 1.0 else 1.0
         if self._site_rngs[site].uniform(0.0, 1.0) <= send_probability:
             self._send_element_report(site, element, state.local_counts[element], rate)
+
+    def process_batch(self, site: int, elements: Sequence[Hashable],
+                      weights: Optional[Sequence[float]] = None) -> None:
+        """Vectorized site-batch ingestion.
+
+        Two passes, both driven by the fact that the reporting rate ``p``
+        changes only when the coordinator broadcasts a new ``Ŵ`` — which
+        within one site batch can only happen at a local-weight doubling:
+
+        1. Walk the doubling triggers with binary searches on the cumulative
+           weights; between triggers the rate is constant, so every item's
+           reporting coin (one uniform per item — the identical RNG stream
+           as per-item ingestion) is decided vectorized.
+        2. The coordinator keeps only the *latest* corrected report per
+           ``(site, element)``, so per element only the final reporting
+           position matters: group positions by element, compute running
+           local totals with one cumulative sum per element, and overwrite
+           each reported element's entry once.  The vector-message count
+           advances in one batched accounting step.
+        """
+        weights = self._record_observations(weights, len(elements))
+        count = weights.shape[0]
+        if count == 0:
+            return
+        if not (isinstance(elements, np.ndarray) and elements.ndim == 1):
+            elements = _as_element_column(list(elements))
+        state = self._sites[site]
+        rng = self._site_rngs[site]
+        uniforms = rng.uniform(0.0, 1.0, size=count)
+        cumulative_weight = state.local_weight + np.cumsum(weights)
+
+        send_mask = np.zeros(count, dtype=bool)
+        rates = np.empty(count, dtype=np.float64)
+        start = 0
+        while start < count:
+            trigger = first_crossing(
+                cumulative_weight,
+                max(1.0, 2.0 * state.weight_at_last_report),
+                start=start)
+            stop = min(trigger, count)
+            if stop > start:
+                rate = self._reporting_rate()
+                segment = slice(start, stop)
+                rates[segment] = rate
+                if rate < 1.0:
+                    send_mask[segment] = (
+                        uniforms[segment] <= 1.0 - np.exp(-rate * weights[segment])
+                    )
+                else:
+                    send_mask[segment] = True
+            if trigger >= count:
+                break
+            # The trigger item reports the doubled total before its coin flip,
+            # so its send probability uses the refreshed rate.  The crossing
+            # guarantees the doubling condition, so the per-item helper fires.
+            state.local_weight = float(cumulative_weight[trigger])
+            self._maybe_report_total(site, state)
+            rate = self._reporting_rate()
+            rates[trigger] = rate
+            if rate < 1.0:
+                probability = 1.0 - math.exp(-rate * float(weights[trigger]))
+                send_mask[trigger] = bool(uniforms[trigger] <= probability)
+            else:
+                send_mask[trigger] = True
+            start = trigger + 1
+        state.local_weight = float(cumulative_weight[-1])
+
+        send_positions = np.nonzero(send_mask)[0]
+        if send_positions.size == 0:
+            for element, positions in group_positions_by_element(elements):
+                state.local_counts[element] = (
+                    state.local_counts.get(element, 0.0)
+                    + float(weights[positions].sum())
+                )
+            return
+        running_totals = np.empty(count, dtype=np.float64)
+        for element, positions in group_positions_by_element(elements):
+            totals = (state.local_counts.get(element, 0.0)
+                      + np.cumsum(weights[positions]))
+            running_totals[positions] = totals
+            state.local_counts[element] = float(totals[-1])
+        self.network.send_batch(site, int(send_positions.size),
+                                kind=MessageKind.VECTOR,
+                                description="element reports")
+        for element, positions in group_positions_by_element(
+                elements[send_positions]):
+            last = int(send_positions[int(positions[-1])])
+            rate = float(rates[last])
+            correction = (1.0 / rate - 1.0) if rate < 1.0 else 0.0
+            self._corrected_reports[(site, element)] = (
+                float(running_totals[last]) + correction
+            )
+        last_send = int(send_positions[-1])
+        rate = float(rates[last_send])
+        correction = (1.0 / rate - 1.0) if rate < 1.0 else 0.0
+        self._corrected_totals[site] = (
+            float(cumulative_weight[last_send]) + correction
+        )
 
     def _maybe_report_total(self, site: int, state: _SiteState) -> None:
         """Report the site's local total weight whenever it has doubled."""

@@ -36,6 +36,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..sketch.frequent_directions import FrequentDirections
+from ..streaming.protocol import first_crossing
 from ..utils.linalg import thin_svd
 from ..utils.validation import check_positive_int
 from .base import MatrixTrackingProtocol
@@ -55,6 +56,11 @@ class _SiteState:
     def append(self, row: np.ndarray) -> None:
         self.rows.append(row)
         self.top_bound += float(np.dot(row, row))
+
+    def append_block(self, rows: np.ndarray, squared_norm: float) -> None:
+        """Append a whole trigger-free row block (``squared_norm`` = its ‖·‖²_F)."""
+        self.rows.append(rows)
+        self.top_bound += squared_norm
 
     def residual_matrix(self) -> np.ndarray:
         if not self.rows:
@@ -125,6 +131,57 @@ class DeterministicDirectionProtocol(MatrixTrackingProtocol):
         state.append(row)
         if state.top_bound >= self._threshold():
             self._emit_heavy_directions(site)
+
+    def process_batch(self, site: int, rows: np.ndarray) -> None:
+        """Vectorized site-batch ingestion.
+
+        Both per-item triggers — the scalar report (``F_j`` reaching
+        ``(ε/m)·F̂``) and the deferred-SVD bound (``top_bound`` reaching the
+        same threshold) — are cumulative sums of the arriving squared row
+        norms crossing a threshold that is constant between scalar reports,
+        so binary searches locate the next event of either kind and the
+        trigger-free rows in between are appended to the site residual as
+        one block.  The trigger row replays the per-item order exactly:
+        scalar check before the append, SVD-emission check (against the
+        possibly refreshed threshold) after it.
+        """
+        rows = self._record_observations(rows)
+        total = rows.shape[0]
+        if total == 0:
+            return
+        state = self._sites[site]
+        norms = np.einsum("ij,ij->i", rows, rows)
+        cumulative = np.cumsum(norms)
+        consumed = 0.0
+        start = 0
+        while start < total:
+            threshold = self._threshold()
+            scalar_at = first_crossing(cumulative, threshold,
+                                       carry=state.norm_since_scalar - consumed,
+                                       start=start)
+            emit_at = first_crossing(cumulative, threshold,
+                                     carry=state.top_bound - consumed,
+                                     start=start)
+            trigger = min(scalar_at, emit_at)
+            stop = min(trigger, total)
+            if stop > start:
+                block_norm = float(cumulative[stop - 1]) - consumed
+                state.append_block(rows[start:stop].copy(), block_norm)
+                state.norm_since_scalar += block_norm
+                consumed = float(cumulative[stop - 1])
+            if trigger >= total:
+                return
+            row_norm = float(norms[trigger])
+            if trigger == scalar_at:
+                self._send_scalar(site, state.norm_since_scalar + row_norm)
+                state.norm_since_scalar = 0.0
+            else:
+                state.norm_since_scalar += row_norm
+            state.append(rows[trigger].copy())
+            consumed = float(cumulative[trigger])
+            if state.top_bound >= self._threshold():
+                self._emit_heavy_directions(site)
+            start = trigger + 1
 
     def _emit_heavy_directions(self, site: int) -> None:
         """SVD the site's residual and ship every direction above threshold."""

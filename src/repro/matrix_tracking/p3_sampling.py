@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..sketch.priority_sampler import sample_size_for_epsilon
+from ..streaming.protocol import forward_accepted_samples
 from ..utils.rng import SeedLike, as_generator, spawn
 from ..utils.validation import check_positive_int
 from .base import MatrixTrackingProtocol
@@ -107,6 +108,47 @@ class MatrixPrioritySamplingProtocol(MatrixTrackingProtocol):
             return
         self.network.send_vector(site, description="sampled row")
         self._receive(row, weight, priority)
+
+    def process_batch(self, site: int, rows: np.ndarray) -> None:
+        """Vectorized site-batch ingestion.
+
+        Zero-norm rows are transparent (as per item: no priority draw, no
+        state change); every other row draws its priority from one block
+        draw of the site's generator — the identical RNG stream as per-item
+        ingestion — so seeded runs reproduce the per-item message sequence
+        and coordinator sample over the same site-grouped order exactly.
+        Rejections are skipped wholesale; sampled rows are forwarded one at
+        a time because each can end the round and double ``τ``, after which
+        the remaining tail is re-filtered.
+        """
+        rows = self._record_observations(rows)
+        if rows.shape[0] == 0:
+            return
+        norms = np.einsum("ij,ij->i", rows, rows)
+        candidates = np.nonzero(norms > 0.0)[0]
+        count = candidates.size
+        if count == 0:
+            return
+        rng = self._site_rngs[site]
+        uniforms = rng.uniform(0.0, 1.0, size=count)
+        invalid = uniforms <= 0.0
+        while np.any(invalid):  # pragma: no cover - measure-zero event
+            uniforms[invalid] = rng.uniform(0.0, 1.0, size=int(invalid.sum()))
+            invalid = uniforms <= 0.0
+        priorities = norms[candidates] / uniforms
+
+        def forward(index: int, threshold: float) -> None:
+            row_index = int(candidates[index])
+            self.network.send_vector(site, description="sampled row")
+            self._receive(rows[row_index].copy(), float(norms[row_index]),
+                          float(priorities[index]))
+
+        forward_accepted_samples(count, priorities,
+                                 lambda: self._threshold, forward,
+                                 self._mark_inexact)
+
+    def _mark_inexact(self) -> None:
+        self._is_exact = False
 
     # --------------------------------------------------------- coordinator side
     def _receive(self, row: np.ndarray, weight: float, priority: float) -> None:
@@ -253,6 +295,44 @@ class WithReplacementMatrixSamplingProtocol(MatrixTrackingProtocol):
             return
         self.network.send_vector(site, description="sampled row")
         self._receive(row, weight, successes, priorities[successes])
+
+    def process_batch(self, site: int, rows: np.ndarray) -> None:
+        """Vectorized site-batch ingestion.
+
+        Mirrors :meth:`PrioritySamplingProtocol.process_batch` for the
+        ``s``-sampler variant: zero-norm rows are transparent, one
+        ``(n, s)`` block draw reproduces the per-item RNG stream, a row is
+        forwarded when any sampler's priority clears ``τ``, and the
+        ``_is_exact`` flag flips at the first skipped row before any later
+        forwarded row reaches the coordinator.
+        """
+        rows = self._record_observations(rows)
+        if rows.shape[0] == 0:
+            return
+        norms = np.einsum("ij,ij->i", rows, rows)
+        candidates = np.nonzero(norms > 0.0)[0]
+        count = candidates.size
+        if count == 0:
+            return
+        rng = self._site_rngs[site]
+        uniforms = rng.uniform(0.0, 1.0, size=(count, self._num_samplers))
+        uniforms = np.clip(uniforms, 1e-300, None)
+        priorities = norms[candidates][:, np.newaxis] / uniforms
+        best = priorities.max(axis=1)
+
+        def forward(index: int, threshold: float) -> None:
+            successes = np.nonzero(priorities[index] >= threshold)[0]
+            row_index = int(candidates[index])
+            self.network.send_vector(site, description="sampled row")
+            self._receive(rows[row_index].copy(), float(norms[row_index]),
+                          successes, priorities[index][successes])
+
+        forward_accepted_samples(count, best,
+                                 lambda: self._threshold, forward,
+                                 self._mark_inexact)
+
+    def _mark_inexact(self) -> None:
+        self._is_exact = False
 
     # --------------------------------------------------------- coordinator side
     def _receive(self, row: np.ndarray, weight: float,

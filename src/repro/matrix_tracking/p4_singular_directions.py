@@ -28,6 +28,8 @@ from typing import List
 
 import numpy as np
 
+from ..streaming.network import MessageKind
+from ..streaming.protocol import first_crossing
 from ..utils.rng import SeedLike, as_generator, spawn
 from .base import MatrixTrackingProtocol
 
@@ -99,6 +101,86 @@ class SingularDirectionUpdateProtocol(MatrixTrackingProtocol):
         send_probability = 1.0 - math.exp(-rate * weight) if rate < 1.0 else 1.0
         if self._site_rngs[site].uniform(0.0, 1.0) <= send_probability:
             self._send_direction_update(site, state, rate)
+
+    def process_batch(self, site: int, rows: np.ndarray) -> None:
+        """Vectorized site-batch ingestion.
+
+        The reporting rate changes only at a local-norm doubling, so the
+        batch is walked trigger-to-trigger with binary searches on the
+        cumulative squared norms, and every row's reporting coin (one
+        uniform per row — the identical RNG stream as per-item ingestion)
+        is decided vectorized within each constant-rate segment.  A
+        direction update overwrites the site's scale vector wholesale, so
+        only the *last* reporting row's covariance snapshot matters: the
+        per-row outer-product accumulation collapses to one BLAS product up
+        to that row (and one for the full batch), with the message
+        accounting advanced in one batched step.
+        """
+        rows = self._record_observations(rows)
+        count = rows.shape[0]
+        if count == 0:
+            return
+        state = self._sites[site]
+        rng = self._site_rngs[site]
+        norms = np.einsum("ij,ij->i", rows, rows)
+        uniforms = rng.uniform(0.0, 1.0, size=count)
+        cumulative_norm = state.local_norm + np.cumsum(norms)
+
+        send_mask = np.zeros(count, dtype=bool)
+        rates = np.empty(count, dtype=np.float64)
+        start = 0
+        while start < count:
+            trigger = first_crossing(
+                cumulative_norm,
+                max(1e-12, 2.0 * state.norm_at_last_report),
+                start=start)
+            stop = min(trigger, count)
+            if stop > start:
+                rate = self._reporting_rate()
+                segment = slice(start, stop)
+                rates[segment] = rate
+                if rate < 1.0:
+                    send_mask[segment] = (
+                        uniforms[segment] <= 1.0 - np.exp(-rate * norms[segment])
+                    )
+                else:
+                    send_mask[segment] = True
+            if trigger >= count:
+                break
+            # The trigger row reports the doubled norm before its coin flip,
+            # so its send probability uses the refreshed rate.  The crossing
+            # guarantees the doubling condition, so the per-item helper fires.
+            state.local_norm = float(cumulative_norm[trigger])
+            self._maybe_report_norm(site, state)
+            rate = self._reporting_rate()
+            rates[trigger] = rate
+            if rate < 1.0:
+                probability = 1.0 - math.exp(-rate * float(norms[trigger]))
+                send_mask[trigger] = bool(uniforms[trigger] <= probability)
+            else:
+                send_mask[trigger] = True
+            start = trigger + 1
+        state.local_norm = float(cumulative_norm[-1])
+
+        send_positions = np.nonzero(send_mask)[0]
+        if send_positions.size:
+            last = int(send_positions[-1])
+            self.network.send_batch(site, int(send_positions.size),
+                                    kind=MessageKind.VECTOR,
+                                    description="direction-norm vector z")
+            covariance_at_send = (
+                state.covariance + rows[:last + 1].T @ rows[:last + 1]
+            )
+            rate = float(rates[last])
+            correction = (1.0 / rate) if rate < 1.0 else 0.0
+            energies = np.einsum("ij,jk,ik->i", state.basis.T,
+                                 covariance_at_send, state.basis.T)
+            state.scales = np.sqrt(np.maximum(energies + correction, 0.0))
+            state.covariance = (
+                covariance_at_send + rows[last + 1:].T @ rows[last + 1:]
+            )
+        else:
+            state.covariance += rows.T @ rows
 
     def _maybe_report_norm(self, site: int, state: _SiteState) -> None:
         """Report the site's local squared norm whenever it has doubled."""

@@ -98,6 +98,49 @@ class CommunicationLog:
                 )
             )
 
+    def record_batch(self, direction: Direction, kind: MessageKind, count: int,
+                     units_per_message: int = 1, site: Optional[int] = None,
+                     description: str = "") -> None:
+        """Log ``count`` messages of ``units_per_message`` units each.
+
+        Exactly equivalent to calling :meth:`record` ``count`` times with the
+        same arguments — every counter (units by kind and direction, the
+        transmission count, the sequence numbers and, when ``keep_records``
+        is on, the record list) advances identically — but the aggregate
+        counters are bumped in O(1) instead of O(count), which is what the
+        vectorized protocol kernels need when a batch triggers many
+        homogeneous sends.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if units_per_message < 0:
+            raise ValueError(
+                f"units_per_message must be non-negative, got {units_per_message}"
+            )
+        if count == 0 or units_per_message == 0:
+            return
+        total_units = count * units_per_message
+        self._units_by_kind[kind] = self._units_by_kind.get(kind, 0) + total_units
+        self._units_by_direction[direction] = (
+            self._units_by_direction.get(direction, 0) + total_units
+        )
+        self._transmissions += count
+        if self.keep_records:
+            for _ in range(count):
+                self._sequence += 1
+                self.records.append(
+                    MessageRecord(
+                        direction=direction,
+                        kind=kind,
+                        site=site,
+                        units=units_per_message,
+                        sequence=self._sequence,
+                        description=description,
+                    )
+                )
+        else:
+            self._sequence += count
+
     # ------------------------------------------------------------- aggregates
     @property
     def total_messages(self) -> int:
@@ -175,6 +218,25 @@ class Network:
         """Record a summary transmission counted as ``units`` message units."""
         self.log.record(Direction.SITE_TO_COORDINATOR, MessageKind.SUMMARY, units,
                         site=self._check_site(site), description=description)
+
+    def send_batch(self, site: int, count: int,
+                   kind: MessageKind = MessageKind.VECTOR,
+                   units_per_message: int = 1, description: str = "") -> None:
+        """Record ``count`` uplink messages from ``site`` in one accounting step.
+
+        The batched counterpart of calling :meth:`send_scalar` /
+        :meth:`send_vector` ``count`` times: ``total_messages``,
+        ``message_counts()`` (units by kind/direction *and* the transmission
+        count) and — when records are kept — the per-message log all match
+        the per-item send loop exactly.  Used by the vectorized
+        ``process_batch`` kernels when one site batch triggers many
+        homogeneous transmissions.
+        """
+        self.log.record_batch(
+            Direction.SITE_TO_COORDINATOR, kind, count,
+            units_per_message=units_per_message,
+            site=self._check_site(site), description=description,
+        )
 
     def deliver(self, payload: Any) -> None:
         """Place a payload in the coordinator inbox (optional, for async tests)."""

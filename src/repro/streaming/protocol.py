@@ -21,7 +21,7 @@ trace than strict arrival-order ingestion.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +29,106 @@ from ..utils.validation import check_site_count
 from .items import MatrixRowBatch, WeightedItemBatch, _as_element_column
 from .network import Network
 
-__all__ = ["DistributedProtocol"]
+__all__ = [
+    "DistributedProtocol",
+    "first_crossing",
+    "forward_accepted_samples",
+    "group_positions_by_element",
+]
+
+
+def first_crossing(cumulative: np.ndarray, threshold: float,
+                   carry: float = 0.0, start: int = 0) -> int:
+    """First index ``i >= start`` with ``carry + cumulative[i] >= threshold``.
+
+    The trigger-splitting primitive shared by the vectorized ``process_batch``
+    kernels: a site accumulates some quantity (weight, squared norm, a
+    per-element delta) and must communicate the moment the running total
+    reaches a threshold.  ``cumulative`` is the inclusive prefix sum of the
+    per-item increments — non-decreasing because increments are non-negative
+    — so one binary search replaces a per-item comparison loop.  Returns
+    ``len(cumulative)`` when no index crosses.
+
+    When scanning a suffix, pass the batch-global prefix sum together with
+    ``start`` and fold the already-consumed prefix into ``carry`` (i.e.
+    ``carry = state_carry - cumulative[start - 1]``); the clamp to ``start``
+    keeps already-consumed indices out of the answer even when the threshold
+    is already met (``threshold <= carry``), in which case the first
+    remaining item triggers — matching the per-item path, where the check
+    runs only after an item arrives.
+    """
+    index = int(np.searchsorted(cumulative, threshold - carry, side="left"))
+    return max(index, start)
+
+
+def forward_accepted_samples(count: int, best_priorities: np.ndarray,
+                             current_threshold: Any, forward: Any,
+                             mark_inexact: Any) -> None:
+    """The accept/re-filter loop shared by the P3-style sampling kernels.
+
+    Given each item's best priority, skip rejected items wholesale and hand
+    accepted ones to ``forward(index, threshold)`` in arrival order.
+    ``forward`` may advance the global threshold (a round ending at the
+    coordinator), detected via ``current_threshold()`` — the unprocessed
+    tail is then re-filtered against the new value.  ``mark_inexact()``
+    fires at the first skipped item and *before* any later ``forward`` call,
+    an ordering the with-replacement coordinators rely on (their exact-mode
+    bookkeeping reads the flag inside the receive path).
+    """
+    position = 0
+    while position < count:
+        threshold = current_threshold()
+        accepted = position + np.nonzero(
+            best_priorities[position:] >= threshold)[0]
+        if accepted.size == 0:
+            mark_inexact()
+            return
+        for index in accepted:
+            if current_threshold() != threshold:
+                break  # a round ended mid-batch: re-filter the tail
+            index = int(index)
+            if index > position:
+                mark_inexact()  # items in between fell below the threshold
+            forward(index, threshold)
+            position = index + 1
+        else:
+            if position < count:
+                mark_inexact()  # trailing items fell below the threshold
+            position = count
+
+
+def group_positions_by_element(elements: Sequence) -> List[Tuple[Any, np.ndarray]]:
+    """Group batch positions by element label, preserving arrival order.
+
+    Returns ``(element, positions)`` pairs where ``positions`` is an
+    ascending ``int64`` array of the indices at which ``element`` occurs.
+    Uses ``np.unique`` for sortable homogeneous arrays and falls back to a
+    dictionary sweep for object/mixed element types (tuples, mixed labels).
+    The pair order is unspecified — callers must not depend on it, which the
+    per-element kernels (whose elements evolve independently between
+    communication triggers) do not.
+    """
+    array: Any = None
+    if isinstance(elements, np.ndarray) and elements.ndim == 1:
+        array = elements
+    if array is not None and array.dtype.kind != "O" and array.shape[0] >= 2:
+        try:
+            uniques, inverse = np.unique(array, return_inverse=True)
+        except TypeError:  # unorderable element mix
+            uniques = None
+        if uniques is not None:
+            order = np.argsort(inverse, kind="stable")
+            counts = np.bincount(inverse, minlength=uniques.shape[0])
+            boundaries = np.concatenate(([0], np.cumsum(counts)))
+            return [
+                (uniques[k], order[boundaries[k]:boundaries[k + 1]])
+                for k in range(uniques.shape[0])
+            ]
+    grouped: Dict[Any, List[int]] = {}
+    for position, element in enumerate(elements):
+        grouped.setdefault(element, []).append(position)
+    return [(element, np.asarray(positions, dtype=np.int64))
+            for element, positions in grouped.items()]
 
 
 class DistributedProtocol(abc.ABC):

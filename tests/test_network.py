@@ -105,3 +105,55 @@ class TestNetwork:
 
     def test_repr(self):
         assert "num_sites=3" in repr(Network(num_sites=3))
+
+
+class TestSendBatch:
+    """``send_batch`` must be indistinguishable from the per-item send loop."""
+
+    @pytest.mark.parametrize("keep_records", [False, True])
+    @pytest.mark.parametrize("kind,count,units", [
+        (MessageKind.VECTOR, 5, 1),
+        (MessageKind.SCALAR, 3, 1),
+        (MessageKind.VECTOR, 17, 4),
+    ])
+    def test_matches_per_item_send_loop(self, kind, count, units, keep_records):
+        looped = Network(num_sites=3, keep_records=keep_records)
+        for _ in range(count):
+            looped.log.record(Direction.SITE_TO_COORDINATOR, kind, units,
+                              site=1, description="payload")
+        batched = Network(num_sites=3, keep_records=keep_records)
+        batched.send_batch(1, count, kind=kind, units_per_message=units,
+                           description="payload")
+        assert batched.total_messages == looped.total_messages
+        assert batched.message_counts() == looped.message_counts()
+        assert batched.log.records == looped.log.records
+
+    def test_interleaves_with_single_sends(self):
+        """Sequence numbers keep advancing across batched and single sends."""
+        network = Network(num_sites=2, keep_records=True)
+        network.send_scalar(0)
+        network.send_batch(1, 3)
+        network.send_scalar(0)
+        sequences = [record.sequence for record in network.log.records]
+        assert sequences == [1, 2, 3, 4, 5]
+        assert network.log.total_transmissions == 5
+        assert network.total_messages == 5
+
+    def test_zero_count_is_noop(self):
+        network = Network(num_sites=1, keep_records=True)
+        network.send_batch(0, 0)
+        assert network.total_messages == 0
+        assert network.log.total_transmissions == 0
+        assert network.log.records == []
+
+    def test_negative_count_rejected(self):
+        network = Network(num_sites=1)
+        with pytest.raises(ValueError):
+            network.send_batch(0, -1)
+        with pytest.raises(ValueError):
+            network.send_batch(0, 1, units_per_message=-2)
+
+    def test_out_of_range_site_rejected(self):
+        network = Network(num_sites=2)
+        with pytest.raises(ValueError):
+            network.send_batch(2, 1)

@@ -1,0 +1,444 @@
+"""Property-based equivalence & message-accounting harness for all protocols.
+
+This suite upgrades the point assertions of ``test_batch_equivalence.py`` to
+randomized, seed-parameterized properties, now that *every* protocol class
+(P1–P4 in both domains, plus the centralized baselines) ships a native
+``process_batch`` kernel:
+
+* **Batch-vs-item equivalence** — for every (protocol, domain, chunk size ∈
+  {1, 7, 4096}, seed) combination, the batched path must reproduce per-item
+  ingestion of the same site-grouped order.  Deterministic protocols and the
+  seeded randomized ones (whose per-site generators are consumed identically
+  by the block draws) are *exactly* message-equivalent; HH P1 aggregates its
+  Misra–Gries updates per segment, so its summary sizes — and with them its
+  per-flush message units — are only guarantee-level equivalent.
+* **Message accounting invariance** — protocols whose communication is
+  item-counted (the forwarding baselines) must exchange exactly one unit per
+  item no matter how the stream is chunked.  For the adaptive protocols the
+  chunk size changes the cross-site interleaving (an equally valid order
+  under the paper's adversarial model), so cross-chunk invariance is only
+  asserted in the single-site case, where no reordering is possible.
+* **RNG reproducibility** — same seed, same chunk size ⇒ bit-identical
+  message logs and query answers for the randomized protocols; with one site
+  the guarantee extends across chunk sizes.
+* **Paper bounds** — the ε-approximation guarantees (heavy hitters within
+  ``ε·W``, covariance within ``ε·‖A‖²_F``, Frequent Directions within
+  ``‖A‖²_F/ℓ``, P2's one-sided undershoot) hold on every seed, through the
+  batched path.
+* **Empty batches** — every kernel treats a zero-length batch as a no-op.
+
+Seeds come from ``REPRO_PROPERTY_SEEDS`` (comma-separated ints; CI pins
+three) so the properties can be re-rolled without editing the file.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_matrix import make_pamap_like
+from repro.data.zipfian import ZipfianStreamGenerator
+from repro.heavy_hitters import (
+    BatchedMisraGriesProtocol,
+    ExactForwardingProtocol,
+    PrioritySamplingProtocol,
+    RandomizedReportingProtocol,
+    ThresholdedUpdatesProtocol,
+    WithReplacementSamplingProtocol,
+)
+from repro.matrix_tracking import (
+    BatchedFrequentDirectionsProtocol,
+    CentralizedFDBaseline,
+    CentralizedSVDBaseline,
+    DeterministicDirectionProtocol,
+    MatrixPrioritySamplingProtocol,
+    SingularDirectionUpdateProtocol,
+    WithReplacementMatrixSamplingProtocol,
+)
+from repro.sketch import FrequentDirections
+from repro.streaming.items import MatrixRowBatch, WeightedItemBatch
+from repro.streaming.partition import RoundRobinPartitioner
+from repro.streaming.runner import StreamingEngine
+from repro.utils.linalg import spectral_norm
+
+SEEDS = tuple(
+    int(seed)
+    for seed in os.environ.get("REPRO_PROPERTY_SEEDS", "0,7,2014").split(",")
+)
+CHUNK_SIZES = (1, 7, 4096)
+NUM_SITES = 5
+HH_ITEMS = 800
+MATRIX_ROWS = 400
+EPSILON = 0.1
+
+# Message-accounting strictness of each kernel versus the per-item path:
+#   exact  - identical counters including the per-transmission count
+#   units  - identical message units; transmissions coalesce (batch forwards)
+#   bounded - guarantee-level only (HH P1's aggregated summaries change size)
+HH_PROTOCOLS = {
+    "P1": ("bounded", lambda m, seed: BatchedMisraGriesProtocol(
+        num_sites=m, epsilon=EPSILON)),
+    "P2": ("exact", lambda m, seed: ThresholdedUpdatesProtocol(
+        num_sites=m, epsilon=EPSILON)),
+    "P3": ("exact", lambda m, seed: PrioritySamplingProtocol(
+        num_sites=m, epsilon=EPSILON, sample_size=150, seed=seed + 101)),
+    "P3wr": ("exact", lambda m, seed: WithReplacementSamplingProtocol(
+        num_sites=m, epsilon=EPSILON, num_samplers=40, seed=seed + 101)),
+    "P4": ("exact", lambda m, seed: RandomizedReportingProtocol(
+        num_sites=m, epsilon=EPSILON, seed=seed + 101)),
+    "exact": ("units", lambda m, seed: ExactForwardingProtocol(num_sites=m)),
+}
+
+MATRIX_PROTOCOLS = {
+    "P1": ("exact", lambda m, d, seed: BatchedFrequentDirectionsProtocol(
+        num_sites=m, dimension=d, epsilon=0.2)),
+    "P2": ("exact", lambda m, d, seed: DeterministicDirectionProtocol(
+        num_sites=m, dimension=d, epsilon=0.2)),
+    "P3": ("exact", lambda m, d, seed: MatrixPrioritySamplingProtocol(
+        num_sites=m, dimension=d, epsilon=0.2, sample_size=100, seed=seed + 101)),
+    "P3wr": ("exact", lambda m, d, seed: WithReplacementMatrixSamplingProtocol(
+        num_sites=m, dimension=d, epsilon=0.2, num_samplers=30, seed=seed + 101)),
+    "P4": ("exact", lambda m, d, seed: SingularDirectionUpdateProtocol(
+        num_sites=m, dimension=d, epsilon=0.2, seed=seed + 101)),
+    "FD": ("units", lambda m, d, seed: CentralizedFDBaseline(
+        num_sites=m, dimension=d, sketch_size=12)),
+    "SVD": ("units", lambda m, d, seed: CentralizedSVDBaseline(
+        num_sites=m, dimension=d)),
+}
+
+RANDOMIZED = ("P3", "P3wr", "P4")
+
+
+def hh_stream(seed: int, num_sites: int = NUM_SITES):
+    """A Zipfian weighted stream plus its round-robin site assignment."""
+    generator = ZipfianStreamGenerator(universe_size=300, skew=2.0, beta=50.0,
+                                       seed=seed)
+    sample = generator.generate(HH_ITEMS)
+    batch = WeightedItemBatch.from_pairs(sample.items)
+    sites = RoundRobinPartitioner(num_sites).assign_batch(
+        np.arange(len(batch)), batch)
+    return sample, batch, sites
+
+
+def matrix_stream(seed: int, num_sites: int = NUM_SITES):
+    """A PAMAP-like row stream plus its round-robin site assignment."""
+    dataset = make_pamap_like(num_rows=MATRIX_ROWS, seed=seed)
+    rows = np.ascontiguousarray(dataset.rows, dtype=np.float64)
+    batch = MatrixRowBatch(values=rows)
+    sites = RoundRobinPartitioner(num_sites).assign_batch(
+        np.arange(rows.shape[0]), batch)
+    return dataset, batch, sites
+
+
+def grouped_replay(protocol, sites, batch, chunk: int) -> None:
+    """Replay a stream through ``observe`` in ``observe_batch``'s order.
+
+    ``observe_batch`` stably groups each chunk by site, so the per-item
+    reference consumes the same chunk in the same site-grouped order —
+    the interleaving both paths must agree on.
+    """
+    sites = np.asarray(sites)
+    for start in range(0, len(batch), chunk):
+        segment_sites = sites[start:start + chunk]
+        order = np.argsort(segment_sites, kind="stable")
+        for position in order:
+            index = start + int(position)
+            protocol.observe(int(sites[index]), batch[index])
+
+
+def feed_batched(protocol, sites, batch, chunk: int) -> None:
+    for start in range(0, len(batch), chunk):
+        protocol.observe_batch(sites[start:start + chunk],
+                               batch[start:start + chunk])
+
+
+def assert_message_equivalence(batched, reference, strictness: str) -> None:
+    if strictness == "exact":
+        assert batched.total_messages == reference.total_messages
+        assert batched.message_counts() == reference.message_counts()
+    elif strictness == "units":
+        counts = batched.message_counts()
+        expected = reference.message_counts()
+        counts.pop("total_transmissions")
+        expected.pop("total_transmissions")
+        assert counts == expected
+    else:  # bounded: flush timing matches, summary sizes may not
+        assert batched.total_messages == pytest.approx(
+            reference.total_messages, rel=0.05)
+
+
+class TestHeavyHitterBatchItemEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    @pytest.mark.parametrize("name", sorted(HH_PROTOCOLS))
+    def test_batch_matches_grouped_item_order(self, name, chunk, seed):
+        strictness, factory = HH_PROTOCOLS[name]
+        _, batch, sites = hh_stream(seed)
+        reference = factory(NUM_SITES, seed)
+        grouped_replay(reference, sites, batch, chunk)
+        batched = factory(NUM_SITES, seed)
+        feed_batched(batched, sites, batch, chunk)
+
+        assert batched.items_processed == reference.items_processed
+        assert batched.observed_weight == pytest.approx(reference.observed_weight)
+        assert_message_equivalence(batched, reference, strictness)
+        if strictness == "bounded":
+            return
+        assert batched.estimated_total_weight() == pytest.approx(
+            reference.estimated_total_weight())
+        reference_estimates = reference.estimates()
+        batched_estimates = batched.estimates()
+        assert set(batched_estimates) == set(reference_estimates)
+        for element, estimate in reference_estimates.items():
+            assert batched_estimates[element] == pytest.approx(estimate)
+        assert (batched.heavy_hitter_elements(0.06)
+                == reference.heavy_hitter_elements(0.06))
+
+
+class TestMatrixBatchItemEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    @pytest.mark.parametrize("name", sorted(MATRIX_PROTOCOLS))
+    def test_batch_matches_grouped_item_order(self, name, chunk, seed):
+        strictness, factory = MATRIX_PROTOCOLS[name]
+        dataset, batch, sites = matrix_stream(seed)
+        reference = factory(NUM_SITES, dataset.dimension, seed)
+        grouped_replay(reference, sites, batch, chunk)
+        batched = factory(NUM_SITES, dataset.dimension, seed)
+        feed_batched(batched, sites, batch, chunk)
+
+        assert batched.items_processed == reference.items_processed
+        assert batched.observed_squared_frobenius == pytest.approx(
+            reference.observed_squared_frobenius)
+        assert_message_equivalence(batched, reference, strictness)
+        assert batched.estimated_squared_frobenius() == pytest.approx(
+            reference.estimated_squared_frobenius())
+        batched_sketch = batched.sketch_matrix()
+        reference_sketch = reference.sketch_matrix()
+        assert batched_sketch.shape == reference_sketch.shape
+        assert np.allclose(batched_sketch, reference_sketch)
+        assert np.allclose(batched.covariance(), reference.covariance())
+
+
+class TestMessageAccountingInvariance:
+    """Chunking must never change what communication is *counted*."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_forwarding_protocols_count_one_unit_per_item(self, seed):
+        """Item-counted protocols: total units are chunk-size invariant."""
+        sample, batch, sites = hh_stream(seed)
+        totals = set()
+        for chunk in CHUNK_SIZES:
+            protocol = ExactForwardingProtocol(num_sites=NUM_SITES)
+            feed_batched(protocol, sites, batch, chunk)
+            assert protocol.network.log.upstream_messages == len(batch)
+            totals.add(protocol.total_messages)
+        per_item = ExactForwardingProtocol(num_sites=NUM_SITES)
+        for (element, weight), site in zip(sample.items, sites):
+            per_item.observe(int(site), (element, weight))
+        totals.add(per_item.total_messages)
+        assert totals == {len(batch)}
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_forwarding_baselines_count_one_unit_per_row(self, seed):
+        dataset, batch, sites = matrix_stream(seed)
+        for factory in (
+            lambda: CentralizedSVDBaseline(NUM_SITES, dataset.dimension),
+            lambda: CentralizedFDBaseline(NUM_SITES, dataset.dimension,
+                                          sketch_size=12),
+        ):
+            totals = set()
+            for chunk in CHUNK_SIZES:
+                protocol = factory()
+                feed_batched(protocol, sites, batch, chunk)
+                totals.add(protocol.total_messages)
+            assert totals == {len(batch)}
+
+    @pytest.mark.parametrize("domain", ["heavy_hitters", "matrix"])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_single_site_counts_are_chunk_size_invariant(self, domain, seed):
+        """With one site no chunking can reorder the stream, so every exact
+        protocol must produce identical message counters for every chunk
+        size (multi-site chunking changes the cross-site interleaving, which
+        the adversarial-order model deliberately leaves free)."""
+        if domain == "heavy_hitters":
+            _, batch, _ = hh_stream(seed, num_sites=1)
+            protocols = {name: spec for name, spec in HH_PROTOCOLS.items()
+                         if spec[0] != "bounded"}
+            build = lambda factory: factory(1, seed)
+        else:
+            dataset, batch, _ = matrix_stream(seed, num_sites=1)
+            protocols = MATRIX_PROTOCOLS
+            build = lambda factory: factory(1, dataset.dimension, seed)
+        sites = np.zeros(len(batch), dtype=np.int64)
+        for name, (strictness, factory) in sorted(protocols.items()):
+            counters = []
+            for chunk in CHUNK_SIZES:
+                protocol = build(factory)
+                feed_batched(protocol, sites, batch, chunk)
+                counters.append(protocol.message_counts())
+            if strictness == "units":
+                for counts in counters:
+                    counts.pop("total_transmissions")
+            assert counters[0] == counters[1] == counters[2], name
+
+
+class TestRngReproducibility:
+    """Same seed ⇒ same randomness ⇒ identical behaviour."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", RANDOMIZED)
+    def test_hh_same_seed_same_chunk_identical_logs(self, name, seed):
+        _, batch, sites = hh_stream(seed)
+        runs = []
+        for _ in range(2):
+            _, factory = HH_PROTOCOLS[name]
+            protocol = factory(NUM_SITES, seed)
+            protocol.network.log.keep_records = True
+            feed_batched(protocol, sites, batch, 7)
+            runs.append(protocol)
+        first, second = runs
+        assert first.network.log.records == second.network.log.records
+        assert first.estimates() == second.estimates()
+        assert first.estimated_total_weight() == second.estimated_total_weight()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", RANDOMIZED)
+    def test_matrix_same_seed_same_chunk_identical_logs(self, name, seed):
+        dataset, batch, sites = matrix_stream(seed)
+        runs = []
+        for _ in range(2):
+            _, factory = MATRIX_PROTOCOLS[name]
+            protocol = factory(NUM_SITES, dataset.dimension, seed)
+            protocol.network.log.keep_records = True
+            feed_batched(protocol, sites, batch, 7)
+            runs.append(protocol)
+        first, second = runs
+        assert first.network.log.records == second.network.log.records
+        assert np.array_equal(first.sketch_matrix(), second.sketch_matrix())
+        assert (first.estimated_squared_frobenius()
+                == second.estimated_squared_frobenius())
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", RANDOMIZED)
+    def test_hh_single_site_chunk_size_free(self, name, seed):
+        """One site: the same seed gives identical answers for every chunk
+        size (and for the per-item engine path), because the per-site RNG
+        stream is consumed in stream order regardless of chunking."""
+        _, batch, _ = hh_stream(seed, num_sites=1)
+        sites = np.zeros(len(batch), dtype=np.int64)
+        _, factory = HH_PROTOCOLS[name]
+        reference_counts = None
+        reference_estimates = None
+        for chunk in CHUNK_SIZES:
+            protocol = factory(1, seed)
+            feed_batched(protocol, sites, batch, chunk)
+            counts = protocol.message_counts()
+            estimates = protocol.estimates()
+            if reference_counts is None:
+                reference_counts = counts
+                reference_estimates = estimates
+                continue
+            assert counts == reference_counts, chunk
+            assert set(estimates) == set(reference_estimates), chunk
+            # Batch boundaries change float summation order, nothing more.
+            for element, estimate in reference_estimates.items():
+                assert estimates[element] == pytest.approx(estimate, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_engine_chunked_run_matches_observe_batch(self, seed):
+        """The StreamingEngine's chunked dispatch is just observe_batch."""
+        _, batch, sites = hh_stream(seed)
+        _, factory = HH_PROTOCOLS["P3"]
+        direct = factory(NUM_SITES, seed)
+        feed_batched(direct, sites, batch, 7)
+        engined = factory(NUM_SITES, seed)
+        sited = WeightedItemBatch(elements=batch.elements,
+                                  weights=batch.weights, sites=sites)
+        StreamingEngine(chunk_size=7).run(engined, sited)
+        assert engined.total_messages == direct.total_messages
+        assert engined.estimates() == direct.estimates()
+
+
+class TestPaperBounds:
+    """The paper's guarantees, asserted through the batched path."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", ["P1", "P2", "P3", "P4"])
+    def test_heavy_hitter_estimates_within_epsilon(self, name, seed):
+        sample, batch, sites = hh_stream(seed)
+        if name == "P3":
+            # The equivalence registry keeps P3's sample small for speed; the
+            # accuracy theorem needs the paper's s = Θ((1/ε²)·log(1/ε)).
+            protocol = PrioritySamplingProtocol(
+                num_sites=NUM_SITES, epsilon=EPSILON, sample_size=400,
+                seed=seed + 101)
+        else:
+            _, factory = HH_PROTOCOLS[name]
+            protocol = factory(NUM_SITES, seed)
+        feed_batched(protocol, sites, batch, 4096)
+        budget = EPSILON * sample.total_weight + 1e-9
+        for element, weight in sample.element_weights.items():
+            assert abs(protocol.estimate(element) - weight) <= budget, element
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", ["P1", "P3"])
+    def test_matrix_covariance_within_epsilon(self, name, seed):
+        dataset, batch, sites = matrix_stream(seed)
+        _, factory = MATRIX_PROTOCOLS[name]
+        protocol = factory(NUM_SITES, dataset.dimension, seed)
+        feed_batched(protocol, sites, batch, 4096)
+        assert protocol.approximation_error() <= 0.2 + 1e-9
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matrix_p2_error_is_one_sided(self, seed):
+        """P2 only ever *undershoots*: 0 ≤ ‖Ax‖² − ‖Bx‖² ≤ ε·‖A‖²_F."""
+        dataset, batch, sites = matrix_stream(seed)
+        _, factory = MATRIX_PROTOCOLS["P2"]
+        protocol = factory(NUM_SITES, dataset.dimension, seed)
+        feed_batched(protocol, sites, batch, 4096)
+        difference = protocol.observed_covariance() - protocol.covariance()
+        norm = protocol.observed_squared_frobenius
+        assert spectral_norm(difference) <= 0.2 * norm + 1e-6
+        eigenvalues = np.linalg.eigvalsh(difference)
+        assert eigenvalues.min() >= -1e-6 * max(norm, 1.0)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_frequent_directions_covariance_bound(self, seed):
+        """FD's deterministic bound: ‖AᵀA − BᵀB‖₂ ≤ ‖A‖²_F / ℓ."""
+        dataset, _, _ = matrix_stream(seed)
+        rows = dataset.rows
+        sketch_size = 16
+        sketch = FrequentDirections(dimension=dataset.dimension,
+                                    sketch_size=sketch_size)
+        sketch.append_batch(rows)
+        difference = rows.T @ rows - sketch.covariance()
+        frobenius = float(np.einsum("ij,ij->", rows, rows))
+        assert spectral_norm(difference) <= frobenius / sketch_size + 1e-6
+
+
+class TestEmptyBatches:
+    """A zero-length batch must be a universal no-op for every kernel."""
+
+    @pytest.mark.parametrize("name", sorted(HH_PROTOCOLS))
+    def test_heavy_hitter_kernels(self, name):
+        _, factory = HH_PROTOCOLS[name]
+        protocol = factory(NUM_SITES, 0)
+        protocol.process_batch(0, np.empty(0, dtype=object), None)
+        protocol.process_batch(1, [], np.empty(0))
+        protocol.observe_batch([], WeightedItemBatch.from_pairs([]))
+        assert protocol.items_processed == 0
+        assert protocol.total_messages == 0
+        assert protocol.estimates() == {}
+
+    @pytest.mark.parametrize("name", sorted(MATRIX_PROTOCOLS))
+    def test_matrix_kernels(self, name):
+        _, factory = MATRIX_PROTOCOLS[name]
+        protocol = factory(NUM_SITES, 6, 0)
+        protocol.process_batch(0, np.empty((0, 6)))
+        protocol.observe_batch([], MatrixRowBatch(values=np.empty((0, 6))))
+        assert protocol.items_processed == 0
+        assert protocol.total_messages == 0
+        assert protocol.sketch_matrix().shape[0] == 0

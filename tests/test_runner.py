@@ -192,6 +192,67 @@ class TestStreamingEngineBatched:
             StreamingEngine(chunk_size=-5)
 
 
+class TestChunkBoundaryEdgeCases:
+    """Degenerate chunkings must behave exactly like their references."""
+
+    def test_chunk_size_one_matches_per_item_dispatch(self, zipf_sample):
+        # chunk_size=1 performs no site grouping at all, so even the
+        # adaptive protocols see pure arrival order: message counts and
+        # estimates must match the per-item engine exactly.
+        from repro.heavy_hitters.p2_threshold import ThresholdedUpdatesProtocol
+
+        items = zipf_sample.items[:400]
+        per_item = ThresholdedUpdatesProtocol(num_sites=3, epsilon=0.1)
+        run_protocol(per_item, items)
+        chunked = ThresholdedUpdatesProtocol(num_sites=3, epsilon=0.1)
+        StreamingEngine(chunk_size=1).run(
+            chunked, WeightedItemBatch.from_pairs(items))
+        assert chunked.items_processed == per_item.items_processed
+        assert chunked.total_messages == per_item.total_messages
+        assert chunked.estimated_total_weight() == pytest.approx(
+            per_item.estimated_total_weight())
+        for element, estimate in per_item.estimates().items():
+            assert chunked.estimate(element) == pytest.approx(estimate)
+
+    def test_chunk_larger_than_stream_is_one_batch(self, zipf_sample):
+        items = zipf_sample.items[:50]
+        protocol = ExactForwardingProtocol(num_sites=2)
+        result = StreamingEngine(chunk_size=4096).run(
+            protocol, WeightedItemBatch.from_pairs(items))
+        assert result.items_processed == 50
+        assert protocol.total_messages == 50
+        # The whole stream fits in one chunk: one transmission per site.
+        assert protocol.network.log.total_transmissions == 2
+
+    def test_query_exactly_on_chunk_boundary(self):
+        # A query scheduled precisely where a chunk already ends must fire
+        # once, at exactly that count, and not resplit anything.
+        protocol = ExactForwardingProtocol(num_sites=2)
+        batch = WeightedItemBatch.from_pairs([("a", 1.0)] * 21)
+        result = StreamingEngine(chunk_size=7).run(
+            protocol, batch, query_at=[7, 14, 21],
+            query=lambda p: p.estimate("a"))
+        counts = [obs.items_processed for obs in result.observations]
+        assert counts == [7, 14, 21]  # no duplicate end-of-stream query
+        for observation in result.observations:
+            assert observation.result == pytest.approx(
+                float(observation.items_processed))
+
+    def test_query_on_final_item_not_duplicated_for_generators(self):
+        protocol = ExactForwardingProtocol(num_sites=2)
+        stream = (("a", 1.0) for _ in range(14))
+        result = StreamingEngine(chunk_size=7).run(
+            protocol, stream, query_at=[14], query=lambda p: p.estimate("a"))
+        assert [obs.items_processed for obs in result.observations] == [14]
+
+    def test_empty_stream_is_noop(self):
+        protocol = ExactForwardingProtocol(num_sites=2)
+        result = StreamingEngine(chunk_size=7).run(
+            protocol, WeightedItemBatch.from_pairs([]))
+        assert result.items_processed == 0
+        assert protocol.total_messages == 0
+
+
 class TestRunBookkeeping:
     """The engine's run-local count is the single source of truth (issue fix)."""
 
