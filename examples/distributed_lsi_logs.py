@@ -9,10 +9,12 @@ singular directions of that matrix; the covariance guarantee
 directly without collecting the documents.
 
 This example simulates three topic clusters of log messages spread over
-``m`` collection nodes, tracks the term-covariance with matrix protocol P3
-(priority sampling of rows), and then uses the sketch to (a) recover the
-topic subspace and (b) answer similarity queries between unseen documents —
-comparing both against the exact answers.
+``m`` collection nodes, tracks the term-covariance with a
+``repro.Tracker`` session over spec ``matrix/P3`` (priority sampling of
+rows), and then uses the sketch — obtained through the typed
+``SketchMatrix`` query — to (a) recover the topic subspace and (b) answer
+similarity queries between unseen documents, comparing both against the
+exact answers.
 
 Run with:  python examples/distributed_lsi_logs.py
 """
@@ -21,7 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import MatrixPrioritySamplingProtocol
+import repro
+from repro.api import ApproximationError, SketchMatrix
 from repro.utils.linalg import thin_svd
 
 NUM_NODES = 15
@@ -57,23 +60,23 @@ def main() -> None:
     documents = sample_documents(rng, topics, NUM_TOPICS * DOCS_PER_TOPIC)
     rng.shuffle(documents)
 
-    protocol = MatrixPrioritySamplingProtocol(
-        num_sites=NUM_NODES, dimension=VOCABULARY, epsilon=EPSILON,
-        sample_size=800, seed=0)
+    tracker = repro.Tracker.create(
+        "matrix/P3", num_sites=NUM_NODES, dimension=VOCABULARY,
+        epsilon=EPSILON, sample_size=800, seed=0)
+    tracker.run(documents)
 
-    for index, row in enumerate(documents):
-        protocol.process(index % NUM_NODES, row)
-
+    error = tracker.query(ApproximationError())
     print(f"{documents.shape[0]} log documents, vocabulary {VOCABULARY}, "
           f"{NUM_NODES} collection nodes")
-    print(f"covariance error      : {protocol.approximation_error():.4f} "
+    print(f"covariance error      : {error.estimate:.4f} "
           f"(guarantee {EPSILON})")
-    print(f"messages              : {protocol.total_messages} "
+    print(f"messages              : {error.total_messages} "
           f"(vs {documents.shape[0]} to centralise everything)")
 
     # LSI subspace from the sketch vs from the exact matrix.
+    sketch = tracker.query(SketchMatrix()).estimate
     _, _, exact_vt = thin_svd(documents)
-    _, _, sketch_vt = thin_svd(protocol.sketch_matrix())
+    _, _, sketch_vt = thin_svd(sketch)
     exact_basis = exact_vt[:LSI_RANK]
     sketch_basis = sketch_vt[:LSI_RANK]
     overlap = np.sum((exact_basis @ sketch_basis.T) ** 2) / LSI_RANK

@@ -9,20 +9,27 @@ shipping every descriptor to a central cluster.
 
 This example simulates ``m`` data centers receiving descriptor streams whose
 latent structure drifts over time (a new "visual theme" appears midway).  A
-:class:`DeterministicDirectionProtocol` (matrix protocol P2) maintains the
-approximation at the coordinator.  We periodically compare the top principal
-subspace of the sketch against the exact one and report the communication
-spent — demonstrating the continuous-tracking property: the approximation is
-valid at *every* time instant, not just at the end.
+``repro.Tracker`` session over spec ``matrix/P2`` maintains the
+approximation at the coordinator; the stream arrives in instalments
+(repeated ``tracker.run`` calls continue the site assignment exactly), and
+after every instalment the typed ``ApproximationError``/``SketchMatrix``
+queries report the sketch quality — demonstrating the continuous-tracking
+property: the approximation is valid at *every* time instant, not just at
+the end.  Midway through, the session is checkpointed to disk and resumed,
+exactly as a long-running monitor surviving a process restart would.
 
 Run with:  python examples/image_feature_monitoring.py
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 
-from repro import DeterministicDirectionProtocol
+import repro
+from repro.api import ApproximationError, FrobeniusSquared, SketchMatrix
 from repro.utils.linalg import thin_svd
 
 NUM_SITES = 25
@@ -61,37 +68,51 @@ def main() -> None:
     theme_a = np.linalg.qr(rng.standard_normal((DIMENSION, 12)))[0].T
     theme_b = np.linalg.qr(rng.standard_normal((DIMENSION, 12)))[0].T
 
-    protocol = DeterministicDirectionProtocol(
-        num_sites=NUM_SITES, dimension=DIMENSION, epsilon=EPSILON)
+    tracker = repro.Tracker.create("matrix/P2", num_sites=NUM_SITES,
+                                   dimension=DIMENSION, epsilon=EPSILON)
+    checkpoint = os.path.join(tempfile.mkdtemp(), "monitor.ckpt")
 
     print(f"Simulating {NUM_SITES} data centers, d = {DIMENSION}, epsilon = {EPSILON}")
     print(f"{'images':>8s} {'err':>10s} {'PC align':>10s} {'messages':>10s} "
           f"{'naive msgs':>11s}")
 
     history = []
-    observed = 0
     for phase, basis in enumerate((theme_a, theme_b)):
         descriptors = descriptor_batch(rng, basis, ROWS_PER_PHASE)
-        for row in descriptors:
-            protocol.process(observed % NUM_SITES, row)
-            history.append(row)
-            observed += 1
-            if observed % CHECKPOINT_EVERY == 0:
-                exact = np.vstack(history)
-                error = protocol.approximation_error()
-                alignment = subspace_alignment(exact, protocol.sketch_matrix())
-                print(f"{observed:8d} {error:10.4f} {alignment:10.3f} "
-                      f"{protocol.total_messages:10d} {observed:11d}")
+        history.append(descriptors)
+        # The phase arrives in instalments; each tracker.run continues the
+        # round-robin site assignment where the previous one stopped.
+        for start in range(0, ROWS_PER_PHASE, CHECKPOINT_EVERY):
+            tracker.run(descriptors[start:start + CHECKPOINT_EVERY])
+            exact = np.vstack(history)[: tracker.items_processed]
+            error = tracker.query(ApproximationError())
+            sketch = tracker.query(SketchMatrix()).estimate
+            alignment = subspace_alignment(exact, sketch)
+            print(f"{tracker.items_processed:8d} {error.estimate:10.4f} "
+                  f"{alignment:10.3f} {error.total_messages:10d} "
+                  f"{tracker.items_processed:11d}")
+        if phase == 0:
+            # Survive a "process restart" between the two phases: persist the
+            # session and resume it — the restored tracker continues
+            # bit-identically (same thresholds, same message accounting).
+            tracker.save(checkpoint)
+            tracker = repro.Tracker.load(checkpoint)
+            print(f"  -- session checkpointed to {checkpoint} and resumed --")
 
     exact = np.vstack(history)
+    frobenius = tracker.query(FrobeniusSquared())
+    sketch = tracker.query(SketchMatrix()).estimate
     print("\nFinal state:")
-    print(f"  approximation error        : {protocol.approximation_error():.4f} "
+    print(f"  {tracker!r}")
+    print(f"  approximation error        : "
+          f"{tracker.query(ApproximationError()).estimate:.4f} "
           f"(guarantee: {EPSILON})")
-    print(f"  coordinator sketch rows    : {protocol.sketch_matrix().shape[0]}")
-    print(f"  total messages             : {protocol.total_messages} "
+    print(f"  coordinator sketch rows    : {sketch.shape[0]}")
+    print(f"  total messages             : {tracker.total_messages} "
           f"(naive streaming would use {exact.shape[0]})")
-    print(f"  estimated ||A||_F^2        : {protocol.estimated_squared_frobenius():.1f} "
+    print(f"  estimated ||A||_F^2        : {frobenius.estimate:.1f} "
           f"(exact {float(np.sum(exact ** 2)):.1f})")
+    os.remove(checkpoint)
 
 
 if __name__ == "__main__":

@@ -9,11 +9,15 @@ traffic — without streaming every packet to the centre.
 
 This example simulates ``m`` routers observing traffic with a few genuinely
 hot destinations, a mid-stream traffic shift (a new flow becomes hot, an old
-one cools down), and compares three protocols on the same packet trace:
+one cools down), and compares three protocol specs on the same packet trace:
 
-* P1 (batched Misra–Gries summaries),
-* P2 (per-destination threshold updates),
-* P4 (randomized reporting).
+* ``hh/P1`` (batched Misra–Gries summaries),
+* ``hh/P2`` (per-destination threshold updates),
+* ``hh/P4`` (randomized reporting).
+
+Each protocol runs as a ``repro.Tracker`` session with a
+:class:`~repro.streaming.partition.HashPartitioner`, so all traffic of a flow
+is seen at one ingress router — the hardest case for global aggregation.
 
 Run with:  python examples/network_traffic_heavy_hitters.py
 """
@@ -22,12 +26,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    BatchedMisraGriesProtocol,
-    RandomizedReportingProtocol,
-    ThresholdedUpdatesProtocol,
-)
+import repro
+from repro.api import HeavyHitters
 from repro.evaluation import evaluate_heavy_hitter_protocol, exact_heavy_hitters, format_table
+from repro.streaming import HashPartitioner, WeightedItemBatch
 
 NUM_ROUTERS = 30
 EPSILON = 0.01
@@ -62,26 +64,23 @@ def main() -> None:
     for destination, size in packets:
         exact_bytes[destination] = exact_bytes.get(destination, 0.0) + size
     total_bytes = sum(exact_bytes.values())
-
-    protocols = {
-        "P1": BatchedMisraGriesProtocol(num_sites=NUM_ROUTERS, epsilon=EPSILON),
-        "P2": ThresholdedUpdatesProtocol(num_sites=NUM_ROUTERS, epsilon=EPSILON),
-        "P4": RandomizedReportingProtocol(num_sites=NUM_ROUTERS, epsilon=EPSILON,
-                                          seed=0),
-    }
+    trace = WeightedItemBatch.from_pairs(packets)
 
     rows = []
-    for name, protocol in protocols.items():
-        for index, (destination, size) in enumerate(packets):
-            # Each packet is observed by the router on its path; here we route
-            # by a hash of the destination so all traffic of a flow is seen at
-            # one ingress router, the hardest case for global aggregation.
-            router = hash(destination) % NUM_ROUTERS
-            protocol.process(router, destination, size)
+    trackers = {}
+    for spec in ("hh/P1", "hh/P2", "hh/P4"):
+        params = {"num_sites": NUM_ROUTERS, "epsilon": EPSILON}
+        if spec == "hh/P4":
+            params["seed"] = 0  # only the randomized protocol takes a seed
+        tracker = repro.Tracker.create(
+            spec, partitioner=HashPartitioner(NUM_ROUTERS), **params)
+        tracker.run(trace)
+        trackers[spec] = tracker
         evaluation = evaluate_heavy_hitter_protocol(
-            protocol, exact_bytes, PHI, total_weight=total_bytes, name=name)
+            tracker.protocol, exact_bytes, PHI, total_weight=total_bytes,
+            name=spec)
         rows.append({
-            "protocol": name,
+            "protocol": spec,
             "recall": evaluation.recall,
             "precision": evaluation.precision,
             "avg rel err": evaluation.average_error,
@@ -99,8 +98,10 @@ def main() -> None:
         share = exact_bytes[destination] / total_bytes
         print(f"  {destination:15s} {share:6.1%}")
 
-    print("\nDestinations reported by P2:")
-    for hitter in protocols["P2"].heavy_hitters(PHI):
+    answer = trackers["hh/P2"].query(HeavyHitters(phi=PHI))
+    print(f"\nDestinations reported by hh/P2 "
+          f"(additive bound {answer.error_bound:,.0f} bytes):")
+    for hitter in answer.hitters:
         print(f"  {str(hitter.element):15s} {hitter.relative_weight:6.1%} (estimated)")
 
 

@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Quickstart: track a distributed matrix and distributed weighted heavy hitters.
+"""Quickstart: the unified ``Tracker`` session API over both problem domains.
 
 This example walks through the two problem families of the paper on small
-synthetic workloads:
+synthetic workloads, entirely through the ``repro.api`` facade:
 
 1. *Distributed matrix tracking* — 20 sites each observe rows of a low-rank
    matrix; the coordinator continuously maintains a small approximation ``B``
@@ -10,27 +10,34 @@ synthetic workloads:
    than shipping every row.
 2. *Distributed weighted heavy hitters* — 20 sites observe a skewed weighted
    item stream; the coordinator reports every φ-heavy element.
+3. *Checkpoint/resume* — a session saved mid-stream and restored continues
+   bit-identically to one that never stopped.
+
+Protocols are resolved by registry spec name (``repro.create``/
+``Tracker.create``); queries are typed objects answered with frozen
+``Answer`` dataclasses carrying the estimate, the paper's error bound, and a
+message/items snapshot.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 
-from repro import (
-    DeterministicDirectionProtocol,
-    MatrixPrioritySamplingProtocol,
-    ThresholdedUpdatesProtocol,
-)
+import repro
+from repro.api import Covariance, HeavyHitters, Norms, TotalWeight
 from repro.data import ZipfianStreamGenerator, make_pamap_like
-from repro.evaluation import evaluate_heavy_hitter_protocol, evaluate_matrix_protocol
+from repro.streaming import WeightedItemBatch
 
 
 def matrix_tracking_demo() -> None:
     """Track a low-rank matrix distributed over 20 sites."""
     print("=" * 72)
-    print("Distributed matrix tracking (protocol P2 vs P3)")
+    print("Distributed matrix tracking (specs matrix/P2 vs matrix/P3)")
     print("=" * 72)
 
     num_sites = 20
@@ -38,68 +45,109 @@ def matrix_tracking_demo() -> None:
     dataset = make_pamap_like(num_rows=10_000)
     print(f"dataset: {dataset.name}  ({dataset.num_rows} rows x {dataset.dimension} cols)")
 
-    protocols = {
-        "P2 (deterministic)": DeterministicDirectionProtocol(
-            num_sites=num_sites, dimension=dataset.dimension, epsilon=epsilon),
-        "P3 (sampling)": MatrixPrioritySamplingProtocol(
-            num_sites=num_sites, dimension=dataset.dimension, epsilon=epsilon,
-            sample_size=600, seed=0),
+    trackers = {
+        "matrix/P2": repro.Tracker.create(
+            "matrix/P2", num_sites=num_sites, dimension=dataset.dimension,
+            epsilon=epsilon),
+        "matrix/P3": repro.Tracker.create(
+            "matrix/P3", num_sites=num_sites, dimension=dataset.dimension,
+            epsilon=epsilon, sample_size=600, seed=0),
     }
 
-    for name, protocol in protocols.items():
-        # Rows arrive round-robin at the sites, as if 20 servers each logged a
-        # share of the observations.
-        for index, row in enumerate(dataset.rows):
-            protocol.process(index % num_sites, row)
-        evaluation = evaluate_matrix_protocol(protocol, name=name)
-        savings = dataset.num_rows / max(1, evaluation.messages)
-        print(f"  {name:22s} err = {evaluation.error:.4f}   "
-              f"messages = {evaluation.messages:6d}   "
+    exact_covariance = dataset.rows.T @ dataset.rows
+    frobenius = float((dataset.rows ** 2).sum())
+    for spec, tracker in trackers.items():
+        # Rows arrive round-robin at the sites, as if 20 servers each logged
+        # a share of the observations (the engine slices the block zero-copy).
+        tracker.run(dataset.rows)
+        answer = tracker.query(Covariance())
+        err = (np.linalg.norm(exact_covariance - answer.matrix, ord=2)
+               / frobenius)
+        savings = dataset.num_rows / max(1, answer.total_messages)
+        print(f"  {spec:10s} err = {err:.4f}   "
+              f"messages = {answer.total_messages:6d}   "
               f"({savings:4.1f}x less than sending every row)")
 
-    # The sketch supports the downstream query the paper motivates: norms along
-    # arbitrary directions (e.g. principal components).
-    protocol = protocols["P2 (deterministic)"]
+    # The sketch supports the downstream query the paper motivates: norms
+    # along arbitrary directions (e.g. principal components).
+    tracker = trackers["matrix/P2"]
     direction = np.linalg.svd(dataset.rows, full_matrices=False)[2][0]
     true_norm = float(np.linalg.norm(dataset.rows @ direction) ** 2)
-    approx_norm = protocol.squared_norm_along(direction)
-    print(f"  top-PC energy: true = {true_norm:.1f}, from sketch = {approx_norm:.1f}")
+    answer = tracker.query(Norms(direction))
+    print(f"  top-PC energy: true = {true_norm:.1f}, from sketch = "
+          f"{answer.estimate:.1f} (additive bound {answer.error_bound:.1f})")
     print()
 
 
 def heavy_hitters_demo() -> None:
     """Track weighted heavy hitters over a skewed distributed stream."""
     print("=" * 72)
-    print("Distributed weighted heavy hitters (protocol P2)")
+    print("Distributed weighted heavy hitters (spec hh/P2)")
     print("=" * 72)
 
-    num_sites = 20
-    epsilon = 0.02
     phi = 0.05
     generator = ZipfianStreamGenerator(universe_size=5_000, skew=2.0, beta=1_000.0,
                                        seed=1)
     sample = generator.generate(50_000)
 
-    protocol = ThresholdedUpdatesProtocol(num_sites=num_sites, epsilon=epsilon)
-    for index, (element, weight) in enumerate(sample.items):
-        protocol.process(index % num_sites, element, weight)
+    tracker = repro.Tracker.create("hh/P2", num_sites=20, epsilon=0.02)
+    tracker.run(WeightedItemBatch.from_pairs(sample.items))
 
-    evaluation = evaluate_heavy_hitter_protocol(
-        protocol, sample.element_weights, phi, total_weight=sample.total_weight)
-    print(f"  stream: {len(sample)} items, total weight {sample.total_weight:.0f}")
-    print(f"  recall = {evaluation.recall:.2f}, precision = {evaluation.precision:.2f}, "
-          f"avg relative error = {evaluation.average_error:.2e}")
-    print(f"  messages = {evaluation.messages} "
+    answer = tracker.query(HeavyHitters(phi=phi))
+    total = tracker.query(TotalWeight())
+    print(f"  stream: {len(sample)} items, total weight {sample.total_weight:.0f} "
+          f"(estimated {total.estimate:.0f} +- {total.error_bound:.0f})")
+    print(f"  messages = {answer.total_messages} "
           f"(vs {len(sample)} for forwarding everything)")
     print("  reported heavy hitters (element: estimated share):")
-    for hitter in protocol.heavy_hitters(phi):
-        print(f"    {hitter.element:6d}: {hitter.relative_weight:.3f}")
+    for hitter in answer.hitters:
+        print(f"    {int(hitter.element):6d}: {hitter.relative_weight:.3f}")
+    print(f"  session: {tracker!r}")
+    print()
+
+
+def checkpoint_demo() -> None:
+    """Save a session mid-stream; the restored session continues identically."""
+    print("=" * 72)
+    print("Checkpoint/resume (spec hh/P3, randomized)")
+    print("=" * 72)
+
+    generator = ZipfianStreamGenerator(universe_size=2_000, skew=2.0, beta=100.0,
+                                       seed=5)
+    batch = WeightedItemBatch.from_pairs(generator.generate(20_000).items)
+    half = len(batch) // 2
+
+    def fresh() -> repro.Tracker:
+        return repro.Tracker.create("hh/P3", num_sites=10, epsilon=0.05,
+                                    sample_size=300, seed=7, chunk_size=1000)
+
+    uninterrupted = fresh()
+    uninterrupted.run(batch[:half])
+    uninterrupted.run(batch[half:])
+
+    interrupted = fresh()
+    interrupted.run(batch[:half])
+    path = os.path.join(tempfile.mkdtemp(), "session.ckpt")
+    interrupted.save(path)
+    resumed = repro.Tracker.load(path)       # e.g. after a process restart
+    resumed.run(batch[half:])
+
+    a = uninterrupted.query(HeavyHitters(phi=0.05))
+    b = resumed.query(HeavyHitters(phi=0.05))
+    print(f"  checkpoint: {path}")
+    print(f"  uninterrupted: messages = {a.total_messages}, "
+          f"hitters = {[int(h.element) for h in a.hitters]}")
+    print(f"  resumed:       messages = {b.total_messages}, "
+          f"hitters = {[int(h.element) for h in b.hitters]}")
+    print(f"  bit-identical resume: {a == b}")
+    os.remove(path)
     print()
 
 
 def main() -> None:
     matrix_tracking_demo()
     heavy_hitters_demo()
+    checkpoint_demo()
 
 
 if __name__ == "__main__":

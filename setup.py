@@ -1,4 +1,18 @@
-"""Setuptools shim: enables `pip install -e . --no-use-pep517` on offline hosts without the wheel package."""
-from setuptools import setup
+"""Setuptools shim: enables `pip install -e . --no-use-pep517` on offline hosts without the wheel package.
 
-setup()
+All package metadata — including the ``repro-experiments`` console-script
+entry point — lives in ``pyproject.toml``.  The shim duplicates only what
+legacy (non-PEP 517) editable installs need to find the sources.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-continuous-matrix",
+    version="1.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": ["repro-experiments = repro.cli:main"],
+    },
+)

@@ -7,22 +7,42 @@ protocols plus the appendix-C negative result (Section 5 / Appendix C), the
 sketching substrates they build on (Misra–Gries, SpaceSaving, Count–Min,
 Frequent Directions, priority sampling), a simulated multi-site streaming
 substrate with exact message accounting, and the full Section 6 experiment
-suite.
+suite — all behind the unified :mod:`repro.api` session surface.
 
 Quickstart
 ----------
->>> from repro import DeterministicDirectionProtocol
+>>> import repro
 >>> from repro.data import make_pamap_like
 >>> dataset = make_pamap_like(num_rows=2_000)
->>> protocol = DeterministicDirectionProtocol(num_sites=10,
-...                                           dimension=dataset.dimension,
-...                                           epsilon=0.1)
->>> for index, row in enumerate(dataset.rows):
-...     protocol.process(index % 10, row)
->>> protocol.approximation_error() <= 0.1
+>>> tracker = repro.Tracker.create("matrix/P2", num_sites=10,
+...                                dimension=dataset.dimension, epsilon=0.1)
+>>> _ = tracker.run(dataset.rows)
+>>> answer = tracker.query(repro.Covariance())
+>>> answer.error_bound is not None
 True
+
+Protocols resolve by registry spec name (``repro.create("hh/P3", ...)``);
+sessions checkpoint with ``tracker.save(path)`` / ``repro.Tracker.load``.
 """
 
+from .api import (
+    Answer,
+    ApproximationError,
+    Covariance,
+    Frequency,
+    FrobeniusSquared,
+    HeavyHitters,
+    Norms,
+    ProtocolSpec,
+    Query,
+    SketchMatrix,
+    TotalWeight,
+    Tracker,
+    TrackerStats,
+    available_specs,
+    create,
+    get_spec,
+)
 from .heavy_hitters import (
     BatchedMisraGriesProtocol,
     ExactForwardingProtocol,
@@ -63,10 +83,27 @@ from .streaming import (
     run_protocol,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # unified session API (repro.api)
+    "Answer",
+    "ApproximationError",
+    "Covariance",
+    "Frequency",
+    "FrobeniusSquared",
+    "HeavyHitters",
+    "Norms",
+    "ProtocolSpec",
+    "Query",
+    "SketchMatrix",
+    "TotalWeight",
+    "Tracker",
+    "TrackerStats",
+    "available_specs",
+    "create",
+    "get_spec",
     # heavy hitters
     "BatchedMisraGriesProtocol",
     "ExactForwardingProtocol",

@@ -1,0 +1,96 @@
+"""``repro.api`` — the unified session API over both problem domains.
+
+One front door over the protocol zoo:
+
+* :mod:`repro.api.registry` — string-keyed protocol specs (``"hh/P3"``,
+  ``"matrix/P2"``, baselines and variants) with declared parameter schemas;
+  :func:`create` resolves a spec name plus keyword parameters into a
+  validated protocol instance.
+* :mod:`repro.api.queries` — typed query objects (:class:`HeavyHitters`,
+  :class:`Covariance`, :class:`Norms`, …) answered with frozen
+  :class:`Answer` dataclasses carrying the estimate, the paper's error bound
+  and a message/items snapshot.
+* :mod:`repro.api.tracker` — the :class:`Tracker` session facade: owns a
+  protocol plus a :class:`~repro.streaming.runner.StreamingEngine`, exposes
+  ``push``/``push_batch``/``run``, the uniform ``query`` surface and
+  ``stats``.
+* :mod:`repro.api.state` — versioned checkpoint/restore:
+  ``tracker.save(path)`` / ``Tracker.load(path)`` resume bit-identically.
+
+Everything here is re-exported from the top-level :mod:`repro` package.
+"""
+
+from .queries import (
+    Answer,
+    ApproximationError,
+    Covariance,
+    CovarianceAnswer,
+    Frequency,
+    FrequencyAnswer,
+    FrobeniusSquared,
+    FrobeniusSquaredAnswer,
+    HeavyHitters,
+    HeavyHittersAnswer,
+    Norms,
+    NormsAnswer,
+    Query,
+    SketchMatrix,
+    SketchMatrixAnswer,
+    TotalWeight,
+    TotalWeightAnswer,
+)
+from .registry import (
+    ParamSpec,
+    ProtocolSpec,
+    available_specs,
+    create,
+    get_spec,
+    registry_rows,
+)
+from .state import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_protocol,
+    load_tracker,
+    save_protocol,
+    save_tracker,
+)
+from .tracker import Tracker, TrackerStats
+
+__all__ = [
+    # registry
+    "ParamSpec",
+    "ProtocolSpec",
+    "available_specs",
+    "create",
+    "get_spec",
+    "registry_rows",
+    # queries / answers
+    "Query",
+    "Answer",
+    "HeavyHitters",
+    "HeavyHittersAnswer",
+    "Frequency",
+    "FrequencyAnswer",
+    "TotalWeight",
+    "TotalWeightAnswer",
+    "Covariance",
+    "CovarianceAnswer",
+    "Norms",
+    "NormsAnswer",
+    "SketchMatrix",
+    "SketchMatrixAnswer",
+    "FrobeniusSquared",
+    "FrobeniusSquaredAnswer",
+    "ApproximationError",
+    # tracker sessions
+    "Tracker",
+    "TrackerStats",
+    # checkpointing
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "save_tracker",
+    "load_tracker",
+    "save_protocol",
+    "load_protocol",
+]

@@ -1,0 +1,310 @@
+"""Typed query/answer objects: one query vocabulary over both domains.
+
+The paper's promise is *continuous* queries — at any instant the coordinator
+answers heavy-hitter or covariance queries.  This module gives that promise
+one typed surface::
+
+    answer = tracker.query(HeavyHitters(phi=0.05))
+    answer = tracker.query(Covariance())
+    answer = tracker.query(Norms(x))
+
+Each :class:`Query` is a small frozen dataclass naming what is asked; each
+:class:`Answer` is a frozen dataclass carrying
+
+* ``estimate`` — the coordinator's answer,
+* ``error_bound`` — the paper's additive guarantee at this instant
+  (``ε·Ŵ`` for weighted frequencies, ``ε·F̂`` for covariance/norm queries;
+  ``None`` when the protocol offers no bound, e.g. the Appendix-C P4),
+* ``items_processed`` / ``total_messages`` — a snapshot of the stream
+  position and communication spent when the query was answered.
+
+Queries validate their target domain: asking a matrix tracker for heavy
+hitters raises ``TypeError`` naming both the query and the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional, Tuple
+
+import numpy as np
+
+from ..heavy_hitters.base import HeavyHitter, WeightedHeavyHitterProtocol
+from ..matrix_tracking.base import MatrixTrackingProtocol
+from ..streaming.protocol import DistributedProtocol
+
+__all__ = [
+    "Query",
+    "Answer",
+    "HeavyHitters",
+    "HeavyHittersAnswer",
+    "Frequency",
+    "FrequencyAnswer",
+    "TotalWeight",
+    "TotalWeightAnswer",
+    "Covariance",
+    "CovarianceAnswer",
+    "Norms",
+    "NormsAnswer",
+    "SketchMatrix",
+    "SketchMatrixAnswer",
+    "FrobeniusSquared",
+    "FrobeniusSquaredAnswer",
+    "ApproximationError",
+]
+
+
+@dataclass(frozen=True)
+class Answer:
+    """Base of all answers: estimate, error bound, and a session snapshot."""
+
+    query: "Query"
+    estimate: Any
+    error_bound: Optional[float]
+    items_processed: int
+    total_messages: int
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base of all typed queries; subclasses implement :meth:`answer`."""
+
+    def answer(self, protocol: DistributedProtocol) -> Answer:
+        """Evaluate this query against ``protocol`` right now."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ internals
+    def _snapshot(self, protocol: DistributedProtocol) -> dict:
+        return {
+            "query": self,
+            "items_processed": protocol.items_processed,
+            "total_messages": protocol.total_messages,
+        }
+
+    def _require_heavy_hitters(
+        self, protocol: DistributedProtocol
+    ) -> WeightedHeavyHitterProtocol:
+        if not isinstance(protocol, WeightedHeavyHitterProtocol):
+            raise TypeError(
+                f"{type(self).__name__} queries need a weighted heavy-hitter "
+                f"protocol, got {type(protocol).__name__}"
+            )
+        return protocol
+
+    def _require_matrix(
+        self, protocol: DistributedProtocol
+    ) -> MatrixTrackingProtocol:
+        if not isinstance(protocol, MatrixTrackingProtocol):
+            raise TypeError(
+                f"{type(self).__name__} queries need a matrix-tracking "
+                f"protocol, got {type(protocol).__name__}"
+            )
+        return protocol
+
+
+def _weight_bound(protocol: WeightedHeavyHitterProtocol) -> float:
+    """The protocol's additive frequency bound (``ε·Ŵ``; 0 for the baseline)."""
+    return protocol.estimate_error_bound()
+
+
+def _norm_bound(protocol: MatrixTrackingProtocol) -> Optional[float]:
+    """The protocol's additive covariance bound.
+
+    ``ε·F̂`` for the distributed protocols, tighter for the centralized
+    baselines, ``None`` for the Appendix-C P4 — see
+    :meth:`~repro.matrix_tracking.base.MatrixTrackingProtocol.covariance_error_bound`.
+    """
+    return protocol.covariance_error_bound()
+
+
+# ------------------------------------------------------------- heavy hitters
+@dataclass(frozen=True)
+class HeavyHittersAnswer(Answer):
+    """Answer to :class:`HeavyHitters`; ``estimate`` is the hitter tuple."""
+
+    estimated_total_weight: float = 0.0
+
+    @property
+    def hitters(self) -> Tuple[HeavyHitter, ...]:
+        """The reported heavy hitters, sorted by decreasing weight."""
+        return self.estimate
+
+    @property
+    def elements(self) -> Tuple[Hashable, ...]:
+        """Only the element labels of the reported hitters."""
+        return tuple(hitter.element for hitter in self.estimate)
+
+
+@dataclass(frozen=True)
+class HeavyHitters(Query):
+    """All elements of relative weight ≥ φ (Lemma 1 reporting rule)."""
+
+    phi: float = 0.05
+
+    def answer(self, protocol: DistributedProtocol) -> HeavyHittersAnswer:
+        hh = self._require_heavy_hitters(protocol)
+        return HeavyHittersAnswer(
+            estimate=tuple(hh.heavy_hitters(self.phi)),
+            error_bound=_weight_bound(hh),
+            estimated_total_weight=hh.estimated_total_weight(),
+            **self._snapshot(protocol),
+        )
+
+
+@dataclass(frozen=True)
+class FrequencyAnswer(Answer):
+    """Answer to :class:`Frequency`; ``estimate`` is the weight ``Ŵ_e``."""
+
+
+@dataclass(frozen=True)
+class Frequency(Query):
+    """The estimated total weight ``Ŵ_e`` of one element."""
+
+    element: Hashable = None
+
+    def answer(self, protocol: DistributedProtocol) -> FrequencyAnswer:
+        hh = self._require_heavy_hitters(protocol)
+        return FrequencyAnswer(
+            estimate=hh.estimate(self.element),
+            error_bound=_weight_bound(hh),
+            **self._snapshot(protocol),
+        )
+
+
+@dataclass(frozen=True)
+class TotalWeightAnswer(Answer):
+    """Answer to :class:`TotalWeight`; ``estimate`` is ``Ŵ``."""
+
+
+@dataclass(frozen=True)
+class TotalWeight(Query):
+    """The estimated total stream weight ``Ŵ``."""
+
+    def answer(self, protocol: DistributedProtocol) -> TotalWeightAnswer:
+        hh = self._require_heavy_hitters(protocol)
+        return TotalWeightAnswer(
+            estimate=hh.estimated_total_weight(),
+            error_bound=_weight_bound(hh),
+            **self._snapshot(protocol),
+        )
+
+
+# ------------------------------------------------------------ matrix queries
+@dataclass(frozen=True, eq=False)
+class CovarianceAnswer(Answer):
+    """Answer to :class:`Covariance`; ``estimate`` is the ``d×d`` matrix."""
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The coordinator's covariance approximation ``BᵀB``."""
+        return self.estimate
+
+
+@dataclass(frozen=True)
+class Covariance(Query):
+    """The coordinator's covariance approximation ``BᵀB``.
+
+    The guarantee is spectral: ``‖AᵀA − BᵀB‖₂ ≤ error_bound``.
+    """
+
+    def answer(self, protocol: DistributedProtocol) -> CovarianceAnswer:
+        matrix = self._require_matrix(protocol)
+        return CovarianceAnswer(
+            estimate=matrix.covariance(),
+            error_bound=_norm_bound(matrix),
+            **self._snapshot(protocol),
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class NormsAnswer(Answer):
+    """Answer to :class:`Norms`; ``estimate`` is ``‖Bx‖²`` per direction."""
+
+
+@dataclass(frozen=True, eq=False)
+class Norms(Query):
+    """Squared norms ``‖Bx‖²`` along one direction (1-d) or many (2-d rows).
+
+    Satisfies ``|‖Ax‖² − estimate| ≤ error_bound`` for unit ``x``.
+    """
+
+    directions: np.ndarray = field(default=None)
+
+    def answer(self, protocol: DistributedProtocol) -> NormsAnswer:
+        matrix = self._require_matrix(protocol)
+        directions = np.asarray(self.directions, dtype=np.float64)
+        if directions.ndim == 1:
+            estimate: Any = matrix.squared_norm_along(directions)
+        elif directions.ndim == 2:
+            product = matrix.sketch_matrix() @ directions.T
+            if product.size == 0:
+                estimate = np.zeros(directions.shape[0])
+            else:
+                estimate = np.einsum("ij,ij->j", product, product)
+        else:
+            raise ValueError(
+                f"directions must be 1-d or 2-d, got shape {directions.shape}"
+            )
+        return NormsAnswer(
+            estimate=estimate,
+            error_bound=_norm_bound(matrix),
+            **self._snapshot(protocol),
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class SketchMatrixAnswer(Answer):
+    """Answer to :class:`SketchMatrix`; ``estimate`` is the sketch ``B``."""
+
+
+@dataclass(frozen=True)
+class SketchMatrix(Query):
+    """The coordinator's current approximation matrix ``B`` (rows × d)."""
+
+    def answer(self, protocol: DistributedProtocol) -> SketchMatrixAnswer:
+        matrix = self._require_matrix(protocol)
+        return SketchMatrixAnswer(
+            estimate=matrix.sketch_matrix(),
+            error_bound=_norm_bound(matrix),
+            **self._snapshot(protocol),
+        )
+
+
+@dataclass(frozen=True)
+class FrobeniusSquaredAnswer(Answer):
+    """Answer to :class:`FrobeniusSquared`; ``estimate`` is ``F̂``."""
+
+
+@dataclass(frozen=True)
+class FrobeniusSquared(Query):
+    """The coordinator's estimate ``F̂`` of ``‖A‖²_F``."""
+
+    def answer(self, protocol: DistributedProtocol) -> FrobeniusSquaredAnswer:
+        matrix = self._require_matrix(protocol)
+        return FrobeniusSquaredAnswer(
+            estimate=matrix.estimated_squared_frobenius(),
+            error_bound=_norm_bound(matrix),
+            **self._snapshot(protocol),
+        )
+
+
+@dataclass(frozen=True)
+class ApproximationError(Query):
+    """The paper's ``err`` metric ``‖AᵀA − BᵀB‖₂ / ‖A‖²_F`` right now.
+
+    Uses the ground-truth accumulators the base class maintains for
+    evaluation, so this is a *measured* error, not an estimate; the
+    ``error_bound`` of the answer is the guarantee it should satisfy.
+    """
+
+    def answer(self, protocol: DistributedProtocol) -> Answer:
+        matrix = self._require_matrix(protocol)
+        bound = _norm_bound(matrix)
+        normalised: Optional[float] = None
+        if bound is not None and matrix.observed_squared_frobenius > 0.0:
+            normalised = bound / matrix.observed_squared_frobenius
+        return Answer(
+            estimate=matrix.approximation_error(),
+            error_bound=normalised,
+            **self._snapshot(protocol),
+        )

@@ -1,0 +1,142 @@
+"""Checkpoint/restore for tracker sessions and raw protocols.
+
+Long-running continuous-tracking sessions need to survive process restarts:
+``tracker.save(path)`` writes a versioned checkpoint and
+``Tracker.load(path)`` resumes it **bit-identically** — the restored session
+produces the same messages, the same seeded RNG draws and the same query
+answers as a session that never stopped.  This works because every stateful
+component implements the versioned ``get_state``/``set_state`` contract of
+:class:`~repro.utils.stateio.Stateful`:
+
+* all protocol classes (coordinator state, per-site states, thresholds),
+* every sketch they embed (Misra-Gries, SpaceSaving, Frequent Directions, …),
+* the :class:`~repro.streaming.network.Network` and its
+  :class:`~repro.streaming.network.CommunicationLog` (message accounting
+  resumes at the exact counters/sequence numbers),
+* the per-site ``numpy.random.Generator`` streams (bit-generator state is
+  captured exactly), and
+* the session partitioner (so site assignment continues its sequence).
+
+File format: a pickle of ``{"format", "version", ...}`` with
+:data:`CHECKPOINT_VERSION` bumped on incompatible layout changes; loading a
+checkpoint with an unknown format or version raises :class:`CheckpointError`
+instead of resuming with garbage.  Checkpoints use :mod:`pickle`, so — as
+with any pickle — only load files you wrote yourself.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..streaming.protocol import DistributedProtocol
+from ..utils.stateio import StateError, restore_object
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "save_tracker",
+    "load_tracker",
+    "save_protocol",
+    "load_protocol",
+]
+
+#: Bump on incompatible changes to the checkpoint payload layout.
+CHECKPOINT_VERSION = 1
+
+_TRACKER_FORMAT = "repro/tracker-checkpoint"
+_PROTOCOL_FORMAT = "repro/protocol-checkpoint"
+
+PathLike = Union[str, Path]
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file cannot be loaded by this build."""
+
+
+def _write(path: PathLike, payload: Dict[str, Any]) -> None:
+    with open(Path(path), "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _read(path: PathLike, expected_format: str) -> Dict[str, Any]:
+    with open(Path(path), "rb") as handle:
+        try:
+            payload = pickle.load(handle)
+        except Exception as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!s}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != expected_format:
+        raise CheckpointError(
+            f"{path!s} is not a {expected_format!r} checkpoint"
+        )
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!s} has version {version!r}; this build "
+            f"supports version {CHECKPOINT_VERSION}"
+        )
+    return payload
+
+
+# ------------------------------------------------------------------ trackers
+def save_tracker(tracker: Any, path: PathLike) -> None:
+    """Write a full session checkpoint for ``tracker`` to ``path``."""
+    from .tracker import Tracker
+
+    if not isinstance(tracker, Tracker):
+        raise TypeError(f"expected a Tracker, got {type(tracker).__name__}")
+    # copy_data=False: the snapshots go straight into pickle.dump, which is
+    # itself a point-in-time serialisation — no defensive deep copy needed.
+    _write(path, {
+        "format": _TRACKER_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "spec": tracker.spec,
+        "params": tracker.params,
+        "chunk_size": tracker.chunk_size,
+        "partitioner": tracker.partitioner.get_state(copy_data=False),
+        "protocol": tracker.protocol.get_state(copy_data=False),
+    })
+
+
+def load_tracker(path: PathLike) -> Any:
+    """Restore a session checkpointed by :func:`save_tracker`."""
+    from .tracker import Tracker
+
+    payload = _read(path, _TRACKER_FORMAT)
+    try:
+        # copy_data=False: the unpickled payload is owned solely by us.
+        protocol = restore_object(payload["protocol"], copy_data=False)
+        partitioner = restore_object(payload["partitioner"], copy_data=False)
+    except StateError as exc:
+        raise CheckpointError(f"cannot restore {path!s}: {exc}") from exc
+    return Tracker(
+        protocol,
+        spec=payload.get("spec"),
+        params=payload.get("params") or {},
+        chunk_size=payload["chunk_size"],  # None means per-item dispatch
+        partitioner=partitioner,
+    )
+
+
+# ----------------------------------------------------------------- protocols
+def save_protocol(protocol: DistributedProtocol, path: PathLike) -> None:
+    """Checkpoint a bare protocol (no session metadata) to ``path``."""
+    if not isinstance(protocol, DistributedProtocol):
+        raise TypeError(
+            f"expected a DistributedProtocol, got {type(protocol).__name__}"
+        )
+    _write(path, {
+        "format": _PROTOCOL_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "protocol": protocol.get_state(copy_data=False),
+    })
+
+
+def load_protocol(path: PathLike) -> DistributedProtocol:
+    """Restore a protocol checkpointed by :func:`save_protocol`."""
+    payload = _read(path, _PROTOCOL_FORMAT)
+    try:
+        return restore_object(payload["protocol"], copy_data=False)
+    except StateError as exc:
+        raise CheckpointError(f"cannot restore {path!s}: {exc}") from exc

@@ -6,6 +6,11 @@ regenerates one table or figure of the paper with configurable workload sizes
 and prints the result as a text table, so the evaluation can be reproduced
 without going through pytest.
 
+Protocols are resolved through the :mod:`repro.api` registry by spec name
+(``--protocol hh/P3``); ``repro-experiments protocols`` prints the registry
+table and ``repro-experiments track`` runs one ad-hoc tracking session with
+optional checkpointing.
+
 Examples
 --------
 ::
@@ -14,6 +19,8 @@ Examples
     repro-experiments table1 --num-rows 8000
     repro-experiments figure2 --dataset pamap --num-rows 6000
     repro-experiments figure67 --dataset pamap
+    repro-experiments protocols
+    repro-experiments track --protocol hh/P3 --num-items 50000 --phi 0.05
     repro-experiments list
 """
 
@@ -23,6 +30,15 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .api import (
+    Covariance,
+    FrobeniusSquared,
+    HeavyHitters,
+    Tracker,
+    available_specs,
+    get_spec,
+    registry_rows,
+)
 from .evaluation.tables import format_table, render_figure
 from .evaluation.throughput import (
     BENCH_CHUNK_SIZE,
@@ -55,6 +71,8 @@ _EXPERIMENTS = {
     "figure4": "Matrix tracking: messages vs error frontier",
     "figure67": "Appendix-C protocol P4 against P1-P3",
     "bench": "Ingestion throughput: per-item vs batched engine (items/sec)",
+    "protocols": "The protocol registry: spec names, classes and parameters",
+    "track": "Run one tracking session for a registry spec (--protocol hh/P3)",
 }
 
 
@@ -82,7 +100,19 @@ def _parse_int_list(text: str) -> List[int]:
 
 
 def _parse_protocol_list(text: str) -> List[str]:
-    names = [part.strip().upper() for part in text.split(",") if part.strip()]
+    """Parse a comma-separated bench protocol list.
+
+    Accepts both the bench's bare labels (``P1``) and registry spec names
+    (``hh/P1``) so the CLI vocabulary matches ``--protocol`` everywhere.
+    """
+    names = []
+    for part in text.split(","):
+        name = part.strip()
+        if not name:
+            continue
+        if name.lower().startswith("hh/"):
+            name = name.split("/", 1)[1]
+        names.append(name.upper())
     if not names:
         raise argparse.ArgumentTypeError("expected at least one protocol name")
     unknown = [name for name in names if name not in HH_BENCH_PROTOCOLS]
@@ -92,6 +122,13 @@ def _parse_protocol_list(text: str) -> List[str]:
             f"choose from {', '.join(sorted(HH_BENCH_PROTOCOLS))}"
         )
     return names
+
+
+def _parse_spec(text: str) -> str:
+    try:
+        return get_spec(text).name
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -164,6 +201,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated heavy-hitter protocols to bench "
                           f"(choices: {','.join(sorted(HH_BENCH_PROTOCOLS))})")
     sub.add_argument("--seed", type=int, default=2014)
+
+    subparsers.add_parser("protocols", help=_EXPERIMENTS["protocols"])
+
+    sub = subparsers.add_parser("track", help=_EXPERIMENTS["track"])
+    sub.add_argument("--protocol", type=_parse_spec, required=True,
+                     help="registry spec name, e.g. hh/P3 or matrix/P2 "
+                          "(see `repro-experiments protocols`)")
+    sub.add_argument("--num-items", type=int, default=50_000,
+                     help="stream length (hh domain) / row count (matrix)")
+    sub.add_argument("--num-sites", type=int, default=10,
+                     help="number of sites m")
+    sub.add_argument("--epsilon", type=float, default=0.05,
+                     help="approximation parameter")
+    sub.add_argument("--phi", type=float, default=0.05,
+                     help="heavy hitter threshold (hh domain only)")
+    sub.add_argument("--universe-size", type=int, default=10_000)
+    sub.add_argument("--beta", type=float, default=1_000.0)
+    sub.add_argument("--dataset", choices=["pamap", "msd"], default="pamap",
+                     help="dataset surrogate (matrix domain only)")
+    sub.add_argument("--seed", type=int, default=2014)
+    sub.add_argument("--chunk-size", type=_parse_chunk_size, default=4096)
+    sub.add_argument("--save", metavar="PATH", default=None,
+                     help="write a session checkpoint after the run "
+                          "(resume with Tracker.load)")
 
     return parser
 
@@ -253,6 +314,79 @@ def _run_bench(args, out) -> None:
               f"({row['speedup']}x)", out)
 
 
+def _run_protocols(args, out) -> None:
+    _emit(format_table(registry_rows(),
+                       columns=["spec", "class", "required", "optional",
+                                "summary"],
+                       title="Protocol registry"), out)
+    _emit(f"{len(available_specs())} specs; build with "
+          "repro.create(spec, ...) or repro.Tracker.create(spec, ...)", out)
+
+
+def _spec_kwargs(spec, base: dict) -> dict:
+    """Keep only the parameters the spec accepts; fill computed defaults."""
+    import math
+
+    accepted = {param.name for param in spec.params}
+    kwargs = {name: value for name, value in base.items() if name in accepted}
+    if spec.name == "matrix/FD" and "sketch_size" not in kwargs:
+        kwargs["sketch_size"] = max(1, math.ceil(2.0 / base["epsilon"]))
+    return kwargs
+
+
+def _run_track(args, out) -> None:
+    """Run one ad-hoc tracking session through the Tracker facade."""
+    spec = get_spec(args.protocol)
+    if spec.domain == "hh":
+        from .data.zipfian import ZipfianStreamGenerator
+        from .streaming.items import WeightedItemBatch
+
+        generator = ZipfianStreamGenerator(universe_size=args.universe_size,
+                                           skew=2.0, beta=args.beta,
+                                           seed=args.seed)
+        sample = generator.generate(args.num_items)
+        tracker = Tracker.create(
+            spec.name, chunk_size=args.chunk_size,
+            **_spec_kwargs(spec, {"num_sites": args.num_sites,
+                                  "epsilon": args.epsilon,
+                                  "seed": args.seed}))
+        tracker.run(WeightedItemBatch.from_pairs(sample.items))
+        answer = tracker.query(HeavyHitters(phi=args.phi))
+        _emit(repr(tracker), out)
+        _emit(f"heavy hitters (phi={args.phi:g}, additive bound "
+              f"{answer.error_bound:.4g}):", out)
+        for hitter in answer.hitters[:10]:
+            _emit(f"  {hitter.element!r}: share {hitter.relative_weight:.4f} "
+                  f"(estimated weight {hitter.estimated_weight:.4g})", out)
+    else:
+        from .data.datasets import load_dataset
+
+        dataset = load_dataset(args.dataset, num_rows=args.num_items,
+                               seed=args.seed)
+        tracker = Tracker.create(
+            spec.name, chunk_size=args.chunk_size,
+            **_spec_kwargs(spec, {"num_sites": args.num_sites,
+                                  "dimension": dataset.dimension,
+                                  "epsilon": args.epsilon,
+                                  "seed": args.seed}))
+        tracker.run(dataset.rows)
+        covariance = tracker.query(Covariance())
+        frobenius = tracker.query(FrobeniusSquared())
+        _emit(repr(tracker), out)
+        bound = ("none (Appendix C)" if covariance.error_bound is None
+                 else f"{covariance.error_bound:.4g}")
+        _emit(f"covariance spectral-error bound: {bound}", out)
+        _emit(f"estimated ||A||_F^2: {frobenius.estimate:.6g}", out)
+    stats = tracker.stats()
+    _emit(f"items={stats.items_processed}  messages={stats.total_messages}  "
+          f"({stats.items_processed / max(1, stats.total_messages):.1f}x "
+          "less than forwarding everything)", out)
+    if args.save:
+        tracker.save(args.save)
+        _emit(f"checkpoint written to {args.save} "
+              "(resume with repro.Tracker.load)", out)
+
+
 def _run_figure67(args, out) -> None:
     results = figure67_p4_comparison(args.dataset, _matrix_config(args))
     _emit(render_figure(results["err_vs_epsilon"], "err",
@@ -290,6 +424,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         _run_figure67(args, out)
     elif args.command == "bench":
         _run_bench(args, out)
+    elif args.command == "protocols":
+        _run_protocols(args, out)
+    elif args.command == "track":
+        _run_track(args, out)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return 0

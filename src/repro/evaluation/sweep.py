@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..streaming.partition import Partitioner
-from ..streaming.runner import StreamingEngine
+from ..streaming.runner import DEFAULT_CHUNK_SIZE, StreamingEngine
 
 __all__ = ["SweepRecord", "SweepResult", "ParameterSweep"]
 
@@ -170,13 +170,17 @@ class ParameterSweep:
             Callable ``(protocol, value) -> metrics dict`` run after
             ingestion.
         engine:
-            The :class:`~repro.streaming.runner.StreamingEngine` to ingest
-            with; defaults to a fresh engine with the default chunk size.
+            Supplies the ingestion chunk size (each cell runs through a
+            fresh :class:`~repro.api.tracker.Tracker` session built around
+            its protocol); defaults to the engine default chunk size.
         partitioner_factory:
             Optional callable ``protocol -> Partitioner``; defaults to the
             engine's round-robin assignment.
         """
-        engine = engine if engine is not None else StreamingEngine()
+        from ..api.tracker import Tracker  # local import: api sits above evaluation
+
+        chunk_size = (engine.chunk_size if engine is not None
+                      else DEFAULT_CHUNK_SIZE)
         if not (hasattr(stream, "__getitem__") or isinstance(stream, (list, tuple))):
             # One-shot iterators would be exhausted by the first cell,
             # silently starving every later cell — materialise once.
@@ -187,7 +191,9 @@ class ParameterSweep:
                 protocol = factory(value)
                 partitioner = (partitioner_factory(protocol)
                                if partitioner_factory is not None else None)
-                engine.run(protocol, stream, partitioner=partitioner)
+                tracker = Tracker(protocol, chunk_size=chunk_size,
+                                  partitioner=partitioner)
+                tracker.run(stream)
                 metrics = evaluate(protocol, value)
                 result.records.append(
                     SweepRecord(protocol=name, parameter=self._parameter,

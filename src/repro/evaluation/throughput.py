@@ -18,13 +18,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api.registry import create
 from ..data.synthetic_matrix import make_pamap_like
 from ..data.zipfian import ZipfianStreamGenerator
-from ..heavy_hitters.p1_batched_mg import BatchedMisraGriesProtocol
-from ..heavy_hitters.p2_threshold import ThresholdedUpdatesProtocol
-from ..heavy_hitters.p3_sampling import PrioritySamplingProtocol
-from ..heavy_hitters.p4_randomized import RandomizedReportingProtocol
-from ..matrix_tracking.p1_batched_fd import BatchedFrequentDirectionsProtocol
 from ..streaming.items import WeightedItemBatch
 from ..streaming.runner import StreamingEngine
 
@@ -43,16 +39,15 @@ BENCH_CHUNK_SIZE = 16_384
 
 #: Heavy-hitter protocols the bench can exercise, now that P2-P4 have native
 #: ``process_batch`` kernels.  Each factory takes ``(num_sites, epsilon,
-#: seed)``; the deterministic protocols ignore the seed.
+#: seed)`` and resolves its protocol through the :mod:`repro.api` registry;
+#: the deterministic protocols ignore the seed.
 HH_BENCH_PROTOCOLS: Dict[str, Callable[[int, float, int], Any]] = {
-    "P1": lambda m, eps, seed: BatchedMisraGriesProtocol(
-        num_sites=m, epsilon=eps),
-    "P2": lambda m, eps, seed: ThresholdedUpdatesProtocol(
-        num_sites=m, epsilon=eps),
-    "P3": lambda m, eps, seed: PrioritySamplingProtocol(
-        num_sites=m, epsilon=eps, sample_size=400, seed=seed),
-    "P4": lambda m, eps, seed: RandomizedReportingProtocol(
-        num_sites=m, epsilon=eps, seed=seed),
+    "P1": lambda m, eps, seed: create("hh/P1", num_sites=m, epsilon=eps),
+    "P2": lambda m, eps, seed: create("hh/P2", num_sites=m, epsilon=eps),
+    "P3": lambda m, eps, seed: create("hh/P3", num_sites=m, epsilon=eps,
+                                      sample_size=400, seed=seed),
+    "P4": lambda m, eps, seed: create("hh/P4", num_sites=m, epsilon=eps,
+                                      seed=seed),
 }
 
 
@@ -176,9 +171,9 @@ def measure_matrix_throughput(
     dataset = make_pamap_like(num_rows=num_rows, seed=seed)
     rows = np.ascontiguousarray(dataset.rows, dtype=np.float64)
     if protocol_factory is None:
-        def protocol_factory(dimension: int) -> BatchedFrequentDirectionsProtocol:
-            return BatchedFrequentDirectionsProtocol(
-                num_sites=num_sites, dimension=dimension, epsilon=epsilon)
+        def protocol_factory(dimension: int) -> Any:
+            return create("matrix/P1", num_sites=num_sites,
+                          dimension=dimension, epsilon=epsilon)
     per_item_protocol = protocol_factory(dataset.dimension)
     per_item_seconds = _time_run(StreamingEngine(chunk_size=None),
                                  per_item_protocol, rows)

@@ -19,17 +19,11 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Hashable, List, Optional
 
+from ..api.registry import create
 from ..data.zipfian import WeightedStreamSample, ZipfianStreamGenerator
 from ..evaluation.metrics import evaluate_heavy_hitter_protocol
 from ..evaluation.sweep import ParameterSweep, SweepResult
-from ..heavy_hitters import (
-    BatchedMisraGriesProtocol,
-    PrioritySamplingProtocol,
-    RandomizedReportingProtocol,
-    ThresholdedUpdatesProtocol,
-    WeightedHeavyHitterProtocol,
-    WithReplacementSamplingProtocol,
-)
+from ..heavy_hitters.base import WeightedHeavyHitterProtocol
 from ..sketch.priority_sampler import sample_size_for_epsilon
 from ..streaming.items import WeightedItemBatch
 from ..streaming.partition import RoundRobinPartitioner
@@ -74,22 +68,23 @@ def build_protocols(config: HeavyHitterConfig, epsilon: Optional[float] = None,
                     num_sites: Optional[int] = None,
                     include_with_replacement: bool = False,
                     ) -> Dict[str, WeightedHeavyHitterProtocol]:
-    """Construct fresh instances of P1–P4 for one experiment cell."""
+    """Construct fresh instances of P1–P4 for one experiment cell.
+
+    Protocols are resolved through the :mod:`repro.api` registry by spec
+    name, so the experiment layer carries no protocol-class wiring.
+    """
     eps = epsilon if epsilon is not None else config.epsilon
     sites = num_sites if num_sites is not None else config.num_sites
     protocols: Dict[str, WeightedHeavyHitterProtocol] = {
-        "P1": BatchedMisraGriesProtocol(num_sites=sites, epsilon=eps),
-        "P2": ThresholdedUpdatesProtocol(num_sites=sites, epsilon=eps),
-        "P3": PrioritySamplingProtocol(
-            num_sites=sites, epsilon=eps,
-            sample_size=_sample_size(config, eps), seed=config.seed,
-        ),
-        "P4": RandomizedReportingProtocol(num_sites=sites, epsilon=eps,
-                                          seed=config.seed),
+        "P1": create("hh/P1", num_sites=sites, epsilon=eps),
+        "P2": create("hh/P2", num_sites=sites, epsilon=eps),
+        "P3": create("hh/P3", num_sites=sites, epsilon=eps,
+                     sample_size=_sample_size(config, eps), seed=config.seed),
+        "P4": create("hh/P4", num_sites=sites, epsilon=eps, seed=config.seed),
     }
     if include_with_replacement:
-        protocols["P3wr"] = WithReplacementSamplingProtocol(
-            num_sites=sites, epsilon=eps,
+        protocols["P3wr"] = create(
+            "hh/P3wr", num_sites=sites, epsilon=eps,
             num_samplers=_wr_sample_size(config, eps), seed=config.seed,
         )
     return protocols
@@ -100,17 +95,18 @@ def feed_sample(protocol: WeightedHeavyHitterProtocol,
                 chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE) -> None:
     """Feed a materialised stream into a protocol using round-robin partitioning.
 
-    Ingestion goes through the :class:`~repro.streaming.runner.StreamingEngine`
-    batched path (columnar chunks of ``chunk_size`` items); pass
-    ``chunk_size=None`` for the historical item-at-a-time dispatch.
+    Ingestion runs through a :class:`~repro.api.tracker.Tracker` session
+    (columnar chunks of ``chunk_size`` items through the batched engine);
+    pass ``chunk_size=None`` for the historical item-at-a-time dispatch.
     """
-    engine = StreamingEngine(chunk_size=chunk_size)
+    from ..api.tracker import Tracker
+
     if chunk_size is None:
         stream: object = list(sample.items)
     else:
         stream = WeightedItemBatch.from_pairs(sample.items)
-    engine.run(protocol, stream,
-               partitioner=RoundRobinPartitioner(protocol.num_sites))
+    Tracker(protocol, chunk_size=chunk_size,
+            partitioner=RoundRobinPartitioner(protocol.num_sites)).run(stream)
 
 
 def run_single_protocol(protocol: WeightedHeavyHitterProtocol,

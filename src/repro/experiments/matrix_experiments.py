@@ -16,20 +16,12 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..api.registry import create
 from ..data.datasets import load_dataset
 from ..data.synthetic_matrix import SyntheticMatrix
 from ..evaluation.metrics import evaluate_matrix_protocol
 from ..evaluation.sweep import ParameterSweep, SweepResult
-from ..matrix_tracking import (
-    BatchedFrequentDirectionsProtocol,
-    CentralizedFDBaseline,
-    CentralizedSVDBaseline,
-    DeterministicDirectionProtocol,
-    MatrixPrioritySamplingProtocol,
-    MatrixTrackingProtocol,
-    SingularDirectionUpdateProtocol,
-    WithReplacementMatrixSamplingProtocol,
-)
+from ..matrix_tracking.base import MatrixTrackingProtocol
 from ..sketch.priority_sampler import sample_size_for_epsilon
 from ..streaming.partition import RoundRobinPartitioner
 from ..streaming.runner import DEFAULT_CHUNK_SIZE, StreamingEngine
@@ -73,32 +65,33 @@ def build_protocols(config: MatrixConfig, dimension: int, num_rows: int,
                     include_with_replacement: bool = False,
                     include_p4: bool = False,
                     ) -> Dict[str, MatrixTrackingProtocol]:
-    """Construct fresh instances of the matrix protocols for one experiment cell."""
+    """Construct fresh instances of the matrix protocols for one experiment cell.
+
+    Protocols are resolved through the :mod:`repro.api` registry by spec
+    name, so the experiment layer carries no protocol-class wiring.
+    """
     eps = epsilon if epsilon is not None else config.epsilon
     sites = num_sites if num_sites is not None else config.num_sites
     protocols: Dict[str, MatrixTrackingProtocol] = {
-        "P1": BatchedFrequentDirectionsProtocol(
-            num_sites=sites, dimension=dimension, epsilon=eps,
-            coordinator_sketch_size=config.coordinator_sketch_size,
-        ),
-        "P2": DeterministicDirectionProtocol(
-            num_sites=sites, dimension=dimension, epsilon=eps,
-            coordinator_sketch_size=config.coordinator_sketch_size,
-        ),
-        "P3": MatrixPrioritySamplingProtocol(
-            num_sites=sites, dimension=dimension, epsilon=eps,
-            sample_size=_sample_size(config, eps, num_rows), seed=config.seed,
-        ),
+        "P1": create("matrix/P1", num_sites=sites, dimension=dimension,
+                     epsilon=eps,
+                     coordinator_sketch_size=config.coordinator_sketch_size),
+        "P2": create("matrix/P2", num_sites=sites, dimension=dimension,
+                     epsilon=eps,
+                     coordinator_sketch_size=config.coordinator_sketch_size),
+        "P3": create("matrix/P3", num_sites=sites, dimension=dimension,
+                     epsilon=eps, sample_size=_sample_size(config, eps, num_rows),
+                     seed=config.seed),
     }
     if include_with_replacement:
-        protocols["P3wr"] = WithReplacementMatrixSamplingProtocol(
-            num_sites=sites, dimension=dimension, epsilon=eps,
+        protocols["P3wr"] = create(
+            "matrix/P3wr", num_sites=sites, dimension=dimension, epsilon=eps,
             num_samplers=_wr_sample_size(config, eps, num_rows), seed=config.seed,
         )
     if include_p4:
-        protocols["P4"] = SingularDirectionUpdateProtocol(
-            num_sites=sites, dimension=dimension, epsilon=eps, seed=config.seed,
-        )
+        protocols["P4"] = create("matrix/P4", num_sites=sites,
+                                 dimension=dimension, epsilon=eps,
+                                 seed=config.seed)
     return protocols
 
 
@@ -106,15 +99,16 @@ def feed_dataset(protocol: MatrixTrackingProtocol, rows: np.ndarray,
                  chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE) -> None:
     """Feed the rows of a matrix into a protocol using round-robin partitioning.
 
-    The row block is sliced zero-copy by the
-    :class:`~repro.streaming.runner.StreamingEngine` and dispatched through
-    the batched path; pass ``chunk_size=None`` for item-at-a-time dispatch.
+    The row block is sliced zero-copy and dispatched through the batched
+    engine of a :class:`~repro.api.tracker.Tracker` session; pass
+    ``chunk_size=None`` for item-at-a-time dispatch.
     """
-    engine = StreamingEngine(chunk_size=chunk_size)
+    from ..api.tracker import Tracker
+
     rows = np.asarray(rows, dtype=np.float64)
     stream = rows if chunk_size is not None else list(rows)
-    engine.run(protocol, stream,
-               partitioner=RoundRobinPartitioner(protocol.num_sites))
+    Tracker(protocol, chunk_size=chunk_size,
+            partitioner=RoundRobinPartitioner(protocol.num_sites)).run(stream)
 
 
 def run_single_protocol(protocol: MatrixTrackingProtocol, rows: np.ndarray,
@@ -146,13 +140,10 @@ def table1_rows(config: Optional[MatrixConfig] = None,
             "P2": protocols["P2"],
             "P3wor": protocols["P3"],
             "P3wr": protocols["P3wr"],
-            "FD": CentralizedFDBaseline(
-                num_sites=config.num_sites, dimension=dataset.dimension,
-                sketch_size=rank,
-            ),
-            "SVD": CentralizedSVDBaseline(
-                num_sites=config.num_sites, dimension=dataset.dimension, rank=rank,
-            ),
+            "FD": create("matrix/FD", num_sites=config.num_sites,
+                         dimension=dataset.dimension, sketch_size=rank),
+            "SVD": create("matrix/SVD", num_sites=config.num_sites,
+                          dimension=dataset.dimension, rank=rank),
         }
         for name, protocol in named.items():
             metrics = run_single_protocol(protocol, dataset.rows, name,

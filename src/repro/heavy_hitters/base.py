@@ -107,6 +107,16 @@ class WeightedHeavyHitterProtocol(DistributedProtocol):
         """All candidate elements retained by the coordinator with estimates."""
 
     # --------------------------------------------------------------- queries
+    def estimate_error_bound(self) -> float:
+        """Additive bound ``ε·Ŵ`` on every frequency estimate right now.
+
+        Reported with the coordinator's total-weight estimate ``Ŵ`` standing
+        in for the true ``W``; the zero-error forwarding baseline overrides
+        this with 0.  The ``repro.api`` query layer surfaces the value as
+        ``Answer.error_bound``.
+        """
+        return self._epsilon * self.estimated_total_weight()
+
     def heavy_hitters(self, phi: float) -> List[HeavyHitter]:
         """Return elements with estimated relative weight at least ``φ − ε/2``.
 

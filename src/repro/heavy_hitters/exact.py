@@ -19,6 +19,9 @@ __all__ = ["ExactForwardingProtocol"]
 class ExactForwardingProtocol(WeightedHeavyHitterProtocol):
     """Zero-error baseline that ships every stream item to the coordinator."""
 
+    #: Checkpoint-contract version of this class's state layout.
+    state_version = 1
+
     def __init__(self, num_sites: int, epsilon: float = 1e-6,
                  keep_message_records: bool = False):
         super().__init__(num_sites, epsilon, keep_message_records=keep_message_records)
@@ -51,3 +54,7 @@ class ExactForwardingProtocol(WeightedHeavyHitterProtocol):
 
     def estimates(self) -> Dict[Hashable, float]:
         return self._coordinator.to_dict()
+
+    def estimate_error_bound(self) -> float:
+        """The baseline forwards everything: its answers are exact."""
+        return 0.0

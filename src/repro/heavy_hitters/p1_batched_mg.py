@@ -72,6 +72,15 @@ class BatchedMisraGriesProtocol(WeightedHeavyHitterProtocol):
         self._coordinator_weight = 0.0      # W_C: total weight of received summaries
         self._broadcast_weight = 0.0        # Ŵ: last broadcast estimate
 
+    #: Checkpoint-contract version of this class's state layout (see
+    #: :mod:`repro.utils.stateio`); bump on incompatible changes.
+    state_version = 1
+
+    def _repr_params(self):
+        params = super()._repr_params()
+        params["num_counters"] = self._num_counters
+        return params
+
     # ------------------------------------------------------------ properties
     @property
     def num_counters(self) -> int:

@@ -111,6 +111,16 @@ class ThresholdedUpdatesProtocol(WeightedHeavyHitterProtocol):
         self._scalar_messages_this_round = 0
         self._rounds_completed = 0
 
+    #: Checkpoint-contract version of this class's state layout.
+    state_version = 1
+
+    def _repr_params(self):
+        params = super()._repr_params()
+        sketch = self._sites[0].sketch if self._sites else None
+        if sketch is not None:
+            params["site_space"] = sketch.num_counters
+        return params
+
     # ------------------------------------------------------------ properties
     @property
     def estimated_total(self) -> float:

@@ -76,6 +76,14 @@ class PrioritySamplingProtocol(WeightedHeavyHitterProtocol):
         # coordinator has received every stream item and answers exactly.
         self._is_exact = True
 
+    #: Checkpoint-contract version of this class's state layout.
+    state_version = 1
+
+    def _repr_params(self):
+        params = super()._repr_params()
+        params["sample_size"] = self._sample_size
+        return params
+
     # ------------------------------------------------------------ properties
     @property
     def sample_size(self) -> int:
@@ -263,6 +271,14 @@ class WithReplacementSamplingProtocol(WeightedHeavyHitterProtocol):
         self._is_exact = True
         self._exact_counts: Dict[Hashable, float] = {}
         self._exact_total = 0.0
+
+    #: Checkpoint-contract version of this class's state layout.
+    state_version = 1
+
+    def _repr_params(self):
+        params = super()._repr_params()
+        params["num_samplers"] = self._num_samplers
+        return params
 
     # ------------------------------------------------------------ properties
     @property

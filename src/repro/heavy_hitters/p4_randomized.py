@@ -77,6 +77,9 @@ class RandomizedReportingProtocol(WeightedHeavyHitterProtocol):
         # total weight without extra messages).
         self._corrected_totals: Dict[int, float] = {}
 
+    #: Checkpoint-contract version of this class's state layout.
+    state_version = 1
+
     # ------------------------------------------------------------ properties
     @property
     def broadcast_weight(self) -> float:

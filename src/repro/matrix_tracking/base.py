@@ -20,7 +20,7 @@ retaining the full stream.
 from __future__ import annotations
 
 import abc
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -130,6 +130,17 @@ class MatrixTrackingProtocol(DistributedProtocol):
             return 0.0
         product = sketch @ np.asarray(x, dtype=np.float64)
         return float(np.dot(product, product))
+
+    def covariance_error_bound(self) -> Optional[float]:
+        """Additive bound on ``‖AᵀA − BᵀB‖₂`` at this instant, or ``None``.
+
+        The distributed protocols guarantee ``ε·‖A‖²_F`` and report it using
+        the coordinator's estimate ``F̂``; subclasses with tighter (the
+        centralized baselines) or absent (the Appendix-C P4) guarantees
+        override this.  The ``repro.api`` query layer surfaces the value as
+        ``Answer.error_bound``.
+        """
+        return self._epsilon * self.estimated_squared_frobenius()
 
     def approximation_error(self) -> float:
         """The paper's ``err`` metric ``‖AᵀA − BᵀB‖₂ / ‖A‖²_F`` right now."""

@@ -45,6 +45,9 @@ class CentralizedSVDBaseline(MatrixTrackingProtocol):
         self._rank = check_positive_int(rank, name="rank") if rank is not None else None
         self._store = ExactMatrix(dimension, keep_rows=True)
 
+    #: Checkpoint-contract version of this class's state layout.
+    state_version = 1
+
     @property
     def rank(self) -> Optional[int]:
         """Target rank ``k`` of the reported approximation (None = exact)."""
@@ -74,6 +77,15 @@ class CentralizedSVDBaseline(MatrixTrackingProtocol):
     def estimated_squared_frobenius(self) -> float:
         return self._store.squared_frobenius
 
+    def covariance_error_bound(self) -> Optional[float]:
+        """Exact storage is error-free; rank-``k`` truncation loses σ²_{k+1}."""
+        if self._rank is None or self._store.rows_seen == 0:
+            return 0.0
+        values = self._store.top_singular_values(self._rank + 1)
+        if values.shape[0] <= self._rank:
+            return 0.0
+        return float(values[self._rank] ** 2)
+
 
 class CentralizedFDBaseline(MatrixTrackingProtocol):
     """Send all rows to the coordinator and sketch them with Frequent Directions.
@@ -94,6 +106,9 @@ class CentralizedFDBaseline(MatrixTrackingProtocol):
         super().__init__(num_sites, dimension, epsilon=1.0,
                          keep_message_records=keep_message_records)
         self._sketch = FrequentDirections(dimension=dimension, sketch_size=sketch_size)
+
+    #: Checkpoint-contract version of this class's state layout.
+    state_version = 1
 
     @property
     def sketch_size(self) -> int:
@@ -119,3 +134,7 @@ class CentralizedFDBaseline(MatrixTrackingProtocol):
 
     def estimated_squared_frobenius(self) -> float:
         return self._sketch.squared_frobenius
+
+    def covariance_error_bound(self) -> Optional[float]:
+        """Frequent Directions' deterministic bound ``2·‖A‖²_F / ℓ``."""
+        return self._sketch.error_bound()

@@ -81,6 +81,14 @@ class BatchedFrequentDirectionsProtocol(MatrixTrackingProtocol):
         self._coordinator_norm = 0.0   # F_C: squared norm represented at coordinator
         self._broadcast_norm = 0.0     # F̂: last broadcast estimate
 
+    #: Checkpoint-contract version of this class's state layout.
+    state_version = 1
+
+    def _repr_params(self):
+        params = super()._repr_params()
+        params["sketch_size"] = self._sketch_size
+        return params
+
     # ------------------------------------------------------------ properties
     @property
     def sketch_size(self) -> int:

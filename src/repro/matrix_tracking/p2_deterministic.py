@@ -104,6 +104,9 @@ class DeterministicDirectionProtocol(MatrixTrackingProtocol):
             self._coordinator_sketch = FrequentDirections(dimension=dimension,
                                                           sketch_size=size)
 
+    #: Checkpoint-contract version of this class's state layout.
+    state_version = 1
+
     # ------------------------------------------------------------ properties
     @property
     def estimated_norm(self) -> float:

@@ -76,6 +76,14 @@ class MatrixPrioritySamplingProtocol(MatrixTrackingProtocol):
         self._next_queue: List[Tuple[np.ndarray, float, float]] = []
         self._is_exact = True
 
+    #: Checkpoint-contract version of this class's state layout.
+    state_version = 1
+
+    def _repr_params(self):
+        params = super()._repr_params()
+        params["sample_size"] = self._sample_size
+        return params
+
     # ------------------------------------------------------------ properties
     @property
     def sample_size(self) -> int:
@@ -262,6 +270,14 @@ class WithReplacementMatrixSamplingProtocol(MatrixTrackingProtocol):
         self._slots = [_RowSamplerSlot() for _ in range(self._num_samplers)]
         self._is_exact = True
         self._exact_rows: List[np.ndarray] = []
+
+    #: Checkpoint-contract version of this class's state layout.
+    state_version = 1
+
+    def _repr_params(self):
+        params = super()._repr_params()
+        params["num_samplers"] = self._num_samplers
+        return params
 
     # ------------------------------------------------------------ properties
     @property

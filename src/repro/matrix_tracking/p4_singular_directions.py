@@ -76,6 +76,9 @@ class SingularDirectionUpdateProtocol(MatrixTrackingProtocol):
         self._reported_norm = 0.0     # sum of site norm reports
         self._broadcast_norm = 0.0    # F̂ known to the sites
 
+    #: Checkpoint-contract version of this class's state layout.
+    state_version = 1
+
     # ------------------------------------------------------------ properties
     @property
     def broadcast_norm(self) -> float:
@@ -220,3 +223,7 @@ class SingularDirectionUpdateProtocol(MatrixTrackingProtocol):
         if self._reported_norm > 0.0:
             return self._reported_norm
         return self._broadcast_norm
+
+    def covariance_error_bound(self):
+        """Appendix C's point: this protocol achieves no ``ε·‖A‖²_F`` bound."""
+        return None

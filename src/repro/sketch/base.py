@@ -23,6 +23,8 @@ from typing import Dict, Generic, Hashable, Iterable, List, Optional, Sequence, 
 
 import numpy as np
 
+from ..utils.stateio import Stateful
+
 __all__ = ["FrequencySketch", "MatrixSketch", "aggregate_weighted_batch"]
 
 Element = TypeVar("Element", bound=Hashable)
@@ -69,8 +71,12 @@ def aggregate_weighted_batch(
     return list(grouped.keys()), list(grouped.values())
 
 
-class FrequencySketch(abc.ABC, Generic[Element]):
-    """Summary of a weighted item stream supporting frequency estimation."""
+class FrequencySketch(Stateful, abc.ABC, Generic[Element]):
+    """Summary of a weighted item stream supporting frequency estimation.
+
+    All summaries inherit the versioned ``get_state``/``set_state``
+    checkpoint contract of :class:`~repro.utils.stateio.Stateful`.
+    """
 
     @abc.abstractmethod
     def update(self, element: Element, weight: float = 1.0) -> None:
@@ -131,8 +137,12 @@ class FrequencySketch(abc.ABC, Generic[Element]):
         return len(self.to_dict())
 
 
-class MatrixSketch(abc.ABC):
-    """Summary of a stream of rows supporting covariance approximation."""
+class MatrixSketch(Stateful, abc.ABC):
+    """Summary of a stream of rows supporting covariance approximation.
+
+    All summaries inherit the versioned ``get_state``/``set_state``
+    checkpoint contract of :class:`~repro.utils.stateio.Stateful`.
+    """
 
     @abc.abstractmethod
     def update(self, row: np.ndarray) -> None:

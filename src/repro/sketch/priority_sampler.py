@@ -30,6 +30,7 @@ from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
 import numpy as np
 
 from ..utils.rng import SeedLike, as_generator, spawn
+from ..utils.stateio import Stateful
 from ..utils.validation import check_positive_int, check_weight
 
 __all__ = [
@@ -71,7 +72,7 @@ class SampledItem(Generic[Payload]):
         return max(self.weight, threshold)
 
 
-class PrioritySample(Generic[Payload]):
+class PrioritySample(Stateful, Generic[Payload]):
     """Weighted sample without replacement of (at least) ``sample_size`` items.
 
     The summary keeps the ``sample_size + 1`` highest-priority items; the
@@ -178,7 +179,7 @@ class PrioritySample(Generic[Payload]):
         )
 
 
-class WithReplacementSamplers(Generic[Payload]):
+class WithReplacementSamplers(Stateful, Generic[Payload]):
     """``s`` independent single-item weighted samplers (with replacement).
 
     Each of the ``s`` samplers assigns every arriving item an independent

@@ -25,13 +25,14 @@ from typing import Optional
 import numpy as np
 
 from ..utils.linalg import project_onto_rowspace, squared_frobenius, thin_svd
+from ..utils.stateio import Stateful
 from ..utils.validation import check_epsilon, check_positive_int
 from .frequent_directions import FrequentDirections
 
 __all__ = ["RelativeErrorFrequentDirections"]
 
 
-class RelativeErrorFrequentDirections:
+class RelativeErrorFrequentDirections(Stateful):
     """Frequent Directions sized for relative-error rank-``k`` approximation.
 
     Parameters

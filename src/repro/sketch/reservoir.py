@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Generic, List, TypeVar
 
 from ..utils.rng import SeedLike, as_generator
+from ..utils.stateio import Stateful
 from ..utils.validation import check_positive_int, check_weight
 
 __all__ = ["WeightedReservoir", "ReservoirItem"]
@@ -34,7 +35,7 @@ class ReservoirItem(Generic[Payload]):
     key: float
 
 
-class WeightedReservoir(Generic[Payload]):
+class WeightedReservoir(Stateful, Generic[Payload]):
     """Fixed-size weighted sample without replacement (A-Res scheme).
 
     Parameters

@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+from ..utils.stateio import Stateful
 from ..utils.validation import check_positive_int
 
 __all__ = ["MessageKind", "Direction", "MessageRecord", "CommunicationLog", "Network"]
@@ -56,8 +57,12 @@ class MessageRecord:
 
 
 @dataclass
-class CommunicationLog:
+class CommunicationLog(Stateful):
     """Aggregated message counters plus (optionally) the full record list.
+
+    Supports the ``get_state``/``set_state`` checkpoint contract: a restored
+    log resumes with identical counters, sequence numbers and (when enabled)
+    record list, so message accounting continues bit-identically.
 
     Parameters
     ----------
@@ -179,13 +184,15 @@ class CommunicationLog:
         return iter(self.records)
 
 
-class Network:
+class Network(Stateful):
     """Star network connecting ``num_sites`` sites to one coordinator.
 
     All transmissions are routed through :attr:`log` which performs the
     message accounting; the optional payload inbox is only used by protocols
     that want to decouple "send" from "deliver" (not needed by the synchronous
-    protocols in this library, but exercised in tests).
+    protocols in this library, but exercised in tests).  The network supports
+    the ``get_state``/``set_state`` checkpoint contract (covering the log and
+    any undelivered inbox payloads).
     """
 
     def __init__(self, num_sites: int, keep_records: bool = False):

@@ -24,6 +24,7 @@ from typing import Hashable, Iterable, Iterator, Sequence, TypeVar
 import numpy as np
 
 from ..utils.rng import SeedLike, as_generator
+from ..utils.stateio import Stateful
 from ..utils.validation import check_positive_int, check_site_count
 
 __all__ = [
@@ -37,8 +38,15 @@ __all__ = [
 Item = TypeVar("Item")
 
 
-class Partitioner(abc.ABC):
-    """Assigns each stream item to one of ``num_sites`` sites."""
+class Partitioner(Stateful, abc.ABC):
+    """Assigns each stream item to one of ``num_sites`` sites.
+
+    Partitioners support the ``get_state``/``set_state`` checkpoint contract
+    so a restored tracker routes the rest of the stream exactly as an
+    uninterrupted one would (this matters for the seeded
+    :class:`UniformRandomPartitioner`, whose generator state is part of the
+    captured state).
+    """
 
     def __init__(self, num_sites: int):
         self._num_sites = check_site_count(num_sites)

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..utils.stateio import Stateful
 from ..utils.validation import check_site_count
 from .items import MatrixRowBatch, WeightedItemBatch, _as_element_column
 from .network import Network
@@ -131,8 +132,16 @@ def group_positions_by_element(elements: Sequence) -> List[Tuple[Any, np.ndarray
             for element, positions in grouped.items()]
 
 
-class DistributedProtocol(abc.ABC):
+class DistributedProtocol(Stateful, abc.ABC):
     """Common machinery for distributed streaming protocols.
+
+    Every protocol supports the versioned ``get_state``/``set_state``
+    checkpoint contract of :class:`~repro.utils.stateio.Stateful`: the
+    captured state covers the coordinator and per-site state, the network's
+    message accounting and the per-site RNG streams, so a restored protocol
+    continues bit-identically to one that never stopped.  The
+    :class:`~repro.api.tracker.Tracker` facade builds ``save``/``load`` on
+    top of this.
 
     Parameters
     ----------
@@ -293,9 +302,27 @@ class DistributedProtocol(abc.ABC):
         """Record that ``count`` more stream items have been consumed."""
         self._items_processed += int(count)
 
+    def _repr_params(self) -> Dict[str, Any]:
+        """Key protocol parameters to surface in ``repr`` (for debugging).
+
+        The base implementation picks up the common knobs by attribute
+        convention (``dimension``, ``epsilon``); subclasses extend the
+        dictionary with their own distinguishing parameters.
+        """
+        params: Dict[str, Any] = {}
+        for name in ("dimension", "epsilon"):
+            value = getattr(self, "_" + name, None)
+            if value is not None:
+                params[name] = value
+        return params
+
     def __repr__(self) -> str:
-        return (
-            f"{type(self).__name__}(num_sites={self._num_sites}, "
-            f"items_processed={self._items_processed}, "
-            f"total_messages={self.total_messages})"
-        )
+        parts = [f"num_sites={self._num_sites}"]
+        for name, value in self._repr_params().items():
+            if isinstance(value, float):
+                parts.append(f"{name}={value:g}")
+            else:
+                parts.append(f"{name}={value!r}")
+        parts.append(f"items_processed={self._items_processed}")
+        parts.append(f"total_messages={self.total_messages}")
+        return f"{type(self).__name__}({', '.join(parts)})"

@@ -1,4 +1,5 @@
-"""Shared utilities: validation, linear algebra helpers and RNG management."""
+"""Shared utilities: validation, linear algebra, RNG management and the
+versioned ``get_state``/``set_state`` checkpoint contract."""
 
 from .linalg import (
     best_rank_k,
@@ -13,6 +14,7 @@ from .linalg import (
     thin_svd,
 )
 from .rng import SeedLike, as_generator, random_unit_vector, spawn
+from .stateio import StateError, Stateful, restore_object
 from .validation import (
     check_epsilon,
     check_matrix,
@@ -42,6 +44,9 @@ __all__ = [
     "as_generator",
     "random_unit_vector",
     "spawn",
+    "StateError",
+    "Stateful",
+    "restore_object",
     "check_epsilon",
     "check_matrix",
     "check_non_negative_float",

@@ -1,0 +1,286 @@
+"""Checkpoint/resume equivalence: save mid-stream, resume bit-identically.
+
+The core property of ``repro.api.state``: for **every** registered protocol
+spec, a tracker saved mid-stream and loaded back must finish the stream
+*bit-identically* to one that never stopped — identical query answers,
+identical message accounting (units, kinds, directions and transmission
+counts) and identical per-site RNG states.
+
+Streams and site assignments reuse the property harness of
+``test_protocol_equivalence_properties`` (seed-parameterized via
+``REPRO_PROPERTY_SEEDS``).  The split point is aligned to the tracker chunk
+size so the uninterrupted and resumed runs ingest identical site batches —
+the same condition under which two ``tracker.run`` instalments equal one.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    CheckpointError,
+    Covariance,
+    FrobeniusSquared,
+    HeavyHitters,
+    TotalWeight,
+    available_specs,
+    load_protocol,
+    save_protocol,
+)
+from repro.api.state import CHECKPOINT_VERSION
+from repro.sketch import FrequentDirections, WeightedMisraGries
+from repro.utils.stateio import StateError, restore_object
+
+from test_protocol_equivalence_properties import (
+    NUM_SITES,
+    SEEDS,
+    hh_stream,
+    matrix_stream,
+)
+
+CHUNK = 50          # tracker chunk size; the split point is a multiple of it
+HH_EPSILON = 0.1
+MATRIX_EPSILON = 0.2
+
+#: Spec -> extra parameters (beyond num_sites/epsilon/dimension); the seed
+#: placeholder is filled per test seed for the randomized protocols.
+HH_SPECS = {
+    "hh/P1": {},
+    "hh/P2": {},
+    "hh/P2ss": {"site_space": 64},
+    "hh/P3": {"sample_size": 150, "seed": None},
+    "hh/P3wr": {"num_samplers": 40, "seed": None},
+    "hh/P4": {"seed": None},
+    "hh/exact": {},
+}
+MATRIX_SPECS = {
+    "matrix/P1": {},
+    "matrix/P2": {},
+    "matrix/P3": {"sample_size": 100, "seed": None},
+    "matrix/P3wr": {"num_samplers": 30, "seed": None},
+    "matrix/P4": {"seed": None},
+    "matrix/FD": {"sketch_size": 12},
+    "matrix/SVD": {},
+}
+
+
+def test_every_registered_spec_is_covered():
+    """The round-trip property must cover the whole registry."""
+    assert sorted(HH_SPECS) + sorted(MATRIX_SPECS) == available_specs()
+
+
+def _params(spec: str, seed: int, dimension: int = None) -> dict:
+    extra = dict(HH_SPECS[spec] if spec in HH_SPECS else MATRIX_SPECS[spec])
+    if "seed" in extra:
+        extra["seed"] = seed + 101
+    params = {"num_sites": NUM_SITES, **extra}
+    if spec.startswith("matrix/"):
+        params["dimension"] = dimension
+        if spec not in ("matrix/FD", "matrix/SVD"):
+            params["epsilon"] = MATRIX_EPSILON
+    elif spec != "hh/exact":
+        params["epsilon"] = HH_EPSILON
+    return params
+
+
+def _tracker(spec: str, seed: int, dimension: int = None) -> repro.Tracker:
+    return repro.Tracker.create(spec, chunk_size=CHUNK,
+                                **_params(spec, seed, dimension))
+
+
+def _run_with_sites(tracker, sites, batch, start, stop):
+    for begin in range(start, stop, CHUNK):
+        end = min(begin + CHUNK, stop)
+        tracker.push_batch(sites[begin:end], batch[begin:end])
+
+
+def _rng_states(protocol):
+    generators = getattr(protocol, "_site_rngs", None)
+    if generators is None:
+        return None
+    return [generator.bit_generator.state for generator in generators]
+
+
+def _assert_identical_accounting(resumed, uninterrupted):
+    assert resumed.items_processed == uninterrupted.items_processed
+    assert resumed.total_messages == uninterrupted.total_messages
+    assert (resumed.protocol.message_counts()
+            == uninterrupted.protocol.message_counts())
+    assert _rng_states(resumed.protocol) == _rng_states(uninterrupted.protocol)
+
+
+class TestHeavyHitterRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", sorted(HH_SPECS))
+    def test_save_load_mid_stream_is_bit_identical(self, spec, seed, tmp_path):
+        _, batch, sites = hh_stream(seed)
+        half = (len(batch) // (2 * CHUNK)) * CHUNK
+
+        uninterrupted = _tracker(spec, seed)
+        _run_with_sites(uninterrupted, sites, batch, 0, half)
+        _run_with_sites(uninterrupted, sites, batch, half, len(batch))
+
+        interrupted = _tracker(spec, seed)
+        _run_with_sites(interrupted, sites, batch, 0, half)
+        path = tmp_path / "session.ckpt"
+        interrupted.save(path)
+        resumed = repro.Tracker.load(path)
+        assert resumed.spec == spec
+        assert resumed.items_processed == half
+        # The live tracker keeps running: saving must not disturb it.
+        _run_with_sites(interrupted, sites, batch, half, len(batch))
+        _run_with_sites(resumed, sites, batch, half, len(batch))
+
+        for finished in (interrupted, resumed):
+            _assert_identical_accounting(finished, uninterrupted)
+            assert (finished.protocol.estimates()
+                    == uninterrupted.protocol.estimates())
+            assert (finished.query(HeavyHitters(phi=0.06))
+                    == uninterrupted.query(HeavyHitters(phi=0.06)))
+            assert (finished.query(TotalWeight())
+                    == uninterrupted.query(TotalWeight()))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_resume_through_tracker_run_partitioner_continues(self, seed):
+        """``tracker.run`` instalments split at chunk boundaries resume the
+        round-robin assignment exactly, across a save/load."""
+        _, batch, _ = hh_stream(seed)
+        half = (len(batch) // (2 * CHUNK)) * CHUNK
+
+        uninterrupted = _tracker("hh/P3", seed)
+        uninterrupted.run(batch[:half])
+        uninterrupted.run(batch[half:])
+
+        state = pickle.loads(pickle.dumps(uninterrupted))  # sanity: picklable
+        assert state.total_messages == uninterrupted.total_messages
+
+        resumed = _tracker("hh/P3", seed)
+        resumed.run(batch[:half])
+        payload = pickle.dumps(resumed.protocol.get_state())
+        resumed.protocol.set_state(pickle.loads(payload))
+        resumed.run(batch[half:])
+        assert resumed.total_messages == uninterrupted.total_messages
+        assert resumed.protocol.estimates() == uninterrupted.protocol.estimates()
+
+
+class TestMatrixRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", sorted(MATRIX_SPECS))
+    def test_save_load_mid_stream_is_bit_identical(self, spec, seed, tmp_path):
+        dataset, batch, sites = matrix_stream(seed)
+        half = (len(batch) // (2 * CHUNK)) * CHUNK
+
+        uninterrupted = _tracker(spec, seed, dataset.dimension)
+        _run_with_sites(uninterrupted, sites, batch, 0, half)
+        _run_with_sites(uninterrupted, sites, batch, half, len(batch))
+
+        interrupted = _tracker(spec, seed, dataset.dimension)
+        _run_with_sites(interrupted, sites, batch, 0, half)
+        path = tmp_path / "session.ckpt"
+        interrupted.save(path)
+        resumed = repro.Tracker.load(path)
+        _run_with_sites(resumed, sites, batch, half, len(batch))
+
+        _assert_identical_accounting(resumed, uninterrupted)
+        assert np.array_equal(resumed.protocol.sketch_matrix(),
+                              uninterrupted.protocol.sketch_matrix())
+        assert (resumed.query(FrobeniusSquared()).estimate
+                == uninterrupted.query(FrobeniusSquared()).estimate)
+        ours = resumed.query(Covariance())
+        theirs = uninterrupted.query(Covariance())
+        assert np.array_equal(ours.estimate, theirs.estimate)
+        assert ours.error_bound == theirs.error_bound
+
+
+class TestProtocolCheckpointHelpers:
+    def test_save_load_protocol_without_session(self, tmp_path):
+        protocol = repro.create("hh/P4", num_sites=3, epsilon=0.1, seed=5)
+        protocol.observe_batch([0, 1, 2], [("a", 2.0), ("b", 1.0), ("a", 4.0)])
+        path = tmp_path / "protocol.ckpt"
+        save_protocol(protocol, path)
+        clone = load_protocol(path)
+        assert type(clone) is type(protocol)
+        assert clone.message_counts() == protocol.message_counts()
+        assert clone.estimates() == protocol.estimates()
+        assert _rng_states(clone) == _rng_states(protocol)
+
+    def test_checkpoint_rejects_garbage_and_wrong_versions(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"not a checkpoint")
+        with pytest.raises(CheckpointError):
+            repro.Tracker.load(path)
+        with open(path, "wb") as handle:
+            pickle.dump({"format": "repro/tracker-checkpoint",
+                         "version": CHECKPOINT_VERSION + 1}, handle)
+        with pytest.raises(CheckpointError, match="version"):
+            repro.Tracker.load(path)
+        with open(path, "wb") as handle:
+            pickle.dump({"format": "something-else",
+                         "version": CHECKPOINT_VERSION}, handle)
+        with pytest.raises(CheckpointError):
+            repro.Tracker.load(path)
+
+
+class TestStatefulContract:
+    def test_sketch_state_roundtrip_continues_identically(self):
+        rng = np.random.default_rng(3)
+        rows = rng.standard_normal((120, 6))
+        sketch = FrequentDirections(dimension=6, sketch_size=4)
+        sketch.append_batch(rows[:60])
+        clone = restore_object(sketch.get_state())
+        sketch.append_batch(rows[60:])
+        clone.append_batch(rows[60:])
+        assert np.array_equal(sketch.sketch_matrix(), clone.sketch_matrix())
+        assert sketch.shrinkage == clone.shrinkage
+
+        summary = WeightedMisraGries(num_counters=4)
+        summary.update_batch(["a", "b", "c", "a"], [3.0, 2.0, 1.0, 5.0])
+        twin = restore_object(summary.get_state())
+        for target in (summary, twin):
+            target.update("d", 7.0)
+        assert summary.to_dict() == twin.to_dict()
+        assert summary.shrink_total == twin.shrink_total
+
+    def test_nested_component_version_mismatch_is_rejected(self):
+        """Bumping a *nested* component's state_version (e.g. a sketch
+        embedded in a site state) must invalidate older protocol states."""
+        protocol = repro.create("hh/P1", num_sites=2, epsilon=0.2)
+        protocol.observe_batch([0, 1], [("a", 1.0), ("b", 2.0)])
+        state = protocol.get_state()
+        component_classes = [cls for cls, _ in state["component_versions"]]
+        assert WeightedMisraGries in component_classes  # nested in site state
+        state["component_versions"] = tuple(
+            (cls, version + (cls is WeightedMisraGries))
+            for cls, version in state["component_versions"]
+        )
+        fresh = repro.create("hh/P1", num_sites=2, epsilon=0.2)
+        with pytest.raises(StateError, match="WeightedMisraGries"):
+            fresh.set_state(state)
+
+    def test_set_state_rejects_wrong_class_and_version(self):
+        sketch = FrequentDirections(dimension=4, sketch_size=2)
+        summary = WeightedMisraGries(num_counters=2)
+        with pytest.raises(StateError, match="captured from"):
+            summary.set_state(sketch.get_state())
+        state = summary.get_state()
+        state["state_version"] = 999
+        with pytest.raises(StateError, match="version"):
+            summary.set_state(state)
+        with pytest.raises(StateError):
+            restore_object({"cls": int, "data": {}})
+
+    def test_snapshot_is_isolated_from_the_live_object(self):
+        counter = WeightedMisraGries(num_counters=3)
+        counter.update("x", 1.0)
+        state = counter.get_state()
+        counter.update("y", 2.0)
+        clone = restore_object(state)
+        assert clone.to_dict() == {"x": 1.0}
+        # Restoring twice must not alias state between the two instances.
+        other = restore_object(state)
+        other.update("z", 9.0)
+        assert clone.to_dict() == {"x": 1.0}
