@@ -12,6 +12,10 @@ synthetic workloads, entirely through the ``repro.api`` facade:
    item stream; the coordinator reports every φ-heavy element.
 3. *Checkpoint/resume* — a session saved mid-stream and restored continues
    bit-identically to one that never stopped.
+4. *Sharded execution* — the same session hash-partitioned over several
+   independent coordinator groups (``repro.ShardedTracker``); queries merge
+   per-shard state into one answer with a summed error bound, and
+   ``Answer.to_json()`` serialises it for serving-style consumers.
 
 Protocols are resolved by registry spec name (``repro.create``/
 ``Tracker.create``); queries are typed objects answered with frozen
@@ -103,6 +107,11 @@ def heavy_hitters_demo() -> None:
     for hitter in answer.hitters:
         print(f"    {int(hitter.element):6d}: {hitter.relative_weight:.3f}")
     print(f"  session: {tracker!r}")
+    # Answers serialise to plain JSON for serving-style consumers.
+    payload = answer.to_dict()
+    print(f"  answer.to_dict(): {len(payload['estimate'])} hitters, "
+          f"bound {payload['error_bound']:.1f}, "
+          f"{payload['total_messages']} messages")
     print()
 
 
@@ -144,10 +153,37 @@ def checkpoint_demo() -> None:
     print()
 
 
+def sharded_demo() -> None:
+    """Shard one logical session over independent coordinator groups."""
+    print("=" * 72)
+    print("Sharded execution (repro.ShardedTracker, spec hh/P2)")
+    print("=" * 72)
+
+    generator = ZipfianStreamGenerator(universe_size=5_000, skew=2.0,
+                                       beta=1_000.0, seed=1)
+    batch = WeightedItemBatch.from_pairs(generator.generate(50_000).items)
+
+    # Elements are hash-partitioned across 4 shards, each a full
+    # coordinator group; 'serial' keeps everything in-process (swap in
+    # backend="process" for persistent multi-core workers).
+    with repro.ShardedTracker.create("hh/P2", shards=4, backend="serial",
+                                     num_sites=20, epsilon=0.02) as cluster:
+        cluster.run(batch)
+        answer = cluster.query(HeavyHitters(phi=0.05))
+        stats = cluster.stats()
+        print(f"  cluster: {cluster!r}")
+        print(f"  per-shard (items, messages): {list(stats.per_shard)}")
+        print(f"  merged answer: {len(answer.hitters)} hitters, summed bound "
+              f"{answer.error_bound:.0f}, {answer.total_messages} messages")
+        print(f"  answer.to_json(): {answer.to_json()[:120]}...")
+    print()
+
+
 def main() -> None:
     matrix_tracking_demo()
     heavy_hitters_demo()
     checkpoint_demo()
+    sharded_demo()
 
 
 if __name__ == "__main__":

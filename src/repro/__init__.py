@@ -35,10 +35,13 @@ from .api import (
     Norms,
     ProtocolSpec,
     Query,
+    ShardedTracker,
+    ShardedTrackerStats,
     SketchMatrix,
     TotalWeight,
     Tracker,
     TrackerStats,
+    available_backends,
     available_specs,
     create,
     get_spec,
@@ -97,10 +100,13 @@ __all__ = [
     "Norms",
     "ProtocolSpec",
     "Query",
+    "ShardedTracker",
+    "ShardedTrackerStats",
     "SketchMatrix",
     "TotalWeight",
     "Tracker",
     "TrackerStats",
+    "available_backends",
     "available_specs",
     "create",
     "get_spec",

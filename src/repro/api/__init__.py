@@ -16,6 +16,10 @@ One front door over the protocol zoo:
   ``stats``.
 * :mod:`repro.api.state` — versioned checkpoint/restore:
   ``tracker.save(path)`` / ``Tracker.load(path)`` resume bit-identically.
+* :mod:`repro.cluster` (re-exported here) — sharded multi-tracker execution:
+  :class:`ShardedTracker` fans ingestion across ``N`` shards through a
+  registered engine backend (``serial``/``thread``/``process``) and answers
+  the same typed queries by merging per-shard state.
 
 Everything here is re-exported from the top-level :mod:`repro` package.
 """
@@ -57,6 +61,19 @@ from .state import (
 )
 from .tracker import Tracker, TrackerStats
 
+# The cluster layer sits above the session API; importing it last keeps the
+# api -> cluster -> api.tracker import chain acyclic (tracker is loaded by
+# the time the cluster package resolves it).
+from ..cluster import (  # noqa: E402  (deliberate late import, see above)
+    BackendSpec,
+    ShardedTracker,
+    ShardedTrackerStats,
+    available_backends,
+    backend_registry_rows,
+    create_backend,
+    get_backend_spec,
+)
+
 __all__ = [
     # registry
     "ParamSpec",
@@ -86,6 +103,14 @@ __all__ = [
     # tracker sessions
     "Tracker",
     "TrackerStats",
+    # sharded execution (repro.cluster)
+    "BackendSpec",
+    "ShardedTracker",
+    "ShardedTrackerStats",
+    "available_backends",
+    "backend_registry_rows",
+    "create_backend",
+    "get_backend_spec",
     # checkpointing
     "CHECKPOINT_VERSION",
     "CheckpointError",

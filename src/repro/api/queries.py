@@ -24,8 +24,10 @@ hitters raises ``TypeError`` naming both the query and the protocol.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -54,6 +56,30 @@ __all__ = [
 ]
 
 
+def _jsonify(value: Any) -> Any:
+    """Convert an answer field into JSON-serialisable plain data.
+
+    NumPy scalars/arrays become Python numbers/nested lists, dataclasses
+    (``HeavyHitter``, nested queries) become dictionaries, tuples become
+    lists; anything else non-primitive falls back to ``repr`` so arbitrary
+    element labels never break serving-path serialisation.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_, np.integer, np.floating)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {name: _jsonify(getattr(value, name))
+                for name in (f.name for f in dataclasses.fields(value))}
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonify(item) for item in value]
+    return repr(value)
+
+
 @dataclass(frozen=True)
 class Answer:
     """Base of all answers: estimate, error bound, and a session snapshot."""
@@ -63,6 +89,30 @@ class Answer:
     error_bound: Optional[float]
     items_processed: int
     total_messages: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The answer as JSON-safe plain data (for serving-style consumers).
+
+        The dictionary names the answer and query types, flattens the query
+        parameters, and carries every answer field through :func:`_jsonify`
+        (NumPy arrays become nested lists, heavy-hitter tuples become lists
+        of dictionaries).
+        """
+        payload: Dict[str, Any] = {
+            "answer": type(self).__name__,
+            "query": {"type": type(self.query).__name__,
+                      **{f.name: _jsonify(getattr(self.query, f.name))
+                         for f in dataclasses.fields(self.query)}},
+        }
+        for field_info in dataclasses.fields(self):
+            if field_info.name == "query":
+                continue
+            payload[field_info.name] = _jsonify(getattr(self, field_info.name))
+        return payload
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """The :meth:`to_dict` payload serialized with :func:`json.dumps`."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
 
 
 @dataclass(frozen=True)

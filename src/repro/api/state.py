@@ -40,6 +40,8 @@ __all__ = [
     "load_tracker",
     "save_protocol",
     "load_protocol",
+    "tracker_payload",
+    "tracker_from_payload",
 ]
 
 #: Bump on incompatible changes to the checkpoint payload layout.
@@ -60,7 +62,8 @@ def _write(path: PathLike, payload: Dict[str, Any]) -> None:
         pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def _read(path: PathLike, expected_format: str) -> Dict[str, Any]:
+def _read(path: PathLike, expected_format: str,
+          expected_version: int = CHECKPOINT_VERSION) -> Dict[str, Any]:
     with open(Path(path), "rb") as handle:
         try:
             payload = pickle.load(handle)
@@ -71,45 +74,47 @@ def _read(path: PathLike, expected_format: str) -> Dict[str, Any]:
             f"{path!s} is not a {expected_format!r} checkpoint"
         )
     version = payload.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version != expected_version:
         raise CheckpointError(
             f"checkpoint {path!s} has version {version!r}; this build "
-            f"supports version {CHECKPOINT_VERSION}"
+            f"supports version {expected_version}"
         )
     return payload
 
 
 # ------------------------------------------------------------------ trackers
-def save_tracker(tracker: Any, path: PathLike) -> None:
-    """Write a full session checkpoint for ``tracker`` to ``path``."""
+def tracker_payload(tracker: Any) -> Dict[str, Any]:
+    """Capture one tracker session as a checkpoint payload dictionary.
+
+    The payload is the format-agnostic inner part of a tracker checkpoint
+    (spec, params, chunk size, partitioner and protocol states); the cluster
+    layer embeds one payload per shard inside its own versioned file.
+    ``copy_data=False``: the snapshots reference live state and must be
+    serialized (pickled to a file or down a pipe) before the tracker runs on.
+    """
     from .tracker import Tracker
 
     if not isinstance(tracker, Tracker):
         raise TypeError(f"expected a Tracker, got {type(tracker).__name__}")
-    # copy_data=False: the snapshots go straight into pickle.dump, which is
-    # itself a point-in-time serialisation — no defensive deep copy needed.
-    _write(path, {
-        "format": _TRACKER_FORMAT,
-        "version": CHECKPOINT_VERSION,
+    return {
         "spec": tracker.spec,
         "params": tracker.params,
         "chunk_size": tracker.chunk_size,
         "partitioner": tracker.partitioner.get_state(copy_data=False),
         "protocol": tracker.protocol.get_state(copy_data=False),
-    })
+    }
 
 
-def load_tracker(path: PathLike) -> Any:
-    """Restore a session checkpointed by :func:`save_tracker`."""
+def tracker_from_payload(payload: Dict[str, Any], source: str = "payload") -> Any:
+    """Rebuild a tracker session from a :func:`tracker_payload` dictionary."""
     from .tracker import Tracker
 
-    payload = _read(path, _TRACKER_FORMAT)
     try:
-        # copy_data=False: the unpickled payload is owned solely by us.
+        # copy_data=False: the deserialized payload is owned solely by us.
         protocol = restore_object(payload["protocol"], copy_data=False)
         partitioner = restore_object(payload["partitioner"], copy_data=False)
     except StateError as exc:
-        raise CheckpointError(f"cannot restore {path!s}: {exc}") from exc
+        raise CheckpointError(f"cannot restore {source}: {exc}") from exc
     return Tracker(
         protocol,
         spec=payload.get("spec"),
@@ -117,6 +122,21 @@ def load_tracker(path: PathLike) -> Any:
         chunk_size=payload["chunk_size"],  # None means per-item dispatch
         partitioner=partitioner,
     )
+
+
+def save_tracker(tracker: Any, path: PathLike) -> None:
+    """Write a full session checkpoint for ``tracker`` to ``path``."""
+    # copy_data=False snapshots go straight into pickle.dump, which is
+    # itself a point-in-time serialisation — no defensive deep copy needed.
+    payload = tracker_payload(tracker)
+    payload["format"] = _TRACKER_FORMAT
+    payload["version"] = CHECKPOINT_VERSION
+    _write(path, payload)
+
+
+def load_tracker(path: PathLike) -> Any:
+    """Restore a session checkpointed by :func:`save_tracker`."""
+    return tracker_from_payload(_read(path, _TRACKER_FORMAT), source=str(path))
 
 
 # ----------------------------------------------------------------- protocols

@@ -34,8 +34,11 @@ from .api import (
     Covariance,
     FrobeniusSquared,
     HeavyHitters,
+    ShardedTracker,
     Tracker,
+    available_backends,
     available_specs,
+    backend_registry_rows,
     get_spec,
     registry_rows,
 )
@@ -43,6 +46,8 @@ from .evaluation.tables import format_table, render_figure
 from .evaluation.throughput import (
     BENCH_CHUNK_SIZE,
     HH_BENCH_PROTOCOLS,
+    measure_sharded_throughput,
+    sharded_report_rows,
     throughput_report_rows,
 )
 from .experiments.config import HeavyHitterConfig, MatrixConfig
@@ -200,6 +205,13 @@ def build_parser() -> argparse.ArgumentParser:
                      default=["P1", "P2", "P3"],
                      help="comma-separated heavy-hitter protocols to bench "
                           f"(choices: {','.join(sorted(HH_BENCH_PROTOCOLS))})")
+    sub.add_argument("--shards", type=_parse_int_list, default=None,
+                     metavar="N1,N2,...",
+                     help="also measure the sharded scaling curve at these "
+                          "shard counts (e.g. 1,2,4)")
+    sub.add_argument("--backend", choices=available_backends(),
+                     default="process",
+                     help="engine backend for the --shards scaling curve")
     sub.add_argument("--seed", type=int, default=2014)
 
     subparsers.add_parser("protocols", help=_EXPERIMENTS["protocols"])
@@ -222,9 +234,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dataset surrogate (matrix domain only)")
     sub.add_argument("--seed", type=int, default=2014)
     sub.add_argument("--chunk-size", type=_parse_chunk_size, default=4096)
+    sub.add_argument("--shards", type=int, default=1,
+                     help="shard the session over this many coordinator "
+                          "groups (repro.cluster.ShardedTracker)")
+    sub.add_argument("--backend", choices=available_backends(),
+                     default="serial",
+                     help="engine backend for the sharded session")
     sub.add_argument("--save", metavar="PATH", default=None,
                      help="write a session checkpoint after the run "
-                          "(resume with Tracker.load)")
+                          "(resume with Tracker.load / ShardedTracker.load)")
 
     return parser
 
@@ -312,6 +330,21 @@ def _run_bench(args, out) -> None:
               f"{row['batched_items_per_sec']:,} items/sec batched vs "
               f"{row['per_item_items_per_sec']:,} items/sec per-item "
               f"({row['speedup']}x)", out)
+    if args.shards:
+        results = measure_sharded_throughput(num_items=args.num_items,
+                                             shard_counts=args.shards,
+                                             backend=args.backend,
+                                             chunk_size=args.chunk_size,
+                                             seed=args.seed)
+        scaling = sharded_report_rows(results)
+        _emit(format_table(scaling,
+                           title=f"Sharded scaling ({args.backend} backend)"),
+              out)
+        for row in scaling:
+            speedup = row.get("speedup_vs_1_shard")
+            suffix = f" ({speedup}x vs 1 shard)" if speedup else ""
+            _emit(f"{row['shards']} shard(s) [{row['backend']}]: "
+                  f"{row['items_per_sec']:,} items/sec{suffix}", out)
 
 
 def _run_protocols(args, out) -> None:
@@ -321,6 +354,12 @@ def _run_protocols(args, out) -> None:
                        title="Protocol registry"), out)
     _emit(f"{len(available_specs())} specs; build with "
           "repro.create(spec, ...) or repro.Tracker.create(spec, ...)", out)
+    _emit(format_table(backend_registry_rows(),
+                       columns=["backend", "class", "summary"],
+                       title="Engine backend registry (repro.cluster)"), out)
+    _emit("shard a session over any backend with "
+          "repro.ShardedTracker.create(spec, shards=N, backend=...) or "
+          "`track --shards N --backend process`", out)
 
 
 def _spec_kwargs(spec, base: dict) -> dict:
@@ -334,8 +373,19 @@ def _spec_kwargs(spec, base: dict) -> dict:
     return kwargs
 
 
+def _make_session(spec, args, build_kwargs: dict):
+    """Build a plain or sharded tracking session from the track options."""
+    if args.shards > 1:
+        return ShardedTracker.create(spec.name, shards=args.shards,
+                                     backend=args.backend,
+                                     chunk_size=args.chunk_size,
+                                     **build_kwargs)
+    return Tracker.create(spec.name, chunk_size=args.chunk_size,
+                          **build_kwargs)
+
+
 def _run_track(args, out) -> None:
-    """Run one ad-hoc tracking session through the Tracker facade."""
+    """Run one ad-hoc (optionally sharded) session through the facades."""
     spec = get_spec(args.protocol)
     if spec.domain == "hh":
         from .data.zipfian import ZipfianStreamGenerator
@@ -345,11 +395,10 @@ def _run_track(args, out) -> None:
                                            skew=2.0, beta=args.beta,
                                            seed=args.seed)
         sample = generator.generate(args.num_items)
-        tracker = Tracker.create(
-            spec.name, chunk_size=args.chunk_size,
-            **_spec_kwargs(spec, {"num_sites": args.num_sites,
-                                  "epsilon": args.epsilon,
-                                  "seed": args.seed}))
+        tracker = _make_session(
+            spec, args, _spec_kwargs(spec, {"num_sites": args.num_sites,
+                                            "epsilon": args.epsilon,
+                                            "seed": args.seed}))
         tracker.run(WeightedItemBatch.from_pairs(sample.items))
         answer = tracker.query(HeavyHitters(phi=args.phi))
         _emit(repr(tracker), out)
@@ -358,17 +407,17 @@ def _run_track(args, out) -> None:
         for hitter in answer.hitters[:10]:
             _emit(f"  {hitter.element!r}: share {hitter.relative_weight:.4f} "
                   f"(estimated weight {hitter.estimated_weight:.4g})", out)
+        _emit(f"answer JSON: {answer.to_json()}", out)
     else:
         from .data.datasets import load_dataset
 
         dataset = load_dataset(args.dataset, num_rows=args.num_items,
                                seed=args.seed)
-        tracker = Tracker.create(
-            spec.name, chunk_size=args.chunk_size,
-            **_spec_kwargs(spec, {"num_sites": args.num_sites,
-                                  "dimension": dataset.dimension,
-                                  "epsilon": args.epsilon,
-                                  "seed": args.seed}))
+        tracker = _make_session(
+            spec, args, _spec_kwargs(spec, {"num_sites": args.num_sites,
+                                            "dimension": dataset.dimension,
+                                            "epsilon": args.epsilon,
+                                            "seed": args.seed}))
         tracker.run(dataset.rows)
         covariance = tracker.query(Covariance())
         frobenius = tracker.query(FrobeniusSquared())
@@ -377,14 +426,18 @@ def _run_track(args, out) -> None:
                  else f"{covariance.error_bound:.4g}")
         _emit(f"covariance spectral-error bound: {bound}", out)
         _emit(f"estimated ||A||_F^2: {frobenius.estimate:.6g}", out)
+        _emit(f"answer JSON: {frobenius.to_json()}", out)
     stats = tracker.stats()
     _emit(f"items={stats.items_processed}  messages={stats.total_messages}  "
           f"({stats.items_processed / max(1, stats.total_messages):.1f}x "
           "less than forwarding everything)", out)
     if args.save:
         tracker.save(args.save)
-        _emit(f"checkpoint written to {args.save} "
-              "(resume with repro.Tracker.load)", out)
+        loader = ("repro.ShardedTracker.load" if args.shards > 1
+                  else "repro.Tracker.load")
+        _emit(f"checkpoint written to {args.save} (resume with {loader})", out)
+    if args.shards > 1:
+        tracker.close()
 
 
 def _run_figure67(args, out) -> None:

@@ -1,0 +1,61 @@
+"""``repro.cluster`` — sharded multi-tracker execution with mergeable answers.
+
+The production-scale execution layer above :mod:`repro.api`:
+
+* :mod:`repro.cluster.backends` — the string-keyed engine-backend registry
+  (``serial``, ``thread``, ``process``) mirroring the protocol registry;
+  the process backend keeps persistent workers and ships columnar batch
+  chunks to them.
+* :mod:`repro.cluster.sharding` — deterministic element/row-space
+  partitioning (stable hashes, never process-seeded ``hash``).
+* :mod:`repro.cluster.merge` — query-time merging of per-shard state into
+  single frozen :class:`~repro.api.queries.Answer` objects with summed
+  error bounds.
+* :mod:`repro.cluster.sharded_tracker` — the :class:`ShardedTracker`
+  facade: ``push_batch``/``run`` fan-out, merged ``query``/``stats``, and
+  whole-cluster checkpoint/resume in one versioned file.
+"""
+
+from .backends import (
+    BackendError,
+    BackendSpec,
+    EngineBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    backend_registry_rows,
+    create_backend,
+    get_backend_spec,
+)
+from .merge import merge_answer, merge_counter_maps, shard_query_materials
+from .sharded_tracker import (
+    CLUSTER_CHECKPOINT_VERSION,
+    ShardedTracker,
+    ShardedTrackerStats,
+)
+from .sharding import shard_of_elements, shard_of_rows
+
+__all__ = [
+    # backends
+    "BackendError",
+    "BackendSpec",
+    "EngineBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_backends",
+    "backend_registry_rows",
+    "create_backend",
+    "get_backend_spec",
+    # sharding / merging
+    "shard_of_elements",
+    "shard_of_rows",
+    "merge_answer",
+    "merge_counter_maps",
+    "shard_query_materials",
+    # the facade
+    "ShardedTracker",
+    "ShardedTrackerStats",
+    "CLUSTER_CHECKPOINT_VERSION",
+]

@@ -1,0 +1,496 @@
+"""Engine backends: where shard trackers live and how work reaches them.
+
+The cluster layer separates *what* runs on a shard (a full
+:class:`~repro.api.tracker.Tracker` session) from *where* it runs.  An
+:class:`EngineBackend` owns ``N`` shard slots, guarantees FIFO execution of
+the work submitted to each slot, and exposes three primitives:
+
+* ``submit(shard, fn, *args)`` — fire-and-forget; ``fn(tracker, *args)``
+  runs on the shard after everything previously submitted to it,
+* ``call(shard, fn, *args)`` / ``call_all(fn, *args)`` — run after the
+  queued work and return the result(s); ``call_all`` fans out to every
+  shard before collecting, so independent shards answer in parallel,
+* ``join()`` — barrier until all queued work has drained.
+
+``fn`` must be a module-level callable (the process backend ships it by
+qualified name) taking the shard's ``Tracker`` as its first argument.
+
+Three backends are registered, mirroring the protocol registry's
+string-keyed :class:`BackendSpec` pattern:
+
+=========  ==================================================================
+``serial``   shards live in the caller's thread; zero overhead, the
+             reference semantics every other backend must reproduce
+``thread``   one worker thread per shard; overlaps the NumPy/BLAS portions
+             of shard work (the GIL serialises pure-Python portions)
+``process``  one **persistent** worker process per shard; columnar
+             ``WeightedItemBatch``/``MatrixRowBatch`` chunks are pickled
+             through a pipe, results come back the same way — true
+             multi-core scaling for CPU-bound protocols
+=========  ==================================================================
+
+Backends resolve by name through :func:`create_backend`; registering a new
+:class:`BackendSpec` (e.g. an RPC backend for true multi-host deployments)
+makes it reachable from :class:`~repro.cluster.sharded_tracker.ShardedTracker`,
+the CLI (``track --backend``) and the throughput benchmark at once.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "BackendError",
+    "BackendSpec",
+    "EngineBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_backends",
+    "backend_registry_rows",
+    "create_backend",
+    "get_backend_spec",
+]
+
+
+class BackendError(RuntimeError):
+    """A backend worker failed or the backend is unusable."""
+
+
+class EngineBackend(abc.ABC):
+    """Owns ``N`` shard slots and executes work against them in FIFO order."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._num_shards = 0
+        self._launched = False
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shard slots (0 before :meth:`launch`)."""
+        return self._num_shards
+
+    def launch(self, builders: Sequence[Callable[[], Any]]) -> None:
+        """Create one shard per builder; each builder returns the shard Tracker.
+
+        Builders must be picklable for the process backend (use the
+        dataclass builders of :mod:`repro.cluster.sharded_tracker`, not
+        closures).
+        """
+        if self._launched:
+            raise BackendError("backend already launched")
+        if not builders:
+            raise ValueError("need at least one shard builder")
+        self._num_shards = len(builders)
+        self._launched = True
+        self._launch(builders)
+
+    @abc.abstractmethod
+    def _launch(self, builders: Sequence[Callable[[], Any]]) -> None:
+        """Backend-specific shard creation."""
+
+    @abc.abstractmethod
+    def submit(self, shard: int, fn: Callable, *args: Any) -> None:
+        """Queue ``fn(tracker, *args)`` on ``shard`` (fire-and-forget)."""
+
+    @abc.abstractmethod
+    def call(self, shard: int, fn: Callable, *args: Any) -> Any:
+        """Run ``fn(tracker, *args)`` on ``shard`` after queued work; return it."""
+
+    def call_all(self, fn: Callable, *args: Any) -> List[Any]:
+        """Run ``fn`` on every shard and collect results in shard order.
+
+        The default issues one blocking :meth:`call` per shard; parallel
+        backends override it to overlap the per-shard work.
+        """
+        return [self.call(shard, fn, *args) for shard in range(self._num_shards)]
+
+    def join(self) -> None:
+        """Block until all submitted work has been executed on every shard."""
+        self.call_all(_noop)
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release workers; the backend is unusable afterwards (idempotent)."""
+
+    def _check_shard(self, shard: int) -> int:
+        if not self._launched:
+            raise BackendError("backend not launched")
+        if not 0 <= shard < self._num_shards:
+            raise ValueError(
+                f"shard index {shard} out of range [0, {self._num_shards})"
+            )
+        return shard
+
+    def __enter__(self) -> "EngineBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _noop(tracker: Any) -> None:
+    return None
+
+
+# ------------------------------------------------------------------- serial
+class SerialBackend(EngineBackend):
+    """Shards live in the calling thread; submit/call execute immediately."""
+
+    name = "serial"
+
+    def _launch(self, builders: Sequence[Callable[[], Any]]) -> None:
+        self._trackers = [builder() for builder in builders]
+
+    def submit(self, shard: int, fn: Callable, *args: Any) -> None:
+        fn(self._trackers[self._check_shard(shard)], *args)
+
+    def call(self, shard: int, fn: Callable, *args: Any) -> Any:
+        return fn(self._trackers[self._check_shard(shard)], *args)
+
+    def close(self) -> None:
+        self._trackers = []
+        self._num_shards = 0
+
+
+# ------------------------------------------------------------------- thread
+class _ThreadShard:
+    """One worker thread draining a FIFO queue of (fn, args, result_box)."""
+
+    def __init__(self, index: int, builder: Callable[[], Any]):
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._loop, args=(builder,),
+            name=f"repro-shard-{index}", daemon=True,
+        )
+        self._thread.start()
+
+    def _loop(self, builder: Callable[[], Any]) -> None:
+        pending_error: Optional[BaseException] = None
+        try:
+            tracker = builder()
+        except BaseException as exc:  # surfaced at the first call
+            tracker, pending_error = None, exc
+        while True:
+            work = self._queue.get()
+            if work is None:
+                return
+            fn, args, result_box = work
+            if result_box is None:            # fire-and-forget submit
+                if pending_error is None:
+                    try:
+                        fn(tracker, *args)
+                    except BaseException as exc:
+                        pending_error = exc
+                continue
+            if pending_error is not None:     # report the deferred failure
+                result_box.append(("error", pending_error))
+                pending_error = None
+            else:
+                try:
+                    result_box.append(("ok", fn(tracker, *args)))
+                except BaseException as exc:
+                    result_box.append(("error", exc))
+            result_box.done.set()
+
+    def submit(self, fn: Callable, args: tuple) -> None:
+        self._queue.put((fn, args, None))
+
+    def start_call(self, fn: Callable, args: tuple) -> "_ResultBox":
+        box = _ResultBox()
+        self._queue.put((fn, args, box))
+        return box
+
+    def stop(self) -> None:
+        self._queue.put(None)
+        self._thread.join(timeout=10.0)
+
+
+class _ResultBox(list):
+    """A one-slot result container with a completion event."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.done = threading.Event()
+
+    def result(self) -> Any:
+        self.done.wait()
+        status, value = self[0]
+        if status == "error":
+            raise BackendError(f"shard worker failed: {value!r}") from value
+        return value
+
+
+class ThreadBackend(EngineBackend):
+    """One worker thread per shard (FIFO per shard, shards run concurrently)."""
+
+    name = "thread"
+
+    def _launch(self, builders: Sequence[Callable[[], Any]]) -> None:
+        self._shards = [_ThreadShard(index, builder)
+                        for index, builder in enumerate(builders)]
+
+    def submit(self, shard: int, fn: Callable, *args: Any) -> None:
+        self._shards[self._check_shard(shard)].submit(fn, args)
+
+    def call(self, shard: int, fn: Callable, *args: Any) -> Any:
+        return self._shards[self._check_shard(shard)].start_call(fn, args).result()
+
+    def call_all(self, fn: Callable, *args: Any) -> List[Any]:
+        boxes = [self._shards[shard].start_call(fn, args)
+                 for shard in range(self._num_shards)]
+        return [box.result() for box in boxes]
+
+    def close(self) -> None:
+        for shard in getattr(self, "_shards", []):
+            shard.stop()
+        self._shards = []
+        self._num_shards = 0
+
+
+# ------------------------------------------------------------------ process
+def _process_worker_main(conn: Any, builder: Callable[[], Any]) -> None:
+    """Worker loop: build the shard tracker, then serve pipe commands.
+
+    Commands are ``("submit", fn, args)`` (no reply; failures are held and
+    reported at the next call), ``("call", fn, args)`` (replies
+    ``("ok", result)`` or ``("error", exc)``) and ``("stop",)``.
+    """
+    pending_error: Optional[BaseException] = None
+    tracker = None
+    try:
+        tracker = builder()
+        conn.send(("ready", None))
+    except BaseException as exc:
+        _safe_send(conn, ("error", exc))
+        conn.close()
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        if op == "stop":
+            break
+        fn, args = message[1], message[2]
+        if op == "submit":
+            if pending_error is None:
+                try:
+                    fn(tracker, *args)
+                except BaseException as exc:
+                    pending_error = exc
+        else:  # "call"
+            if pending_error is not None:
+                _safe_send(conn, ("error", pending_error))
+                pending_error = None
+            else:
+                try:
+                    _safe_send(conn, ("ok", fn(tracker, *args)))
+                except BaseException as exc:
+                    _safe_send(conn, ("error", exc))
+    conn.close()
+
+
+def _safe_send(conn: Any, payload: Any) -> None:
+    """Send a reply, degrading unpicklable results/exceptions to an error."""
+    try:
+        conn.send(payload)
+    except Exception as exc:
+        conn.send(("error", BackendError(
+            f"shard reply could not be serialized: {exc!r}"
+        )))
+
+
+class _ProcessShard:
+    """Parent-side handle of one persistent worker process."""
+
+    def __init__(self, index: int, builder: Callable[[], Any], context: Any):
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_process_worker_main, args=(child_conn, builder),
+            name=f"repro-shard-{index}", daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        status, value = self._recv()
+        if status != "ready":
+            raise BackendError(f"shard {index} failed to start: {value!r}")
+
+    def _recv(self) -> Any:
+        try:
+            return self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise BackendError(
+                f"shard worker {self.process.name} died "
+                f"(exitcode={self.process.exitcode})"
+            ) from exc
+
+    def send(self, message: Any) -> None:
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise BackendError(
+                f"shard worker {self.process.name} is gone "
+                f"(exitcode={self.process.exitcode})"
+            ) from exc
+
+    def finish_call(self) -> Any:
+        status, value = self._recv()
+        if status == "error":
+            raise BackendError(f"shard worker failed: {value!r}") from (
+                value if isinstance(value, BaseException) else None
+            )
+        return value
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=10.0)
+        if self.process.is_alive():  # pragma: no cover - hung worker
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        self.conn.close()
+
+
+class ProcessBackend(EngineBackend):
+    """One persistent worker process per shard.
+
+    The parent ships columnar batch chunks (NumPy element/weight/row arrays
+    pickle compactly) down a duplex pipe; the OS pipe buffer provides
+    natural backpressure when a worker falls behind.  Workers are started
+    with ``fork`` where available (instant, shares the imported library) and
+    ``spawn`` otherwise.
+    """
+
+    name = "process"
+
+    def __init__(self, start_method: Optional[str] = None):
+        super().__init__()
+        if start_method is None:
+            start_method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                            else "spawn")
+        self._context = multiprocessing.get_context(start_method)
+
+    def _launch(self, builders: Sequence[Callable[[], Any]]) -> None:
+        self._shards: List[_ProcessShard] = []
+        try:
+            for index, builder in enumerate(builders):
+                self._shards.append(_ProcessShard(index, builder, self._context))
+        except BaseException:
+            self.close()
+            raise
+
+    def submit(self, shard: int, fn: Callable, *args: Any) -> None:
+        self._shards[self._check_shard(shard)].send(("submit", fn, args))
+
+    def call(self, shard: int, fn: Callable, *args: Any) -> Any:
+        handle = self._shards[self._check_shard(shard)]
+        handle.send(("call", fn, args))
+        return handle.finish_call()
+
+    def call_all(self, fn: Callable, *args: Any) -> List[Any]:
+        for shard in range(self._num_shards):
+            self._shards[shard].send(("call", fn, args))
+        # Drain EVERY shard's reply before raising: an unread reply would
+        # desynchronize the command/reply protocol and make every later
+        # call return the previous round's answer.
+        results: List[Any] = []
+        first_error: Optional[BackendError] = None
+        for shard in range(self._num_shards):
+            try:
+                results.append(self._shards[shard].finish_call())
+            except BackendError as exc:
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def close(self) -> None:
+        for shard in getattr(self, "_shards", []):
+            shard.stop()
+        self._shards = []
+        self._num_shards = 0
+
+
+# ----------------------------------------------------------------- registry
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered engine backend: name, class and a one-line summary."""
+
+    name: str
+    backend_class: type
+    summary: str
+
+    def build(self, **kwargs: Any) -> EngineBackend:
+        """Construct an (unlaunched) backend instance."""
+        return self.backend_class(**kwargs)
+
+
+_BACKENDS: Dict[str, BackendSpec] = {}
+
+
+def _register(spec: BackendSpec) -> None:
+    key = spec.name.lower()
+    if key in _BACKENDS:
+        raise ValueError(f"duplicate backend name {spec.name!r}")
+    _BACKENDS[key] = spec
+
+
+for _spec in (
+    BackendSpec(
+        name="serial", backend_class=SerialBackend,
+        summary="shards in the calling thread (reference semantics)",
+    ),
+    BackendSpec(
+        name="thread", backend_class=ThreadBackend,
+        summary="one worker thread per shard (overlaps BLAS-heavy work)",
+    ),
+    BackendSpec(
+        name="process", backend_class=ProcessBackend,
+        summary="persistent worker process per shard (multi-core scaling)",
+    ),
+):
+    _register(_spec)
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(spec.name for spec in _BACKENDS.values())
+
+
+def get_backend_spec(name: str) -> BackendSpec:
+    """Resolve a backend name (case-insensitive) to its :class:`BackendSpec`."""
+    if not isinstance(name, str):
+        raise TypeError(f"backend name must be a string, got {type(name).__name__}")
+    spec = _BACKENDS.get(name.strip().lower())
+    if spec is None:
+        raise ValueError(
+            f"unknown engine backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    return spec
+
+
+def create_backend(name: str, **kwargs: Any) -> EngineBackend:
+    """Build an (unlaunched) backend instance from a registered name."""
+    return get_backend_spec(name).build(**kwargs)
+
+
+def backend_registry_rows() -> List[Dict[str, str]]:
+    """The backend registry as table rows (for the CLI and the README)."""
+    return [
+        {"backend": spec.name, "class": spec.backend_class.__name__,
+         "summary": spec.summary}
+        for spec in (get_backend_spec(name) for name in available_backends())
+    ]

@@ -1,0 +1,479 @@
+"""``ShardedTracker``: one logical tracking session over ``N`` shards.
+
+A shard is a complete single-coordinator deployment — a
+:class:`~repro.api.tracker.Tracker` with its own protocol instance, ``m``
+sites, message accounting and (for the randomized protocols) its own seeded
+RNG streams.  The sharded facade
+
+* **partitions the key space** deterministically (elements by stable hash,
+  matrix rows round-robin by global index — :mod:`repro.cluster.sharding`),
+* **fans ingestion out** through a pluggable
+  :class:`~repro.cluster.backends.EngineBackend` (``serial``, ``thread`` or
+  ``process``), shipping columnar sub-batches and preserving per-shard FIFO
+  order,
+* **answers the typed queries** of :mod:`repro.api.queries` by merging
+  per-shard state at query time (:mod:`repro.cluster.merge`): counter-merge
+  for heavy hitters, covariance/Frequent-Directions merge for matrix
+  queries, with the combined error bound ``Σ_s ε·Ŵ_s`` / ``Σ_s ε·F̂_s`` and
+  cluster-aggregated message/items accounting, and
+* **checkpoints the whole cluster** into one versioned file (one
+  :func:`~repro.api.state.tracker_payload` per shard) that restores
+  bit-identically — under any backend, not just the one that saved it.
+
+With ``shards=1`` every answer and every counter is bit-identical to a plain
+``Tracker`` session (the merge degenerates to identity arithmetic), which is
+the correctness anchor the test suite pins for every registered spec.
+
+Example::
+
+    cluster = ShardedTracker.create("hh/P2", shards=4, backend="process",
+                                    num_sites=20, epsilon=0.01)
+    cluster.run(batch)
+    answer = cluster.query(HeavyHitters(phi=0.05))   # merged, bounded
+    cluster.save("cluster.ckpt")
+    cluster.close()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api.queries import Answer, Query
+from ..api.registry import DOMAIN_HEAVY_HITTERS, get_spec
+from ..api.state import (
+    CheckpointError,
+    _read,
+    _write,
+    tracker_from_payload,
+    tracker_payload,
+)
+from ..api.tracker import Tracker
+from ..streaming.items import MatrixRowBatch, WeightedItemBatch
+from ..streaming.runner import DEFAULT_CHUNK_SIZE
+from ..utils.validation import check_positive_int
+from .backends import EngineBackend, create_backend, get_backend_spec
+from .merge import (
+    HH_QUERIES,
+    MATRIX_QUERIES,
+    merge_answer,
+    merge_message_counts,
+    shard_query_materials,
+)
+from .sharding import shard_of_elements, shard_of_rows
+
+__all__ = ["ShardedTracker", "ShardedTrackerStats",
+           "CLUSTER_CHECKPOINT_VERSION"]
+
+#: Bump on incompatible changes to the cluster checkpoint layout.
+CLUSTER_CHECKPOINT_VERSION = 1
+
+_CLUSTER_FORMAT = "repro/cluster-checkpoint"
+
+#: Deterministic spacing of derived per-shard seeds (shard 0 keeps the
+#: user's seed so a one-shard cluster is bit-identical to a plain tracker).
+_SEED_STRIDE = 7919
+
+
+@dataclass(frozen=True)
+class ShardedTrackerStats:
+    """Cluster-wide introspection snapshot (sums over all shards)."""
+
+    spec: str
+    backend: str
+    shards: int
+    num_sites: int
+    epsilon: Optional[float]
+    chunk_size: Optional[int]
+    items_processed: int
+    total_messages: int
+    message_counts: Dict[str, int]
+    per_shard: Tuple[Tuple[int, int], ...]  #: (items, messages) per shard
+
+
+# ------------------------------------------------------------ shard builders
+@dataclass(frozen=True)
+class _SpecShardBuilder:
+    """Picklable builder: construct shard ``index`` from a registry spec."""
+
+    spec: str
+    params: Tuple[Tuple[str, Any], ...]
+    chunk_size: Optional[int]
+    index: int
+
+    def __call__(self) -> Tracker:
+        params = dict(self.params)
+        seed = params.get("seed")
+        if seed is not None and self.index:
+            # Distinct, deterministic per-shard RNG streams; shard 0 keeps
+            # the caller's seed (single-shard bit-identity with Tracker).
+            params["seed"] = seed + self.index * _SEED_STRIDE
+        return Tracker.create(self.spec, chunk_size=self.chunk_size, **params)
+
+
+@dataclass(frozen=True)
+class _RestoreShardBuilder:
+    """Picklable builder: restore shard ``index`` from a checkpoint payload."""
+
+    payload: Dict[str, Any]
+    index: int
+
+    def __call__(self) -> Tracker:
+        return tracker_from_payload(self.payload, source=f"shard {self.index}")
+
+
+# --------------------------------------------------- shard-side worker fns
+# Module-level so every backend (including the process backend, which ships
+# callables by qualified name) can execute them against the shard tracker.
+def _shard_ingest(tracker: Tracker, batch: Any) -> None:
+    tracker.run(batch)
+
+
+def _shard_push(tracker: Tracker, site: int, item: Any) -> None:
+    tracker.push(site, item)
+
+
+def _shard_push_batch(tracker: Tracker, site_ids: np.ndarray, batch: Any) -> None:
+    tracker.push_batch(site_ids, batch)
+
+
+def _shard_stats(tracker: Tracker) -> Tuple[int, int, Dict[str, int]]:
+    return (tracker.items_processed, tracker.total_messages,
+            tracker.protocol.message_counts())
+
+
+def _shard_checkpoint(tracker: Tracker) -> Dict[str, Any]:
+    return tracker_payload(tracker)
+
+
+class ShardedTracker:
+    """A continuous-tracking session sharded over ``N`` coordinator groups.
+
+    Build with :meth:`create` (registry spec + spec parameters) or restore
+    with :meth:`load`.  Close with :meth:`close` (or use as a context
+    manager) — the thread/process backends hold worker resources.
+    """
+
+    def __init__(self, spec: str, params: Dict[str, Any], *,
+                 shards: int = 2,
+                 backend: str = "serial",
+                 chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+                 backend_options: Optional[Dict[str, Any]] = None,
+                 _builders: Optional[Sequence[Any]] = None,
+                 _rows_dispatched: int = 0):
+        registry_spec = get_spec(spec)
+        self._spec = registry_spec.name
+        self._domain = registry_spec.domain
+        self._params = dict(params)
+        self._num_shards = check_positive_int(shards, name="shards")
+        self._chunk_size = chunk_size
+        self._rows_dispatched = int(_rows_dispatched)
+        self._backend_name = get_backend_spec(backend).name
+        if _builders is None:
+            registry_spec.validate(dict(self._params))  # fail before launch
+            _builders = [
+                _SpecShardBuilder(spec=self._spec,
+                                  params=tuple(sorted(self._params.items())),
+                                  chunk_size=chunk_size, index=index)
+                for index in range(self._num_shards)
+            ]
+        elif len(_builders) != self._num_shards:
+            raise ValueError(
+                f"got {len(_builders)} shard builders for {self._num_shards} shards"
+            )
+        self._backend: EngineBackend = create_backend(
+            self._backend_name, **(backend_options or {})
+        )
+        self._backend.launch(list(_builders))
+        self._closed = False
+
+    # ---------------------------------------------------------- construction
+    @classmethod
+    def create(cls, spec: str, *,
+               shards: int = 2,
+               backend: str = "serial",
+               chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+               backend_options: Optional[Dict[str, Any]] = None,
+               **params: Any) -> "ShardedTracker":
+        """Build a sharded session from a registry spec name.
+
+        ``params`` are the spec parameters of ``repro.create`` — every shard
+        gets the same configuration (seeded specs derive distinct per-shard
+        seeds; shard 0 keeps the caller's seed).
+
+        Examples
+        --------
+        >>> cluster = ShardedTracker.create("hh/P1", shards=2,
+        ...                                 num_sites=4, epsilon=0.1)
+        >>> cluster.num_shards
+        2
+        >>> cluster.close()
+        """
+        return cls(spec, params, shards=shards, backend=backend,
+                   chunk_size=chunk_size, backend_options=backend_options)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def spec(self) -> str:
+        """The registry spec name every shard runs."""
+        return self._spec
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        """The spec parameters recorded at creation time."""
+        return dict(self._params)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards ``N``."""
+        return self._num_shards
+
+    @property
+    def backend_name(self) -> str:
+        """The engine backend this cluster executes on."""
+        return self._backend_name
+
+    @property
+    def chunk_size(self) -> Optional[int]:
+        """Per-shard engine chunk size (``None`` = per-item dispatch)."""
+        return self._chunk_size
+
+    # -------------------------------------------------------------- ingestion
+    def push(self, site: int, item: Any) -> None:
+        """Ingest one stream item at ``site`` of its element/row's shard."""
+        self._check_open()
+        if self._domain == DOMAIN_HEAVY_HITTERS:
+            element = getattr(item, "element", None)
+            if element is None and isinstance(item, tuple):
+                element = item[0]
+            elif element is None:
+                element = item
+            shard = int(shard_of_elements([element], self._num_shards)[0])
+        else:
+            shard = int(self._rows_dispatched % self._num_shards)
+            self._rows_dispatched += 1
+        self._backend.submit(shard, _shard_push, int(site), item)
+
+    def push_batch(self, items: Any,
+                   site_ids: Optional[Sequence[int]] = None) -> None:
+        """Fan one columnar batch out to its shards through the backend.
+
+        ``items`` is a :class:`~repro.streaming.items.WeightedItemBatch`,
+        :class:`~repro.streaming.items.MatrixRowBatch`, a 2-d row array, or
+        an iterable of stream items (coerced to a columnar batch).  With
+        ``site_ids`` the per-item site assignment inside each shard is
+        explicit; otherwise each shard's own partitioner assigns sites over
+        the shard-local item sequence.
+        """
+        self._check_open()
+        batch = self._coerce_batch(items)
+        if len(batch) == 0:
+            return
+        explicit = None
+        if site_ids is not None:
+            explicit = np.asarray(site_ids, dtype=np.int64)
+            if explicit.shape != (len(batch),):
+                raise ValueError(
+                    f"site_ids must have shape ({len(batch)},), "
+                    f"got {explicit.shape}"
+                )
+        if self._num_shards == 1:
+            self._assign_shards(batch)  # keeps the row-deal counter exact
+            if explicit is None:
+                self._backend.submit(0, _shard_ingest, batch)
+            else:
+                self._backend.submit(0, _shard_push_batch, explicit, batch)
+            return
+        shards = self._assign_shards(batch)
+        for shard, positions in _group_by_shard(shards, self._num_shards):
+            sub_batch = batch.take(positions)
+            if explicit is None:
+                self._backend.submit(shard, _shard_ingest, sub_batch)
+            else:
+                self._backend.submit(shard, _shard_push_batch,
+                                     explicit[positions], sub_batch)
+
+    def run(self, source: Any) -> ShardedTrackerStats:
+        """Feed a whole stream (or the next instalment) into the cluster.
+
+        The stream is dispatched in chunks of ``chunk_size × shards`` items
+        so backend workers ingest while the caller is still slicing and
+        shipping the next chunk (the pipelining that gives the process
+        backend its multi-core scaling).  Blocks until every shard has
+        drained, then returns the aggregated :meth:`stats`.
+        """
+        self._check_open()
+        batch = self._coerce_batch(source)
+        dispatch = (self._chunk_size or DEFAULT_CHUNK_SIZE) * self._num_shards
+        total = len(batch)
+        start = 0
+        while start < total:
+            stop = min(start + dispatch, total)
+            self.push_batch(batch[start:stop])
+            start = stop
+        return self.stats()
+
+    def flush(self) -> None:
+        """Barrier: block until all submitted ingestion has been processed."""
+        self._check_open()
+        self._backend.join()
+
+    # ---------------------------------------------------------------- queries
+    def query(self, query: Query) -> Answer:
+        """Answer a typed query by merging per-shard state at this instant.
+
+        The merged ``Answer`` carries the combined error bound (the sum of
+        the per-shard ``ε·Ŵ_s`` / ``ε·F̂_s`` bounds) and cluster-aggregated
+        ``items_processed``/``total_messages``.
+        """
+        self._check_open()
+        if not isinstance(query, Query):
+            raise TypeError(
+                f"query must be a repro.api Query instance, got "
+                f"{type(query).__name__}"
+            )
+        expected = HH_QUERIES if self._domain == DOMAIN_HEAVY_HITTERS \
+            else MATRIX_QUERIES
+        if not isinstance(query, expected):
+            raise TypeError(
+                f"{type(query).__name__} queries do not apply to "
+                f"{self._domain!r} spec {self._spec!r}"
+            )
+        materials = self._backend.call_all(shard_query_materials, query)
+        return merge_answer(query, materials)
+
+    def stats(self) -> ShardedTrackerStats:
+        """Aggregate items/message accounting over the whole cluster."""
+        self._check_open()
+        per_shard = self._backend.call_all(_shard_stats)
+        return ShardedTrackerStats(
+            spec=self._spec,
+            backend=self._backend_name,
+            shards=self._num_shards,
+            num_sites=int(self._params.get("num_sites", 0)),
+            epsilon=self._params.get("epsilon"),
+            chunk_size=self._chunk_size,
+            items_processed=sum(items for items, _, _ in per_shard),
+            total_messages=sum(messages for _, messages, _ in per_shard),
+            message_counts=merge_message_counts(
+                counts for _, _, counts in per_shard
+            ),
+            per_shard=tuple((items, messages)
+                            for items, messages, _ in per_shard),
+        )
+
+    # ----------------------------------------------------------- persistence
+    def save(self, path: Any) -> None:
+        """Checkpoint every shard into one versioned cluster file.
+
+        The file embeds one full tracker payload per shard plus the cluster
+        topology (spec, shard count, backend, the row-deal counter), so
+        :meth:`load` resumes the whole cluster bit-identically.
+        """
+        self._check_open()
+        payloads = self._backend.call_all(_shard_checkpoint)
+        _write(path, {
+            "format": _CLUSTER_FORMAT,
+            "version": CLUSTER_CHECKPOINT_VERSION,
+            "spec": self._spec,
+            "params": self._params,
+            "shards": self._num_shards,
+            "backend": self._backend_name,
+            "chunk_size": self._chunk_size,
+            "rows_dispatched": self._rows_dispatched,
+            "shard_payloads": payloads,
+        })
+
+    @classmethod
+    def load(cls, path: Any, backend: Optional[str] = None,
+             backend_options: Optional[Dict[str, Any]] = None) -> "ShardedTracker":
+        """Restore a cluster checkpointed with :meth:`save`.
+
+        ``backend`` overrides the backend recorded in the checkpoint (a
+        cluster saved under the process backend can resume serially and vice
+        versa — shard state is backend-independent).
+        """
+        payload = _read(path, _CLUSTER_FORMAT,
+                        expected_version=CLUSTER_CHECKPOINT_VERSION)
+        shard_payloads = payload.get("shard_payloads")
+        if not shard_payloads:
+            raise CheckpointError(f"{path!s} contains no shard payloads")
+        builders = [_RestoreShardBuilder(payload=shard_payload, index=index)
+                    for index, shard_payload in enumerate(shard_payloads)]
+        return cls(
+            payload["spec"], payload.get("params") or {},
+            shards=len(builders),
+            backend=backend if backend is not None else payload["backend"],
+            chunk_size=payload["chunk_size"],
+            backend_options=backend_options,
+            _builders=builders,
+            _rows_dispatched=payload.get("rows_dispatched", 0),
+        )
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release backend workers; the cluster is unusable afterwards."""
+        if not getattr(self, "_closed", True):
+            self._backend.close()
+            self._closed = True
+
+    def __enter__(self) -> "ShardedTracker":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if getattr(self, "_closed", True) else "open"
+        return (f"ShardedTracker(spec={self._spec!r}, "
+                f"shards={self._num_shards}, "
+                f"backend={self._backend_name!r}, {state})")
+
+    # ------------------------------------------------------------- internals
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this ShardedTracker has been closed")
+
+    def _coerce_batch(self, items: Any) -> Any:
+        """Coerce any accepted stream shape into a columnar batch."""
+        if isinstance(items, (WeightedItemBatch, MatrixRowBatch)):
+            return items
+        if isinstance(items, np.ndarray) and items.ndim == 2:
+            return MatrixRowBatch(values=items.astype(np.float64, copy=False))
+        if self._domain == DOMAIN_HEAVY_HITTERS:
+            item_list = list(items)
+            if item_list and hasattr(item_list[0], "element"):
+                return WeightedItemBatch.from_items(item_list)
+            return WeightedItemBatch.from_pairs(item_list)
+        return MatrixRowBatch.from_rows(items)
+
+    def _assign_shards(self, batch: Any) -> np.ndarray:
+        if self._domain == DOMAIN_HEAVY_HITTERS:
+            return shard_of_elements(batch.elements, self._num_shards)
+        shards = shard_of_rows(self._rows_dispatched, len(batch),
+                               self._num_shards)
+        self._rows_dispatched += len(batch)
+        return shards
+
+
+def _group_by_shard(shards: np.ndarray, num_shards: int):
+    """Yield ``(shard, positions)`` with positions in arrival order."""
+    if num_shards == 1 or shards.shape[0] == 0:
+        if shards.shape[0]:
+            yield 0, np.arange(shards.shape[0], dtype=np.int64)
+        return
+    order = np.argsort(shards, kind="stable")
+    sorted_shards = shards[order]
+    boundaries = np.nonzero(np.diff(sorted_shards))[0] + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [shards.shape[0]]))
+    for start, end in zip(starts, ends):
+        yield int(sorted_shards[start]), order[start:end]

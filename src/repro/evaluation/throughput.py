@@ -27,9 +27,12 @@ from ..streaming.runner import StreamingEngine
 __all__ = [
     "BENCH_CHUNK_SIZE",
     "HH_BENCH_PROTOCOLS",
+    "ShardScalingResult",
     "ThroughputResult",
     "measure_heavy_hitter_throughput",
     "measure_matrix_throughput",
+    "measure_sharded_throughput",
+    "sharded_report_rows",
     "throughput_report_rows",
 ]
 
@@ -191,6 +194,97 @@ def measure_matrix_throughput(
         per_item_seconds=per_item_seconds,
         batched_seconds=batched_seconds,
     )
+
+
+# ------------------------------------------------------------ shard scaling
+@dataclass(frozen=True)
+class ShardScalingResult:
+    """Items/sec of one sharded configuration on the Zipfian HH workload."""
+
+    workload: str
+    spec: str
+    backend: str
+    shards: int
+    num_items: int
+    chunk_size: int
+    seconds: float
+
+    @property
+    def rate(self) -> float:
+        """Items per second through the whole cluster."""
+        return self.num_items / max(self.seconds, 1e-12)
+
+    def as_dict(self, baseline_rate: Optional[float] = None) -> Dict[str, Any]:
+        """Flatten into a report row; ``baseline_rate`` adds the speedup."""
+        row: Dict[str, Any] = {
+            "workload": self.workload,
+            "spec": self.spec,
+            "backend": self.backend,
+            "shards": self.shards,
+            "items": self.num_items,
+            "items_per_sec": round(self.rate),
+        }
+        if baseline_rate:
+            row["speedup_vs_1_shard"] = round(self.rate / baseline_rate, 2)
+        return row
+
+
+def measure_sharded_throughput(
+    num_items: int = 1_000_000,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    backend: str = "process",
+    spec: str = "hh/P2",
+    num_sites: int = 10,
+    epsilon: float = 0.05,
+    universe_size: int = 10_000,
+    beta: float = 1_000.0,
+    skew: float = 2.0,
+    seed: int = 2014,
+    chunk_size: int = BENCH_CHUNK_SIZE,
+    repeats: int = 1,
+) -> List[ShardScalingResult]:
+    """Scaling curve: items/sec of a ``ShardedTracker`` versus shard count.
+
+    The same materialised Zipfian stream is replayed into a fresh cluster
+    per shard count; each timing covers dispatch (shard hashing, grouping,
+    shipping) *and* a final barrier, so the reported rate is end-to-end.
+    ``shards=1`` is the sharding layer's own single-shard configuration —
+    compare against :func:`measure_heavy_hitter_throughput` for the
+    facade-free baseline.  True multi-core speedup needs the ``process``
+    backend and at least ``shards`` idle cores.
+    """
+    from ..cluster import ShardedTracker  # local import: cluster sits above
+
+    generator = ZipfianStreamGenerator(universe_size=universe_size, skew=skew,
+                                       beta=beta, seed=seed)
+    batch = WeightedItemBatch.from_pairs(generator.generate(num_items).items)
+    results = []
+    for shards in shard_counts:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            cluster = ShardedTracker.create(
+                spec, shards=shards, backend=backend,
+                chunk_size=chunk_size, num_sites=num_sites, epsilon=epsilon,
+            )
+            try:
+                started = time.perf_counter()
+                cluster.run(batch)      # returns after the cluster drains
+                best = min(best, time.perf_counter() - started)
+            finally:
+                cluster.close()
+        results.append(ShardScalingResult(
+            workload="zipfian-heavy-hitters-sharded",
+            spec=spec, backend=backend, shards=shards,
+            num_items=len(batch), chunk_size=chunk_size, seconds=best,
+        ))
+    return results
+
+
+def sharded_report_rows(results: Sequence[ShardScalingResult]) -> List[Dict[str, Any]]:
+    """Report rows with speedups relative to the 1-shard configuration."""
+    baseline = next((result.rate for result in results if result.shards == 1),
+                    None)
+    return [result.as_dict(baseline_rate=baseline) for result in results]
 
 
 def throughput_report_rows(num_items: int = 1_000_000,

@@ -23,7 +23,7 @@ import numpy as np
 from ..streaming.protocol import DistributedProtocol
 from ..utils.validation import check_epsilon, check_phi, check_weight, check_weight_batch
 
-__all__ = ["HeavyHitter", "WeightedHeavyHitterProtocol"]
+__all__ = ["HeavyHitter", "WeightedHeavyHitterProtocol", "select_heavy_hitters"]
 
 
 @dataclass(frozen=True)
@@ -33,6 +33,29 @@ class HeavyHitter:
     element: Hashable
     estimated_weight: float
     relative_weight: float
+
+
+def select_heavy_hitters(estimates: Dict[Hashable, float], total: float,
+                         epsilon: float, phi: float) -> List[HeavyHitter]:
+    """Apply the paper's Lemma 1 reporting rule to a candidate estimate map.
+
+    Returns the elements whose estimated relative weight (against ``total``)
+    is at least ``φ − ε/2``, sorted by decreasing estimated weight.  Shared
+    by :meth:`WeightedHeavyHitterProtocol.heavy_hitters` and the cluster
+    layer's merged-answer path (which applies the same rule to counter-merged
+    per-shard estimates), so both report under the identical rule.
+    """
+    phi = check_phi(phi, name="phi")
+    if total <= 0.0:
+        return []
+    cutoff = phi - epsilon / 2.0
+    hitters = []
+    for element, estimate in estimates.items():
+        relative = estimate / total
+        if relative >= cutoff:
+            hitters.append(HeavyHitter(element, estimate, relative))
+    hitters.sort(key=lambda hitter: (-hitter.estimated_weight, repr(hitter.element)))
+    return hitters
 
 
 class WeightedHeavyHitterProtocol(DistributedProtocol):
@@ -125,18 +148,9 @@ class WeightedHeavyHitterProtocol(DistributedProtocol):
         and never returns an element of relative weight below ``φ − ε``
         (provided the protocol meets its estimation guarantees).
         """
-        phi = check_phi(phi, name="phi")
-        total = self.estimated_total_weight()
-        if total <= 0.0:
-            return []
-        cutoff = phi - self._epsilon / 2.0
-        hitters = []
-        for element, estimate in self.estimates().items():
-            relative = estimate / total
-            if relative >= cutoff:
-                hitters.append(HeavyHitter(element, estimate, relative))
-        hitters.sort(key=lambda hitter: (-hitter.estimated_weight, repr(hitter.element)))
-        return hitters
+        return select_heavy_hitters(self.estimates(),
+                                    self.estimated_total_weight(),
+                                    self._epsilon, phi)
 
     def heavy_hitter_elements(self, phi: float) -> List[Hashable]:
         """Convenience wrapper returning only the element labels."""

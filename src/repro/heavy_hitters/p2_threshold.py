@@ -172,17 +172,29 @@ class ThresholdedUpdatesProtocol(WeightedHeavyHitterProtocol):
         site-grouped order (up to floating-point summation order).
 
         Sites bounded by a SpaceSaving sketch (``site_space``) couple their
-        elements through counter evictions, so they replay the exact
-        per-item path instead.
+        elements through counter evictions; they use the same vectorized
+        kernel via a merge-sweep whenever the batch provably cannot evict
+        (every distinct element of the sketch and the batch fits within the
+        counter budget — the common case under the paper's ``O(m/ε)``
+        sizing) and fall back to the exact per-item replay otherwise.
         """
         state = self._sites[site]
         if state.sketch is not None:
-            if weights is None:
-                for element in elements:
-                    self.process(site, element)
-            else:
-                for element, weight in zip(elements, weights):
-                    self.process(site, element, float(weight))
+            if self._sketch_batch_may_evict(state.sketch, elements):
+                # Evictions couple elements: replay the exact per-item path.
+                if weights is None:
+                    for element in elements:
+                        self.process(site, element)
+                else:
+                    for element, weight in zip(elements, weights):
+                        self.process(site, element, float(weight))
+                return
+            weights = self._record_observations(weights, len(elements))
+            if weights.shape[0] == 0:
+                return
+            if not (isinstance(elements, np.ndarray) and elements.ndim == 1):
+                elements = _as_element_column(list(elements))
+            self._process_batch_sketch_merge_sweep(site, state, elements, weights)
             return
         weights = self._record_observations(weights, len(elements))
         total = weights.shape[0]
@@ -190,6 +202,13 @@ class ThresholdedUpdatesProtocol(WeightedHeavyHitterProtocol):
             return
         if not (isinstance(elements, np.ndarray) and elements.ndim == 1):
             elements = _as_element_column(list(elements))
+        self._process_batch_deltas(site, state, elements, weights)
+
+    def _process_batch_deltas(self, site: int, state: _SiteState,
+                              elements: np.ndarray,
+                              weights: np.ndarray) -> None:
+        """The vectorized trigger-splitting kernel over ``state.deltas``."""
+        total = weights.shape[0]
         cumulative = np.cumsum(weights)
         consumed = 0.0
         start = 0
@@ -217,6 +236,71 @@ class ThresholdedUpdatesProtocol(WeightedHeavyHitterProtocol):
                 self._send_element(site, element, new_delta)
                 state.reset_element(element)
             start = trigger + 1
+
+    @staticmethod
+    def _sketch_batch_may_evict(sketch: WeightedSpaceSaving,
+                                elements: Sequence[Hashable]) -> bool:
+        """Whether ingesting ``elements`` could evict a SpaceSaving counter.
+
+        Element reports only *free* counters, so if every distinct element
+        already tracked plus every distinct element of the batch fits within
+        the counter budget, no arrival order of the batch can evict.
+        """
+        candidates = set(sketch.to_dict())
+        budget = sketch.num_counters
+        for element in elements:
+            candidates.add(element)
+            if len(candidates) > budget:
+                return True
+        return False
+
+    def _process_batch_sketch_merge_sweep(self, site: int, state: _SiteState,
+                                          elements: np.ndarray,
+                                          weights: np.ndarray) -> None:
+        """Batched update of a SpaceSaving-bounded site with no eviction risk.
+
+        When no eviction can occur, the sketch behaves exactly like the
+        per-element delta map: estimates grow additively and element reports
+        remove one counter.  The kernel therefore extracts the counters into
+        ``state.deltas``, runs the shared vectorized trigger-splitting path,
+        and installs the result back in one merge-sweep, reconstructing the
+        bookkeeping the per-item path would have left behind:
+
+        * **no element report in the batch** — over-counts are untouched and
+          the total weight grows by the batch weight;
+        * **≥ 1 report** — ``reset_element`` rebuilds the sketch from its
+          retained counters, which zeroes every over-count and re-bases the
+          total weight at the retained mass; from that point both quantities
+          track the retained estimates exactly, so the final state is
+          ``{element: (estimate, 0)}`` with total weight ``Σ estimates``.
+
+        Message accounting and coordinator state match the per-item replay
+        exactly (the dict kernel's documented guarantee).
+        """
+        sketch = state.sketch
+        overcounts = {element: sketch.overestimate_of(element)
+                      for element in sketch.to_dict()}
+        state.deltas = sketch.to_dict()
+        state.sketch = None
+        reports_before = self.network.log.messages_of_kind(MessageKind.VECTOR)
+        try:
+            self._process_batch_deltas(site, state, elements, weights)
+        finally:
+            reported = (self.network.log.messages_of_kind(MessageKind.VECTOR)
+                        > reports_before)
+            retained = state.deltas
+            if reported:
+                counters = {element: (value, 0.0)
+                            for element, value in retained.items()}
+                total_weight = sum(retained.values())
+            else:
+                counters = {element: (value, overcounts.get(element, 0.0))
+                            for element, value in retained.items()}
+                total_weight = sketch.total_weight + float(weights.sum())
+            state.sketch = WeightedSpaceSaving.from_counters(
+                sketch.num_counters, counters, total_weight
+            )
+            state.deltas = {}
 
     def _apply_element_updates(self, site: int, state: _SiteState,
                                elements: np.ndarray, weights: np.ndarray,

@@ -130,7 +130,8 @@ class CentralizedFDBaseline(MatrixTrackingProtocol):
         self._sketch.append_batch(rows)
 
     def sketch_matrix(self) -> np.ndarray:
-        return self._sketch.compacted_matrix()
+        # compacted_view: queries are read-only (see protocol P1).
+        return self._sketch.compacted_view()
 
     def estimated_squared_frobenius(self) -> float:
         return self._sketch.squared_frobenius

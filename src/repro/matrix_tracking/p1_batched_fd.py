@@ -167,7 +167,9 @@ class BatchedFrequentDirectionsProtocol(MatrixTrackingProtocol):
 
     # ---------------------------------------------------------------- queries
     def sketch_matrix(self) -> np.ndarray:
-        return self._coordinator_sketch.compacted_matrix()
+        # compacted_view: answering a query must not perturb the coordinator
+        # sketch's compaction schedule (queries are read-only).
+        return self._coordinator_sketch.compacted_view()
 
     def estimated_squared_frobenius(self) -> float:
         return self._coordinator_norm

@@ -226,7 +226,8 @@ class DeterministicDirectionProtocol(MatrixTrackingProtocol):
     # ---------------------------------------------------------------- queries
     def sketch_matrix(self) -> np.ndarray:
         if self._coordinator_sketch is not None:
-            return self._coordinator_sketch.compacted_matrix()
+            # compacted_view: queries are read-only (see protocol P1).
+            return self._coordinator_sketch.compacted_view()
         if not self._coordinator_rows:
             return np.zeros((0, self.dimension))
         return np.vstack(self._coordinator_rows)

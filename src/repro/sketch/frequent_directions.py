@@ -154,10 +154,10 @@ class FrequentDirections(MatrixSketch):
         self._rows_seen += total
         self._squared_frobenius += float(np.einsum("ij,ij->", rows, rows))
 
-    def _compact(self) -> None:
-        """Shrink the buffer back to ``sketch_size`` retained directions."""
-        if self._filled <= self._sketch_size:
-            return
+    def _shrink_active_rows(self) -> tuple:
+        """The SVD-shrink step shared by :meth:`_compact` and
+        :meth:`compacted_view`: returns ``(compacted, delta)`` for the
+        currently buffered rows, without touching the buffer."""
         active = self._buffer[: self._filled, :]
         _, singular_values, vt = thin_svd(active)
         squared = singular_values ** 2
@@ -167,10 +167,16 @@ class FrequentDirections(MatrixSketch):
             delta = 0.0
         shrunk = np.sqrt(np.maximum(squared - delta, 0.0))
         keep = min(self._sketch_size, shrunk.shape[0])
-        compacted = shrunk[:keep, np.newaxis] * vt[:keep, :]
+        return shrunk[:keep, np.newaxis] * vt[:keep, :], delta
+
+    def _compact(self) -> None:
+        """Shrink the buffer back to ``sketch_size`` retained directions."""
+        if self._filled <= self._sketch_size:
+            return
+        compacted, delta = self._shrink_active_rows()
         self._buffer[:] = 0.0
-        self._buffer[:keep, :] = compacted
-        self._filled = keep
+        self._buffer[: compacted.shape[0], :] = compacted
+        self._filled = compacted.shape[0]
         self._shrinkage += delta
 
     def compact(self) -> None:
@@ -182,17 +188,41 @@ class FrequentDirections(MatrixSketch):
         return self._buffer[: self._filled, :].copy()
 
     def compacted_matrix(self) -> np.ndarray:
-        """Return the sketch after forcing compaction to at most ``ℓ`` rows."""
+        """Return the sketch after forcing compaction to at most ``ℓ`` rows.
+
+        This *installs* the compaction (buffer, shrinkage) — it is part of
+        the mutating update schedule (e.g. site flushes in protocol P1).
+        Read-only consumers (query surfaces) use :meth:`compacted_view`.
+        """
         self._compact()
         return self.sketch_matrix()
+
+    def compacted_view(self) -> np.ndarray:
+        """The compacted sketch *without* mutating the buffer.
+
+        Same ``≤ ℓ``-row matrix a :meth:`compacted_matrix` call would
+        return, but the buffered rows, compaction schedule and shrinkage
+        accumulator are untouched — answering a query never perturbs the
+        stream evolution, which is what makes whole-stream and instalment
+        ingestion (and the sharded cluster layer's per-chunk dispatch)
+        bit-identical.
+        """
+        if self._filled <= self._sketch_size:
+            return self._buffer[: self._filled, :].copy()
+        compacted, _ = self._shrink_active_rows()
+        return compacted
 
     # ---------------------------------------------------------------- merging
     def merge(self, other: "FrequentDirections") -> "FrequentDirections":
         """Merge two FD sketches over disjoint inputs into a new sketch.
 
-        The result summarises the concatenation of the two inputs and its
-        error is at most the sum of the two input errors (mergeability
-        property of Agarwal et al. 2012).
+        Stack-and-compact: the two sketches' rows are stacked in whole
+        blocks (the block-copy schedule of :meth:`append_batch`, compacting
+        exactly when the buffer fills).  The result summarises the
+        concatenation of the two inputs and its error is at most the sum of
+        the two input errors (mergeability property of Agarwal et al. 2012);
+        the sharded cluster layer and distributed protocol P1 both rely on
+        this.
         """
         if not isinstance(other, FrequentDirections):
             raise TypeError("can only merge with another FrequentDirections")
@@ -209,15 +239,23 @@ class FrequentDirections(MatrixSketch):
             sketch_size=self._sketch_size,
             buffer_multiplier=self._capacity // self._sketch_size,
         )
-        merged._squared_frobenius = self._squared_frobenius + other._squared_frobenius
-        merged._rows_seen = self._rows_seen + other._rows_seen
-        merged._shrinkage = self._shrinkage + other._shrinkage
         for block in (self.sketch_matrix(), other.sketch_matrix()):
-            for row in block:
+            total = block.shape[0]
+            start = 0
+            while start < total:
                 if merged._filled == merged._capacity:
                     merged._compact()
-                merged._buffer[merged._filled, :] = row
-                merged._filled += 1
+                take = min(merged._capacity - merged._filled, total - start)
+                merged._buffer[merged._filled:merged._filled + take, :] = \
+                    block[start:start + take]
+                merged._filled += take
+                start += take
+        # The accumulators describe the concatenated input, not the stacked
+        # sketch rows: totals add, and any compaction during stacking has
+        # already folded its delta into merged._shrinkage.
+        merged._squared_frobenius = self._squared_frobenius + other._squared_frobenius
+        merged._rows_seen = self._rows_seen + other._rows_seen
+        merged._shrinkage += self._shrinkage + other._shrinkage
         return merged
 
     def copy(self) -> "FrequentDirections":

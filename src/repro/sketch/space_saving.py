@@ -49,6 +49,26 @@ class WeightedSpaceSaving(FrequencySketch[Element], Generic[Element]):
 
         return cls(num_counters=max(1, math.ceil(1.0 / epsilon)))
 
+    @classmethod
+    def from_counters(cls, num_counters: int,
+                      counters: Dict[Element, Tuple[float, float]],
+                      total_weight: float) -> "WeightedSpaceSaving[Element]":
+        """Build a summary directly from ``{element: (estimate, over-count)}``.
+
+        The batched merge-sweep site kernel of protocol ``hh/P2ss`` tracks a
+        no-eviction segment in plain dictionaries and installs the result
+        back in one step; ``counters`` must fit within ``num_counters`` and
+        ``total_weight`` must be consistent with the represented stream.
+        """
+        summary = cls(num_counters)
+        if len(counters) > summary._num_counters:
+            raise ValueError(
+                f"{len(counters)} counters exceed capacity {num_counters}"
+            )
+        summary._counters = dict(counters)
+        summary._total_weight = float(total_weight)
+        return summary
+
     @property
     def num_counters(self) -> int:
         """The configured number of counters ``ℓ``."""
@@ -155,6 +175,17 @@ class WeightedSpaceSaving(FrequencySketch[Element], Generic[Element]):
         else:
             merged._counters = combined
         return merged
+
+    def merge_in_place(self, other: "WeightedSpaceSaving[Element]") -> None:
+        """Fold ``other`` into this summary (same semantics as :meth:`merge`).
+
+        The counterpart of ``WeightedMisraGries.merge_in_place`` for
+        coordinators that fold many small site summaries into one without
+        allocating a new summary per merge.
+        """
+        merged = self.merge(other)
+        self._counters = merged._counters
+        self._total_weight = merged._total_weight
 
     def __repr__(self) -> str:
         return (

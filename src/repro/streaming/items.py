@@ -201,6 +201,20 @@ class WeightedItemBatch:
         for index in range(len(self)):
             yield self[index]
 
+    def take(self, indices: np.ndarray) -> "WeightedItemBatch":
+        """Select rows by an integer index array (a copy, like NumPy take).
+
+        Used by the cluster layer to split one batch into per-shard
+        sub-batches; the columns are already validated, so ``__post_init__``
+        is skipped exactly as in the slicing path.
+        """
+        view = object.__new__(WeightedItemBatch)
+        object.__setattr__(view, "elements", self.elements[indices])
+        object.__setattr__(view, "weights", self.weights[indices])
+        object.__setattr__(view, "sites",
+                           self.sites[indices] if self.sites is not None else None)
+        return view
+
     @property
     def total_weight(self) -> float:
         """Sum of the batch's weights."""
@@ -251,6 +265,14 @@ class MatrixRowBatch:
     def __iter__(self) -> Iterator[MatrixRow]:
         for index in range(len(self)):
             yield self[index]
+
+    def take(self, indices: np.ndarray) -> "MatrixRowBatch":
+        """Select rows by an integer index array (a copy, like NumPy take)."""
+        view = object.__new__(MatrixRowBatch)
+        object.__setattr__(view, "values", self.values[indices])
+        object.__setattr__(view, "sites",
+                           self.sites[indices] if self.sites is not None else None)
+        return view
 
     @property
     def dimension(self) -> int:

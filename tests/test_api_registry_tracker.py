@@ -235,6 +235,45 @@ class TestTracker:
             repro.Tracker(protocol, partitioner=UniformRandomPartitioner(3))
 
 
+class TestAnswerSerialisation:
+    def test_heavy_hitter_answer_round_trips_through_json(self):
+        import json
+
+        tracker = repro.Tracker.create("hh/P1", num_sites=3, epsilon=0.1)
+        tracker.push(0, ("cat", 5.0))
+        tracker.push(1, ("dog", 2.0))
+        answer = tracker.query(HeavyHitters(phi=0.3))
+        payload = json.loads(answer.to_json())
+        assert payload["answer"] == "HeavyHittersAnswer"
+        assert payload["query"] == {"type": "HeavyHitters", "phi": 0.3}
+        assert payload["estimate"][0]["element"] == "cat"
+        assert payload["estimate"][0]["estimated_weight"] == 5.0
+        assert payload["items_processed"] == 2
+        assert payload["total_messages"] == answer.total_messages
+        assert payload["estimated_total_weight"] == 7.0
+
+    def test_matrix_answers_serialise_arrays_as_lists(self):
+        import json
+
+        tracker = repro.Tracker.create("matrix/P2", num_sites=2, dimension=3,
+                                       epsilon=0.5)
+        tracker.push(0, np.asarray([1.0, 0.0, 0.0]))
+        covariance = tracker.query(Covariance())
+        payload = json.loads(covariance.to_json())
+        assert payload["estimate"][0][0] == pytest.approx(1.0)
+        norms = tracker.query(Norms(np.eye(3)))
+        decoded = json.loads(norms.to_json())
+        assert len(decoded["estimate"]) == 3
+        assert isinstance(decoded["query"]["directions"], list)
+
+    def test_unserialisable_labels_fall_back_to_repr(self):
+        tracker = repro.Tracker.create("hh/P1", num_sites=2, epsilon=0.5)
+        label = object()
+        tracker.push(0, (label, 1.0))
+        payload = tracker.query(HeavyHitters(phi=0.1)).to_dict()
+        assert payload["estimate"][0]["element"] == repr(label)
+
+
 class TestDeprecatedShims:
     def test_run_protocol_warns_and_matches_tracker(self):
         batch = small_stream(count=600)
@@ -282,9 +321,24 @@ class TestCli:
         ])
         assert code == 0
         assert "heavy hitters" in output
+        assert "answer JSON:" in output
         assert "checkpoint written" in output
         resumed = repro.Tracker.load(path)
         assert resumed.items_processed == 2000
+
+    def test_track_sharded_session_with_cluster_checkpoint(self, tmp_path):
+        path = tmp_path / "cluster.ckpt"
+        code, output = self.run_cli([
+            "track", "--protocol", "hh/P2", "--num-items", "2000",
+            "--num-sites", "4", "--epsilon", "0.05",
+            "--shards", "3", "--backend", "serial", "--save", str(path),
+        ])
+        assert code == 0
+        assert "ShardedTracker" in output
+        assert "repro.ShardedTracker.load" in output
+        with repro.ShardedTracker.load(path) as resumed:
+            assert resumed.num_shards == 3
+            assert resumed.stats().items_processed == 2000
 
     def test_track_matrix_domain(self):
         code, output = self.run_cli([

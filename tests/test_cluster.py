@@ -1,0 +1,449 @@
+"""The ``repro.cluster`` subsystem: backends, sharding, merging, checkpoints.
+
+Correctness anchors:
+
+* **Single-shard bit-identity** — for *every* registered protocol spec, a
+  ``ShardedTracker(shards=1)`` must produce bit-identical answers and
+  message accounting to a plain ``Tracker`` over the same stream (the merge
+  layer degenerates to identity arithmetic).
+* **Merged paper bounds** — with ``N ≥ 2`` shards, heavy-hitter estimates
+  stay within the summed per-shard budget ``Σ_s ε·W_s = ε·W`` on the
+  property-harness streams, every true φ-heavy hitter is still reported,
+  and merged covariance errors respect the summed ``Σ_s ε·F̂_s`` bound.
+* **Backend equivalence** — the ``thread`` and ``process`` backends must
+  reproduce the ``serial`` backend exactly (same shard trackers, same FIFO
+  order per shard).
+* **Cluster checkpoint/resume** — one versioned file restores every shard
+  bit-identically, under the saving backend or any other.
+
+Streams reuse the seed-parameterized property harness
+(``REPRO_PROPERTY_SEEDS``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    ApproximationError,
+    CheckpointError,
+    Covariance,
+    Frequency,
+    FrobeniusSquared,
+    HeavyHitters,
+    Norms,
+    SketchMatrix,
+    TotalWeight,
+    available_backends,
+    available_specs,
+)
+from repro.cluster import (
+    BackendError,
+    ShardedTracker,
+    create_backend,
+    get_backend_spec,
+    merge_counter_maps,
+    shard_of_elements,
+    shard_of_rows,
+)
+from repro.cluster.backends import SerialBackend
+
+from test_api_state_roundtrip import (
+    CHUNK,
+    HH_EPSILON,
+    HH_SPECS,
+    MATRIX_EPSILON,
+    MATRIX_SPECS,
+    _params,
+)
+from test_protocol_equivalence_properties import SEEDS, hh_stream, matrix_stream
+
+BACKENDS = available_backends()
+
+
+def _plain(spec: str, seed: int, dimension=None) -> repro.Tracker:
+    return repro.Tracker.create(spec, chunk_size=CHUNK,
+                                **_params(spec, seed, dimension))
+
+
+def _cluster(spec: str, seed: int, shards: int, dimension=None,
+             backend: str = "serial") -> ShardedTracker:
+    return ShardedTracker.create(spec, shards=shards, backend=backend,
+                                 chunk_size=CHUNK,
+                                 **_params(spec, seed, dimension))
+
+
+def _assert_same_answer(ours, theirs):
+    assert type(ours) is type(theirs)
+    assert np.array_equal(np.asarray(ours.estimate, dtype=object)
+                          if isinstance(ours.estimate, tuple)
+                          else np.asarray(ours.estimate),
+                          np.asarray(theirs.estimate, dtype=object)
+                          if isinstance(theirs.estimate, tuple)
+                          else np.asarray(theirs.estimate))
+    assert ours.error_bound == theirs.error_bound
+    assert ours.items_processed == theirs.items_processed
+    assert ours.total_messages == theirs.total_messages
+
+
+# --------------------------------------------------------------- sharding
+class TestShardAssignment:
+    def test_integer_labels_are_stable_and_balanced(self):
+        elements = np.arange(10_000, dtype=np.int64)
+        first = shard_of_elements(elements, 4)
+        second = shard_of_elements(elements, 4)
+        assert np.array_equal(first, second)
+        counts = np.bincount(first, minlength=4)
+        assert counts.min() > 0.15 * len(elements)  # roughly balanced
+
+    def test_string_and_tuple_labels_hash_deterministically(self):
+        labels = np.empty(4, dtype=object)
+        labels[:] = ["alpha", "beta", ("composite", 3), "alpha"]
+        shards = shard_of_elements(labels, 3)
+        assert shards[0] == shards[3]  # same label, same shard
+        assert np.array_equal(shards, shard_of_elements(labels, 3))
+
+    def test_float_labels_supported(self):
+        shards = shard_of_elements(np.asarray([1.5, 2.5, 1.5]), 2)
+        assert shards[0] == shards[2]
+
+    def test_single_shard_is_all_zero(self):
+        assert np.array_equal(shard_of_elements(np.arange(5), 1), np.zeros(5))
+
+    def test_row_deal_continues_across_blocks(self):
+        together = shard_of_rows(0, 10, 3)
+        split = np.concatenate([shard_of_rows(0, 4, 3), shard_of_rows(4, 6, 3)])
+        assert np.array_equal(together, split)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            shard_of_elements(np.arange(3), 0)
+        with pytest.raises(ValueError):
+            shard_of_rows(0, 3, 0)
+
+    def test_merge_counter_maps_sums_overlaps(self):
+        merged = merge_counter_maps([{"a": 1.0, "b": 2.0}, {"b": 3.0}])
+        assert merged == {"a": 1.0, "b": 5.0}
+
+
+# --------------------------------------------------------------- backends
+class TestBackendRegistry:
+    def test_registry_contents(self):
+        assert BACKENDS == ["process", "serial", "thread"]
+        assert get_backend_spec("SERIAL").backend_class is SerialBackend
+
+    def test_unknown_backend_named_in_error(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            get_backend_spec("rpc")
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_submit_call_fifo_and_close(self, name):
+        backend = create_backend(name)
+        backend.launch([lambda: repro.Tracker.create(
+            "hh/P1", num_sites=2, epsilon=0.5)] if name == "serial" else
+            [_build_tiny_tracker])
+        backend.submit(0, _push_one, "a", 2.0)
+        backend.submit(0, _push_one, "b", 1.0)
+        assert backend.call(0, _estimate_of, "a") == 2.0  # FIFO: pushes first
+        assert backend.call_all(_estimate_of, "b") == [1.0]
+        backend.close()
+        backend.close()  # idempotent
+
+    @pytest.mark.parametrize("name", ["thread", "process"])
+    def test_worker_failure_surfaces_as_backend_error(self, name):
+        backend = create_backend(name)
+        backend.launch([_build_tiny_tracker])
+        backend.submit(0, _raise_worker_error)
+        with pytest.raises(BackendError, match="boom"):
+            backend.call(0, _estimate_of, "a")
+        # The worker survives a failed submit and keeps serving.
+        assert backend.call(0, _estimate_of, "missing") == 0.0
+        backend.close()
+
+    def test_process_call_all_stays_in_sync_after_an_error(self):
+        """A deferred shard error must not leave unread replies behind:
+        the round after a failed call_all must return that round's own
+        answers, not the previous round's (regression test)."""
+        backend = create_backend("process")
+        backend.launch([_build_tiny_tracker, _build_tiny_tracker])
+        backend.submit(0, _raise_worker_error)
+        with pytest.raises(BackendError, match="boom"):
+            backend.call_all(_estimate_of, "a")
+        backend.submit(0, _push_one, "fresh", 3.0)
+        assert backend.call_all(_estimate_of, "fresh") == [3.0, 0.0]
+        backend.close()
+
+
+def _build_tiny_tracker() -> repro.Tracker:
+    return repro.Tracker.create("hh/P1", num_sites=2, epsilon=0.5)
+
+
+def _push_one(tracker, element, weight) -> None:
+    tracker.push(0, (element, weight))
+
+
+def _estimate_of(tracker, element) -> float:
+    return float(tracker.protocol.estimate(element))
+
+
+def _raise_worker_error(tracker) -> None:
+    raise RuntimeError("boom")
+
+
+# ----------------------------------------- single-shard == plain tracker
+class TestSingleShardBitIdentity:
+    def test_every_registered_spec_is_covered(self):
+        assert sorted(HH_SPECS) + sorted(MATRIX_SPECS) == available_specs()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", sorted(HH_SPECS))
+    def test_hh_answers_and_accounting_identical(self, spec, seed):
+        sample, batch, _ = hh_stream(seed)
+        plain = _plain(spec, seed)
+        plain.run(batch)
+        with _cluster(spec, seed, shards=1) as cluster:
+            cluster.run(batch)
+            probe = max(sample.element_weights,
+                        key=sample.element_weights.get)
+            for query in (HeavyHitters(phi=0.06), TotalWeight(),
+                          Frequency(element=probe)):
+                assert cluster.query(query) == plain.query(query), query
+            stats = cluster.stats()
+            assert stats.items_processed == plain.items_processed
+            assert stats.total_messages == plain.total_messages
+            assert stats.message_counts == plain.protocol.message_counts()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", sorted(MATRIX_SPECS))
+    def test_matrix_answers_and_accounting_identical(self, spec, seed):
+        dataset, batch, _ = matrix_stream(seed)
+        plain = _plain(spec, seed, dataset.dimension)
+        plain.run(batch)
+        direction = np.eye(dataset.dimension)[0]
+        with _cluster(spec, seed, shards=1,
+                      dimension=dataset.dimension) as cluster:
+            cluster.run(batch)
+            for query in (Covariance(), FrobeniusSquared(), SketchMatrix(),
+                          Norms(direction), Norms(np.eye(dataset.dimension)[:3]),
+                          ApproximationError()):
+                _assert_same_answer(cluster.query(query), plain.query(query))
+            stats = cluster.stats()
+            assert stats.total_messages == plain.total_messages
+            assert stats.message_counts == plain.protocol.message_counts()
+
+
+# ------------------------------------------------- merged bounds, N >= 2
+class TestMergedBounds:
+    @pytest.mark.parametrize("shards", [2, 3])
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", ["hh/P1", "hh/P2", "hh/P2ss"])
+    def test_hh_estimates_within_summed_budget(self, spec, seed, shards):
+        """Per-shard guarantees of ε·W_s sum to ε·W for the whole stream."""
+        sample, batch, _ = hh_stream(seed)
+        with _cluster(spec, seed, shards=shards) as cluster:
+            cluster.run(batch)
+            budget = HH_EPSILON * sample.total_weight + 1e-9
+            for element, weight in sample.element_weights.items():
+                merged = cluster.query(Frequency(element=element)).estimate
+                assert abs(merged - weight) <= budget, element
+            answer = cluster.query(HeavyHitters(phi=0.06))
+            # The reported (summed) bound is consistent with ε·Ŵ.
+            assert answer.error_bound == pytest.approx(
+                HH_EPSILON * answer.estimated_total_weight)
+            # Lemma 1 through the merge: every true hitter is reported.
+            reported = set(answer.elements)
+            assert set(sample.heavy_hitters(0.06)) <= reported
+
+    @pytest.mark.parametrize("shards", [2, 3])
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", ["matrix/P1", "matrix/P2"])
+    def test_matrix_covariance_within_summed_bound(self, spec, seed, shards):
+        dataset, batch, _ = matrix_stream(seed)
+        with _cluster(spec, seed, shards=shards,
+                      dimension=dataset.dimension) as cluster:
+            cluster.run(batch)
+            answer = cluster.query(Covariance())
+            exact = dataset.rows.T @ dataset.rows
+            error = np.linalg.norm(exact - answer.estimate, ord=2)
+            assert error <= answer.error_bound + 1e-6
+            # The summed bound is still the paper's ε·F̂ scale.
+            fhat = cluster.query(FrobeniusSquared()).estimate
+            assert answer.error_bound == pytest.approx(MATRIX_EPSILON * fhat)
+            # The merged normalized error metric matches the bound scale.
+            err = cluster.query(ApproximationError())
+            assert err.estimate <= err.error_bound + 1e-9
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sketch_matrix_stacks_shard_sketches(self, seed):
+        dataset, batch, _ = matrix_stream(seed)
+        with _cluster("matrix/P1", seed, shards=3,
+                      dimension=dataset.dimension) as cluster:
+            cluster.run(batch)
+            stacked = cluster.query(SketchMatrix()).estimate
+            norms = cluster.query(Norms(np.eye(dataset.dimension)[1]))
+            x = np.eye(dataset.dimension)[1]
+            assert float(np.linalg.norm(stacked @ x) ** 2) == pytest.approx(
+                norms.estimate)
+
+
+# -------------------------------------------------- backend equivalence
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("spec", ["hh/P2", "hh/P3", "matrix/P1"])
+    def test_backend_reproduces_serial(self, spec, backend):
+        seed = SEEDS[0]
+        dimension = None
+        if spec.startswith("matrix/"):
+            dataset, batch, _ = matrix_stream(seed)
+            dimension = dataset.dimension
+            queries = [Covariance(), FrobeniusSquared()]
+        else:
+            _, batch, _ = hh_stream(seed)
+            queries = [HeavyHitters(phi=0.06), TotalWeight()]
+        with _cluster(spec, seed, shards=2, dimension=dimension) as reference:
+            reference.run(batch)
+            reference_stats = reference.stats()
+            reference_answers = [reference.query(query) for query in queries]
+        with _cluster(spec, seed, shards=2, dimension=dimension,
+                      backend=backend) as cluster:
+            cluster.run(batch)
+            stats = cluster.stats()
+            assert stats.total_messages == reference_stats.total_messages
+            assert stats.message_counts == reference_stats.message_counts
+            assert stats.per_shard == reference_stats.per_shard
+            for query, expected in zip(queries, reference_answers):
+                _assert_same_answer(cluster.query(query), expected)
+
+
+# ------------------------------------------------- cluster checkpoints
+class TestClusterCheckpoint:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", ["hh/P2ss", "hh/P3", "matrix/P1"])
+    def test_save_load_mid_stream_is_bit_identical(self, spec, seed, tmp_path):
+        dimension = None
+        if spec.startswith("matrix/"):
+            dataset, batch, _ = matrix_stream(seed)
+            dimension = dataset.dimension
+            query = Covariance()
+        else:
+            _, batch, _ = hh_stream(seed)
+            query = HeavyHitters(phi=0.06)
+        half = (len(batch) // (2 * CHUNK)) * CHUNK
+
+        with _cluster(spec, seed, shards=2, dimension=dimension) as whole:
+            whole.run(batch[:half])
+            whole.run(batch[half:])
+            expected = whole.query(query)
+            expected_stats = whole.stats()
+
+        with _cluster(spec, seed, shards=2, dimension=dimension) as first_leg:
+            first_leg.run(batch[:half])
+            path = tmp_path / "cluster.ckpt"
+            first_leg.save(path)
+
+        resumed = ShardedTracker.load(path)
+        with resumed:
+            assert resumed.spec == spec
+            assert resumed.num_shards == 2
+            resumed.run(batch[half:])
+            _assert_same_answer(resumed.query(query), expected)
+            stats = resumed.stats()
+            assert stats.total_messages == expected_stats.total_messages
+            assert stats.message_counts == expected_stats.message_counts
+
+    def test_restore_under_a_different_backend(self, tmp_path):
+        seed = SEEDS[0]
+        _, batch, _ = hh_stream(seed)
+        with _cluster("hh/P2", seed, shards=2, backend="process") as cluster:
+            cluster.run(batch)
+            expected = cluster.query(TotalWeight())
+            path = tmp_path / "cluster.ckpt"
+            cluster.save(path)
+        with ShardedTracker.load(path, backend="serial") as restored:
+            assert restored.backend_name == "serial"
+            assert restored.query(TotalWeight()) == expected
+
+    def test_rejects_garbage_and_wrong_versions(self, tmp_path):
+        import pickle
+
+        from repro.cluster.sharded_tracker import CLUSTER_CHECKPOINT_VERSION
+
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"junk")
+        with pytest.raises(CheckpointError):
+            ShardedTracker.load(path)
+        with open(path, "wb") as handle:
+            pickle.dump({"format": "repro/cluster-checkpoint",
+                         "version": CLUSTER_CHECKPOINT_VERSION + 1}, handle)
+        with pytest.raises(CheckpointError, match="version"):
+            ShardedTracker.load(path)
+        # A plain tracker checkpoint is not a cluster checkpoint.
+        tracker = repro.Tracker.create("hh/P1", num_sites=2, epsilon=0.2)
+        tracker_path = tmp_path / "tracker.ckpt"
+        tracker.save(tracker_path)
+        with pytest.raises(CheckpointError):
+            ShardedTracker.load(tracker_path)
+
+
+# ------------------------------------------------------- facade behaviour
+class TestShardedTrackerFacade:
+    def test_push_routes_by_element_and_push_batch_by_sites(self):
+        with ShardedTracker.create("hh/P1", shards=3, num_sites=2,
+                                   epsilon=0.5) as cluster:
+            cluster.push(0, ("a", 2.0))
+            cluster.push(1, ("a", 3.0))  # same element -> same shard
+            cluster.push_batch([("a", 5.0), ("b", 1.0)], site_ids=[0, 1])
+            answer = cluster.query(Frequency(element="a"))
+            assert answer.estimate == pytest.approx(10.0)
+            stats = cluster.stats()
+            assert stats.items_processed == 4
+            active = [items for items, _ in stats.per_shard if items]
+            assert len(active) <= 2  # "a" never splits across shards
+
+    def test_matrix_push_deals_rows_round_robin(self):
+        rows = np.eye(4)
+        with ShardedTracker.create("matrix/P1", shards=2, num_sites=2,
+                                   dimension=4, epsilon=0.5) as cluster:
+            cluster.push_batch(rows)
+            stats = cluster.stats()
+            assert [items for items, _ in stats.per_shard] == [2, 2]
+
+    def test_query_type_validation(self):
+        with ShardedTracker.create("hh/P1", shards=2, num_sites=2,
+                                   epsilon=0.5) as cluster:
+            with pytest.raises(TypeError, match="Covariance"):
+                cluster.query(Covariance())
+            with pytest.raises(TypeError, match="Query"):
+                cluster.query("heavy hitters")
+
+    def test_closed_cluster_refuses_work(self):
+        cluster = ShardedTracker.create("hh/P1", shards=2, num_sites=2,
+                                        epsilon=0.5)
+        cluster.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.query(TotalWeight())
+        assert "closed" in repr(cluster)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedTracker.create("hh/P1", shards=0, num_sites=2, epsilon=0.5)
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            ShardedTracker.create("hh/P1", shards=2, backend="rpc",
+                                  num_sites=2, epsilon=0.5)
+        with pytest.raises(ValueError, match="unknown"):
+            ShardedTracker.create("hh/P1", shards=2, num_sites=2,
+                                  epsilon=0.5, bogus=1)
+
+    def test_seeded_shards_draw_distinct_streams(self):
+        seed = SEEDS[0]
+        _, batch, _ = hh_stream(seed)
+        with _cluster("hh/P3", seed, shards=2) as cluster:
+            cluster.run(batch)
+            states = cluster._backend.call_all(_rng_state_of_first_site)
+            assert states[0] != states[1]
+
+
+def _rng_state_of_first_site(tracker):
+    return tracker.protocol._site_rngs[0].bit_generator.state["state"]

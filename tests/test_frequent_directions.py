@@ -148,6 +148,59 @@ class TestFrequentDirectionsMerge:
         with pytest.raises(ValueError):
             FrequentDirections(3, 2).merge(FrequentDirections(4, 2))
 
+    def test_merged_error_at_most_sum_of_input_errors(self, rng):
+        """The mergeability theorem (stack-and-compact): for every direction
+        ``x``, the merged undercount of ``‖Ax‖²`` is bounded by the sum of
+        the two inputs' worst-case errors plus the merge's own shrinkage."""
+        matrix = rng.standard_normal((400, 10))
+        left = FrequentDirections(dimension=10, sketch_size=5)
+        right = FrequentDirections(dimension=10, sketch_size=5)
+        left.update_many(matrix[:200])
+        right.update_many(matrix[200:])
+        merged = left.merge(right)
+        sketch = merged.compacted_matrix()
+        budget = merged.shrinkage + 1e-9  # data-dependent certificate
+        for x in np.eye(10):
+            true = float(np.linalg.norm(matrix @ x) ** 2)
+            approx = float(np.linalg.norm(sketch @ x) ** 2)
+            assert -1e-9 <= true - approx <= budget
+        assert budget <= 2.0 * squared_frobenius(matrix) / 5 + 1e-9
+
+    def test_merge_accepts_uncompacted_buffers(self, rng):
+        """Stack-and-compact must handle inputs whose buffers hold more than
+        ``ℓ`` rows (no forced pre-compaction)."""
+        rows = rng.standard_normal((7, 6))
+        left = FrequentDirections(dimension=6, sketch_size=4)
+        right = FrequentDirections(dimension=6, sketch_size=4)
+        left.update_many(rows[:4])
+        right.update_many(rows[4:])
+        assert left.sketch_matrix().shape[0] == 4  # buffer, uncompacted
+        merged = left.merge(right)
+        assert merged.rows_seen == 7
+        assert merged.squared_frobenius == pytest.approx(squared_frobenius(rows))
+
+
+class TestCompactedView:
+    def test_view_equals_compaction_without_mutating(self, rng):
+        rows = rng.standard_normal((37, 6))
+        sketch = FrequentDirections(dimension=6, sketch_size=4)
+        sketch.update_many(rows)
+        filled_before = sketch.sketch_matrix().shape[0]
+        shrinkage_before = sketch.shrinkage
+        view = sketch.compacted_view()
+        # Read-only: the buffer and shrinkage accumulator are untouched.
+        assert sketch.sketch_matrix().shape[0] == filled_before
+        assert sketch.shrinkage == shrinkage_before
+        # Same value a mutating compaction would return.
+        assert np.array_equal(view, sketch.compacted_matrix())
+
+    def test_view_of_small_buffer_is_a_copy(self):
+        sketch = FrequentDirections(dimension=3, sketch_size=4)
+        sketch.update(np.asarray([1.0, 0.0, 0.0]))
+        view = sketch.compacted_view()
+        view[0, 0] = 99.0
+        assert sketch.sketch_matrix()[0, 0] == 1.0
+
     def test_merge_sketch_size_mismatch(self):
         with pytest.raises(ValueError):
             FrequentDirections(3, 2).merge(FrequentDirections(3, 3))

@@ -145,3 +145,65 @@ class TestProtocolP2:
             ThresholdedUpdatesProtocol(num_sites=0, epsilon=0.1)
         with pytest.raises(ValueError):
             ThresholdedUpdatesProtocol(num_sites=2, epsilon=0.1, site_space=0)
+
+
+class TestP2SpaceSavingMergeSweep:
+    """The batched merge-sweep fast path of SpaceSaving-bounded P2 sites."""
+
+    @staticmethod
+    def _twin_run(site_space: int, batch_elements, batch_weights):
+        import numpy as np
+
+        batched = ThresholdedUpdatesProtocol(num_sites=1, epsilon=0.2,
+                                             site_space=site_space)
+        batched.process_batch(0, np.asarray(batch_elements),
+                              np.asarray(batch_weights, dtype=np.float64))
+        replayed = ThresholdedUpdatesProtocol(num_sites=1, epsilon=0.2,
+                                              site_space=site_space)
+        for element, weight in zip(batch_elements, batch_weights):
+            replayed.process(0, element, float(weight))
+        return batched, replayed
+
+    def test_no_eviction_batch_takes_fast_path_and_matches(self):
+        elements = ["a", "b", "a", "c", "b", "a"]
+        weights = [5.0, 1.0, 4.0, 2.0, 3.0, 6.0]
+        batched, replayed = self._twin_run(8, elements, weights)
+        assert batched.total_messages == replayed.total_messages
+        assert batched.message_counts() == replayed.message_counts()
+        assert batched.estimates() == replayed.estimates()
+        fast = batched._sites[0].sketch
+        slow = replayed._sites[0].sketch
+        assert fast.to_dict() == pytest.approx(slow.to_dict())
+        assert fast.total_weight == pytest.approx(slow.total_weight)
+
+    def test_eviction_risk_falls_back_to_per_item(self):
+        # 4 distinct elements through a 3-counter sketch: eviction possible.
+        elements = ["a", "b", "c", "d", "a"]
+        weights = [5.0, 1.0, 2.0, 7.0, 3.0]
+        batched, replayed = self._twin_run(3, elements, weights)
+        assert batched.message_counts() == replayed.message_counts()
+        assert (batched._sites[0].sketch._counters
+                == replayed._sites[0].sketch._counters)
+
+    def test_eviction_predicate(self):
+        from repro.sketch.space_saving import WeightedSpaceSaving
+
+        sketch = WeightedSpaceSaving(3)
+        sketch.update("a", 1.0)
+        sketch.update("b", 1.0)
+        may_evict = ThresholdedUpdatesProtocol._sketch_batch_may_evict
+        assert not may_evict(sketch, ["a", "b", "c", "a"])   # fits exactly
+        assert may_evict(sketch, ["a", "c", "d"])            # 4 > 3 counters
+
+    def test_report_inside_fast_path_rebases_sketch_bookkeeping(self):
+        """A batch whose element deltas trigger a report must leave the
+        sketch with zero over-counts and a retained-mass total, exactly as
+        the per-item rebuild does."""
+        batched, replayed = self._twin_run(
+            10, ["hot", "cold", "hot", "hot"], [50.0, 1.0, 60.0, 70.0])
+        fast, slow = batched._sites[0].sketch, replayed._sites[0].sketch
+        assert fast.to_dict() == pytest.approx(slow.to_dict())
+        assert fast.total_weight == pytest.approx(slow.total_weight)
+        for element in fast.to_dict():
+            assert fast.overestimate_of(element) == pytest.approx(
+                slow.overestimate_of(element))

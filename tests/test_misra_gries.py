@@ -144,3 +144,31 @@ class TestMerge:
         left.update("a", 2.0)
         merged = left.merge(WeightedMisraGries(num_counters=4))
         assert merged.estimate("a") == pytest.approx(2.0)
+
+    def test_merge_in_place_matches_merge(self, zipf_sample):
+        half = len(zipf_sample.items) // 2
+        left = WeightedMisraGries(num_counters=12)
+        right = WeightedMisraGries(num_counters=12)
+        left.update_many(zipf_sample.items[:half])
+        right.update_many(zipf_sample.items[half:])
+        merged = left.merge(right)
+        left.merge_in_place(right)
+        assert left.to_dict() == merged.to_dict()
+        assert left.total_weight == pytest.approx(merged.total_weight)
+        assert left.shrink_total == pytest.approx(merged.shrink_total)
+
+    def test_merged_data_dependent_bound_still_valid(self, zipf_sample):
+        """``shrink_total`` stays a certificate after merging: the merged
+        summary's under-count of every element is at most it, and it never
+        exceeds the worst case ``(W₁+W₂)/ℓ``."""
+        num_counters = 20
+        half = len(zipf_sample.items) // 2
+        left = WeightedMisraGries(num_counters=num_counters)
+        right = WeightedMisraGries(num_counters=num_counters)
+        left.update_many(zipf_sample.items[:half])
+        right.update_many(zipf_sample.items[half:])
+        merged = left.merge(right)
+        assert merged.true_error_bound() <= merged.error_bound() + 1e-9
+        for element, truth in zipf_sample.element_weights.items():
+            assert truth - merged.estimate(element) <= (
+                merged.true_error_bound() + 1e-9)

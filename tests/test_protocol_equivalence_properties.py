@@ -82,6 +82,10 @@ HH_PROTOCOLS = {
         num_sites=m, epsilon=EPSILON)),
     "P2": ("exact", lambda m, seed: ThresholdedUpdatesProtocol(
         num_sites=m, epsilon=EPSILON)),
+    # site_space=64 straddles the merge-sweep fast path (no eviction
+    # possible) and the exact per-item fallback within one run.
+    "P2ss": ("exact", lambda m, seed: ThresholdedUpdatesProtocol(
+        num_sites=m, epsilon=EPSILON, site_space=64)),
     "P3": ("exact", lambda m, seed: PrioritySamplingProtocol(
         num_sites=m, epsilon=EPSILON, sample_size=150, seed=seed + 101)),
     "P3wr": ("exact", lambda m, seed: WithReplacementSamplingProtocol(

@@ -114,3 +114,47 @@ class TestSpaceSavingMerge:
     def test_merge_requires_same_type(self):
         with pytest.raises(TypeError):
             WeightedSpaceSaving(2).merge("not a sketch")
+
+    def test_merged_two_sided_guarantee(self, zipf_sample):
+        """The standard merged guarantee: per retained element the over-count
+        is certified by ``overestimate_of`` and the under-count (mass lost
+        where the other summary had evicted the element) is at most the
+        combined ``(W₁+W₂)/ℓ``."""
+        num_counters = 25
+        half = len(zipf_sample.items) // 2
+        left = WeightedSpaceSaving(num_counters=num_counters)
+        right = WeightedSpaceSaving(num_counters=num_counters)
+        left.update_many(zipf_sample.items[:half])
+        right.update_many(zipf_sample.items[half:])
+        merged = left.merge(right)
+        combined_bound = zipf_sample.total_weight / num_counters
+        for element, estimate in merged.to_dict().items():
+            truth = zipf_sample.element_weights.get(element, 0.0)
+            assert estimate - truth <= merged.overestimate_of(element) + 1e-9
+            assert truth - estimate <= combined_bound + 1e-9
+
+    def test_merge_in_place_matches_merge(self, zipf_sample):
+        half = len(zipf_sample.items) // 2
+        left = WeightedSpaceSaving(num_counters=15)
+        right = WeightedSpaceSaving(num_counters=15)
+        left.update_many(zipf_sample.items[:half])
+        right.update_many(zipf_sample.items[half:])
+        merged = left.merge(right)
+        left.merge_in_place(right)
+        assert left.to_dict() == merged.to_dict()
+        assert left.total_weight == pytest.approx(merged.total_weight)
+
+    def test_from_counters_round_trips_state(self):
+        original = WeightedSpaceSaving(num_counters=3)
+        for element, weight in [("a", 5.0), ("b", 2.0), ("c", 1.0), ("d", 4.0)]:
+            original.update(element, weight)
+        rebuilt = WeightedSpaceSaving.from_counters(
+            3, original._counters, original.total_weight)
+        assert rebuilt.to_dict() == original.to_dict()
+        assert rebuilt.total_weight == original.total_weight
+        assert rebuilt.overestimate_of("d") == original.overestimate_of("d")
+
+    def test_from_counters_rejects_overfull_maps(self):
+        with pytest.raises(ValueError, match="capacity"):
+            WeightedSpaceSaving.from_counters(
+                1, {"a": (1.0, 0.0), "b": (2.0, 0.0)}, 3.0)
