@@ -37,6 +37,7 @@ from .api import (
     Query,
     ShardedTracker,
     ShardedTrackerStats,
+    WorkerServer,
     SketchMatrix,
     TotalWeight,
     Tracker,
@@ -102,6 +103,7 @@ __all__ = [
     "Query",
     "ShardedTracker",
     "ShardedTrackerStats",
+    "WorkerServer",
     "SketchMatrix",
     "TotalWeight",
     "Tracker",

@@ -68,6 +68,7 @@ from ..cluster import (  # noqa: E402  (deliberate late import, see above)
     BackendSpec,
     ShardedTracker,
     ShardedTrackerStats,
+    WorkerServer,
     available_backends,
     backend_registry_rows,
     create_backend,
@@ -107,6 +108,7 @@ __all__ = [
     "BackendSpec",
     "ShardedTracker",
     "ShardedTrackerStats",
+    "WorkerServer",
     "available_backends",
     "backend_registry_rows",
     "create_backend",

@@ -17,21 +17,37 @@ component implements the versioned ``get_state``/``set_state`` contract of
   captured exactly), and
 * the session partitioner (so site assignment continues its sequence).
 
-File format: a pickle of ``{"format", "version", ...}`` with
-:data:`CHECKPOINT_VERSION` bumped on incompatible layout changes; loading a
-checkpoint with an unknown format or version raises :class:`CheckpointError`
-instead of resuming with garbage.  Checkpoints use :mod:`pickle`, so — as
-with any pickle — only load files you wrote yourself.
+File format: one :mod:`repro.wire` frame whose kind labels the checkpoint
+flavour (``repro/tracker-checkpoint`` / ``repro/protocol-checkpoint``) and
+whose body is ``{"version", ...}`` with :data:`CHECKPOINT_VERSION` bumped on
+incompatible layout changes.  Wire frames carry no executable payload, so —
+unlike the pickle files of earlier releases — checkpoints from untrusted
+sources can at worst fail to load, not run code.  Loading a file with an
+unknown format, version, corruption or truncation raises
+:class:`CheckpointError` instead of resuming with garbage.
+
+Legacy pickle checkpoints (written before the wire format) are still
+readable, but only behind an explicit ``allow_pickle=True`` — unpickling
+executes arbitrary code, so only opt in for files you wrote yourself.  The
+shim emits a :class:`DeprecationWarning`; re-save to upgrade in place.
 """
 
 from __future__ import annotations
 
 import pickle
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Union
 
 from ..streaming.protocol import DistributedProtocol
 from ..utils.stateio import StateError, restore_object
+from ..wire import (
+    WireDecodeError,
+    is_wire_data,
+    pack_frame,
+    unpack_frame,
+    write_frame,
+)
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -42,6 +58,8 @@ __all__ = [
     "load_protocol",
     "tracker_payload",
     "tracker_from_payload",
+    "tracker_frame",
+    "tracker_from_frame",
 ]
 
 #: Bump on incompatible changes to the checkpoint payload layout.
@@ -49,6 +67,12 @@ CHECKPOINT_VERSION = 1
 
 _TRACKER_FORMAT = "repro/tracker-checkpoint"
 _PROTOCOL_FORMAT = "repro/protocol-checkpoint"
+
+#: Frame kind for one shard's tracker payload inside cluster transport.
+TRACKER_PAYLOAD_KIND = "repro/tracker-payload"
+
+#: First byte of every pickle protocol ≥ 2 stream (the PROTO opcode).
+_PICKLE_PROTO_OPCODE = b"\x80"
 
 PathLike = Union[str, Path]
 
@@ -58,27 +82,63 @@ class CheckpointError(ValueError):
 
 
 def _write(path: PathLike, payload: Dict[str, Any]) -> None:
-    with open(Path(path), "wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    """Write ``payload`` (with its ``format``/``version`` keys) as one frame."""
+    body = dict(payload)
+    write_frame(path, body.pop("format"), body)
 
 
 def _read(path: PathLike, expected_format: str,
-          expected_version: int = CHECKPOINT_VERSION) -> Dict[str, Any]:
+          expected_version: int = CHECKPOINT_VERSION,
+          allow_pickle: bool = False) -> Dict[str, Any]:
     with open(Path(path), "rb") as handle:
+        data = handle.read()
+    if is_wire_data(data):
         try:
-            payload = pickle.load(handle)
-        except Exception as exc:
-            raise CheckpointError(f"cannot read checkpoint {path!s}: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("format") != expected_format:
-        raise CheckpointError(
-            f"{path!s} is not a {expected_format!r} checkpoint"
-        )
+            kind, payload = unpack_frame(data)
+        except WireDecodeError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {path!s}: {exc}"
+            ) from exc
+        if kind != expected_format:
+            raise CheckpointError(
+                f"{path!s} is a {kind!r} frame, not a {expected_format!r} "
+                "checkpoint"
+            )
+    elif data[:1] == _PICKLE_PROTO_OPCODE:
+        payload = _read_legacy_pickle(path, data, expected_format, allow_pickle)
+    else:
+        raise CheckpointError(f"{path!s} is not a {expected_format!r} checkpoint")
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"{path!s} is not a {expected_format!r} checkpoint")
     version = payload.get("version")
     if version != expected_version:
         raise CheckpointError(
             f"checkpoint {path!s} has version {version!r}; this build "
             f"supports version {expected_version}"
         )
+    return payload
+
+
+def _read_legacy_pickle(path: PathLike, data: bytes, expected_format: str,
+                        allow_pickle: bool) -> Dict[str, Any]:
+    """The legacy-compatibility shim for pre-wire pickle checkpoints."""
+    if not allow_pickle:
+        raise CheckpointError(
+            f"{path!s} is a legacy pickle checkpoint; loading it executes "
+            "arbitrary code, so pass allow_pickle=True only for files you "
+            "wrote yourself (re-save to upgrade to the wire format)"
+        )
+    warnings.warn(
+        f"loading legacy pickle checkpoint {path!s}; pickle checkpoints are "
+        "deprecated — re-save to upgrade to the wire format",
+        DeprecationWarning, stacklevel=3,
+    )
+    try:
+        payload = pickle.loads(data)
+    except Exception as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!s}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != expected_format:
+        raise CheckpointError(f"{path!s} is not a {expected_format!r} checkpoint")
     return payload
 
 
@@ -90,7 +150,7 @@ def tracker_payload(tracker: Any) -> Dict[str, Any]:
     (spec, params, chunk size, partitioner and protocol states); the cluster
     layer embeds one payload per shard inside its own versioned file.
     ``copy_data=False``: the snapshots reference live state and must be
-    serialized (pickled to a file or down a pipe) before the tracker runs on.
+    serialized (encoded into a wire frame) before the tracker runs on.
     """
     from .tracker import Tracker
 
@@ -113,7 +173,7 @@ def tracker_from_payload(payload: Dict[str, Any], source: str = "payload") -> An
         # copy_data=False: the deserialized payload is owned solely by us.
         protocol = restore_object(payload["protocol"], copy_data=False)
         partitioner = restore_object(payload["partitioner"], copy_data=False)
-    except StateError as exc:
+    except (StateError, KeyError, TypeError) as exc:
         raise CheckpointError(f"cannot restore {source}: {exc}") from exc
     return Tracker(
         protocol,
@@ -124,9 +184,29 @@ def tracker_from_payload(payload: Dict[str, Any], source: str = "payload") -> An
     )
 
 
+def tracker_frame(tracker: Any) -> bytes:
+    """Snapshot one tracker session as a standalone wire frame.
+
+    This is the shard-transport form of :func:`tracker_payload`: the cluster
+    layer calls it *on the worker* so each shard serializes its own state in
+    parallel, and the caller embeds the resulting frames in the cluster
+    checkpoint without re-encoding them.
+    """
+    return pack_frame(TRACKER_PAYLOAD_KIND, tracker_payload(tracker))
+
+
+def tracker_from_frame(data: bytes, source: str = "payload frame") -> Any:
+    """Rebuild a tracker session from a :func:`tracker_frame` blob."""
+    try:
+        _, payload = unpack_frame(data, expected_kind=TRACKER_PAYLOAD_KIND)
+    except WireDecodeError as exc:
+        raise CheckpointError(f"cannot restore {source}: {exc}") from exc
+    return tracker_from_payload(payload, source=source)
+
+
 def save_tracker(tracker: Any, path: PathLike) -> None:
     """Write a full session checkpoint for ``tracker`` to ``path``."""
-    # copy_data=False snapshots go straight into pickle.dump, which is
+    # copy_data=False snapshots go straight into the frame encoder, which is
     # itself a point-in-time serialisation — no defensive deep copy needed.
     payload = tracker_payload(tracker)
     payload["format"] = _TRACKER_FORMAT
@@ -134,9 +214,16 @@ def save_tracker(tracker: Any, path: PathLike) -> None:
     _write(path, payload)
 
 
-def load_tracker(path: PathLike) -> Any:
-    """Restore a session checkpointed by :func:`save_tracker`."""
-    return tracker_from_payload(_read(path, _TRACKER_FORMAT), source=str(path))
+def load_tracker(path: PathLike, allow_pickle: bool = False) -> Any:
+    """Restore a session checkpointed by :func:`save_tracker`.
+
+    ``allow_pickle=True`` additionally accepts legacy pickle checkpoints
+    (deprecated; only for files you wrote yourself).
+    """
+    return tracker_from_payload(
+        _read(path, _TRACKER_FORMAT, allow_pickle=allow_pickle),
+        source=str(path),
+    )
 
 
 # ----------------------------------------------------------------- protocols
@@ -153,10 +240,10 @@ def save_protocol(protocol: DistributedProtocol, path: PathLike) -> None:
     })
 
 
-def load_protocol(path: PathLike) -> DistributedProtocol:
+def load_protocol(path: PathLike, allow_pickle: bool = False) -> DistributedProtocol:
     """Restore a protocol checkpointed by :func:`save_protocol`."""
-    payload = _read(path, _PROTOCOL_FORMAT)
+    payload = _read(path, _PROTOCOL_FORMAT, allow_pickle=allow_pickle)
     try:
         return restore_object(payload["protocol"], copy_data=False)
-    except StateError as exc:
+    except (StateError, KeyError, TypeError) as exc:
         raise CheckpointError(f"cannot restore {path!s}: {exc}") from exc

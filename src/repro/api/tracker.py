@@ -261,15 +261,18 @@ class Tracker:
         save_tracker(self, path)
 
     @classmethod
-    def load(cls, path: Any) -> "Tracker":
+    def load(cls, path: Any, allow_pickle: bool = False) -> "Tracker":
         """Restore a session checkpointed with :meth:`save`.
 
         The restored tracker continues bit-identically — same messages, same
         seeded draws, same query answers — as one that never stopped.
+        Checkpoints are wire frames (see :mod:`repro.wire`); pass
+        ``allow_pickle=True`` to also accept legacy pickle checkpoints
+        (deprecated — only for files you wrote yourself).
         """
         from .state import load_tracker
 
-        return load_tracker(path)
+        return load_tracker(path, allow_pickle=allow_pickle)
 
     def __repr__(self) -> str:
         parts = []

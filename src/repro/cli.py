@@ -21,6 +21,10 @@ Examples
     repro-experiments figure67 --dataset pamap
     repro-experiments protocols
     repro-experiments track --protocol hh/P3 --num-items 50000 --phi 0.05
+    repro-experiments worker --listen 0.0.0.0:7071
+    repro-experiments track --protocol hh/P2 --shards 2 --backend socket \
+        --workers host-a:7071,host-b:7071
+    repro-experiments bench --shards 1,2 --backend process --wire pickle
     repro-experiments list
 """
 
@@ -78,6 +82,7 @@ _EXPERIMENTS = {
     "bench": "Ingestion throughput: per-item vs batched engine (items/sec)",
     "protocols": "The protocol registry: spec names, classes and parameters",
     "track": "Run one tracking session for a registry spec (--protocol hh/P3)",
+    "worker": "Host shard sessions for the socket backend (--listen HOST:PORT)",
 }
 
 
@@ -212,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--backend", choices=available_backends(),
                      default="process",
                      help="engine backend for the --shards scaling curve")
+    sub.add_argument("--wire", choices=["wire", "pickle"], default=None,
+                     metavar="{wire,pickle}",
+                     help="shard-dispatch transport for the --shards curve on "
+                          "the process backend: the wire codec (default) or "
+                          "the legacy pickle pipes, to measure codec "
+                          "encode/decode overhead")
     sub.add_argument("--seed", type=int, default=2014)
 
     subparsers.add_parser("protocols", help=_EXPERIMENTS["protocols"])
@@ -240,9 +251,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--backend", choices=available_backends(),
                      default="serial",
                      help="engine backend for the sharded session")
+    sub.add_argument("--workers", metavar="HOST:PORT,HOST:PORT,...",
+                     default=None,
+                     help="worker endpoints for --backend socket (started "
+                          "with `repro-experiments worker --listen`); shard i "
+                          "connects to address i mod len(workers)")
     sub.add_argument("--save", metavar="PATH", default=None,
                      help="write a session checkpoint after the run "
                           "(resume with Tracker.load / ShardedTracker.load)")
+
+    sub = subparsers.add_parser("worker", help=_EXPERIMENTS["worker"])
+    sub.add_argument("--listen", metavar="HOST:PORT", required=True,
+                     help="endpoint to listen on (port 0 picks an ephemeral "
+                          "port, printed on startup)")
 
     return parser
 
@@ -318,6 +339,25 @@ def _run_figure4(args, out) -> None:
 
 
 def _run_bench(args, out) -> None:
+    if args.wire is not None:
+        # Validate up front: --wire silently doing nothing would read as "I
+        # benchmarked the pickle pipes" when the default ran instead.
+        if not args.shards:
+            raise SystemExit(
+                "--wire measures shard-dispatch transport and needs a "
+                "--shards list (e.g. --shards 1,2)"
+            )
+        if args.backend != "process":
+            raise SystemExit(
+                "--wire only applies to the process backend's pipe "
+                "transport (the socket backend is always wire-framed)"
+            )
+    if args.shards and args.backend == "socket":
+        raise SystemExit(
+            "bench launches its own shard clusters and cannot supply socket "
+            "worker addresses; use --backend process (or serial/thread) for "
+            "the scaling curve"
+        )
     rows = throughput_report_rows(num_items=args.num_items,
                                   num_rows=args.num_rows,
                                   chunk_size=args.chunk_size,
@@ -331,14 +371,21 @@ def _run_bench(args, out) -> None:
               f"{row['per_item_items_per_sec']:,} items/sec per-item "
               f"({row['speedup']}x)", out)
     if args.shards:
+        backend_options = None
+        transport_label = ""
+        if args.wire is not None:
+            backend_options = {"transport": args.wire}
+            transport_label = f", {args.wire} transport"
         results = measure_sharded_throughput(num_items=args.num_items,
                                              shard_counts=args.shards,
                                              backend=args.backend,
+                                             backend_options=backend_options,
                                              chunk_size=args.chunk_size,
                                              seed=args.seed)
         scaling = sharded_report_rows(results)
         _emit(format_table(scaling,
-                           title=f"Sharded scaling ({args.backend} backend)"),
+                           title=f"Sharded scaling ({args.backend} backend"
+                                 f"{transport_label})"),
               out)
         for row in scaling:
             speedup = row.get("speedup_vs_1_shard")
@@ -375,9 +422,20 @@ def _spec_kwargs(spec, base: dict) -> dict:
 
 def _make_session(spec, args, build_kwargs: dict):
     """Build a plain or sharded tracking session from the track options."""
-    if args.shards > 1:
+    backend_options = None
+    if getattr(args, "workers", None):
+        if args.backend != "socket":
+            raise SystemExit("--workers requires --backend socket")
+        backend_options = {"addresses": args.workers}
+    elif args.backend == "socket":
+        raise SystemExit(
+            "--backend socket needs --workers HOST:PORT[,HOST:PORT...] "
+            "(start workers with `repro-experiments worker --listen`)"
+        )
+    if args.shards > 1 or args.backend != "serial":
         return ShardedTracker.create(spec.name, shards=args.shards,
                                      backend=args.backend,
+                                     backend_options=backend_options,
                                      chunk_size=args.chunk_size,
                                      **build_kwargs)
     return Tracker.create(spec.name, chunk_size=args.chunk_size,
@@ -433,11 +491,30 @@ def _run_track(args, out) -> None:
           "less than forwarding everything)", out)
     if args.save:
         tracker.save(args.save)
-        loader = ("repro.ShardedTracker.load" if args.shards > 1
+        loader = ("repro.ShardedTracker.load"
+                  if isinstance(tracker, ShardedTracker)
                   else "repro.Tracker.load")
         _emit(f"checkpoint written to {args.save} (resume with {loader})", out)
-    if args.shards > 1:
+    if isinstance(tracker, ShardedTracker):
         tracker.close()
+
+
+def _run_worker(args, out) -> None:
+    """Serve shard sessions for socket-backend parents until interrupted."""
+    from .cluster.socket_backend import WorkerServer, parse_address
+
+    host, port = parse_address(args.listen)
+    server = WorkerServer(host, port)
+    bound_host, bound_port = server.address
+    _emit(f"repro worker listening on {bound_host}:{bound_port} "
+          "(wire-frame shard protocol; one session per connection; "
+          "stop with Ctrl-C)", out)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.stop()
 
 
 def _run_figure67(args, out) -> None:
@@ -481,6 +558,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         _run_protocols(args, out)
     elif args.command == "track":
         _run_track(args, out)
+    elif args.command == "worker":
+        _run_worker(args, out)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return 0

@@ -3,9 +3,13 @@
 The production-scale execution layer above :mod:`repro.api`:
 
 * :mod:`repro.cluster.backends` — the string-keyed engine-backend registry
-  (``serial``, ``thread``, ``process``) mirroring the protocol registry;
-  the process backend keeps persistent workers and ships columnar batch
-  chunks to them.
+  (``serial``, ``thread``, ``process``, ``socket``) mirroring the protocol
+  registry; the process backend keeps persistent workers and ships columnar
+  batch chunks to them as :mod:`repro.wire` frames.
+* :mod:`repro.cluster.worker_protocol` — the transport-agnostic wire-frame
+  worker protocol shared by the process pipes and the socket connections.
+* :mod:`repro.cluster.socket_backend` — the multi-host TCP backend and the
+  :class:`WorkerServer` behind ``repro-experiments worker --listen``.
 * :mod:`repro.cluster.sharding` — deterministic element/row-space
   partitioning (stable hashes, never process-seeded ``hash``).
 * :mod:`repro.cluster.merge` — query-time merging of per-shard state into
@@ -35,6 +39,7 @@ from .sharded_tracker import (
     ShardedTrackerStats,
 )
 from .sharding import shard_of_elements, shard_of_rows
+from .socket_backend import SocketBackend, WorkerServer
 
 __all__ = [
     # backends
@@ -44,6 +49,8 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "SocketBackend",
+    "WorkerServer",
     "available_backends",
     "backend_registry_rows",
     "create_backend",

@@ -15,7 +15,7 @@ the work submitted to each slot, and exposes three primitives:
 ``fn`` must be a module-level callable (the process backend ships it by
 qualified name) taking the shard's ``Tracker`` as its first argument.
 
-Three backends are registered, mirroring the protocol registry's
+Four backends are registered, mirroring the protocol registry's
 string-keyed :class:`BackendSpec` pattern:
 
 =========  ==================================================================
@@ -24,15 +24,22 @@ string-keyed :class:`BackendSpec` pattern:
 ``thread``   one worker thread per shard; overlaps the NumPy/BLAS portions
              of shard work (the GIL serialises pure-Python portions)
 ``process``  one **persistent** worker process per shard; columnar
-             ``WeightedItemBatch``/``MatrixRowBatch`` chunks are pickled
-             through a pipe, results come back the same way — true
-             multi-core scaling for CPU-bound protocols
+             ``WeightedItemBatch``/``MatrixRowBatch`` chunks travel through
+             a pipe as :mod:`repro.wire` frames, results come back the same
+             way — true multi-core scaling for CPU-bound protocols
+``socket``   shards live in ``repro-experiments worker --listen`` processes
+             reached over TCP (any host); the same wire-frame worker
+             protocol as ``process``, length-prefixed on the stream — see
+             :mod:`repro.cluster.socket_backend`
 =========  ==================================================================
 
-Backends resolve by name through :func:`create_backend`; registering a new
-:class:`BackendSpec` (e.g. an RPC backend for true multi-host deployments)
-makes it reachable from :class:`~repro.cluster.sharded_tracker.ShardedTracker`,
-the CLI (``track --backend``) and the throughput benchmark at once.
+The remote backends share one transport-agnostic worker protocol
+(:mod:`repro.cluster.worker_protocol`): every command and reply is a wire
+frame, so no pickle ever crosses a process or host boundary.  Backends
+resolve by name through :func:`create_backend`; registering a new
+:class:`BackendSpec` makes it reachable from
+:class:`~repro.cluster.sharded_tracker.ShardedTracker`, the CLI
+(``track --backend``) and the throughput benchmark at once.
 """
 
 from __future__ import annotations
@@ -43,6 +50,12 @@ import queue
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
+
+# worker_protocol only imports this module lazily (inside encode_reply), so
+# the module-level import here is cycle-free and keeps the per-message hot
+# path (one encode/decode per submitted chunk) free of repeated sys.modules
+# lookups.
+from .worker_protocol import WorkerSession, decode_reply, encode_command
 
 __all__ = [
     "BackendError",
@@ -255,104 +268,163 @@ class ThreadBackend(EngineBackend):
 
 
 # ------------------------------------------------------------------ process
-def _process_worker_main(conn: Any, builder: Callable[[], Any]) -> None:
-    """Worker loop: build the shard tracker, then serve pipe commands.
+def _pickle_decode_command(message: Any) -> tuple:
+    """Adapt legacy pickle tuples to the ``(op, fn, args)`` worker contract."""
+    op = message[0]
+    fn = message[1] if len(message) > 1 else None
+    args = tuple(message[2]) if len(message) > 2 else ()
+    return op, fn, args
 
-    Commands are ``("submit", fn, args)`` (no reply; failures are held and
-    reported at the next call), ``("call", fn, args)`` (replies
-    ``("ok", result)`` or ``("error", exc)``) and ``("stop",)``.
+
+def _process_worker_main(conn: Any, transport: str) -> None:
+    """Worker loop: serve the shared worker protocol over a duplex pipe.
+
+    The first command must be ``launch`` carrying the shard builder; with
+    the default ``"wire"`` transport every command/reply is a
+    :mod:`repro.wire` frame moved with ``send_bytes``/``recv_bytes``; the
+    legacy ``"pickle"`` transport (kept so ``bench --wire pickle`` can
+    measure the codec against it) moves plain tuples with ``send``/``recv``.
     """
-    pending_error: Optional[BaseException] = None
-    tracker = None
+    if transport == "wire":
+        session = WorkerSession(conn.recv_bytes, conn.send_bytes)
+    else:
+        def safe_send(payload: Any) -> None:
+            # Degrade unpicklable results/exceptions to an error reply.
+            try:
+                conn.send(payload)
+            except Exception as exc:
+                conn.send(("error", BackendError(
+                    f"shard reply could not be serialized: {exc!r}"
+                )))
+
+        session = WorkerSession(conn.recv, safe_send,
+                                decode=_pickle_decode_command,
+                                encode=lambda status, value: (status, value),
+                                peek=None)
     try:
-        tracker = builder()
-        conn.send(("ready", None))
-    except BaseException as exc:
-        _safe_send(conn, ("error", exc))
+        session.serve()
+    finally:
         conn.close()
-        return
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            break
-        op = message[0]
-        if op == "stop":
-            break
-        fn, args = message[1], message[2]
-        if op == "submit":
-            if pending_error is None:
-                try:
-                    fn(tracker, *args)
-                except BaseException as exc:
-                    pending_error = exc
-        else:  # "call"
-            if pending_error is not None:
-                _safe_send(conn, ("error", pending_error))
-                pending_error = None
-            else:
-                try:
-                    _safe_send(conn, ("ok", fn(tracker, *args)))
-                except BaseException as exc:
-                    _safe_send(conn, ("error", exc))
-    conn.close()
 
 
-def _safe_send(conn: Any, payload: Any) -> None:
-    """Send a reply, degrading unpicklable results/exceptions to an error."""
+def _decode_reply_as_backend_errors(data: bytes) -> Any:
+    """Decode a reply frame, folding decode failures into ``BackendError``.
+
+    :func:`drain_call_all` only drains past ``BackendError``; any other
+    exception type escaping the reply path would leave the remaining
+    shards' replies unread and desynchronize every later call.
+    """
     try:
-        conn.send(payload)
+        return decode_reply(data)
     except Exception as exc:
-        conn.send(("error", BackendError(
-            f"shard reply could not be serialized: {exc!r}"
-        )))
+        raise BackendError(f"shard reply could not be decoded: {exc!r}") from exc
 
 
-class _ProcessShard:
-    """Parent-side handle of one persistent worker process."""
+class RemoteShardHandle:
+    """Parent-side reply discipline shared by the remote shard transports.
 
-    def __init__(self, index: int, builder: Callable[[], Any], context: Any):
-        self.conn, child_conn = context.Pipe(duplex=True)
-        self.process = context.Process(
-            target=_process_worker_main, args=(child_conn, builder),
-            name=f"repro-shard-{index}", daemon=True,
-        )
-        self.process.start()
-        child_conn.close()
-        status, value = self._recv()
-        if status != "ready":
-            raise BackendError(f"shard {index} failed to start: {value!r}")
+    Subclasses (process pipes, TCP sockets) provide ``send_command`` /
+    ``recv_reply``; the call-completion logic — and with it the rule that an
+    error reply surfaces as :class:`BackendError` chained to the remote
+    exception — lives in exactly one place.
+    """
 
-    def _recv(self) -> Any:
-        try:
-            return self.conn.recv()
-        except (EOFError, OSError) as exc:
-            raise BackendError(
-                f"shard worker {self.process.name} died "
-                f"(exitcode={self.process.exitcode})"
-            ) from exc
+    def send_command(self, op: str, fn: Optional[Callable], args: tuple) -> None:
+        raise NotImplementedError
 
-    def send(self, message: Any) -> None:
-        try:
-            self.conn.send(message)
-        except (BrokenPipeError, OSError) as exc:
-            raise BackendError(
-                f"shard worker {self.process.name} is gone "
-                f"(exitcode={self.process.exitcode})"
-            ) from exc
+    def recv_reply(self) -> Any:
+        raise NotImplementedError
 
     def finish_call(self) -> Any:
-        status, value = self._recv()
+        status, value = self.recv_reply()
         if status == "error":
             raise BackendError(f"shard worker failed: {value!r}") from (
                 value if isinstance(value, BaseException) else None
             )
         return value
 
+
+def drain_call_all(shards: Sequence[RemoteShardHandle], fn: Callable,
+                   args: tuple) -> List[Any]:
+    """Fan a ``call`` out to every shard, then collect every reply.
+
+    The command goes to all shards before any reply is read, so independent
+    workers execute concurrently; and EVERY reply owed (one per successful
+    send — the send phase is guarded too) is drained before an error is
+    raised.  An unread reply would desynchronize that shard's command/reply
+    stream and make every later call return the previous round's answer
+    (the PR 4 regression this encodes).
+    """
+    first_error: Optional[BackendError] = None
+    awaiting: List[Optional[RemoteShardHandle]] = []
+    for handle in shards:
+        try:
+            handle.send_command("call", fn, args)
+            awaiting.append(handle)
+        except BackendError as exc:
+            if first_error is None:
+                first_error = exc
+            awaiting.append(None)
+    results: List[Any] = []
+    for handle in awaiting:
+        if handle is None:
+            results.append(None)
+            continue
+        try:
+            results.append(handle.finish_call())
+        except BackendError as exc:
+            if first_error is None:
+                first_error = exc
+            results.append(None)
+    if first_error is not None:
+        raise first_error
+    return results
+
+
+class _ProcessShard(RemoteShardHandle):
+    """Parent-side handle of one persistent worker process."""
+
+    def __init__(self, index: int, builder: Callable[[], Any], context: Any,
+                 transport: str):
+        self._wire = transport == "wire"
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_process_worker_main, args=(child_conn, transport),
+            name=f"repro-shard-{index}", daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.send_command("launch", None, (builder,))
+        status, value = self.recv_reply()
+        if status != "ready":
+            raise BackendError(f"shard {index} failed to start: {value!r}")
+
+    def send_command(self, op: str, fn: Optional[Callable], args: tuple) -> None:
+        try:
+            if self._wire:
+                self.conn.send_bytes(encode_command(op, fn, args))
+            else:
+                self.conn.send((op, fn, args))
+        except (BrokenPipeError, OSError) as exc:
+            raise BackendError(
+                f"shard worker {self.process.name} is gone "
+                f"(exitcode={self.process.exitcode})"
+            ) from exc
+
+    def recv_reply(self) -> Any:
+        try:
+            data = self.conn.recv_bytes() if self._wire else self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise BackendError(
+                f"shard worker {self.process.name} died "
+                f"(exitcode={self.process.exitcode})"
+            ) from exc
+        return _decode_reply_as_backend_errors(data) if self._wire else data
+
     def stop(self) -> None:
         try:
-            self.conn.send(("stop",))
-        except (BrokenPipeError, OSError):
+            self.send_command("stop", None, ())
+        except BackendError:
             pass
         self.process.join(timeout=10.0)
         if self.process.is_alive():  # pragma: no cover - hung worker
@@ -364,57 +436,52 @@ class _ProcessShard:
 class ProcessBackend(EngineBackend):
     """One persistent worker process per shard.
 
-    The parent ships columnar batch chunks (NumPy element/weight/row arrays
-    pickle compactly) down a duplex pipe; the OS pipe buffer provides
-    natural backpressure when a worker falls behind.  Workers are started
-    with ``fork`` where available (instant, shares the imported library) and
-    ``spawn`` otherwise.
+    The parent ships columnar batch chunks down a duplex pipe as
+    :mod:`repro.wire` frames (NumPy element/weight/row arrays travel as
+    dtype/shape/contiguous bytes); the OS pipe buffer provides natural
+    backpressure when a worker falls behind.  Workers are started with
+    ``fork`` where available (instant, shares the imported library) and
+    ``spawn`` otherwise.  ``transport="pickle"`` switches the pipe messages
+    back to pickle — kept only so the throughput benchmark can measure the
+    wire codec against it.
     """
 
     name = "process"
 
-    def __init__(self, start_method: Optional[str] = None):
+    def __init__(self, start_method: Optional[str] = None,
+                 transport: str = "wire"):
         super().__init__()
         if start_method is None:
             start_method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
                             else "spawn")
+        if transport not in ("wire", "pickle"):
+            raise ValueError(
+                f"transport must be 'wire' or 'pickle', got {transport!r}"
+            )
         self._context = multiprocessing.get_context(start_method)
+        self._transport = transport
 
     def _launch(self, builders: Sequence[Callable[[], Any]]) -> None:
         self._shards: List[_ProcessShard] = []
         try:
             for index, builder in enumerate(builders):
-                self._shards.append(_ProcessShard(index, builder, self._context))
+                self._shards.append(
+                    _ProcessShard(index, builder, self._context, self._transport)
+                )
         except BaseException:
             self.close()
             raise
 
     def submit(self, shard: int, fn: Callable, *args: Any) -> None:
-        self._shards[self._check_shard(shard)].send(("submit", fn, args))
+        self._shards[self._check_shard(shard)].send_command("submit", fn, args)
 
     def call(self, shard: int, fn: Callable, *args: Any) -> Any:
         handle = self._shards[self._check_shard(shard)]
-        handle.send(("call", fn, args))
+        handle.send_command("call", fn, args)
         return handle.finish_call()
 
     def call_all(self, fn: Callable, *args: Any) -> List[Any]:
-        for shard in range(self._num_shards):
-            self._shards[shard].send(("call", fn, args))
-        # Drain EVERY shard's reply before raising: an unread reply would
-        # desynchronize the command/reply protocol and make every later
-        # call return the previous round's answer.
-        results: List[Any] = []
-        first_error: Optional[BackendError] = None
-        for shard in range(self._num_shards):
-            try:
-                results.append(self._shards[shard].finish_call())
-            except BackendError as exc:
-                if first_error is None:
-                    first_error = exc
-                results.append(None)
-        if first_error is not None:
-            raise first_error
-        return results
+        return drain_call_all(self._shards, fn, args)
 
     def close(self) -> None:
         for shard in getattr(self, "_shards", []):

@@ -8,8 +8,9 @@ RNG streams.  The sharded facade
 * **partitions the key space** deterministically (elements by stable hash,
   matrix rows round-robin by global index — :mod:`repro.cluster.sharding`),
 * **fans ingestion out** through a pluggable
-  :class:`~repro.cluster.backends.EngineBackend` (``serial``, ``thread`` or
-  ``process``), shipping columnar sub-batches and preserving per-shard FIFO
+  :class:`~repro.cluster.backends.EngineBackend` (``serial``, ``thread``,
+  ``process`` or the multi-host ``socket`` backend), shipping columnar
+  sub-batches as :mod:`repro.wire` frames and preserving per-shard FIFO
   order,
 * **answers the typed queries** of :mod:`repro.api.queries` by merging
   per-shard state at query time (:mod:`repro.cluster.merge`): counter-merge
@@ -47,8 +48,9 @@ from ..api.state import (
     CheckpointError,
     _read,
     _write,
+    tracker_frame,
+    tracker_from_frame,
     tracker_from_payload,
-    tracker_payload,
 )
 from ..api.tracker import Tracker
 from ..streaming.items import MatrixRowBatch, WeightedItemBatch
@@ -115,12 +117,20 @@ class _SpecShardBuilder:
 
 @dataclass(frozen=True)
 class _RestoreShardBuilder:
-    """Picklable builder: restore shard ``index`` from a checkpoint payload."""
+    """Wire-encodable builder: restore shard ``index`` from its checkpoint.
 
-    payload: Dict[str, Any]
+    ``payload`` is the shard's :func:`~repro.api.state.tracker_frame` bytes
+    (decoded *on the worker*, so restore cost parallelises like save cost);
+    legacy pickle cluster checkpoints hand the old payload dictionary
+    through instead.
+    """
+
+    payload: Any
     index: int
 
     def __call__(self) -> Tracker:
+        if isinstance(self.payload, (bytes, bytearray)):
+            return tracker_from_frame(self.payload, source=f"shard {self.index}")
         return tracker_from_payload(self.payload, source=f"shard {self.index}")
 
 
@@ -144,8 +154,11 @@ def _shard_stats(tracker: Tracker) -> Tuple[int, int, Dict[str, int]]:
             tracker.protocol.message_counts())
 
 
-def _shard_checkpoint(tracker: Tracker) -> Dict[str, Any]:
-    return tracker_payload(tracker)
+def _shard_checkpoint(tracker: Tracker) -> bytes:
+    # Encoded on the shard: each worker serializes its own state in
+    # parallel, and the frame bytes are embedded verbatim in the cluster
+    # checkpoint file (no second encoding pass at the caller).
+    return tracker_frame(tracker)
 
 
 class ShardedTracker:
@@ -327,6 +340,14 @@ class ShardedTracker:
         The merged ``Answer`` carries the combined error bound (the sum of
         the per-shard ``ε·Ŵ_s`` / ``ε·F̂_s`` bounds) and cluster-aggregated
         ``items_processed``/``total_messages``.
+
+        No cluster-wide ingestion barrier is taken: the query command fans
+        out to every shard at once and each shard snapshots its state after
+        the work already queued to *it* (per-shard FIFO), while other
+        shards keep ingesting.  On the remote backends the snapshot is
+        extracted and wire-encoded on the worker, so the answer to "what
+        has the cluster seen of everything submitted before this call?" is
+        assembled without ever pausing the whole cluster.
         """
         self._check_open()
         if not isinstance(query, Query):
@@ -368,9 +389,11 @@ class ShardedTracker:
     def save(self, path: Any) -> None:
         """Checkpoint every shard into one versioned cluster file.
 
-        The file embeds one full tracker payload per shard plus the cluster
-        topology (spec, shard count, backend, the row-deal counter), so
-        :meth:`load` resumes the whole cluster bit-identically.
+        The file is a :mod:`repro.wire` frame embedding one full tracker
+        payload frame per shard — encoded *on the worker*, so shard
+        serialization runs in parallel on the remote backends — plus the
+        cluster topology (spec, shard count, backend, the row-deal
+        counter); :meth:`load` resumes the whole cluster bit-identically.
         """
         self._check_open()
         payloads = self._backend.call_all(_shard_checkpoint)
@@ -388,15 +411,24 @@ class ShardedTracker:
 
     @classmethod
     def load(cls, path: Any, backend: Optional[str] = None,
-             backend_options: Optional[Dict[str, Any]] = None) -> "ShardedTracker":
+             backend_options: Optional[Dict[str, Any]] = None,
+             allow_pickle: bool = False) -> "ShardedTracker":
         """Restore a cluster checkpointed with :meth:`save`.
 
         ``backend`` overrides the backend recorded in the checkpoint (a
-        cluster saved under the process backend can resume serially and vice
-        versa — shard state is backend-independent).
+        cluster saved under the process backend can resume serially, over
+        sockets, and vice versa — shard state is backend-independent).
+        A checkpoint saved under the ``socket`` backend needs either
+        ``backend_options={"addresses": ...}`` (worker endpoints are not
+        recorded — the restore cluster rarely lives on the saving hosts) or
+        a ``backend`` override; omitting both raises a ``BackendError``
+        saying so.  ``allow_pickle=True`` additionally accepts legacy
+        pickle cluster checkpoints (deprecated; only for files you wrote
+        yourself).
         """
         payload = _read(path, _CLUSTER_FORMAT,
-                        expected_version=CLUSTER_CHECKPOINT_VERSION)
+                        expected_version=CLUSTER_CHECKPOINT_VERSION,
+                        allow_pickle=allow_pickle)
         shard_payloads = payload.get("shard_payloads")
         if not shard_payloads:
             raise CheckpointError(f"{path!s} contains no shard payloads")

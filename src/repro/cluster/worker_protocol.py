@@ -1,0 +1,214 @@
+"""The transport-agnostic shard worker protocol, spoken in wire frames.
+
+Every remote engine backend — the persistent-process backend's pipes and the
+multi-host socket backend's TCP connections — drives its shard workers with
+the same four commands, each one :mod:`repro.wire` frame:
+
+=========  =================================================================
+``launch``   args ``(builder,)``; the worker constructs its shard
+             ``Tracker`` by calling the (wire-encodable, dataclass) builder
+             and replies ``ready``
+``submit``   fire-and-forget ``fn(tracker, *args)``; failures are held and
+             reported at the next ``call`` (FIFO order is preserved)
+``call``     run ``fn(tracker, *args)`` after all queued work and reply
+             ``ok``/``error`` with the wire-encoded result
+``stop``     end the session (no reply)
+=========  =================================================================
+
+``fn`` travels by qualified name (it must be a module-level function inside
+the ``repro`` package — the rule the backends documented from day one) and
+``args`` travel as wire values, so columnar ``WeightedItemBatch`` /
+``MatrixRowBatch`` chunks, typed query objects and checkpoint payload
+frames all cross process and host boundaries without pickle.  Replies are
+wire frames too; a result the codec cannot represent degrades to an
+``error`` reply naming the offending type (mirroring the old pickle
+backend's ``_safe_send``), never a torn frame.
+
+:class:`WorkerSession` is the worker-side loop shared by
+``repro.cluster.backends`` (pipe transport) and
+``repro.cluster.socket_backend`` (TCP transport): hand it ``recv``/``send``
+callables moving raw frame bytes and it serves one shard until ``stop`` or
+disconnect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from ..wire import WireDecodeError, pack_frame, peek_kind, unpack_frame
+from ..wire.codec import WireEncodeError
+
+__all__ = [
+    "COMMAND_KIND",
+    "REPLY_KIND",
+    "encode_command",
+    "decode_command",
+    "peek_command_op",
+    "encode_reply",
+    "decode_reply",
+    "WorkerSession",
+]
+
+COMMAND_KIND = "repro/worker-command"
+REPLY_KIND = "repro/worker-reply"
+
+
+def encode_command(op: str, fn: Any = None, args: Tuple[Any, ...] = ()) -> bytes:
+    """Pack one command frame (``fn`` may be None for launch/stop).
+
+    The op rides in the frame *kind* (``repro/worker-command:submit``) as
+    well as the body, so a worker that cannot decode the body — a corrupted
+    frame, an untrusted function reference — can still tell from the header
+    whether the sender is waiting for a reply, and keep the command/reply
+    protocol synchronized.
+    """
+    return pack_frame(f"{COMMAND_KIND}:{op}",
+                      {"op": op, "fn": fn, "args": tuple(args)})
+
+
+def decode_command(data: bytes) -> Tuple[str, Any, Tuple[Any, ...]]:
+    """Unpack a command frame into ``(op, fn, args)``."""
+    kind, body = unpack_frame(data)
+    if kind != COMMAND_KIND and not kind.startswith(COMMAND_KIND + ":"):
+        raise WireDecodeError(f"expected a worker command frame, got {kind!r}")
+    if not isinstance(body, dict) or not isinstance(body.get("op"), str):
+        raise WireDecodeError("malformed worker command body")
+    try:
+        return body["op"], body.get("fn"), tuple(body.get("args", ()))
+    except TypeError as exc:
+        raise WireDecodeError("malformed worker command body") from exc
+
+
+def peek_command_op(data: bytes) -> Optional[str]:
+    """Best-effort op of a command frame, from the header alone."""
+    kind = peek_kind(data)
+    if kind and kind.startswith(COMMAND_KIND + ":"):
+        return kind[len(COMMAND_KIND) + 1:]
+    return None
+
+
+def encode_reply(status: str, value: Any) -> bytes:
+    """Pack one reply frame, degrading unencodable values to an error reply."""
+    try:
+        return pack_frame(REPLY_KIND, {"status": status, "value": value})
+    except WireEncodeError as exc:
+        from .backends import BackendError
+
+        return pack_frame(REPLY_KIND, {
+            "status": "error",
+            "value": BackendError(f"shard reply could not be serialized: {exc}"),
+        })
+
+
+def decode_reply(data: bytes) -> Tuple[str, Any]:
+    """Unpack a reply frame into ``(status, value)``."""
+    _, body = unpack_frame(data, expected_kind=REPLY_KIND)
+    if not isinstance(body, dict) or not isinstance(body.get("status"), str):
+        raise WireDecodeError("malformed worker reply body")
+    return body["status"], body.get("value")
+
+
+class WorkerSession:
+    """Serve one shard over any frame transport until ``stop``/disconnect.
+
+    Parameters
+    ----------
+    recv:
+        Callable returning the next raw command frame bytes; it should raise
+        ``EOFError``/``ConnectionError``/``OSError`` when the peer is gone
+        (the session then ends quietly, like a closed pipe).
+    send:
+        Callable shipping raw reply frame bytes back to the peer.
+    decode / encode / peek:
+        Override the message codec — the process backend's legacy pickle
+        transport (kept for the ``bench --wire pickle`` comparison) reuses
+        this loop with tuple messages instead of wire frames (and no
+        ``peek``: an undecodable pickle message ends the session).
+    """
+
+    def __init__(self, recv: Callable[[], bytes], send: Callable[[bytes], None],
+                 decode: Callable[[Any], Tuple[str, Any, Tuple[Any, ...]]] = decode_command,
+                 encode: Callable[[str, Any], Any] = encode_reply,
+                 peek: Optional[Callable[[Any], Optional[str]]] = peek_command_op):
+        self._recv = recv
+        self._send = send
+        self._decode = decode
+        self._encode = encode
+        self._peek = peek
+        self._tracker: Any = None
+        self._pending_error: Optional[BaseException] = None
+
+    def serve(self) -> None:
+        """Run the command loop; returns when stopped or disconnected."""
+        while True:
+            try:
+                data = self._recv()
+            except (EOFError, ConnectionError, OSError):
+                return
+            try:
+                op, fn, args = self._decode(data)
+            except WireDecodeError as exc:
+                if not self._handle_undecodable(data, exc):
+                    return
+                continue
+            if op == "stop":
+                return
+            if op == "launch":
+                if not self._launch(args):
+                    return
+            elif op == "submit":
+                if self._pending_error is None:
+                    try:
+                        fn(self._tracker, *args)
+                    except BaseException as exc:
+                        self._pending_error = exc
+            elif op == "call":
+                if self._pending_error is not None:
+                    self._send(self._encode("error", self._pending_error))
+                    self._pending_error = None
+                else:
+                    try:
+                        result = fn(self._tracker, *args)
+                    except BaseException as exc:
+                        self._send(self._encode("error", exc))
+                    else:
+                        self._send(self._encode("ok", result))
+            else:
+                # An op this build does not know: we cannot tell whether the
+                # sender awaits a reply, so any guess could desynchronize
+                # the command/reply stream — end the session instead.
+                return
+
+    def _handle_undecodable(self, data: Any, exc: WireDecodeError) -> bool:
+        """React to a command frame whose body failed to decode.
+
+        The reply discipline must stay intact: a ``call``/``launch`` sender
+        is blocked on a reply (send the error; launch then ends the
+        session), a ``submit`` sender is not (hold the error for the next
+        call, exactly like a failed submit ``fn``) — an unsolicited reply
+        here would be consumed by the *next* call and shift every later
+        reply one round back.  Returns False to end the session (op
+        unknowable: the protocol state cannot be trusted).
+        """
+        op = self._peek(data) if self._peek is not None else None
+        if op == "call":
+            self._send(self._encode("error", exc))
+            return True
+        if op == "submit":
+            if self._pending_error is None:
+                self._pending_error = exc
+            return True
+        if op == "launch":
+            self._send(self._encode("error", exc))
+        return False
+
+    def _launch(self, args: Tuple[Any, ...]) -> bool:
+        """Build the shard tracker; False ends the session (failed start)."""
+        try:
+            (builder,) = args
+            self._tracker = builder()
+        except BaseException as exc:
+            self._send(self._encode("error", exc))
+            return False
+        self._send(self._encode("ready", None))
+        return True

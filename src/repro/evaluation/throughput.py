@@ -242,6 +242,7 @@ def measure_sharded_throughput(
     seed: int = 2014,
     chunk_size: int = BENCH_CHUNK_SIZE,
     repeats: int = 1,
+    backend_options: Optional[Dict[str, Any]] = None,
 ) -> List[ShardScalingResult]:
     """Scaling curve: items/sec of a ``ShardedTracker`` versus shard count.
 
@@ -251,7 +252,10 @@ def measure_sharded_throughput(
     ``shards=1`` is the sharding layer's own single-shard configuration —
     compare against :func:`measure_heavy_hitter_throughput` for the
     facade-free baseline.  True multi-core speedup needs the ``process``
-    backend and at least ``shards`` idle cores.
+    backend and at least ``shards`` idle cores.  ``backend_options`` pass
+    through to the backend constructor — ``{"transport": "pickle"}`` flips
+    the process backend onto its legacy pickle pipes so ``bench --wire``
+    can measure the wire codec's dispatch overhead against them.
     """
     from ..cluster import ShardedTracker  # local import: cluster sits above
 
@@ -264,6 +268,7 @@ def measure_sharded_throughput(
         for _ in range(max(1, repeats)):
             cluster = ShardedTracker.create(
                 spec, shards=shards, backend=backend,
+                backend_options=backend_options,
                 chunk_size=chunk_size, num_sites=num_sites, epsilon=epsilon,
             )
             try:

@@ -1,0 +1,218 @@
+"""Framed containers for wire payloads: files, pipes and sockets.
+
+A *frame* wraps one encoded value tree in a self-describing envelope::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------------------
+    0       4     magic ``b"RPW1"``
+    4       2     wire format version (little-endian u16, currently 1)
+    6       2     flags (reserved, 0)
+    8       2     kind length ``k`` (little-endian u16)
+    10      k     kind — a UTF-8 payload label, e.g.
+                  ``repro/tracker-checkpoint`` or ``repro/worker-command``
+    10+k    8     body length ``n`` (little-endian u64)
+    18+k    n     body — one :func:`~repro.wire.codec.encode_value` payload
+    18+k+n  4     CRC-32 of the body (little-endian u32)
+
+    The ``kind`` string plays the role pickle's class tag used to play for
+    checkpoint files: readers state which payload they expect and get a
+    :class:`~repro.wire.codec.WireDecodeError` naming both kinds on a
+    mismatch, instead of resuming with a wrong-but-parseable payload.
+
+Stream transport (pipes, TCP sockets) prefixes the whole frame with a
+little-endian u64 length so the receiver can read exactly one frame without
+parsing the variable-length header first; :func:`send_frame` /
+:func:`recv_frame` implement that over any socket-like object.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Optional, Tuple, Union
+
+from .codec import WireDecodeError, decode_value, encode_value
+
+__all__ = [
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "is_wire_data",
+    "pack_frame",
+    "unpack_frame",
+    "peek_kind",
+    "read_frame",
+    "write_frame",
+    "send_frame",
+    "recv_frame",
+]
+
+WIRE_MAGIC = b"RPW1"
+
+#: Bump on incompatible changes to the frame layout or the codec tag set.
+WIRE_VERSION = 1
+
+_FIXED_HEADER = struct.Struct("<4sHHH")   # magic, version, flags, kind length
+_BODY_LENGTH = struct.Struct("<Q")
+_CRC = struct.Struct("<I")
+_STREAM_PREFIX = struct.Struct("<Q")
+
+#: Upper bound for one streamed frame (defensive: a corrupted length prefix
+#: must not make a worker allocate petabytes).
+MAX_STREAM_FRAME = 1 << 40
+
+PathLike = Union[str, Path]
+
+
+def is_wire_data(data: bytes) -> bool:
+    """True when ``data`` starts like a wire frame (used to detect legacy
+    pickle checkpoints without attempting to parse them)."""
+    return bytes(data[:4]) == WIRE_MAGIC
+
+
+def pack_frame(kind: str, value: Any) -> bytes:
+    """Encode ``value`` and wrap it in a framed envelope labelled ``kind``."""
+    kind_bytes = kind.encode("utf-8")
+    if len(kind_bytes) > 0xFFFF:
+        raise ValueError("frame kind label too long")
+    body = encode_value(value)
+    return b"".join((
+        _FIXED_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, 0, len(kind_bytes)),
+        kind_bytes,
+        _BODY_LENGTH.pack(len(body)),
+        body,
+        _CRC.pack(zlib.crc32(body)),
+    ))
+
+
+def unpack_frame(data: bytes, expected_kind: Optional[str] = None
+                 ) -> Tuple[str, Any]:
+    """Parse one frame; returns ``(kind, value)``.
+
+    Raises :class:`WireDecodeError` on anything that is not a complete,
+    uncorrupted frame of this build's version: wrong magic, version skew,
+    truncated header/body, body-length mismatch, CRC mismatch, or (when
+    ``expected_kind`` is given) a kind mismatch.
+    """
+    view = memoryview(data)
+    if len(view) < _FIXED_HEADER.size:
+        raise WireDecodeError(
+            f"truncated wire frame: {len(view)} bytes is shorter than the "
+            f"{_FIXED_HEADER.size}-byte header"
+        )
+    magic, version, _flags, kind_length = _FIXED_HEADER.unpack(
+        view[:_FIXED_HEADER.size])
+    if magic != WIRE_MAGIC:
+        raise WireDecodeError(
+            f"not a wire frame: magic {bytes(magic)!r} != {WIRE_MAGIC!r}"
+        )
+    if version != WIRE_VERSION:
+        raise WireDecodeError(
+            f"wire format version {version} is not supported by this build "
+            f"(expected version {WIRE_VERSION})"
+        )
+    offset = _FIXED_HEADER.size
+    if len(view) < offset + kind_length + _BODY_LENGTH.size:
+        raise WireDecodeError("truncated wire frame: header cut short")
+    try:
+        kind = bytes(view[offset:offset + kind_length]).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireDecodeError("wire frame kind label is not UTF-8") from exc
+    offset += kind_length
+    (body_length,) = _BODY_LENGTH.unpack(view[offset:offset + _BODY_LENGTH.size])
+    offset += _BODY_LENGTH.size
+    if len(view) != offset + body_length + _CRC.size:
+        raise WireDecodeError(
+            f"wire frame length mismatch: header promises a {body_length}-byte "
+            f"body but {len(view) - offset - _CRC.size} bytes follow"
+        )
+    body = view[offset:offset + body_length]
+    (crc,) = _CRC.unpack(view[offset + body_length:])
+    if zlib.crc32(body) != crc:
+        raise WireDecodeError("wire frame CRC mismatch: the body is corrupted")
+    if expected_kind is not None and kind != expected_kind:
+        raise WireDecodeError(
+            f"expected a {expected_kind!r} frame, got {kind!r}"
+        )
+    return kind, decode_value(body)
+
+
+def peek_kind(data: bytes) -> Optional[str]:
+    """Read a frame's kind label from the header alone (no body decode).
+
+    Used by the worker protocol to learn *which command* an undecodable
+    frame carried — i.e. whether the peer is waiting for a reply — without
+    touching the (possibly hostile) body.  Returns ``None`` when even the
+    header is unreadable.
+    """
+    view = memoryview(data)
+    if len(view) < _FIXED_HEADER.size:
+        return None
+    magic, version, _flags, kind_length = _FIXED_HEADER.unpack(
+        view[:_FIXED_HEADER.size])
+    if magic != WIRE_MAGIC or version != WIRE_VERSION:
+        return None
+    if len(view) < _FIXED_HEADER.size + kind_length:
+        return None
+    try:
+        return bytes(view[_FIXED_HEADER.size:
+                          _FIXED_HEADER.size + kind_length]).decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+
+
+# ------------------------------------------------------------------- files
+def write_frame(path: PathLike, kind: str, value: Any) -> None:
+    """Write one frame to ``path`` (atomic enough for checkpoints: the frame
+    is materialised first, so a full disk cannot leave a half-encoded tree)."""
+    frame = pack_frame(kind, value)
+    with open(Path(path), "wb") as handle:
+        handle.write(frame)
+
+
+def read_frame(path: PathLike, expected_kind: Optional[str] = None
+               ) -> Tuple[str, Any]:
+    """Read and parse the frame stored at ``path``."""
+    with open(Path(path), "rb") as handle:
+        data = handle.read()
+    return unpack_frame(data, expected_kind=expected_kind)
+
+
+# ----------------------------------------------------------------- streams
+def send_frame(sock: Any, frame: bytes) -> None:
+    """Ship one packed frame over a socket with a u64 length prefix."""
+    sock.sendall(_STREAM_PREFIX.pack(len(frame)) + frame)
+
+
+def _recv_exact(sock: Any, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed mid-frame ({remaining} of {count} bytes "
+                "outstanding)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: Any) -> bytes:
+    """Receive one length-prefixed frame; raises ``ConnectionError``/``EOFError``
+    when the peer has gone away cleanly (zero bytes at a frame boundary)."""
+    prefix = sock.recv(_STREAM_PREFIX.size)
+    if not prefix:
+        raise EOFError("connection closed")
+    while len(prefix) < _STREAM_PREFIX.size:
+        more = sock.recv(_STREAM_PREFIX.size - len(prefix))
+        if not more:
+            raise ConnectionError("connection closed inside a frame prefix")
+        prefix += more
+    (length,) = _STREAM_PREFIX.unpack(prefix)
+    if length > MAX_STREAM_FRAME:
+        raise WireDecodeError(
+            f"refusing a {length}-byte frame (corrupted length prefix?)"
+        )
+    return _recv_exact(sock, length)

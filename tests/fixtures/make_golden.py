@@ -1,0 +1,97 @@
+"""Regenerate the golden wire-checkpoint fixtures.
+
+Run from the repository root when (and only when) the checkpoint layout
+legitimately changes::
+
+    PYTHONPATH=src python tests/fixtures/make_golden.py
+
+The committed fixtures pin **forward-loadability**: a v1 checkpoint written
+by the build that introduced the wire format must keep loading — and keep
+answering exactly the recorded answers — in every later build, or CI fails
+and the format bump must be made explicit (new ``CHECKPOINT_VERSION`` /
+``WIRE_VERSION`` plus a migration note).
+
+Everything recorded is BLAS-free arithmetic (weighted counter sums, priority
+sampling, Frobenius accumulation), so the expected answers are exact across
+platforms; queries that route through LAPACK/BLAS (covariance products,
+SVD) are deliberately not part of the golden record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro
+from repro.api import FrobeniusSquared, HeavyHitters, TotalWeight
+from repro.api.state import CHECKPOINT_VERSION
+from repro.data.synthetic_matrix import make_pamap_like
+from repro.data.zipfian import ZipfianStreamGenerator
+from repro.streaming.items import WeightedItemBatch
+from repro.wire import WIRE_VERSION
+
+FIXTURES = Path(__file__).parent
+
+HH_SPEC = "hh/P2"
+MATRIX_SPEC = "matrix/P3"
+CHUNK = 50
+
+
+def hh_fixture() -> dict:
+    generator = ZipfianStreamGenerator(universe_size=200, skew=2.0,
+                                       beta=50.0, seed=20140731)
+    batch = WeightedItemBatch.from_pairs(generator.generate(1_500).items)
+    tracker = repro.Tracker.create(HH_SPEC, num_sites=5, epsilon=0.1,
+                                   chunk_size=CHUNK)
+    tracker.run(batch[:1_000])  # mid-stream: sites hold pending deltas
+    tracker.save(FIXTURES / f"hh_p2_v{CHECKPOINT_VERSION}.ckpt")
+    hitters = tracker.query(HeavyHitters(phi=0.05))
+    total = tracker.query(TotalWeight())
+    return {
+        "spec": HH_SPEC,
+        "file": f"hh_p2_v{CHECKPOINT_VERSION}.ckpt",
+        "items_processed": tracker.items_processed,
+        "message_counts": tracker.protocol.message_counts(),
+        "heavy_hitters": [
+            {"element": int(hitter.element),
+             "estimated_weight": hitter.estimated_weight}
+            for hitter in hitters.hitters
+        ],
+        "hh_error_bound": hitters.error_bound,
+        "total_weight_estimate": total.estimate,
+    }
+
+
+def matrix_fixture() -> dict:
+    dataset = make_pamap_like(num_rows=600, seed=11)
+    tracker = repro.Tracker.create(MATRIX_SPEC, num_sites=5, epsilon=0.2,
+                                   dimension=dataset.dimension,
+                                   sample_size=80, seed=7, chunk_size=CHUNK)
+    tracker.run(dataset.rows[:400])
+    tracker.save(FIXTURES / f"matrix_p3_v{CHECKPOINT_VERSION}.ckpt")
+    frobenius = tracker.query(FrobeniusSquared())
+    return {
+        "spec": MATRIX_SPEC,
+        "file": f"matrix_p3_v{CHECKPOINT_VERSION}.ckpt",
+        "items_processed": tracker.items_processed,
+        "message_counts": tracker.protocol.message_counts(),
+        "frobenius_estimate": frobenius.estimate,
+        "frobenius_error_bound": frobenius.error_bound,
+    }
+
+
+def main() -> None:
+    golden = {
+        "checkpoint_version": CHECKPOINT_VERSION,
+        "wire_version": WIRE_VERSION,
+        "hh": hh_fixture(),
+        "matrix": matrix_fixture(),
+    }
+    with open(FIXTURES / "golden_answers.json", "w") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+    print(f"wrote fixtures for checkpoint v{CHECKPOINT_VERSION} "
+          f"/ wire v{WIRE_VERSION} under {FIXTURES}")
+
+
+if __name__ == "__main__":
+    main()

@@ -209,20 +209,66 @@ class TestProtocolCheckpointHelpers:
         assert _rng_states(clone) == _rng_states(protocol)
 
     def test_checkpoint_rejects_garbage_and_wrong_versions(self, tmp_path):
+        from repro.wire import pack_frame
+
         path = tmp_path / "bad.ckpt"
         path.write_bytes(b"not a checkpoint")
         with pytest.raises(CheckpointError):
             repro.Tracker.load(path)
-        with open(path, "wb") as handle:
-            pickle.dump({"format": "repro/tracker-checkpoint",
-                         "version": CHECKPOINT_VERSION + 1}, handle)
+        # Right frame kind, wrong checkpoint payload version.
+        path.write_bytes(pack_frame("repro/tracker-checkpoint",
+                                    {"version": CHECKPOINT_VERSION + 1}))
         with pytest.raises(CheckpointError, match="version"):
             repro.Tracker.load(path)
+        # Wrong frame kind entirely.
+        path.write_bytes(pack_frame("repro/other", {"version": 1}))
+        with pytest.raises(CheckpointError, match="repro/tracker-checkpoint"):
+            repro.Tracker.load(path)
+
+    def test_legacy_pickle_checkpoints_gated_behind_allow_pickle(self, tmp_path):
+        """Old pickle checkpoints load only with allow_pickle=True (plus a
+        DeprecationWarning); without it the error explains the gate."""
+        protocol = repro.create("hh/P2", num_sites=3, epsilon=0.1)
+        protocol.observe_batch([0, 1, 2], [("a", 2.0), ("b", 1.0), ("a", 4.0)])
+        tracker = repro.Tracker(protocol)
+        # A pre-wire checkpoint, as earlier releases wrote it.
+        from repro.api.state import tracker_payload
+        payload = tracker_payload(tracker)
+        payload["format"] = "repro/tracker-checkpoint"
+        payload["version"] = CHECKPOINT_VERSION
+        path = tmp_path / "legacy.ckpt"
         with open(path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+        with pytest.raises(CheckpointError, match="allow_pickle"):
+            repro.Tracker.load(path)
+        with pytest.warns(DeprecationWarning, match="pickle"):
+            resumed = repro.Tracker.load(path, allow_pickle=True)
+        assert resumed.protocol.estimates() == tracker.protocol.estimates()
+        assert resumed.protocol.message_counts() == tracker.protocol.message_counts()
+        # Even behind allow_pickle, a wrong-flavour legacy checkpoint is
+        # rejected by its format tag.
+        wrong = tmp_path / "wrong-format.ckpt"
+        with open(wrong, "wb") as handle:
             pickle.dump({"format": "something-else",
                          "version": CHECKPOINT_VERSION}, handle)
-        with pytest.raises(CheckpointError):
-            repro.Tracker.load(path)
+        with pytest.warns(DeprecationWarning, match="pickle"):
+            with pytest.raises(CheckpointError, match="not a"):
+                repro.Tracker.load(wrong, allow_pickle=True)
+
+    def test_checkpoint_files_contain_no_pickle_payloads(self, tmp_path):
+        """The acceptance criterion in file form: a fresh checkpoint is one
+        wire frame, not a pickle stream."""
+        from repro.wire import is_wire_data
+
+        tracker = repro.Tracker.create("hh/P2", num_sites=3, epsilon=0.1)
+        tracker.run([("a", 2.0), ("b", 1.0)])
+        path = tmp_path / "session.ckpt"
+        tracker.save(path)
+        data = path.read_bytes()
+        assert is_wire_data(data)
+        assert not data.startswith(b"\x80")  # no pickle PROTO opcode
+        assert b"repro/tracker-checkpoint" in data[:64]
 
 
 class TestStatefulContract:

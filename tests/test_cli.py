@@ -91,3 +91,67 @@ class TestCommands:
         code, output = run_cli(["figure67", "--dataset", "pamap", *TINY_MATRIX])
         assert code == 0
         assert "P4" in output
+
+
+class TestWireAndWorkerCli:
+    def test_worker_parser_and_option_validation(self):
+        parser = build_parser()
+        args = parser.parse_args(["worker", "--listen", "127.0.0.1:0"])
+        assert args.command == "worker" and args.listen == "127.0.0.1:0"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["worker"])  # --listen is required
+        args = parser.parse_args(["bench", "--wire", "pickle"])
+        assert args.wire == "pickle"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["bench", "--wire", "msgpack"])
+
+    def test_bench_wire_requires_shards(self):
+        with pytest.raises(SystemExit, match="--shards"):
+            run_cli(["bench", "--num-items", "2000", "--num-rows", "200",
+                     "--protocols", "P1", "--wire", "pickle"])
+
+    def test_bench_wire_requires_process_backend(self):
+        with pytest.raises(SystemExit, match="process backend"):
+            run_cli(["bench", "--num-items", "2000", "--num-rows", "200",
+                     "--protocols", "P1", "--shards", "1",
+                     "--backend", "serial", "--wire", "pickle"])
+
+    def test_bench_socket_backend_rejected_up_front(self):
+        with pytest.raises(SystemExit, match="process"):
+            run_cli(["bench", "--num-items", "2000", "--num-rows", "200",
+                     "--protocols", "P1", "--shards", "1",
+                     "--backend", "socket"])
+
+    def test_track_workers_requires_socket_backend(self):
+        with pytest.raises(SystemExit, match="socket"):
+            run_cli(["track", "--protocol", "hh/P1", "--num-items", "500",
+                     "--num-sites", "2", "--epsilon", "0.5",
+                     "--workers", "127.0.0.1:1"])
+
+    def test_track_over_embedded_socket_worker(self, tmp_path):
+        from repro.cluster import WorkerServer
+
+        with WorkerServer() as server:
+            host, port = server.address
+            path = tmp_path / "socket.ckpt"
+            code, output = run_cli([
+                "track", "--protocol", "hh/P2", "--num-items", "2000",
+                "--universe-size", "300", "--num-sites", "5",
+                "--epsilon", "0.05", "--shards", "2", "--backend", "socket",
+                "--workers", f"{host}:{port}", "--save", str(path),
+            ])
+        assert code == 0
+        assert "heavy hitters" in output
+        assert "ShardedTracker" in output
+        assert path.exists()
+        from repro.wire import is_wire_data
+        assert is_wire_data(path.read_bytes())
+
+    def test_track_shards_1_nonserial_backend_uses_cluster(self):
+        code, output = run_cli([
+            "track", "--protocol", "hh/P1", "--num-items", "500",
+            "--universe-size", "100", "--num-sites", "3",
+            "--epsilon", "0.2", "--shards", "1", "--backend", "thread",
+        ])
+        assert code == 0
+        assert "ShardedTracker" in output

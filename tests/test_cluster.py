@@ -10,9 +10,11 @@ Correctness anchors:
   stay within the summed per-shard budget ``Σ_s ε·W_s = ε·W`` on the
   property-harness streams, every true φ-heavy hitter is still reported,
   and merged covariance errors respect the summed ``Σ_s ε·F̂_s`` bound.
-* **Backend equivalence** — the ``thread`` and ``process`` backends must
-  reproduce the ``serial`` backend exactly (same shard trackers, same FIFO
-  order per shard).
+* **Backend equivalence** — the ``thread``, ``process`` and ``socket``
+  backends must reproduce the ``serial`` backend exactly (same shard
+  trackers, same FIFO order per shard); for the multi-host ``socket``
+  backend the serial == socket bit-identity is pinned for **every**
+  registered spec over localhost workers.
 * **Cluster checkpoint/resume** — one versioned file restores every shard
   bit-identically, under the saving backend or any other.
 
@@ -42,6 +44,7 @@ from repro.api import (
 from repro.cluster import (
     BackendError,
     ShardedTracker,
+    WorkerServer,
     create_backend,
     get_backend_spec,
     merge_counter_maps,
@@ -49,6 +52,7 @@ from repro.cluster import (
     shard_of_rows,
 )
 from repro.cluster.backends import SerialBackend
+from repro.wire import register_trusted_module
 
 from test_api_state_roundtrip import (
     CHUNK,
@@ -62,6 +66,24 @@ from test_protocol_equivalence_properties import SEEDS, hh_stream, matrix_stream
 
 BACKENDS = available_backends()
 
+# The backend tests ship this module's own shard functions/builders through
+# the wire transports; opt the test module into the codec's allowlist (the
+# fork-started process workers and the embedded in-process socket workers
+# both see the registration).
+register_trusted_module(__name__)
+
+
+@pytest.fixture(scope="module")
+def worker_server():
+    """One embedded localhost worker, shared by the socket-backend tests
+    (every accepted connection is an independent shard session)."""
+    with WorkerServer() as server:
+        yield server
+
+
+def _backend_options(name, worker_server):
+    return {"addresses": [worker_server.address]} if name == "socket" else {}
+
 
 def _plain(spec: str, seed: int, dimension=None) -> repro.Tracker:
     return repro.Tracker.create(spec, chunk_size=CHUNK,
@@ -69,9 +91,10 @@ def _plain(spec: str, seed: int, dimension=None) -> repro.Tracker:
 
 
 def _cluster(spec: str, seed: int, shards: int, dimension=None,
-             backend: str = "serial") -> ShardedTracker:
+             backend: str = "serial", backend_options=None) -> ShardedTracker:
     return ShardedTracker.create(spec, shards=shards, backend=backend,
                                  chunk_size=CHUNK,
+                                 backend_options=backend_options,
                                  **_params(spec, seed, dimension))
 
 
@@ -131,7 +154,7 @@ class TestShardAssignment:
 # --------------------------------------------------------------- backends
 class TestBackendRegistry:
     def test_registry_contents(self):
-        assert BACKENDS == ["process", "serial", "thread"]
+        assert BACKENDS == ["process", "serial", "socket", "thread"]
         assert get_backend_spec("SERIAL").backend_class is SerialBackend
 
     def test_unknown_backend_named_in_error(self):
@@ -139,8 +162,8 @@ class TestBackendRegistry:
             get_backend_spec("rpc")
 
     @pytest.mark.parametrize("name", BACKENDS)
-    def test_submit_call_fifo_and_close(self, name):
-        backend = create_backend(name)
+    def test_submit_call_fifo_and_close(self, name, worker_server):
+        backend = create_backend(name, **_backend_options(name, worker_server))
         backend.launch([lambda: repro.Tracker.create(
             "hh/P1", num_sites=2, epsilon=0.5)] if name == "serial" else
             [_build_tiny_tracker])
@@ -151,9 +174,9 @@ class TestBackendRegistry:
         backend.close()
         backend.close()  # idempotent
 
-    @pytest.mark.parametrize("name", ["thread", "process"])
-    def test_worker_failure_surfaces_as_backend_error(self, name):
-        backend = create_backend(name)
+    @pytest.mark.parametrize("name", ["thread", "process", "socket"])
+    def test_worker_failure_surfaces_as_backend_error(self, name, worker_server):
+        backend = create_backend(name, **_backend_options(name, worker_server))
         backend.launch([_build_tiny_tracker])
         backend.submit(0, _raise_worker_error)
         with pytest.raises(BackendError, match="boom"):
@@ -290,9 +313,9 @@ class TestMergedBounds:
 
 # -------------------------------------------------- backend equivalence
 class TestBackendEquivalence:
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("backend", ["thread", "process", "socket"])
     @pytest.mark.parametrize("spec", ["hh/P2", "hh/P3", "matrix/P1"])
-    def test_backend_reproduces_serial(self, spec, backend):
+    def test_backend_reproduces_serial(self, spec, backend, worker_server):
         seed = SEEDS[0]
         dimension = None
         if spec.startswith("matrix/"):
@@ -307,7 +330,9 @@ class TestBackendEquivalence:
             reference_stats = reference.stats()
             reference_answers = [reference.query(query) for query in queries]
         with _cluster(spec, seed, shards=2, dimension=dimension,
-                      backend=backend) as cluster:
+                      backend=backend,
+                      backend_options=_backend_options(backend, worker_server),
+                      ) as cluster:
             cluster.run(batch)
             stats = cluster.stats()
             assert stats.total_messages == reference_stats.total_messages
@@ -370,14 +395,21 @@ class TestClusterCheckpoint:
 
         from repro.cluster.sharded_tracker import CLUSTER_CHECKPOINT_VERSION
 
+        from repro.wire import pack_frame
+
         path = tmp_path / "bad.ckpt"
         path.write_bytes(b"junk")
         with pytest.raises(CheckpointError):
             ShardedTracker.load(path)
+        path.write_bytes(pack_frame("repro/cluster-checkpoint",
+                                    {"version": CLUSTER_CHECKPOINT_VERSION + 1}))
+        with pytest.raises(CheckpointError, match="version"):
+            ShardedTracker.load(path)
+        # Legacy pickle cluster checkpoints are gated behind allow_pickle.
         with open(path, "wb") as handle:
             pickle.dump({"format": "repro/cluster-checkpoint",
-                         "version": CLUSTER_CHECKPOINT_VERSION + 1}, handle)
-        with pytest.raises(CheckpointError, match="version"):
+                         "version": CLUSTER_CHECKPOINT_VERSION}, handle)
+        with pytest.raises(CheckpointError, match="allow_pickle"):
             ShardedTracker.load(path)
         # A plain tracker checkpoint is not a cluster checkpoint.
         tracker = repro.Tracker.create("hh/P1", num_sites=2, epsilon=0.2)
@@ -447,3 +479,318 @@ class TestShardedTrackerFacade:
 
 def _rng_state_of_first_site(tracker):
     return tracker.protocol._site_rngs[0].bit_generator.state["state"]
+
+
+# ------------------------------------------- serial == socket, all specs
+class TestSocketSerialBitIdentity:
+    """Acceptance anchor for the multi-host backend: over localhost workers
+    the ``socket`` backend must answer bit-identically to ``serial`` for
+    **every** registered protocol spec — same merged answers, same message
+    accounting — with shard state travelling only as wire frames."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", sorted(HH_SPECS))
+    def test_hh_socket_matches_serial(self, spec, seed, worker_server):
+        _, batch, _ = hh_stream(seed)
+        with _cluster(spec, seed, shards=2) as reference:
+            reference.run(batch)
+            expected = [reference.query(query)
+                        for query in (HeavyHitters(phi=0.06), TotalWeight())]
+            expected_stats = reference.stats()
+        with _cluster(spec, seed, shards=2, backend="socket",
+                      backend_options=_backend_options("socket", worker_server),
+                      ) as cluster:
+            cluster.run(batch)
+            for query, answer in zip((HeavyHitters(phi=0.06), TotalWeight()),
+                                     expected):
+                assert cluster.query(query) == answer, query
+            stats = cluster.stats()
+            assert stats.total_messages == expected_stats.total_messages
+            assert stats.message_counts == expected_stats.message_counts
+            assert stats.per_shard == expected_stats.per_shard
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", sorted(MATRIX_SPECS))
+    def test_matrix_socket_matches_serial(self, spec, seed, worker_server):
+        dataset, batch, _ = matrix_stream(seed)
+        queries = (Covariance(), FrobeniusSquared(), SketchMatrix())
+        with _cluster(spec, seed, shards=2,
+                      dimension=dataset.dimension) as reference:
+            reference.run(batch)
+            expected = [reference.query(query) for query in queries]
+            expected_stats = reference.stats()
+        with _cluster(spec, seed, shards=2, dimension=dataset.dimension,
+                      backend="socket",
+                      backend_options=_backend_options("socket", worker_server),
+                      ) as cluster:
+            cluster.run(batch)
+            for query, answer in zip(queries, expected):
+                _assert_same_answer(cluster.query(query), answer)
+            stats = cluster.stats()
+            assert stats.total_messages == expected_stats.total_messages
+            assert stats.message_counts == expected_stats.message_counts
+
+    def test_query_needs_no_cluster_barrier(self, worker_server):
+        """Submitted-but-unflushed ingestion is visible to the very next
+        query: each shard snapshots after its own FIFO queue, with no
+        explicit cluster-wide flush in between."""
+        seed = SEEDS[0]
+        _, batch, _ = hh_stream(seed)
+        with _cluster("hh/P2", seed, shards=2, backend="socket",
+                      backend_options=_backend_options("socket", worker_server),
+                      ) as cluster:
+            cluster.push_batch(batch)  # fire-and-forget submits, no flush()
+            answer = cluster.query(TotalWeight())
+            assert answer.items_processed == len(batch)
+        with _cluster("hh/P2", seed, shards=2) as reference:
+            reference.push_batch(batch)
+            assert reference.query(TotalWeight()) == answer
+
+    def test_socket_cluster_checkpoint_restores_anywhere(self, worker_server,
+                                                         tmp_path):
+        """A cluster saved over sockets restores under any backend (shard
+        payloads are wire frames encoded on the workers)."""
+        seed = SEEDS[0]
+        _, batch, _ = hh_stream(seed)
+        half = (len(batch) // (2 * CHUNK)) * CHUNK
+        with _cluster("hh/P3", seed, shards=2) as whole:
+            whole.run(batch[:half])
+            whole.run(batch[half:])
+            expected = whole.query(HeavyHitters(phi=0.06))
+        with _cluster("hh/P3", seed, shards=2, backend="socket",
+                      backend_options=_backend_options("socket", worker_server),
+                      ) as first_leg:
+            first_leg.run(batch[:half])
+            path = tmp_path / "socket-cluster.ckpt"
+            first_leg.save(path)
+        with ShardedTracker.load(path, backend="serial") as resumed:
+            resumed.run(batch[half:])
+            assert resumed.query(HeavyHitters(phi=0.06)) == expected
+
+    def test_socket_backend_without_addresses_fails_with_instructions(self):
+        """Every by-name entry point (create, load of a socket-saved
+        checkpoint, bench) must get an actionable BackendError, never a
+        raw TypeError from the constructor."""
+        with pytest.raises(BackendError, match="backend_options"):
+            create_backend("socket")
+        with pytest.raises(BackendError, match="backend_options"):
+            ShardedTracker.create("hh/P1", shards=1, backend="socket",
+                                  num_sites=2, epsilon=0.5)
+
+    def test_socket_saved_checkpoint_load_needs_backend_or_addresses(
+            self, worker_server, tmp_path):
+        seed = SEEDS[0]
+        _, batch, _ = hh_stream(seed)
+        with _cluster("hh/P1", seed, shards=2, backend="socket",
+                      backend_options=_backend_options("socket", worker_server),
+                      ) as cluster:
+            cluster.run(batch)
+            expected = cluster.query(TotalWeight())
+            path = tmp_path / "socket-saved.ckpt"
+            cluster.save(path)
+        with pytest.raises(BackendError, match="backend_options"):
+            ShardedTracker.load(path)  # addresses are not recorded
+        with ShardedTracker.load(path, backend="serial") as restored:
+            assert restored.query(TotalWeight()) == expected
+
+    def test_one_worker_hosts_many_shards_and_unreachable_worker_fails_fast(
+            self, worker_server):
+        seed = SEEDS[0]
+        _, batch, _ = hh_stream(seed)
+        with _cluster("hh/P1", seed, shards=4, backend="socket",
+                      backend_options=_backend_options("socket", worker_server),
+                      ) as cluster:  # 4 shards on 1 worker
+            cluster.run(batch)
+            assert cluster.stats().items_processed == len(batch)
+        with pytest.raises(BackendError, match="cannot reach worker"):
+            ShardedTracker.create(
+                "hh/P1", shards=1, backend="socket", num_sites=2, epsilon=0.5,
+                backend_options={"addresses": "127.0.0.1:9",  # discard port
+                                 "connect_timeout": 0.5})
+
+
+# -------------------------------------------- worker protocol discipline
+class TestWorkerProtocolDiscipline:
+    """An undecodable command must not desynchronize the command/reply
+    stream: a broken `submit` is held as a deferred error (no unsolicited
+    reply), a broken `call` is answered with exactly one error reply, and
+    the following call returns its OWN answer."""
+
+    def _serve(self, frames):
+        from repro.cluster.worker_protocol import WorkerSession
+
+        frames = list(frames)
+        replies = []
+        def recv():
+            if not frames:
+                raise EOFError
+            return frames.pop(0)
+        WorkerSession(recv, replies.append).serve()
+        return replies
+
+    def test_corrupted_submit_defers_error_and_keeps_replies_aligned(self):
+        from repro.cluster.worker_protocol import decode_reply, encode_command
+
+        good_submit = encode_command("submit", _push_one, ("a", 2.0))
+        corrupted = bytearray(encode_command("submit", _push_one, ("b", 1.0)))
+        corrupted[-6] ^= 0x01  # flip a body bit: CRC fails, header intact
+        replies = self._serve([
+            encode_command("launch", None, (_build_tiny_tracker,)),
+            good_submit,
+            bytes(corrupted),                       # must NOT produce a reply
+            encode_command("call", _estimate_of, ("a",)),   # reports the error
+            encode_command("call", _estimate_of, ("a",)),   # its own answer
+            encode_command("stop"),
+        ])
+        assert len(replies) == 3  # ready + exactly one reply per call
+        assert decode_reply(replies[0])[0] == "ready"
+        status, value = decode_reply(replies[1])
+        assert status == "error" and "CRC" in repr(value)
+        status, value = decode_reply(replies[2])
+        assert status == "ok" and value == 2.0
+
+    def test_corrupted_call_gets_exactly_one_error_reply(self):
+        from repro.cluster.worker_protocol import decode_reply, encode_command
+
+        corrupted = bytearray(encode_command("call", _estimate_of, ("a",)))
+        corrupted[-6] ^= 0x01
+        replies = self._serve([
+            encode_command("launch", None, (_build_tiny_tracker,)),
+            bytes(corrupted),
+            encode_command("call", _estimate_of, ("a",)),
+            encode_command("stop"),
+        ])
+        assert len(replies) == 3
+        assert decode_reply(replies[1])[0] == "error"
+        status, value = decode_reply(replies[2])
+        assert status == "ok" and value == 0.0
+
+    def test_unreadable_header_ends_the_session(self):
+        from repro.cluster.worker_protocol import encode_command
+
+        replies = self._serve([
+            encode_command("launch", None, (_build_tiny_tracker,)),
+            b"\x00garbage-without-a-header",
+            encode_command("call", _estimate_of, ("a",)),  # never reached
+        ])
+        assert len(replies) == 1  # just the ready reply
+
+    def test_malformed_reply_and_command_bodies_fail_cleanly(self):
+        """A well-formed frame with a non-dict body must raise
+        WireDecodeError (worker) / BackendError (parent), never a raw
+        TypeError that crashes the session or skips the reply drain."""
+        from repro.wire import WireDecodeError, pack_frame
+        from repro.cluster.backends import _decode_reply_as_backend_errors
+        from repro.cluster.worker_protocol import (
+            COMMAND_KIND, REPLY_KIND, decode_command, decode_reply,
+        )
+
+        with pytest.raises(WireDecodeError, match="malformed"):
+            decode_command(pack_frame(f"{COMMAND_KIND}:call", ["not", "a", "dict"]))
+        with pytest.raises(WireDecodeError, match="malformed"):
+            decode_reply(pack_frame(REPLY_KIND, [1, 2]))
+        with pytest.raises(BackendError, match="decoded"):
+            _decode_reply_as_backend_errors(pack_frame(REPLY_KIND, [1, 2]))
+
+    def test_non_dict_command_body_follows_undecodable_discipline(self):
+        """decode_command raising on a structurally wrong body routes through
+        the same header-peek discipline as a corrupted frame."""
+        from repro.cluster.worker_protocol import COMMAND_KIND, decode_reply, encode_command
+        from repro.wire import pack_frame
+
+        replies = self._serve([
+            encode_command("launch", None, (_build_tiny_tracker,)),
+            pack_frame(f"{COMMAND_KIND}:submit", "not a dict"),  # deferred
+            encode_command("call", _estimate_of, ("a",)),
+            encode_command("call", _estimate_of, ("a",)),
+            encode_command("stop"),
+        ])
+        assert len(replies) == 3
+        assert decode_reply(replies[1])[0] == "error"
+        assert decode_reply(replies[2]) == ("ok", 0.0)
+
+
+class _StubShard:
+    """Scripted RemoteShardHandle for drain-discipline unit tests."""
+
+    def __init__(self, send_fails=False):
+        self.send_fails = send_fails
+        self.sends = 0
+        self.finishes = 0
+
+    def send_command(self, op, fn, args):
+        if self.send_fails:
+            raise BackendError("send: worker is gone")
+        self.sends += 1
+
+    def recv_reply(self):
+        self.finishes += 1
+        return ("ok", f"round-{self.finishes}")
+
+    def finish_call(self):
+        from repro.cluster.backends import RemoteShardHandle
+        return RemoteShardHandle.finish_call(self)
+
+
+class TestDrainCallAllDiscipline:
+    def test_send_failure_still_drains_successfully_sent_shards(self):
+        """A dead shard mid-fan-out must not leave the already-sent shards
+        with unread replies (which would shift every later reply back one
+        round)."""
+        from repro.cluster.backends import drain_call_all
+
+        healthy, dead = _StubShard(), _StubShard(send_fails=True)
+        with pytest.raises(BackendError, match="gone"):
+            drain_call_all([healthy, dead], _estimate_of, ("a",))
+        assert healthy.sends == 1
+        assert healthy.finishes == 1  # its owed reply was drained
+        # The stream stays aligned: the next round reads its OWN reply.
+        results = drain_call_all([healthy], _estimate_of, ("a",))
+        assert results == ["round-2"]
+
+    def test_reply_failure_drains_the_rest(self):
+        from repro.cluster.backends import drain_call_all
+
+        class _ErrShard(_StubShard):
+            def recv_reply(self):
+                return ("error", RuntimeError("shard exploded"))
+
+        tail = _StubShard()
+        with pytest.raises(BackendError, match="exploded"):
+            drain_call_all([_ErrShard(), tail], _estimate_of, ("a",))
+        assert tail.finishes == 1
+
+
+class TestSocketHandshakeCleanup:
+    def test_accept_then_close_worker_does_not_leak_fds(self):
+        """A worker that accepts the TCP connection but dies before the
+        'ready' reply must not leak the parent-side socket fd."""
+        import os
+        import socket as socket_module
+        import threading
+
+        if not os.path.isdir("/proc/self/fd"):
+            pytest.skip("needs /proc to count fds")
+
+        listener = socket_module.create_server(("127.0.0.1", 0))
+
+        def accept_and_drop():
+            for _ in range(6):
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                conn.close()
+
+        thread = threading.Thread(target=accept_and_drop, daemon=True)
+        thread.start()
+        address = listener.getsockname()[:2]
+        before = len(os.listdir("/proc/self/fd"))
+        for _ in range(5):
+            with pytest.raises(BackendError):
+                backend = create_backend("socket", addresses=[address])
+                backend.launch([_build_tiny_tracker])
+        after = len(os.listdir("/proc/self/fd"))
+        listener.close()
+        thread.join(timeout=5)
+        assert after <= before + 1  # no accumulated leaked sockets

@@ -1,0 +1,495 @@
+"""The wire layer: codec fidelity, frame hardening, state round-trips.
+
+Three layers of guarantees:
+
+* **Codec fidelity** — every value shape the library's state graphs contain
+  (arbitrary-precision ints, NaN/inf floats, NumPy arrays of any numeric
+  dtype/order/shape, object arrays, NumPy scalars, bit-generator states for
+  every NumPy bit generator, enums, frozen/slotted dataclass instances,
+  shared references and cycles) round-trips bit-identically.
+* **Decode hardening** — nothing outside the ``repro`` package (or modules
+  explicitly trusted via ``register_trusted_module``) resolves; corrupted,
+  truncated, version-skewed or mislabelled frames raise
+  :class:`WireDecodeError`, never half-decoded values.
+* **State round-trips** — for every registered protocol spec, an
+  ``encode_state``/``decode_state`` round-trip mid-stream is bit-identical
+  in answers, message accounting and RNG state (the in-memory form of the
+  checkpoint property pinned by ``test_api_state_roundtrip``).
+"""
+
+from __future__ import annotations
+
+import enum
+import socket
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import Covariance, FrobeniusSquared, HeavyHitters, TotalWeight
+from repro.cluster.backends import BackendError
+from repro.streaming.items import MatrixRowBatch, WeightedItem, WeightedItemBatch
+from repro.streaming.network import CommunicationLog, Direction, MessageKind, Network
+from repro.utils.stateio import restore_object
+from repro.wire import (
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    WireDecodeError,
+    WireEncodeError,
+    decode_state,
+    decode_value,
+    encode_state,
+    encode_value,
+    is_wire_data,
+    pack_frame,
+    recv_frame,
+    register_trusted_module,
+    send_frame,
+    unpack_frame,
+)
+
+from test_api_state_roundtrip import (
+    HH_SPECS,
+    MATRIX_SPECS,
+    _params,
+    _rng_states,
+    _tracker,
+)
+from test_protocol_equivalence_properties import SEEDS, hh_stream, matrix_stream
+
+CHUNK = 50
+
+
+def roundtrip(value):
+    return decode_value(encode_value(value))
+
+
+# ------------------------------------------------------------ codec fidelity
+class TestCodecPrimitives:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -1, 2**62, -(2**62),
+        2**64, -(2**64), 2**200 + 12345, -(2**200 + 12345),  # PCG64-size ints
+        0.0, -0.0, 1.5, float("inf"), float("-inf"),
+        complex(1.5, -2.5),
+        "", "héllo ∑ world", "a" * 10_000,
+        b"", b"\x00\xff" * 100,
+    ])
+    def test_scalar_roundtrip(self, value):
+        result = roundtrip(value)
+        assert result == value
+        assert type(result) is type(value)
+
+    def test_nan_and_negative_zero_bits_preserved(self):
+        nan = struct.unpack("<d", struct.pack("<d", float("nan")))[0]
+        assert struct.pack("<d", roundtrip(nan)) == struct.pack("<d", nan)
+        assert str(roundtrip(-0.0)) == "-0.0"
+
+    def test_containers_roundtrip(self):
+        value = {
+            "list": [1, 2.5, "x", None],
+            "tuple": (1, (2, (3,))),
+            "set": {1, 2, 3},
+            "frozenset": frozenset({"a", "b"}),
+            ("tuple", "key"): "tuple keys work",
+            3: "int key",
+            2.5: "float key",
+            "bytes": bytearray(b"abc"),
+        }
+        result = roundtrip(value)
+        assert result == value
+        assert type(result[("tuple", "key")]) is str
+        assert isinstance(result["bytes"], bytearray)
+
+    def test_dict_insertion_order_preserved(self):
+        value = {key: index for index, key in enumerate("zyxwv")}
+        assert list(roundtrip(value)) == list(value)
+
+    def test_enum_members_roundtrip_including_as_dict_keys(self):
+        value = {MessageKind.SCALAR: 3, MessageKind.VECTOR: 5,
+                 Direction.SITE_TO_COORDINATOR: 7}
+        result = roundtrip(value)
+        assert result == value
+        assert type(next(iter(result))) is MessageKind
+
+    def test_shared_references_and_cycles(self):
+        shared = [1, 2, 3]
+        value = {"a": shared, "b": shared}
+        result = roundtrip(value)
+        assert result["a"] is result["b"]
+        result["a"].append(4)
+        assert result["b"][-1] == 4
+
+        cyclic = []
+        cyclic.append(cyclic)
+        result = roundtrip(cyclic)
+        assert result[0] is result
+
+    def test_self_referential_tuple_rejected_not_hung(self):
+        hole: list = []
+        value = (hole,)
+        hole.append(value)
+        with pytest.raises(WireEncodeError, match="self-referential"):
+            encode_value(value)
+
+
+class TestCodecNumpy:
+    @pytest.mark.parametrize("dtype", ["float64", "float32", "int64", "int32",
+                                       "uint8", "bool", "complex128"])
+    def test_array_dtypes_roundtrip_bit_identically(self, dtype):
+        rng = np.random.default_rng(0)
+        array = (rng.standard_normal(37) * 100).astype(dtype)
+        result = roundtrip(array)
+        assert result.dtype == array.dtype
+        assert np.array_equal(result, array)
+        assert result.tobytes() == array.tobytes()
+
+    def test_array_shapes_orders_and_writability(self):
+        rng = np.random.default_rng(1)
+        for array in [
+            np.empty((0, 5)),
+            rng.standard_normal((4, 5, 6)),
+            np.asfortranarray(rng.standard_normal((6, 7))),
+            rng.standard_normal((8, 9))[::2, ::3],  # non-contiguous view
+            np.full((), 3.25),                      # 0-d array
+        ]:
+            result = roundtrip(array)
+            assert result.shape == array.shape
+            assert np.array_equal(result, array)
+            assert result.flags.writeable and result.flags.owndata
+
+    def test_object_arrays_with_mixed_labels(self):
+        array = np.empty(4, dtype=object)
+        array[:] = ["alpha", ("composite", 3), 42, 2.5]
+        result = roundtrip(array)
+        assert result.dtype == object
+        assert list(result) == list(array)
+
+    @pytest.mark.parametrize("scalar", [np.float64(1.5), np.int64(-7),
+                                        np.uint32(9), np.bool_(True)])
+    def test_numpy_scalars_keep_their_dtype(self, scalar):
+        result = roundtrip(scalar)
+        assert type(result) is type(scalar)
+        assert result == scalar
+
+    def test_numpy_scalar_dict_keys(self):
+        value = {np.int64(3): 1.0, np.int64(5): 2.0}
+        result = roundtrip(value)
+        assert result == value
+        assert all(type(key) is np.int64 for key in result)
+
+    @pytest.mark.parametrize("name", ["PCG64", "MT19937", "Philox", "SFC64"])
+    def test_every_bit_generator_resumes_identically(self, name):
+        generator = np.random.Generator(getattr(np.random, name)(seed=42))
+        generator.standard_normal(13)  # advance past the seed state
+        clone = roundtrip(generator)
+        # State dicts may hold arrays (MT19937 keys): compare encoded bytes.
+        assert encode_value(clone.bit_generator.state) \
+            == encode_value(generator.bit_generator.state)
+        assert np.array_equal(clone.standard_normal(16),
+                              generator.standard_normal(16))
+
+    def test_dtype_and_scalar_type_objects(self):
+        assert roundtrip(np.dtype("float32")) == np.dtype("float32")
+        assert roundtrip(np.float64) is np.float64
+
+
+class TestCodecObjects:
+    def test_frozen_dataclass_instances(self):
+        item = WeightedItem(element=("k", 1), weight=2.5, site=3)
+        result = roundtrip(item)
+        assert result == item and type(result) is WeightedItem
+
+    def test_columnar_batches(self):
+        batch = WeightedItemBatch.from_pairs([("a", 1.0), ("b", 2.0)],
+                                             sites=[0, 1])
+        result = roundtrip(batch)
+        assert np.array_equal(result.elements, batch.elements)
+        assert np.array_equal(result.weights, batch.weights)
+        assert np.array_equal(result.sites, batch.sites)
+        rows = MatrixRowBatch(values=np.eye(3))
+        assert np.array_equal(roundtrip(rows).values, rows.values)
+
+    def test_stateful_state_dict_with_class_tags(self):
+        log = CommunicationLog(keep_records=True)
+        log.record(Direction.SITE_TO_COORDINATOR, MessageKind.VECTOR, 2, site=1)
+        state = roundtrip(log.get_state())
+        assert state["cls"] is CommunicationLog
+        clone = restore_object(state)
+        assert clone.as_dict() == log.as_dict()
+        assert clone.records == log.records
+
+    def test_network_roundtrip(self):
+        network = Network(num_sites=3, keep_records=True)
+        network.send_vector(0, units=2)
+        network.broadcast()
+        clone = restore_object(roundtrip(network.get_state()))
+        assert clone.message_counts() == network.message_counts()
+
+    def test_exceptions_roundtrip_as_reports(self):
+        builtin = roundtrip(ValueError("boom", 3))
+        assert type(builtin) is ValueError and builtin.args == ("boom", 3)
+        ours = roundtrip(BackendError("shard died"))
+        assert type(ours) is BackendError and ours.args == ("shard died",)
+        foreign = roundtrip(np.linalg.LinAlgError("singular"))
+        assert isinstance(foreign, RuntimeError)
+        assert "singular" in str(foreign)
+        odd_args = roundtrip(ValueError(object()))
+        assert isinstance(odd_args, ValueError)  # args degraded to repr
+
+
+class TestDecodeHardening:
+    def test_foreign_class_refused_on_encode(self):
+        class Local:  # a <locals> class can never resolve remotely
+            pass
+
+        with pytest.raises(WireEncodeError):
+            encode_value(Local())
+        import collections
+        with pytest.raises(WireEncodeError, match="only repro"):
+            encode_value(collections.deque([1]))
+
+    def test_foreign_function_refused_on_encode(self):
+        import os
+        with pytest.raises(WireEncodeError, match="only repro"):
+            encode_value(os.system)
+
+    def test_hostile_reference_refused_on_decode(self):
+        # Hand-craft an OBJECT payload naming a non-repro class.
+        from repro.wire.codec import _Encoder
+        encoder = _Encoder()
+        encoder.out.append(0x15)          # OBJECT tag
+        encoder._str("os:environ")
+        encoder._varint(0)
+        with pytest.raises(WireDecodeError, match="only reference"):
+            decode_value(bytes(encoder.out))
+
+    def test_allowlist_not_bypassable_via_attribute_traversal(self):
+        """`repro.api.state:pickle.loads` must NOT resolve: the walk may not
+        step through a repro module into a foreign module it imported, and
+        the resolved object must be *defined* in an allowed module."""
+        from repro.wire.codec import resolve_qualified
+
+        for name in ("repro.api.state:pickle.loads",
+                     "repro.wire.codec:importlib.import_module",
+                     "repro.api.state:warnings.warn"):
+            with pytest.raises(WireDecodeError, match="refusing"):
+                resolve_qualified(name)
+
+    def test_hostile_array_shapes_raise_wire_errors_not_memoryerror(self):
+        from repro.wire.codec import _Encoder
+
+        # OBJARRAY promising 2^56 elements: must refuse, not allocate.
+        encoder = _Encoder()
+        encoder.out.append(0x10)          # OBJARRAY tag
+        encoder._varint(1)                # ndim
+        encoder._varint(2 ** 56 - 1)      # dim
+        with pytest.raises(WireDecodeError, match="elements"):
+            decode_value(bytes(encoder.out))
+        # ARRAY whose shape product overflows int64 to 0: the Python-int
+        # count check must catch it before reshape sees it.
+        encoder = _Encoder()
+        encoder.out.append(0x0F)          # ARRAY tag
+        encoder._str("<f8")
+        encoder._varint(2)                # ndim
+        encoder._varint(2 ** 32)
+        encoder._varint(2 ** 32)          # 2^64 elements
+        encoder._varint(0)                # empty section
+        with pytest.raises(WireDecodeError):
+            decode_value(bytes(encoder.out))
+
+    def test_malformed_payloads_never_leak_raw_exceptions(self):
+        from repro.wire.codec import _Encoder
+
+        # A bad enum value (ValueError inside Enum.__call__).
+        encoder = _Encoder()
+        encoder.out.append(0x16)          # ENUM tag
+        encoder._str("repro.streaming.network:MessageKind")
+        inner = encode_value("not-a-kind")
+        encoder.out += inner
+        with pytest.raises(WireDecodeError, match="malformed"):
+            decode_value(bytes(encoder.out))
+        # A bad dtype token.
+        encoder = _Encoder()
+        encoder.out.append(0x19)          # DTYPE tag
+        encoder._str("definitely-not-a-dtype")
+        with pytest.raises(WireDecodeError, match="dtype"):
+            decode_value(bytes(encoder.out))
+
+    def test_trusted_module_opt_in(self):
+        register_trusted_module(__name__)
+        assert roundtrip(_module_level_helper) is _module_level_helper
+
+    def test_truncated_and_garbage_payloads(self):
+        payload = encode_value({"a": [1, 2, 3]})
+        with pytest.raises(WireDecodeError):
+            decode_value(payload[:-2])
+        with pytest.raises(WireDecodeError, match="trailing"):
+            decode_value(payload + b"\x00")
+        with pytest.raises(WireDecodeError, match="unknown wire tag"):
+            decode_value(b"\xfe")
+
+
+def _module_level_helper():  # referenced by the trusted-module test
+    return "here"
+
+
+# -------------------------------------------------------------- frame layer
+class TestFrames:
+    def test_pack_unpack_and_kind_check(self):
+        frame = pack_frame("repro/test", {"x": np.arange(4)})
+        assert is_wire_data(frame)
+        kind, value = unpack_frame(frame)
+        assert kind == "repro/test"
+        assert np.array_equal(value["x"], np.arange(4))
+        with pytest.raises(WireDecodeError, match="expected a 'repro/other'"):
+            unpack_frame(frame, expected_kind="repro/other")
+
+    def test_flipped_magic_rejected(self):
+        frame = bytearray(pack_frame("repro/test", 1))
+        frame[0] ^= 0xFF
+        assert not is_wire_data(frame)
+        with pytest.raises(WireDecodeError, match="not a wire frame"):
+            unpack_frame(bytes(frame))
+
+    def test_version_skew_rejected(self):
+        frame = bytearray(pack_frame("repro/test", 1))
+        struct.pack_into("<H", frame, 4, WIRE_VERSION + 1)
+        with pytest.raises(WireDecodeError, match="version"):
+            unpack_frame(bytes(frame))
+
+    def test_bad_section_lengths_rejected(self):
+        frame = bytearray(pack_frame("repro/test", [1, 2, 3]))
+        # Corrupt the body-length field (right after the kind string).
+        offset = 10 + len("repro/test")
+        struct.pack_into("<Q", frame, offset, 10_000)
+        with pytest.raises(WireDecodeError, match="length mismatch"):
+            unpack_frame(bytes(frame))
+        with pytest.raises(WireDecodeError, match="truncated"):
+            unpack_frame(pack_frame("repro/test", [1, 2, 3])[:8])
+
+    def test_corrupted_body_fails_crc(self):
+        frame = bytearray(pack_frame("repro/test", [1, 2, 3]))
+        frame[-6] ^= 0x01  # flip a bit inside the body
+        with pytest.raises(WireDecodeError, match="CRC"):
+            unpack_frame(bytes(frame))
+
+    def test_array_section_length_validated(self):
+        # dtype/shape promise more bytes than the section carries.
+        from repro.wire.codec import _Encoder
+        encoder = _Encoder()
+        encoder.out.append(0x0F)          # ARRAY tag
+        encoder._str("<f8")
+        encoder._varint(1)                # ndim
+        encoder._varint(4)                # shape (4,) -> wants 32 bytes
+        encoder._varint(8)                # but section says 8
+        encoder.out += b"\x00" * 8
+        with pytest.raises(WireDecodeError, match="does not match"):
+            decode_value(bytes(encoder.out))
+
+    def test_stream_framing_over_a_socket(self):
+        left, right = socket.socketpair()
+        try:
+            frame = pack_frame("repro/test", {"payload": list(range(100))})
+            send_frame(left, frame)
+            send_frame(left, pack_frame("repro/test", "second"))
+            assert unpack_frame(recv_frame(right))[1]["payload"][-1] == 99
+            assert unpack_frame(recv_frame(right))[1] == "second"
+            left.close()
+            with pytest.raises(EOFError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+
+# ---------------------------------------------- per-spec state round-trips
+class TestStateRoundTripEverySpec:
+    """``encode_state``/``decode_state`` mid-stream is bit-identical for
+    every registered spec: continued answers, message accounting and RNG
+    states all match a protocol that was never encoded."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", sorted(HH_SPECS))
+    def test_hh_specs(self, spec, seed):
+        _, batch, sites = hh_stream(seed)
+        half = (len(batch) // (2 * CHUNK)) * CHUNK
+        reference = _tracker(spec, seed)
+        clone = _tracker(spec, seed)
+        for begin in range(0, half, CHUNK):
+            reference.push_batch(sites[begin:begin + CHUNK],
+                                 batch[begin:begin + CHUNK])
+            clone.push_batch(sites[begin:begin + CHUNK],
+                             batch[begin:begin + CHUNK])
+        restored = repro.Tracker(
+            decode_state(encode_state(clone.protocol)),
+            spec=spec, chunk_size=CHUNK,
+        )
+        for begin in range(half, len(batch), CHUNK):
+            stop = min(begin + CHUNK, len(batch))
+            reference.push_batch(sites[begin:stop], batch[begin:stop])
+            restored.push_batch(sites[begin:stop], batch[begin:stop])
+        assert restored.protocol.message_counts() \
+            == reference.protocol.message_counts()
+        assert _rng_states(restored.protocol) == _rng_states(reference.protocol)
+        assert restored.query(HeavyHitters(phi=0.06)) \
+            == reference.query(HeavyHitters(phi=0.06))
+        assert restored.query(TotalWeight()) == reference.query(TotalWeight())
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", sorted(MATRIX_SPECS))
+    def test_matrix_specs(self, spec, seed):
+        dataset, batch, sites = matrix_stream(seed)
+        half = (len(batch) // (2 * CHUNK)) * CHUNK
+        reference = _tracker(spec, seed, dataset.dimension)
+        clone = _tracker(spec, seed, dataset.dimension)
+        for begin in range(0, half, CHUNK):
+            reference.push_batch(sites[begin:begin + CHUNK],
+                                 batch[begin:begin + CHUNK])
+            clone.push_batch(sites[begin:begin + CHUNK],
+                             batch[begin:begin + CHUNK])
+        restored = repro.Tracker(
+            decode_state(encode_state(clone.protocol)),
+            spec=spec, chunk_size=CHUNK,
+        )
+        for begin in range(half, len(batch), CHUNK):
+            stop = min(begin + CHUNK, len(batch))
+            reference.push_batch(sites[begin:stop], batch[begin:stop])
+            restored.push_batch(sites[begin:stop], batch[begin:stop])
+        assert restored.protocol.message_counts() \
+            == reference.protocol.message_counts()
+        assert _rng_states(restored.protocol) == _rng_states(reference.protocol)
+        assert np.array_equal(restored.protocol.sketch_matrix(),
+                              reference.protocol.sketch_matrix())
+        assert restored.query(FrobeniusSquared()) \
+            == reference.query(FrobeniusSquared())
+        ours = restored.query(Covariance())
+        theirs = reference.query(Covariance())
+        assert np.array_equal(ours.estimate, theirs.estimate)
+        assert ours.error_bound == theirs.error_bound
+
+    def test_state_frame_kind_checked(self):
+        tracker = repro.Tracker.create("hh/P1", num_sites=2, epsilon=0.5)
+        frame = encode_state(tracker.protocol)
+        with pytest.raises(WireDecodeError, match="expected"):
+            decode_state(frame, kind="repro/other")
+
+
+class TestFrameKindHardening:
+    def test_invalid_utf8_kind_raises_wire_error(self):
+        frame = bytearray(pack_frame("kind", 1))
+        frame[10:14] = b"\xff\xfe\xfd\xfc"  # kind bytes, not UTF-8
+        with pytest.raises(WireDecodeError, match="UTF-8"):
+            unpack_frame(bytes(frame))
+
+    def test_corrupt_kind_in_checkpoint_raises_checkpoint_error(self, tmp_path):
+        from repro.api import CheckpointError
+
+        tracker = repro.Tracker.create("hh/P1", num_sites=2, epsilon=0.5)
+        path = tmp_path / "session.ckpt"
+        tracker.save(path)
+        data = bytearray(path.read_bytes())
+        data[10:13] = b"\xff\xfe\xfd"
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError):
+            repro.Tracker.load(path)

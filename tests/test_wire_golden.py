@@ -1,0 +1,93 @@
+"""Golden-fixture forward-loadability: committed v1 wire checkpoints load.
+
+``tests/fixtures/`` carries small v1 checkpoints (one heavy-hitter spec, one
+matrix spec, both saved *mid-stream*) plus the exact answers recorded when
+they were written.  Every build must keep loading them and answering
+**exactly** the recorded values — so an accidental change to the wire tag
+set, the frame layout or the checkpoint payload breaks CI instead of
+silently orphaning every checkpoint in the field.  Legitimate format
+changes bump ``CHECKPOINT_VERSION``/``WIRE_VERSION`` and regenerate the
+fixtures via ``tests/fixtures/make_golden.py`` (committing new files *next
+to* the old ones when the old version remains loadable).
+
+The recorded answers are BLAS-free arithmetic (counter sums, sampling
+draws, Frobenius accumulation), so exact float equality is portable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.api import FrobeniusSquared, HeavyHitters, TotalWeight
+from repro.wire import is_wire_data
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with open(FIXTURES / "golden_answers.json") as handle:
+        return json.load(handle)
+
+
+def test_fixture_files_are_wire_frames_not_pickles(golden):
+    for record in (golden["hh"], golden["matrix"]):
+        data = (FIXTURES / record["file"]).read_bytes()
+        assert is_wire_data(data)
+        assert not data.startswith(b"\x80")
+
+
+def test_hh_golden_checkpoint_loads_and_answers_exactly(golden):
+    record = golden["hh"]
+    tracker = repro.Tracker.load(FIXTURES / record["file"])
+    assert tracker.spec == record["spec"]
+    assert tracker.items_processed == record["items_processed"]
+    assert tracker.protocol.message_counts() == record["message_counts"]
+
+    hitters = tracker.query(HeavyHitters(phi=0.05))
+    assert [
+        {"element": int(hitter.element),
+         "estimated_weight": hitter.estimated_weight}
+        for hitter in hitters.hitters
+    ] == record["heavy_hitters"]
+    assert hitters.error_bound == record["hh_error_bound"]
+    assert tracker.query(TotalWeight()).estimate \
+        == record["total_weight_estimate"]
+
+
+def test_hh_golden_checkpoint_resumes_ingestion(golden):
+    """The fixture was saved mid-stream: the restored session must keep
+    ingesting (pending per-site deltas intact), not just answer queries."""
+    record = golden["hh"]
+    tracker = repro.Tracker.load(FIXTURES / record["file"])
+    before = tracker.query(TotalWeight()).estimate
+    tracker.run([(0, 5.0), (1, 3.0)])
+    assert tracker.items_processed == record["items_processed"] + 2
+    assert tracker.query(TotalWeight()).estimate >= before
+
+
+def test_matrix_golden_checkpoint_loads_and_answers_exactly(golden):
+    record = golden["matrix"]
+    tracker = repro.Tracker.load(FIXTURES / record["file"])
+    assert tracker.spec == record["spec"]
+    assert tracker.items_processed == record["items_processed"]
+    assert tracker.protocol.message_counts() == record["message_counts"]
+
+    frobenius = tracker.query(FrobeniusSquared())
+    assert frobenius.estimate == record["frobenius_estimate"]
+    assert frobenius.error_bound == record["frobenius_error_bound"]
+
+
+def test_versions_recorded_match_this_build(golden):
+    from repro.api.state import CHECKPOINT_VERSION
+    from repro.wire import WIRE_VERSION
+
+    # When either version bumps, regenerate fixtures for the new version
+    # and keep this file asserting the OLD files still load (or document
+    # the migration); failing here forces that decision to be explicit.
+    assert golden["checkpoint_version"] == CHECKPOINT_VERSION
+    assert golden["wire_version"] == WIRE_VERSION
