@@ -81,10 +81,12 @@ class CheckpointError(ValueError):
     """A checkpoint file cannot be loaded by this build."""
 
 
-def _write(path: PathLike, payload: Dict[str, Any]) -> None:
+def _write(path: PathLike, payload: Dict[str, Any], *,
+           compress: bool = True, float32: bool = False) -> None:
     """Write ``payload`` (with its ``format``/``version`` keys) as one frame."""
     body = dict(payload)
-    write_frame(path, body.pop("format"), body)
+    write_frame(path, body.pop("format"), body, compress=compress,
+                array_codec="f32" if float32 else None)
 
 
 def _read(path: PathLike, expected_format: str,
@@ -184,15 +186,18 @@ def tracker_from_payload(payload: Dict[str, Any], source: str = "payload") -> An
     )
 
 
-def tracker_frame(tracker: Any) -> bytes:
+def tracker_frame(tracker: Any, *, compress: bool = False) -> bytes:
     """Snapshot one tracker session as a standalone wire frame.
 
     This is the shard-transport form of :func:`tracker_payload`: the cluster
     layer calls it *on the worker* so each shard serializes its own state in
     parallel, and the caller embeds the resulting frames in the cluster
-    checkpoint without re-encoding them.
+    checkpoint without re-encoding them.  ``compress`` deflates the frame
+    body (worth it for checkpoint-bound frames; leave off for same-host
+    pipes where the copy is cheaper than the deflate).
     """
-    return pack_frame(TRACKER_PAYLOAD_KIND, tracker_payload(tracker))
+    return pack_frame(TRACKER_PAYLOAD_KIND, tracker_payload(tracker),
+                      compress=compress)
 
 
 def tracker_from_frame(data: bytes, source: str = "payload frame") -> Any:
@@ -204,14 +209,23 @@ def tracker_from_frame(data: bytes, source: str = "payload frame") -> Any:
     return tracker_from_payload(payload, source=source)
 
 
-def save_tracker(tracker: Any, path: PathLike) -> None:
-    """Write a full session checkpoint for ``tracker`` to ``path``."""
+def save_tracker(tracker: Any, path: PathLike, *, compress: bool = True,
+                 float32: bool = False) -> None:
+    """Write a full session checkpoint for ``tracker`` to ``path``.
+
+    ``compress`` (default on) deflates the frame body; loading needs no
+    flag, and plain uncompressed checkpoints from earlier builds keep
+    loading unchanged.  ``float32`` additionally downcasts float64 array
+    payloads to float32 on disk — roughly halving incompressible numeric
+    state at ~1e-7 relative precision, so the restored session is no longer
+    bit-identical to the saved one.  Leave it off for exact resume.
+    """
     # copy_data=False snapshots go straight into the frame encoder, which is
     # itself a point-in-time serialisation — no defensive deep copy needed.
     payload = tracker_payload(tracker)
     payload["format"] = _TRACKER_FORMAT
     payload["version"] = CHECKPOINT_VERSION
-    _write(path, payload)
+    _write(path, payload, compress=compress, float32=float32)
 
 
 def load_tracker(path: PathLike, allow_pickle: bool = False) -> Any:
@@ -227,8 +241,12 @@ def load_tracker(path: PathLike, allow_pickle: bool = False) -> Any:
 
 
 # ----------------------------------------------------------------- protocols
-def save_protocol(protocol: DistributedProtocol, path: PathLike) -> None:
-    """Checkpoint a bare protocol (no session metadata) to ``path``."""
+def save_protocol(protocol: DistributedProtocol, path: PathLike, *,
+                  compress: bool = True, float32: bool = False) -> None:
+    """Checkpoint a bare protocol (no session metadata) to ``path``.
+
+    ``compress``/``float32`` behave as in :func:`save_tracker`.
+    """
     if not isinstance(protocol, DistributedProtocol):
         raise TypeError(
             f"expected a DistributedProtocol, got {type(protocol).__name__}"
@@ -237,7 +255,7 @@ def save_protocol(protocol: DistributedProtocol, path: PathLike) -> None:
         "format": _PROTOCOL_FORMAT,
         "version": CHECKPOINT_VERSION,
         "protocol": protocol.get_state(copy_data=False),
-    })
+    }, compress=compress, float32=float32)
 
 
 def load_protocol(path: PathLike, allow_pickle: bool = False) -> DistributedProtocol:

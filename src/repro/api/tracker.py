@@ -254,11 +254,18 @@ class Tracker:
         )
 
     # ----------------------------------------------------------- persistence
-    def save(self, path: Any) -> None:
-        """Checkpoint the whole session to ``path`` (see ``repro.api.state``)."""
+    def save(self, path: Any, *, compress: bool = True,
+             float32: bool = False) -> None:
+        """Checkpoint the whole session to ``path`` (see ``repro.api.state``).
+
+        ``compress`` (default on) deflates the checkpoint body; ``float32``
+        opts into lossy float64→float32 array downcasting on disk, which
+        trades exact bit-identical resume for roughly half the size on
+        incompressible numeric state.
+        """
         from .state import save_tracker
 
-        save_tracker(self, path)
+        save_tracker(self, path, compress=compress, float32=float32)
 
     @classmethod
     def load(cls, path: Any, allow_pickle: bool = False) -> "Tracker":

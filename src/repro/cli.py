@@ -50,6 +50,7 @@ from .evaluation.tables import format_table, render_figure
 from .evaluation.throughput import (
     BENCH_CHUNK_SIZE,
     HH_BENCH_PROTOCOLS,
+    MATRIX_BENCH_SPECS,
     measure_sharded_throughput,
     sharded_report_rows,
     throughput_report_rows,
@@ -109,29 +110,38 @@ def _parse_int_list(text: str) -> List[int]:
     return [int(value) for value in _parse_float_list(text)]
 
 
-def _parse_protocol_list(text: str) -> List[str]:
+def _parse_bench_protocols(text: str, domain: str, known) -> List[str]:
     """Parse a comma-separated bench protocol list.
 
     Accepts both the bench's bare labels (``P1``) and registry spec names
-    (``hh/P1``) so the CLI vocabulary matches ``--protocol`` everywhere.
+    (``hh/P1`` / ``matrix/P1``) so the CLI vocabulary matches ``--protocol``
+    everywhere.
     """
     names = []
     for part in text.split(","):
         name = part.strip()
         if not name:
             continue
-        if name.lower().startswith("hh/"):
+        if name.lower().startswith(domain + "/"):
             name = name.split("/", 1)[1]
         names.append(name.upper())
     if not names:
         raise argparse.ArgumentTypeError("expected at least one protocol name")
-    unknown = [name for name in names if name not in HH_BENCH_PROTOCOLS]
+    unknown = [name for name in names if name not in known]
     if unknown:
         raise argparse.ArgumentTypeError(
             f"unknown protocol(s) {', '.join(unknown)}; "
-            f"choose from {', '.join(sorted(HH_BENCH_PROTOCOLS))}"
+            f"choose from {', '.join(sorted(known))}"
         )
     return names
+
+
+def _parse_protocol_list(text: str) -> List[str]:
+    return _parse_bench_protocols(text, "hh", HH_BENCH_PROTOCOLS)
+
+
+def _parse_matrix_protocol_list(text: str) -> List[str]:
+    return _parse_bench_protocols(text, "matrix", MATRIX_BENCH_SPECS)
 
 
 def _parse_spec(text: str) -> str:
@@ -210,6 +220,15 @@ def build_parser() -> argparse.ArgumentParser:
                      default=["P1", "P2", "P3"],
                      help="comma-separated heavy-hitter protocols to bench "
                           f"(choices: {','.join(sorted(HH_BENCH_PROTOCOLS))})")
+    sub.add_argument("--matrix-protocols", type=_parse_matrix_protocol_list,
+                     default=["P1"],
+                     help="comma-separated matrix protocols to bench "
+                          f"(choices: {','.join(sorted(MATRIX_BENCH_SPECS))})")
+    sub.add_argument("--svd-mode", default=None,
+                     choices=["auto", "exact", "gram", "randomized"],
+                     help="pin the FD compaction kernel for the matrix "
+                          "workloads (default: the protocol default, auto; "
+                          "'exact' reproduces the historical LAPACK path)")
     sub.add_argument("--shards", type=_parse_int_list, default=None,
                      metavar="N1,N2,...",
                      help="also measure the sharded scaling curve at these "
@@ -217,12 +236,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--backend", choices=available_backends(),
                      default="process",
                      help="engine backend for the --shards scaling curve")
-    sub.add_argument("--wire", choices=["wire", "pickle"], default=None,
-                     metavar="{wire,pickle}",
+    sub.add_argument("--wire", choices=["wire", "zlib", "pickle"], default=None,
+                     metavar="{wire,zlib,pickle}",
                      help="shard-dispatch transport for the --shards curve on "
-                          "the process backend: the wire codec (default) or "
-                          "the legacy pickle pipes, to measure codec "
-                          "encode/decode overhead")
+                          "the process backend: the wire codec (default), "
+                          "deflated wire frames (zlib), or the legacy pickle "
+                          "pipes, to measure codec/compression overhead")
+    sub.add_argument("--json", metavar="PATH", default=None, dest="json_path",
+                     help="also write the measured rows as JSON to PATH "
+                          "(machine-readable; what CI archives as artifacts)")
+    sub.add_argument("--profile", action="store_true",
+                     help="run the measurements under cProfile and print the "
+                          "top 20 functions by cumulative time")
     sub.add_argument("--seed", type=int, default=2014)
 
     subparsers.add_parser("protocols", help=_EXPERIMENTS["protocols"])
@@ -350,7 +375,8 @@ def _run_bench(args, out) -> None:
         if args.backend != "process":
             raise SystemExit(
                 "--wire only applies to the process backend's pipe "
-                "transport (the socket backend is always wire-framed)"
+                "transport (the socket backend is always wire-framed; the "
+                "shm backend always ships arrays through its rings)"
             )
     if args.shards and args.backend == "socket":
         raise SystemExit(
@@ -358,11 +384,39 @@ def _run_bench(args, out) -> None:
             "worker addresses; use --backend process (or serial/thread) for "
             "the scaling curve"
         )
-    rows = throughput_report_rows(num_items=args.num_items,
-                                  num_rows=args.num_rows,
-                                  chunk_size=args.chunk_size,
-                                  seed=args.seed,
-                                  hh_protocols=args.protocols)
+
+    def _measure():
+        rows = throughput_report_rows(num_items=args.num_items,
+                                      num_rows=args.num_rows,
+                                      chunk_size=args.chunk_size,
+                                      seed=args.seed,
+                                      hh_protocols=args.protocols,
+                                      matrix_protocols=args.matrix_protocols,
+                                      svd_mode=args.svd_mode)
+        scaling = None
+        if args.shards:
+            backend_options = None
+            if args.wire is not None:
+                backend_options = {"transport": args.wire}
+            results = measure_sharded_throughput(
+                num_items=args.num_items,
+                shard_counts=args.shards,
+                backend=args.backend,
+                backend_options=backend_options,
+                chunk_size=args.chunk_size,
+                seed=args.seed)
+            scaling = sharded_report_rows(results)
+        return rows, scaling
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        rows, scaling = profiler.runcall(_measure)
+    else:
+        rows, scaling = _measure()
+
     _emit(format_table(rows, title="Ingestion throughput (per-item vs batched)"),
           out)
     for row in rows:
@@ -370,19 +424,8 @@ def _run_bench(args, out) -> None:
               f"{row['batched_items_per_sec']:,} items/sec batched vs "
               f"{row['per_item_items_per_sec']:,} items/sec per-item "
               f"({row['speedup']}x)", out)
-    if args.shards:
-        backend_options = None
-        transport_label = ""
-        if args.wire is not None:
-            backend_options = {"transport": args.wire}
-            transport_label = f", {args.wire} transport"
-        results = measure_sharded_throughput(num_items=args.num_items,
-                                             shard_counts=args.shards,
-                                             backend=args.backend,
-                                             backend_options=backend_options,
-                                             chunk_size=args.chunk_size,
-                                             seed=args.seed)
-        scaling = sharded_report_rows(results)
+    if scaling is not None:
+        transport_label = f", {args.wire} transport" if args.wire else ""
         _emit(format_table(scaling,
                            title=f"Sharded scaling ({args.backend} backend"
                                  f"{transport_label})"),
@@ -392,6 +435,40 @@ def _run_bench(args, out) -> None:
             suffix = f" ({speedup}x vs 1 shard)" if speedup else ""
             _emit(f"{row['shards']} shard(s) [{row['backend']}]: "
                   f"{row['items_per_sec']:,} items/sec{suffix}", out)
+
+    if args.profile:
+        import io as _io
+
+        buffer = _io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(20)
+        _emit("", out)
+        _emit("cProfile top 20 by cumulative time:", out)
+        _emit(buffer.getvalue().rstrip(), out)
+
+    if args.json_path:
+        import json
+
+        payload = {
+            "meta": {
+                "num_items": args.num_items,
+                "num_rows": args.num_rows,
+                "chunk_size": args.chunk_size,
+                "seed": args.seed,
+                "hh_protocols": args.protocols,
+                "matrix_protocols": args.matrix_protocols,
+                "svd_mode": args.svd_mode,
+                "shards": args.shards,
+                "backend": args.backend if args.shards else None,
+                "wire": args.wire,
+            },
+            "throughput": rows,
+            "scaling": scaling,
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        _emit(f"wrote JSON report to {args.json_path}", out)
 
 
 def _run_protocols(args, out) -> None:

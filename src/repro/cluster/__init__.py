@@ -3,11 +3,14 @@
 The production-scale execution layer above :mod:`repro.api`:
 
 * :mod:`repro.cluster.backends` — the string-keyed engine-backend registry
-  (``serial``, ``thread``, ``process``, ``socket``) mirroring the protocol
-  registry; the process backend keeps persistent workers and ships columnar
-  batch chunks to them as :mod:`repro.wire` frames.
+  (``serial``, ``thread``, ``process``, ``shm``, ``socket``) mirroring the
+  protocol registry; the process backend keeps persistent workers and ships
+  columnar batch chunks to them as :mod:`repro.wire` frames.
 * :mod:`repro.cluster.worker_protocol` — the transport-agnostic wire-frame
   worker protocol shared by the process pipes and the socket connections.
+* :mod:`repro.cluster.shm` — the same-host shared-memory backend: the
+  worker protocol's pipe carries only control traffic while batch-chunk
+  arrays travel through per-shard shared-memory rings.
 * :mod:`repro.cluster.socket_backend` — the multi-host TCP backend and the
   :class:`WorkerServer` behind ``repro-experiments worker --listen``.
 * :mod:`repro.cluster.sharding` — deterministic element/row-space
@@ -39,6 +42,7 @@ from .sharded_tracker import (
     ShardedTrackerStats,
 )
 from .sharding import shard_of_elements, shard_of_rows
+from .shm import ShmProcessBackend
 from .socket_backend import SocketBackend, WorkerServer
 
 __all__ = [
@@ -49,6 +53,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "ShmProcessBackend",
     "SocketBackend",
     "WorkerServer",
     "available_backends",

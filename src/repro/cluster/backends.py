@@ -281,11 +281,13 @@ def _process_worker_main(conn: Any, transport: str) -> None:
 
     The first command must be ``launch`` carrying the shard builder; with
     the default ``"wire"`` transport every command/reply is a
-    :mod:`repro.wire` frame moved with ``send_bytes``/``recv_bytes``; the
-    legacy ``"pickle"`` transport (kept so ``bench --wire pickle`` can
-    measure the codec against it) moves plain tuples with ``send``/``recv``.
+    :mod:`repro.wire` frame moved with ``send_bytes``/``recv_bytes``
+    (``"zlib"`` is the same loop — only the parent's encoder differs, and
+    the frame decoder handles deflated bodies transparently); the legacy
+    ``"pickle"`` transport (kept so ``bench --wire pickle`` can measure the
+    codec against it) moves plain tuples with ``send``/``recv``.
     """
-    if transport == "wire":
+    if transport != "pickle":
         session = WorkerSession(conn.recv_bytes, conn.send_bytes)
     else:
         def safe_send(payload: Any) -> None:
@@ -386,7 +388,8 @@ class _ProcessShard(RemoteShardHandle):
 
     def __init__(self, index: int, builder: Callable[[], Any], context: Any,
                  transport: str):
-        self._wire = transport == "wire"
+        self._wire = transport != "pickle"
+        self._compress = transport == "zlib"
         self.conn, child_conn = context.Pipe(duplex=True)
         self.process = context.Process(
             target=_process_worker_main, args=(child_conn, transport),
@@ -402,7 +405,8 @@ class _ProcessShard(RemoteShardHandle):
     def send_command(self, op: str, fn: Optional[Callable], args: tuple) -> None:
         try:
             if self._wire:
-                self.conn.send_bytes(encode_command(op, fn, args))
+                self.conn.send_bytes(
+                    encode_command(op, fn, args, compress=self._compress))
             else:
                 self.conn.send((op, fn, args))
         except (BrokenPipeError, OSError) as exc:
@@ -441,7 +445,10 @@ class ProcessBackend(EngineBackend):
     dtype/shape/contiguous bytes); the OS pipe buffer provides natural
     backpressure when a worker falls behind.  Workers are started with
     ``fork`` where available (instant, shares the imported library) and
-    ``spawn`` otherwise.  ``transport="pickle"`` switches the pipe messages
+    ``spawn`` otherwise.  ``transport="zlib"`` deflates each command body
+    before it enters the pipe — a bandwidth/CPU trade that pays off when
+    the pipe is the bottleneck (many shards, wide rows) and costs deflate
+    time when it is not.  ``transport="pickle"`` switches the pipe messages
     back to pickle — kept only so the throughput benchmark can measure the
     wire codec against it.
     """
@@ -454,9 +461,9 @@ class ProcessBackend(EngineBackend):
         if start_method is None:
             start_method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
                             else "spawn")
-        if transport not in ("wire", "pickle"):
+        if transport not in ("wire", "zlib", "pickle"):
             raise ValueError(
-                f"transport must be 'wire' or 'pickle', got {transport!r}"
+                f"transport must be 'wire', 'zlib' or 'pickle', got {transport!r}"
             )
         self._context = multiprocessing.get_context(start_method)
         self._transport = transport

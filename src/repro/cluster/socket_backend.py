@@ -101,9 +101,11 @@ class _SocketShard(RemoteShardHandle):
     """Parent-side handle of one shard session on a remote worker."""
 
     def __init__(self, index: int, address: Tuple[str, int],
-                 builder: Callable[[], Any], connect_timeout: float):
+                 builder: Callable[[], Any], connect_timeout: float,
+                 compress: bool = False):
         self.index = index
         self.address = address
+        self.compress = compress
         try:
             self.sock = socket.create_connection(address,
                                                  timeout=connect_timeout)
@@ -135,7 +137,8 @@ class _SocketShard(RemoteShardHandle):
 
     def send_command(self, op: str, fn: Optional[Callable], args: tuple) -> None:
         try:
-            send_frame(self.sock, encode_command(op, fn, args))
+            send_frame(self.sock,
+                       encode_command(op, fn, args, compress=self.compress))
         except OSError as exc:
             raise BackendError(
                 f"worker {self.address[0]}:{self.address[1]} is gone: {exc}"
@@ -180,13 +183,19 @@ class SocketBackend(EngineBackend):
         ``i % len(addresses)``.
     connect_timeout:
         Seconds to wait for each worker connection at launch.
+    compress:
+        Deflate command frame bodies before they hit the network — the
+        right trade when workers sit behind a real network link rather
+        than loopback.  Workers decode compressed and plain frames alike,
+        so mixed-version fleets need no coordination.
     """
 
     name = "socket"
 
     def __init__(self,
                  addresses: Union[AddressLike, Sequence[AddressLike], None] = None,
-                 connect_timeout: float = 10.0):
+                 connect_timeout: float = 10.0,
+                 compress: bool = False):
         super().__init__()
         if addresses is None:
             # The only registered backend with a required option; every
@@ -201,6 +210,7 @@ class SocketBackend(EngineBackend):
             )
         self._addresses = parse_address_list(addresses)
         self._connect_timeout = float(connect_timeout)
+        self._compress = bool(compress)
 
     def _launch(self, builders: Sequence[Callable[[], Any]]) -> None:
         self._shards: List[_SocketShard] = []
@@ -208,7 +218,8 @@ class SocketBackend(EngineBackend):
             for index, builder in enumerate(builders):
                 address = self._addresses[index % len(self._addresses)]
                 self._shards.append(
-                    _SocketShard(index, address, builder, self._connect_timeout)
+                    _SocketShard(index, address, builder,
+                                 self._connect_timeout, self._compress)
                 )
         except BaseException:
             self.close()

@@ -53,22 +53,31 @@ COMMAND_KIND = "repro/worker-command"
 REPLY_KIND = "repro/worker-reply"
 
 
-def encode_command(op: str, fn: Any = None, args: Tuple[Any, ...] = ()) -> bytes:
+def encode_command(op: str, fn: Any = None, args: Tuple[Any, ...] = (), *,
+                   compress: bool = False, array_sink: Any = None) -> bytes:
     """Pack one command frame (``fn`` may be None for launch/stop).
 
     The op rides in the frame *kind* (``repro/worker-command:submit``) as
     well as the body, so a worker that cannot decode the body — a corrupted
     frame, an untrusted function reference — can still tell from the header
     whether the sender is waiting for a reply, and keep the command/reply
-    protocol synchronized.
+    protocol synchronized.  ``compress`` deflates the command body (the
+    ``"zlib"`` pipe transport and the socket backend's ``compress`` option);
+    workers decode compressed and plain commands alike, so the knob is
+    sender-local and needs no negotiation beyond the frame version.
+    ``array_sink`` diverts large array payloads out of band (the ``"shm"``
+    backend's shared-memory ring); the frame then carries references the
+    receiver resolves via ``decode_command``'s ``array_source``.
     """
     return pack_frame(f"{COMMAND_KIND}:{op}",
-                      {"op": op, "fn": fn, "args": tuple(args)})
+                      {"op": op, "fn": fn, "args": tuple(args)},
+                      compress=compress, array_sink=array_sink)
 
 
-def decode_command(data: bytes) -> Tuple[str, Any, Tuple[Any, ...]]:
+def decode_command(data: bytes, *, array_source: Any = None
+                   ) -> Tuple[str, Any, Tuple[Any, ...]]:
     """Unpack a command frame into ``(op, fn, args)``."""
-    kind, body = unpack_frame(data)
+    kind, body = unpack_frame(data, array_source=array_source)
     if kind != COMMAND_KIND and not kind.startswith(COMMAND_KIND + ":"):
         raise WireDecodeError(f"expected a worker command frame, got {kind!r}")
     if not isinstance(body, dict) or not isinstance(body.get("op"), str):

@@ -27,6 +27,7 @@ from ..streaming.runner import StreamingEngine
 __all__ = [
     "BENCH_CHUNK_SIZE",
     "HH_BENCH_PROTOCOLS",
+    "MATRIX_BENCH_SPECS",
     "ShardScalingResult",
     "ThroughputResult",
     "measure_heavy_hitter_throughput",
@@ -51,6 +52,13 @@ HH_BENCH_PROTOCOLS: Dict[str, Callable[[int, float, int], Any]] = {
                                       sample_size=400, seed=seed),
     "P4": lambda m, eps, seed: create("hh/P4", num_sites=m, epsilon=eps,
                                       seed=seed),
+}
+
+#: Matrix protocols the bench can exercise — the two with SVD-bound
+#: compaction hot loops, so ``--svd-mode`` comparisons mean something.
+MATRIX_BENCH_SPECS: Dict[str, str] = {
+    "P1": "matrix/P1",
+    "P2": "matrix/P2",
 }
 
 
@@ -169,14 +177,31 @@ def measure_matrix_throughput(
     chunk_size: int = BENCH_CHUNK_SIZE,
     protocol_factory: Optional[Callable[[int], Any]] = None,
     repeats: int = 1,
+    protocol: str = "P1",
+    svd_mode: Optional[str] = None,
 ) -> ThroughputResult:
-    """Time matrix protocol P1 over the PAMAP-like synthetic row workload."""
+    """Time a matrix protocol over the PAMAP-like synthetic row workload.
+
+    ``protocol`` selects one of :data:`MATRIX_BENCH_SPECS` (P1/P2 — the
+    compaction-bound protocols); ``svd_mode`` pins the FD compaction kernel
+    (``None`` uses the protocol default, ``"exact"`` reproduces the
+    historical LAPACK path), so ``bench --svd-mode exact`` vs the default
+    measures exactly the kernel swap.
+    """
     dataset = make_pamap_like(num_rows=num_rows, seed=seed)
     rows = np.ascontiguousarray(dataset.rows, dtype=np.float64)
     if protocol_factory is None:
+        if protocol not in MATRIX_BENCH_SPECS:
+            raise ValueError(
+                f"unknown matrix bench protocol {protocol!r}; "
+                f"expected one of {sorted(MATRIX_BENCH_SPECS)}"
+            )
+        spec = MATRIX_BENCH_SPECS[protocol]
+        extra = {} if svd_mode is None else {"svd_mode": svd_mode}
+
         def protocol_factory(dimension: int) -> Any:
-            return create("matrix/P1", num_sites=num_sites,
-                          dimension=dimension, epsilon=epsilon)
+            return create(spec, num_sites=num_sites,
+                          dimension=dimension, epsilon=epsilon, **extra)
     per_item_protocol = protocol_factory(dataset.dimension)
     per_item_seconds = _time_run(StreamingEngine(chunk_size=None),
                                  per_item_protocol, rows)
@@ -188,7 +213,8 @@ def measure_matrix_throughput(
     )
     return ThroughputResult(
         workload="synthetic-matrix",
-        protocol=type(batched_protocol).__name__,
+        protocol=type(batched_protocol).__name__ + (
+            f"[svd_mode={svd_mode}]" if svd_mode else ""),
         num_items=num_rows,
         chunk_size=chunk_size,
         per_item_seconds=per_item_seconds,
@@ -297,11 +323,15 @@ def throughput_report_rows(num_items: int = 1_000_000,
                            chunk_size: int = BENCH_CHUNK_SIZE,
                            seed: int = 2014,
                            hh_protocols: Sequence[str] = ("P1", "P2", "P3"),
+                           matrix_protocols: Sequence[str] = ("P1",),
+                           svd_mode: Optional[str] = None,
                            ) -> List[Dict[str, Any]]:
     """Measure the heavy-hitter workload per protocol plus the matrix workload.
 
     The Zipfian stream is generated once and shared across the heavy-hitter
     protocols (every measurement replays it into fresh protocol instances).
+    ``matrix_protocols``/``svd_mode`` select the matrix measurements (see
+    :func:`measure_matrix_throughput`).
     """
     # Pin the workload parameters to measure_heavy_hitter_throughput's
     # defaults explicitly so the shared stream cannot silently drift from
@@ -316,6 +346,10 @@ def throughput_report_rows(num_items: int = 1_000_000,
                                         protocol=protocol, stream=stream)
         for protocol in hh_protocols
     ]
-    results.append(measure_matrix_throughput(num_rows=num_rows,
-                                             chunk_size=chunk_size, seed=seed))
+    results.extend(
+        measure_matrix_throughput(num_rows=num_rows, chunk_size=chunk_size,
+                                  seed=seed, protocol=protocol,
+                                  svd_mode=svd_mode)
+        for protocol in matrix_protocols
+    )
     return [result.as_dict() for result in results]

@@ -102,10 +102,14 @@ class CentralizedFDBaseline(MatrixTrackingProtocol):
     """
 
     def __init__(self, num_sites: int, dimension: int, sketch_size: int,
+                 svd_mode: str = "auto",
                  keep_message_records: bool = False):
         super().__init__(num_sites, dimension, epsilon=1.0,
                          keep_message_records=keep_message_records)
-        self._sketch = FrequentDirections(dimension=dimension, sketch_size=sketch_size)
+        self._sketch = FrequentDirections(
+            dimension=dimension, sketch_size=sketch_size, svd_mode=svd_mode,
+            buffer_multiplier=2 if svd_mode == "exact" else 4,
+        )
 
     #: Checkpoint-contract version of this class's state layout.
     state_version = 1
@@ -114,6 +118,11 @@ class CentralizedFDBaseline(MatrixTrackingProtocol):
     def sketch_size(self) -> int:
         """Number of retained FD directions."""
         return self._sketch.sketch_size
+
+    @property
+    def svd_mode(self) -> str:
+        """Compaction kernel of the coordinator FD sketch."""
+        return self._sketch.svd_mode
 
     def process(self, site: int, row: np.ndarray) -> None:
         row = self._record_observation(row)

@@ -35,11 +35,12 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..accel.fd_kernels import check_svd_mode, spectral_decomposition
 from ..sketch.frequent_directions import FrequentDirections
 from ..streaming.protocol import first_crossing
-from ..utils.linalg import thin_svd
 from ..utils.validation import check_positive_int
 from .base import MatrixTrackingProtocol
+from .p1_batched_fd import _fd_buffer_multiplier
 
 __all__ = ["DeterministicDirectionProtocol"]
 
@@ -83,15 +84,21 @@ class DeterministicDirectionProtocol(MatrixTrackingProtocol):
         If given, the coordinator compresses received directions with a
         Frequent Directions sketch of this many rows instead of stacking them
         exactly (Section 5.2's space reduction).
+    svd_mode:
+        Spectral kernel for the deferred site SVDs (and the optional
+        coordinator FD sketch) — one of :data:`repro.accel.SVD_MODES`.
+        ``"exact"`` reproduces the historical LAPACK path bit-for-bit.
     keep_message_records:
         Retain a full message log (tests only).
     """
 
     def __init__(self, num_sites: int, dimension: int, epsilon: float,
                  coordinator_sketch_size: Optional[int] = None,
+                 svd_mode: str = "auto",
                  keep_message_records: bool = False):
         super().__init__(num_sites, dimension, epsilon,
                          keep_message_records=keep_message_records)
+        self._svd_mode = check_svd_mode(svd_mode)
         self._sites = [_SiteState(dimension) for _ in range(num_sites)]
         self._estimated_norm = 0.0               # F̂
         self._scalar_messages_this_round = 0
@@ -101,11 +108,16 @@ class DeterministicDirectionProtocol(MatrixTrackingProtocol):
         if coordinator_sketch_size is not None:
             size = check_positive_int(coordinator_sketch_size,
                                       name="coordinator_sketch_size")
-            self._coordinator_sketch = FrequentDirections(dimension=dimension,
-                                                          sketch_size=size)
+            self._coordinator_sketch = FrequentDirections(
+                dimension=dimension, sketch_size=size, svd_mode=self._svd_mode,
+                buffer_multiplier=_fd_buffer_multiplier(self._svd_mode),
+            )
 
     #: Checkpoint-contract version of this class's state layout.
     state_version = 1
+
+    #: Fallback for states checkpointed before the kernel knob existed.
+    _svd_mode = "auto"
 
     # ------------------------------------------------------------ properties
     @property
@@ -117,6 +129,11 @@ class DeterministicDirectionProtocol(MatrixTrackingProtocol):
     def rounds_completed(self) -> int:
         """Number of completed rounds (broadcasts of ``F̂``)."""
         return self._rounds_completed
+
+    @property
+    def svd_mode(self) -> str:
+        """Spectral kernel used by the deferred site SVDs."""
+        return self._svd_mode
 
     def _threshold(self) -> float:
         """The direction/scalar threshold ``(ε/m)·F̂``."""
@@ -193,7 +210,10 @@ class DeterministicDirectionProtocol(MatrixTrackingProtocol):
         if residual.size == 0:
             state.top_bound = 0.0
             return
-        _, singular_values, vt = thin_svd(residual)
+        # Full spectrum: the light directions are retained as the new
+        # residual, so a top-k kernel cannot be used here (auto → gram).
+        singular_values, vt = spectral_decomposition(residual,
+                                                     mode=self._svd_mode)
         squared = singular_values ** 2
         threshold = self._threshold()
         heavy = squared >= max(threshold, 1e-300)
@@ -201,9 +221,11 @@ class DeterministicDirectionProtocol(MatrixTrackingProtocol):
         for value, direction in zip(singular_values[heavy], vt[heavy, :]):
             self.network.send_vector(site, description="heavy direction")
             self._receive_direction(value * direction)
-        # The residual now consists of the light directions only.
+        # The residual now consists of the light directions only, stored as
+        # one block (``residual_matrix`` vstacks blocks and rows alike, so
+        # this is value-identical to storing the rows individually).
         remaining = singular_values[light, np.newaxis] * vt[light, :]
-        state.rows = [row for row in remaining]
+        state.rows = [remaining] if remaining.size else []
         state.top_bound = float(squared[light].max()) if light.any() else 0.0
 
     def _send_scalar(self, site: int, norm: float) -> None:

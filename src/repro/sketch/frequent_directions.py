@@ -29,7 +29,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..utils.linalg import thin_svd
+from ..accel.fd_kernels import check_svd_mode, shrink_rows, spectral_decomposition
 from ..utils.validation import check_positive_int, check_row, check_row_batch
 from .base import MatrixSketch
 
@@ -51,7 +51,18 @@ class FrequentDirections(MatrixSketch):
     buffer_multiplier:
         The buffer holds ``buffer_multiplier * sketch_size`` rows between
         compactions; 2 is the standard choice giving amortised ``O(dℓ)``
-        update time.
+        update time.  Larger multipliers amortise the fixed per-compaction
+        LAPACK latency over more rows at the cost of a proportionally
+        larger buffer — the FD invariant and the shrinkage certificate hold
+        for any multiplier (the shrink step subtracts the ``(ℓ+1)``-st
+        squared singular value of whatever is buffered).
+    svd_mode:
+        Which spectral kernel compactions use — one of
+        :data:`repro.accel.SVD_MODES`.  ``"exact"`` is the historical
+        ``numpy.linalg.svd`` path (bit-for-bit reproducible against
+        archived runs); the default ``"auto"`` selects the Gram-trick
+        kernel, which is several times faster on the small buffers FD
+        produces and keeps the sketch within the same FD error bound.
 
     Examples
     --------
@@ -67,9 +78,14 @@ class FrequentDirections(MatrixSketch):
     True
     """
 
-    def __init__(self, dimension: int, sketch_size: int, buffer_multiplier: int = 2):
+    #: Fallback for states checkpointed before the kernel knob existed.
+    _svd_mode = "auto"
+
+    def __init__(self, dimension: int, sketch_size: int, buffer_multiplier: int = 2,
+                 svd_mode: str = "auto"):
         self._dimension = check_positive_int(dimension, name="dimension")
         self._sketch_size = check_positive_int(sketch_size, name="sketch_size")
+        self._svd_mode = check_svd_mode(svd_mode)
         multiplier = check_positive_int(buffer_multiplier, name="buffer_multiplier")
         if multiplier < 2:
             raise ValueError("buffer_multiplier must be at least 2")
@@ -82,7 +98,8 @@ class FrequentDirections(MatrixSketch):
 
     # --------------------------------------------------------------- factory
     @classmethod
-    def from_epsilon(cls, dimension: int, epsilon: float) -> "FrequentDirections":
+    def from_epsilon(cls, dimension: int, epsilon: float,
+                     svd_mode: str = "auto") -> "FrequentDirections":
         """Size the sketch so the error is at most ``epsilon * ‖A‖²_F``.
 
         Uses ``ℓ = ceil(2/ε)`` which satisfies Liberty's bound
@@ -90,7 +107,8 @@ class FrequentDirections(MatrixSketch):
         """
         if not 0.0 < epsilon <= 1.0:
             raise ValueError(f"epsilon must lie in (0, 1], got {epsilon!r}")
-        return cls(dimension=dimension, sketch_size=max(1, math.ceil(2.0 / epsilon)))
+        return cls(dimension=dimension, sketch_size=max(1, math.ceil(2.0 / epsilon)),
+                   svd_mode=svd_mode)
 
     # ------------------------------------------------------------- properties
     @property
@@ -101,6 +119,11 @@ class FrequentDirections(MatrixSketch):
     def sketch_size(self) -> int:
         """The number of retained directions ``ℓ``."""
         return self._sketch_size
+
+    @property
+    def svd_mode(self) -> str:
+        """The spectral kernel compactions use (see :data:`repro.accel.SVD_MODES`)."""
+        return self._svd_mode
 
     @property
     def rows_seen(self) -> int:
@@ -159,15 +182,7 @@ class FrequentDirections(MatrixSketch):
         :meth:`compacted_view`: returns ``(compacted, delta)`` for the
         currently buffered rows, without touching the buffer."""
         active = self._buffer[: self._filled, :]
-        _, singular_values, vt = thin_svd(active)
-        squared = singular_values ** 2
-        if squared.shape[0] > self._sketch_size:
-            delta = float(squared[self._sketch_size])
-        else:
-            delta = 0.0
-        shrunk = np.sqrt(np.maximum(squared - delta, 0.0))
-        keep = min(self._sketch_size, shrunk.shape[0])
-        return shrunk[:keep, np.newaxis] * vt[:keep, :], delta
+        return shrink_rows(active, self._sketch_size, mode=self._svd_mode)
 
     def _compact(self) -> None:
         """Shrink the buffer back to ``sketch_size`` retained directions."""
@@ -238,6 +253,7 @@ class FrequentDirections(MatrixSketch):
             dimension=self._dimension,
             sketch_size=self._sketch_size,
             buffer_multiplier=self._capacity // self._sketch_size,
+            svd_mode=self._svd_mode,
         )
         for block in (self.sketch_matrix(), other.sketch_matrix()):
             total = block.shape[0]
@@ -264,6 +280,7 @@ class FrequentDirections(MatrixSketch):
             dimension=self._dimension,
             sketch_size=self._sketch_size,
             buffer_multiplier=self._capacity // self._sketch_size,
+            svd_mode=self._svd_mode,
         )
         clone._buffer = self._buffer.copy()
         clone._filled = self._filled
@@ -285,10 +302,8 @@ class FrequentDirections(MatrixSketch):
         sketch = self.compacted_matrix()
         if sketch.size == 0:
             return np.zeros((0, self._dimension))
-        _, _, vt = thin_svd(sketch)
-        if k is None:
-            return vt
-        return vt[:k, :]
+        _, vt = spectral_decomposition(sketch, mode=self._svd_mode, top=k)
+        return vt
 
     def __repr__(self) -> str:
         return (

@@ -24,7 +24,8 @@ from typing import Optional
 
 import numpy as np
 
-from ..utils.linalg import project_onto_rowspace, squared_frobenius, thin_svd
+from ..accel.fd_kernels import check_svd_mode, spectral_decomposition
+from ..utils.linalg import project_onto_rowspace, squared_frobenius
 from ..utils.stateio import Stateful
 from ..utils.validation import check_epsilon, check_positive_int
 from .frequent_directions import FrequentDirections
@@ -43,6 +44,10 @@ class RelativeErrorFrequentDirections(Stateful):
         Target rank ``k`` of the downstream approximation.
     epsilon:
         Relative-error parameter; the sketch keeps ``k + ceil(k/ε)`` rows.
+    svd_mode:
+        Spectral kernel used for compactions and the top-``k`` query (one
+        of :data:`repro.accel.SVD_MODES`; ``"exact"`` reproduces the
+        historical LAPACK path bit-for-bit).
 
     Examples
     --------
@@ -55,15 +60,21 @@ class RelativeErrorFrequentDirections(Stateful):
     True
     """
 
-    def __init__(self, dimension: int, rank: int, epsilon: float):
+    #: Fallback for states checkpointed before the kernel knob existed.
+    _svd_mode = "auto"
+
+    def __init__(self, dimension: int, rank: int, epsilon: float,
+                 svd_mode: str = "auto"):
         self._dimension = check_positive_int(dimension, name="dimension")
         self._rank = check_positive_int(rank, name="rank")
         if self._rank > self._dimension:
             raise ValueError(
                 f"rank={rank} cannot exceed the matrix dimension {dimension}")
         self._epsilon = check_epsilon(epsilon)
+        self._svd_mode = check_svd_mode(svd_mode)
         sketch_size = self._rank + max(1, math.ceil(self._rank / self._epsilon))
-        self._inner = FrequentDirections(dimension=dimension, sketch_size=sketch_size)
+        self._inner = FrequentDirections(dimension=dimension, sketch_size=sketch_size,
+                                         svd_mode=svd_mode)
 
     # ------------------------------------------------------------ properties
     @property
@@ -115,7 +126,8 @@ class RelativeErrorFrequentDirections(Stateful):
         sketch = self.sketch_matrix()
         if sketch.size == 0:
             return np.zeros((0, self._dimension))
-        _, singular_values, vt = thin_svd(sketch)
+        singular_values, vt = spectral_decomposition(sketch, mode=self._svd_mode,
+                                                     top=self._rank)
         keep = min(self._rank, singular_values.shape[0])
         return singular_values[:keep, np.newaxis] * vt[:keep, :]
 
@@ -150,7 +162,8 @@ class RelativeErrorFrequentDirections(Stateful):
                 or other._epsilon != self._epsilon):
             raise ValueError("can only merge sketches with identical configuration")
         merged = RelativeErrorFrequentDirections(self._dimension, self._rank,
-                                                 self._epsilon)
+                                                 self._epsilon,
+                                                 svd_mode=self._svd_mode)
         merged._inner = self._inner.merge(other._inner)
         return merged
 

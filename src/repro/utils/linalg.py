@@ -20,6 +20,8 @@ import numpy as np
 from .validation import check_matrix, check_rank
 
 __all__ = [
+    "SVD_FALLBACK_SEED",
+    "SVD_RELATIVE_TOLERANCE",
     "thin_svd",
     "squared_norm_along",
     "squared_frobenius",
@@ -33,12 +35,33 @@ __all__ = [
 ]
 
 
+#: Relative cutoff below which consumers of :func:`thin_svd` treat a
+#: singular value as zero (see :func:`project_onto_rowspace`): values under
+#: ``max(s[0], 1)·SVD_RELATIVE_TOLERANCE`` carry no usable directional
+#: information.  The non-convergence fallback inside :func:`thin_svd` keeps
+#: its perturbation *below* this cutoff, so a fallback never changes which
+#: singular values callers consider nonzero.
+SVD_RELATIVE_TOLERANCE = 1e-12
+
+#: Fixed RNG seed of the non-convergence fallback.  Pinned so a fallback is
+#: a pure function of its input matrix: rank-deficient inputs with repeated
+#: singular values decompose to the same ``(U, s, Vt)`` on every call, which
+#: keeps checkpoint/resume and re-run comparisons deterministic.
+SVD_FALLBACK_SEED = 0
+
+
 def thin_svd(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Compute a thin SVD ``matrix = U @ diag(s) @ Vt`` robustly.
 
-    Falls back to the Gesvd-style driver via ``scipy`` semantics by adding a
-    tiny amount of jitter if LAPACK fails to converge, which can happen for
-    rank-deficient matrices with repeated singular values.
+    If the default LAPACK driver fails to converge — which can happen for
+    rank-deficient matrices with repeated singular values — the
+    decomposition is retried on a deterministically jittered copy: Gaussian
+    noise drawn with the fixed seed :data:`SVD_FALLBACK_SEED` and scaled to
+    ``max|A| · SVD_RELATIVE_TOLERANCE``.  The jitter sits at the tolerance
+    callers already apply (:data:`SVD_RELATIVE_TOLERANCE`), and singular
+    values that end up below that caller-visible cutoff are floored to
+    exactly zero, so the fallback is deterministic and never promotes a
+    zero singular value to nonzero.
 
     Returns
     -------
@@ -56,9 +79,15 @@ def thin_svd(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     try:
         u, s, vt = np.linalg.svd(array, full_matrices=False)
     except np.linalg.LinAlgError:
-        jitter = 1e-12 * (np.abs(array).max() or 1.0)
-        noisy = array + jitter * np.random.default_rng(0).standard_normal(array.shape)
+        jitter = SVD_RELATIVE_TOLERANCE * (float(np.abs(array).max()) or 1.0)
+        rng = np.random.default_rng(SVD_FALLBACK_SEED)
+        noisy = array + jitter * rng.standard_normal(array.shape)
         u, s, vt = np.linalg.svd(noisy, full_matrices=False)
+        # Floor the jitter-created tail at zero using the same relative
+        # tolerance consumers apply, so rank decisions downstream are
+        # unchanged by the perturbation.
+        s = np.where(s > max(float(s[0]) if s.size else 0.0, 1.0)
+                     * SVD_RELATIVE_TOLERANCE, s, 0.0)
     return u, s, vt
 
 
@@ -153,7 +182,8 @@ def project_onto_rowspace(matrix: np.ndarray, basis_rows: np.ndarray) -> np.ndar
     if basis.shape[1] != array.shape[1]:
         raise ValueError("matrix and basis_rows must have the same number of columns")
     _, s, vt = thin_svd(basis)
-    nonzero = s > max(s[0], 1.0) * 1e-12 if s.size else np.zeros(0, dtype=bool)
+    nonzero = (s > max(s[0], 1.0) * SVD_RELATIVE_TOLERANCE if s.size
+               else np.zeros(0, dtype=bool))
     v = vt[nonzero, :]
     if v.size == 0:
         return np.zeros_like(array)

@@ -27,14 +27,17 @@ package.
 """
 
 from .codec import (
+    ARRAY_CODECS,
     WireDecodeError,
     WireEncodeError,
     WireError,
     decode_value,
     encode_value,
+    encode_with_extensions,
     register_trusted_module,
 )
 from .frames import (
+    WIRE_BASE_VERSION,
     WIRE_MAGIC,
     WIRE_VERSION,
     is_wire_data,
@@ -48,14 +51,17 @@ from .frames import (
 )
 
 __all__ = [
+    "ARRAY_CODECS",
     "WireError",
     "WireEncodeError",
     "WireDecodeError",
     "encode_value",
+    "encode_with_extensions",
     "decode_value",
     "register_trusted_module",
     "WIRE_MAGIC",
     "WIRE_VERSION",
+    "WIRE_BASE_VERSION",
     "is_wire_data",
     "pack_frame",
     "peek_kind",

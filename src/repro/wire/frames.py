@@ -5,19 +5,31 @@ A *frame* wraps one encoded value tree in a self-describing envelope::
     offset  size  field
     ------  ----  -----------------------------------------------------------
     0       4     magic ``b"RPW1"``
-    4       2     wire format version (little-endian u16, currently 1)
-    6       2     flags (reserved, 0)
+    4       2     wire format version (little-endian u16, 1 or 2)
+    6       2     flags (version 1: reserved, 0; version 2: see below)
     8       2     kind length ``k`` (little-endian u16)
     10      k     kind — a UTF-8 payload label, e.g.
                   ``repro/tracker-checkpoint`` or ``repro/worker-command``
-    10+k    8     body length ``n`` (little-endian u64)
-    18+k    n     body — one :func:`~repro.wire.codec.encode_value` payload
-    18+k+n  4     CRC-32 of the body (little-endian u32)
+    10+k    8     body length ``n`` (little-endian u64) — the *stored* body
+    18+k    n     body — one :func:`~repro.wire.codec.encode_value` payload,
+                  zlib-deflated when flag 0x0001 is set
+    18+k+n  4     CRC-32 of the stored body bytes (little-endian u32)
 
     The ``kind`` string plays the role pickle's class tag used to play for
     checkpoint files: readers state which payload they expect and get a
     :class:`~repro.wire.codec.WireDecodeError` naming both kinds on a
     mismatch, instead of resuming with a wrong-but-parseable payload.
+
+Version negotiation is one-directional and carried by the version field:
+writers stamp the *lowest* version that can express a frame — plain frames
+stay version 1 bit-for-bit, and only frames that actually use a version-2
+feature (a deflated body, a packed/shared-memory array section in the
+codec) are stamped 2.  Readers of this build accept both; a version-1-only
+reader rejects a version-2 frame cleanly by its header instead of
+misparsing the body.  Version-2 flags: bit 0x0001 marks a zlib-deflated
+body (the CRC covers the stored/deflated bytes; inflation is bounded, so a
+corrupted or hostile length cannot force a huge allocation).  Unknown flag
+bits are rejected.
 
 Stream transport (pipes, TCP sockets) prefixes the whole frame with a
 little-endian u64 length so the receiver can read exactly one frame without
@@ -32,11 +44,17 @@ import zlib
 from pathlib import Path
 from typing import Any, Optional, Tuple, Union
 
-from .codec import WireDecodeError, decode_value, encode_value
+from .codec import (
+    PACK_COMPRESSION_LEVEL,
+    WireDecodeError,
+    decode_value,
+    encode_with_extensions,
+)
 
 __all__ = [
     "WIRE_MAGIC",
     "WIRE_VERSION",
+    "WIRE_BASE_VERSION",
     "is_wire_data",
     "pack_frame",
     "unpack_frame",
@@ -49,8 +67,19 @@ __all__ = [
 
 WIRE_MAGIC = b"RPW1"
 
-#: Bump on incompatible changes to the frame layout or the codec tag set.
-WIRE_VERSION = 1
+#: Highest wire version this build writes and reads.  Bump on incompatible
+#: changes to the frame layout or the codec tag set.
+WIRE_VERSION = 2
+
+#: The version stamped on frames that use no post-v1 feature, so they stay
+#: readable by version-1-only builds.
+WIRE_BASE_VERSION = 1
+
+_SUPPORTED_VERSIONS = (WIRE_BASE_VERSION, WIRE_VERSION)
+
+#: Version-2 flag: the body bytes are zlib-deflated.
+_FLAG_DEFLATE = 0x0001
+_KNOWN_FLAGS = _FLAG_DEFLATE
 
 _FIXED_HEADER = struct.Struct("<4sHHH")   # magic, version, flags, kind length
 _BODY_LENGTH = struct.Struct("<Q")
@@ -70,14 +99,31 @@ def is_wire_data(data: bytes) -> bool:
     return bytes(data[:4]) == WIRE_MAGIC
 
 
-def pack_frame(kind: str, value: Any) -> bytes:
-    """Encode ``value`` and wrap it in a framed envelope labelled ``kind``."""
+def pack_frame(kind: str, value: Any, *, compress: bool = False,
+               array_codec: Any = None,
+               array_sink: Optional[Any] = None) -> bytes:
+    """Encode ``value`` and wrap it in a framed envelope labelled ``kind``.
+
+    ``compress`` deflates the whole body (skipped when deflate does not
+    shrink it); ``array_codec``/``array_sink`` are forwarded to
+    :func:`~repro.wire.codec.encode_value`.  Frames using none of these
+    features are stamped wire version 1, byte-identical to earlier builds;
+    anything else is stamped version 2.
+    """
     kind_bytes = kind.encode("utf-8")
     if len(kind_bytes) > 0xFFFF:
         raise ValueError("frame kind label too long")
-    body = encode_value(value)
+    body, extended = encode_with_extensions(value, array_codec=array_codec,
+                                            array_sink=array_sink)
+    flags = 0
+    if compress:
+        deflated = zlib.compress(body, PACK_COMPRESSION_LEVEL)
+        if len(deflated) < len(body):
+            body = deflated
+            flags |= _FLAG_DEFLATE
+    version = WIRE_VERSION if (flags or extended) else WIRE_BASE_VERSION
     return b"".join((
-        _FIXED_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, 0, len(kind_bytes)),
+        _FIXED_HEADER.pack(WIRE_MAGIC, version, flags, len(kind_bytes)),
         kind_bytes,
         _BODY_LENGTH.pack(len(body)),
         body,
@@ -85,14 +131,31 @@ def pack_frame(kind: str, value: Any) -> bytes:
     ))
 
 
-def unpack_frame(data: bytes, expected_kind: Optional[str] = None
-                 ) -> Tuple[str, Any]:
+def _inflate_body(body: memoryview) -> bytes:
+    """Bounded whole-body inflate: output is capped at the stream limit and
+    the deflate stream must end exactly at the body boundary."""
+    inflater = zlib.decompressobj()
+    try:
+        data = inflater.decompress(bytes(body), MAX_STREAM_FRAME)
+    except zlib.error as exc:
+        raise WireDecodeError(f"corrupt deflated frame body: {exc}") from exc
+    if not inflater.eof or inflater.unconsumed_tail or inflater.unused_data:
+        raise WireDecodeError(
+            "deflated frame body is truncated or oversized"
+        )
+    return data
+
+
+def unpack_frame(data: bytes, expected_kind: Optional[str] = None, *,
+                 array_source: Optional[Any] = None) -> Tuple[str, Any]:
     """Parse one frame; returns ``(kind, value)``.
 
+    Accepts wire versions 1 and 2 (plain and deflated bodies alike).
     Raises :class:`WireDecodeError` on anything that is not a complete,
-    uncorrupted frame of this build's version: wrong magic, version skew,
-    truncated header/body, body-length mismatch, CRC mismatch, or (when
-    ``expected_kind`` is given) a kind mismatch.
+    uncorrupted frame of a supported version: wrong magic, version skew,
+    unknown flags, truncated header/body, body-length mismatch, CRC
+    mismatch, or (when ``expected_kind`` is given) a kind mismatch.
+    ``array_source`` resolves shared-memory array references in the body.
     """
     view = memoryview(data)
     if len(view) < _FIXED_HEADER.size:
@@ -100,16 +163,22 @@ def unpack_frame(data: bytes, expected_kind: Optional[str] = None
             f"truncated wire frame: {len(view)} bytes is shorter than the "
             f"{_FIXED_HEADER.size}-byte header"
         )
-    magic, version, _flags, kind_length = _FIXED_HEADER.unpack(
+    magic, version, flags, kind_length = _FIXED_HEADER.unpack(
         view[:_FIXED_HEADER.size])
     if magic != WIRE_MAGIC:
         raise WireDecodeError(
             f"not a wire frame: magic {bytes(magic)!r} != {WIRE_MAGIC!r}"
         )
-    if version != WIRE_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise WireDecodeError(
             f"wire format version {version} is not supported by this build "
-            f"(expected version {WIRE_VERSION})"
+            f"(expected version {WIRE_BASE_VERSION} or {WIRE_VERSION})"
+        )
+    known = _KNOWN_FLAGS if version >= WIRE_VERSION else 0
+    if flags & ~known:
+        raise WireDecodeError(
+            f"wire frame carries unknown flags 0x{flags:04X} for version "
+            f"{version}"
         )
     offset = _FIXED_HEADER.size
     if len(view) < offset + kind_length + _BODY_LENGTH.size:
@@ -134,7 +203,10 @@ def unpack_frame(data: bytes, expected_kind: Optional[str] = None
         raise WireDecodeError(
             f"expected a {expected_kind!r} frame, got {kind!r}"
         )
-    return kind, decode_value(body)
+    if flags & _FLAG_DEFLATE:
+        return kind, decode_value(_inflate_body(body),
+                                  array_source=array_source)
+    return kind, decode_value(body, array_source=array_source)
 
 
 def peek_kind(data: bytes) -> Optional[str]:
@@ -150,7 +222,7 @@ def peek_kind(data: bytes) -> Optional[str]:
         return None
     magic, version, _flags, kind_length = _FIXED_HEADER.unpack(
         view[:_FIXED_HEADER.size])
-    if magic != WIRE_MAGIC or version != WIRE_VERSION:
+    if magic != WIRE_MAGIC or version not in _SUPPORTED_VERSIONS:
         return None
     if len(view) < _FIXED_HEADER.size + kind_length:
         return None
@@ -162,10 +234,11 @@ def peek_kind(data: bytes) -> Optional[str]:
 
 
 # ------------------------------------------------------------------- files
-def write_frame(path: PathLike, kind: str, value: Any) -> None:
+def write_frame(path: PathLike, kind: str, value: Any, *,
+                compress: bool = False, array_codec: Any = None) -> None:
     """Write one frame to ``path`` (atomic enough for checkpoints: the frame
     is materialised first, so a full disk cannot leave a half-encoded tree)."""
-    frame = pack_frame(kind, value)
+    frame = pack_frame(kind, value, compress=compress, array_codec=array_codec)
     with open(Path(path), "wb") as handle:
         handle.write(frame)
 

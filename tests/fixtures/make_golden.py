@@ -20,6 +20,7 @@ SVD) are deliberately not part of the golden record.
 from __future__ import annotations
 
 import json
+import struct
 from pathlib import Path
 
 import repro
@@ -28,7 +29,6 @@ from repro.api.state import CHECKPOINT_VERSION
 from repro.data.synthetic_matrix import make_pamap_like
 from repro.data.zipfian import ZipfianStreamGenerator
 from repro.streaming.items import WeightedItemBatch
-from repro.wire import WIRE_VERSION
 
 FIXTURES = Path(__file__).parent
 
@@ -44,7 +44,10 @@ def hh_fixture() -> dict:
     tracker = repro.Tracker.create(HH_SPEC, num_sites=5, epsilon=0.1,
                                    chunk_size=CHUNK)
     tracker.run(batch[:1_000])  # mid-stream: sites hold pending deltas
-    tracker.save(FIXTURES / f"hh_p2_v{CHECKPOINT_VERSION}.ckpt")
+    # compress=False on purpose: the fixtures pin forward-loadability of
+    # plain base-version frames, independent of the current save defaults.
+    tracker.save(FIXTURES / f"hh_p2_v{CHECKPOINT_VERSION}.ckpt",
+                 compress=False)
     hitters = tracker.query(HeavyHitters(phi=0.05))
     total = tracker.query(TotalWeight())
     return {
@@ -68,7 +71,8 @@ def matrix_fixture() -> dict:
                                    dimension=dataset.dimension,
                                    sample_size=80, seed=7, chunk_size=CHUNK)
     tracker.run(dataset.rows[:400])
-    tracker.save(FIXTURES / f"matrix_p3_v{CHECKPOINT_VERSION}.ckpt")
+    tracker.save(FIXTURES / f"matrix_p3_v{CHECKPOINT_VERSION}.ckpt",
+                 compress=False)
     frobenius = tracker.query(FrobeniusSquared())
     return {
         "spec": MATRIX_SPEC,
@@ -80,17 +84,28 @@ def matrix_fixture() -> dict:
     }
 
 
+def _frame_version(name: str) -> int:
+    """The wire version actually stamped on a written fixture's header."""
+    header = (FIXTURES / name).read_bytes()[:6]
+    (version,) = struct.unpack_from("<H", header, 4)
+    return version
+
+
 def main() -> None:
+    hh = hh_fixture()
+    matrix = matrix_fixture()
+    wire_version = max(_frame_version(hh["file"]),
+                       _frame_version(matrix["file"]))
     golden = {
         "checkpoint_version": CHECKPOINT_VERSION,
-        "wire_version": WIRE_VERSION,
-        "hh": hh_fixture(),
-        "matrix": matrix_fixture(),
+        "wire_version": wire_version,
+        "hh": hh,
+        "matrix": matrix,
     }
     with open(FIXTURES / "golden_answers.json", "w") as handle:
         json.dump(golden, handle, indent=2, sort_keys=True)
     print(f"wrote fixtures for checkpoint v{CHECKPOINT_VERSION} "
-          f"/ wire v{WIRE_VERSION} under {FIXTURES}")
+          f"/ wire v{wire_version} under {FIXTURES}")
 
 
 if __name__ == "__main__":

@@ -196,6 +196,76 @@ class TestMatrixRoundTrip:
         assert ours.error_bound == theirs.error_bound
 
 
+class TestCheckpointCompression:
+    """``save(compress=..., float32=...)``: v1 files keep loading, deflated
+    files resume bit-identically, the float32 downcast is opt-in and lossy."""
+
+    @staticmethod
+    def _header_version(path):
+        import struct
+
+        with open(path, "rb") as handle:
+            header = handle.read(6)
+        return struct.unpack("<4sH", header)[1]
+
+    @pytest.mark.parametrize("seed", SEEDS[:1])
+    def test_plain_v1_and_compressed_v2_resume_identically(self, seed, tmp_path):
+        dataset, batch, sites = matrix_stream(seed)
+        half = (len(batch) // (2 * CHUNK)) * CHUNK
+
+        uninterrupted = _tracker("matrix/P1", seed, dataset.dimension)
+        _run_with_sites(uninterrupted, sites, batch, 0, half)
+        _run_with_sites(uninterrupted, sites, batch, half, len(batch))
+
+        interrupted = _tracker("matrix/P1", seed, dataset.dimension)
+        _run_with_sites(interrupted, sites, batch, 0, half)
+        plain = tmp_path / "plain.ckpt"
+        deflated = tmp_path / "deflated.ckpt"
+        interrupted.save(plain, compress=False)
+        interrupted.save(deflated)  # compression is the default
+        # The uncompressed file is a base-version frame — exactly what a
+        # pre-compression build wrote, pinning forward-loadability.
+        assert self._header_version(plain) == 1
+
+        for path in (plain, deflated):
+            resumed = repro.Tracker.load(path)
+            _run_with_sites(resumed, sites, batch, half, len(batch))
+            _assert_identical_accounting(resumed, uninterrupted)
+            assert np.array_equal(resumed.protocol.sketch_matrix(),
+                                  uninterrupted.protocol.sketch_matrix())
+
+    @pytest.mark.parametrize("seed", SEEDS[:1])
+    def test_compressed_checkpoint_is_smaller(self, seed, tmp_path):
+        _, batch, sites = hh_stream(seed)
+        tracker = _tracker("hh/P2", seed)
+        _run_with_sites(tracker, sites, batch, 0, len(batch))
+        plain = tmp_path / "plain.ckpt"
+        deflated = tmp_path / "deflated.ckpt"
+        tracker.save(plain, compress=False)
+        tracker.save(deflated, compress=True)
+        assert deflated.stat().st_size < plain.stat().st_size
+
+    @pytest.mark.parametrize("seed", SEEDS[:1])
+    def test_float32_checkpoint_is_optin_and_near_lossless(self, seed, tmp_path):
+        dataset, batch, sites = matrix_stream(seed)
+        tracker = _tracker("matrix/P1", seed, dataset.dimension)
+        _run_with_sites(tracker, sites, batch, 0, len(batch))
+        path = tmp_path / "f32.ckpt"
+        tracker.save(path, float32=True)
+
+        resumed = repro.Tracker.load(path)
+        original = tracker.protocol.sketch_matrix()
+        restored = resumed.protocol.sketch_matrix()
+        assert restored.dtype == np.float64
+        assert not np.array_equal(restored, original)  # lossy, by contract
+        # The ~1e-7 relative perturbation can flip SVD row signs, so compare
+        # the sign-invariant covariance the sketch actually approximates.
+        scale = max(1.0, float(np.abs(original).max()) ** 2)
+        np.testing.assert_allclose(restored.T @ restored,
+                                   original.T @ original,
+                                   rtol=1e-5, atol=1e-5 * scale)
+
+
 class TestProtocolCheckpointHelpers:
     def test_save_load_protocol_without_session(self, tmp_path):
         protocol = repro.create("hh/P4", num_sites=3, epsilon=0.1, seed=5)

@@ -128,6 +128,51 @@ class TestWireAndWorkerCli:
                      "--num-sites", "2", "--epsilon", "0.5",
                      "--workers", "127.0.0.1:1"])
 
+
+class TestBenchReportingCli:
+    TINY_BENCH = ["bench", "--num-items", "3000", "--num-rows", "400",
+                  "--protocols", "P1", "--matrix-protocols", "P1"]
+
+    def test_bench_parser_accepts_new_knobs(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench", "--matrix-protocols", "P1,P2",
+                                  "--svd-mode", "exact", "--wire", "zlib",
+                                  "--json", "report.json", "--profile"])
+        assert args.matrix_protocols == ["P1", "P2"]
+        assert args.svd_mode == "exact"
+        assert args.wire == "zlib"
+        assert args.json_path == "report.json"
+        assert args.profile is True
+        with pytest.raises(SystemExit):
+            parser.parse_args(["bench", "--matrix-protocols", "P9"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["bench", "--svd-mode", "fastest"])
+
+    def test_bench_json_report_written(self, tmp_path):
+        path = tmp_path / "bench.json"
+        code, output = run_cli([*self.TINY_BENCH, "--svd-mode", "exact",
+                                "--json", str(path)])
+        assert code == 0
+        assert str(path) in output
+
+        import json
+
+        report = json.loads(path.read_text())
+        assert report["meta"]["svd_mode"] == "exact"
+        assert report["meta"]["num_items"] == 3000
+        assert report["scaling"] is None
+        workloads = {(row["workload"], row["protocol"])
+                     for row in report["throughput"]}
+        assert any("svd_mode=exact" in protocol for _, protocol in workloads)
+        for row in report["throughput"]:
+            assert row["batched_items_per_sec"] > 0
+
+    def test_bench_profile_prints_top_functions(self):
+        code, output = run_cli([*self.TINY_BENCH, "--profile"])
+        assert code == 0
+        assert "cProfile top 20 by cumulative time" in output
+        assert "cumtime" in output
+
     def test_track_over_embedded_socket_worker(self, tmp_path):
         from repro.cluster import WorkerServer
 

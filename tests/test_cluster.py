@@ -82,7 +82,18 @@ def worker_server():
 
 
 def _backend_options(name, worker_server):
-    return {"addresses": [worker_server.address]} if name == "socket" else {}
+    if name == "socket":
+        return {"addresses": [worker_server.address]}
+    if name == "socket-zlib":
+        return {"addresses": [worker_server.address], "compress": True}
+    if name == "process-zlib":
+        return {"transport": "zlib"}
+    return {}
+
+
+def _backend_name(name):
+    """Map a parametrized transport variant to its registered backend."""
+    return {"process-zlib": "process", "socket-zlib": "socket"}.get(name, name)
 
 
 def _plain(spec: str, seed: int, dimension=None) -> repro.Tracker:
@@ -154,7 +165,7 @@ class TestShardAssignment:
 # --------------------------------------------------------------- backends
 class TestBackendRegistry:
     def test_registry_contents(self):
-        assert BACKENDS == ["process", "serial", "socket", "thread"]
+        assert BACKENDS == ["process", "serial", "shm", "socket", "thread"]
         assert get_backend_spec("SERIAL").backend_class is SerialBackend
 
     def test_unknown_backend_named_in_error(self):
@@ -174,7 +185,7 @@ class TestBackendRegistry:
         backend.close()
         backend.close()  # idempotent
 
-    @pytest.mark.parametrize("name", ["thread", "process", "socket"])
+    @pytest.mark.parametrize("name", ["thread", "process", "shm", "socket"])
     def test_worker_failure_surfaces_as_backend_error(self, name, worker_server):
         backend = create_backend(name, **_backend_options(name, worker_server))
         backend.launch([_build_tiny_tracker])
@@ -313,7 +324,9 @@ class TestMergedBounds:
 
 # -------------------------------------------------- backend equivalence
 class TestBackendEquivalence:
-    @pytest.mark.parametrize("backend", ["thread", "process", "socket"])
+    @pytest.mark.parametrize("backend", [
+        "thread", "process", "process-zlib", "shm", "socket", "socket-zlib",
+    ])
     @pytest.mark.parametrize("spec", ["hh/P2", "hh/P3", "matrix/P1"])
     def test_backend_reproduces_serial(self, spec, backend, worker_server):
         seed = SEEDS[0]
@@ -330,7 +343,7 @@ class TestBackendEquivalence:
             reference_stats = reference.stats()
             reference_answers = [reference.query(query) for query in queries]
         with _cluster(spec, seed, shards=2, dimension=dimension,
-                      backend=backend,
+                      backend=_backend_name(backend),
                       backend_options=_backend_options(backend, worker_server),
                       ) as cluster:
             cluster.run(batch)

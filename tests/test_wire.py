@@ -34,6 +34,8 @@ from repro.streaming.items import MatrixRowBatch, WeightedItem, WeightedItemBatc
 from repro.streaming.network import CommunicationLog, Direction, MessageKind, Network
 from repro.utils.stateio import restore_object
 from repro.wire import (
+    ARRAY_CODECS,
+    WIRE_BASE_VERSION,
     WIRE_MAGIC,
     WIRE_VERSION,
     WireDecodeError,
@@ -42,6 +44,7 @@ from repro.wire import (
     decode_value,
     encode_state,
     encode_value,
+    encode_with_extensions,
     is_wire_data,
     pack_frame,
     recv_frame,
@@ -401,6 +404,159 @@ class TestFrames:
                 recv_frame(right)
         finally:
             right.close()
+
+
+# ---------------------------------------- compressed wire sections (v2)
+def _frame_header(frame: bytes):
+    magic, version, flags, _ = struct.unpack_from("<4sHHH", frame, 0)
+    assert magic == WIRE_MAGIC
+    return version, flags
+
+
+def _rebuild_with_body(frame: bytes, new_body: bytes) -> bytes:
+    """Reassemble a frame around a replaced stored body, CRC recomputed
+    (to reach the inflate path rather than the CRC check)."""
+    _, _, flags, kind_length = struct.unpack_from("<4sHHH", frame, 0)
+    header_end = 10 + kind_length
+    return b"".join((
+        frame[:header_end],
+        struct.pack("<Q", len(new_body)),
+        new_body,
+        struct.pack("<I", zlib.crc32(new_body)),
+    ))
+
+
+class TestCompressedFrames:
+    """Per-section compression and the v1/v2 negotiation contract."""
+
+    def test_plain_frames_stay_version1(self):
+        frame = pack_frame("repro/test", {"x": np.arange(16)})
+        version, flags = _frame_header(frame)
+        assert version == WIRE_BASE_VERSION
+        assert flags == 0
+
+    def test_compressed_frame_roundtrips_and_shrinks(self):
+        value = {"zeros": np.zeros(4096), "labels": ["repeat"] * 500}
+        plain = pack_frame("repro/test", value)
+        packed = pack_frame("repro/test", value, compress=True)
+        assert len(packed) < len(plain) // 2
+        version, flags = _frame_header(packed)
+        assert version == WIRE_VERSION
+        assert flags & 0x0001
+        kind, decoded = unpack_frame(packed)
+        assert kind == "repro/test"
+        assert np.array_equal(decoded["zeros"], value["zeros"])
+        assert decoded["labels"] == value["labels"]
+
+    def test_incompressible_body_falls_back_to_plain_v1(self):
+        # Deflate cannot shrink a tiny body; the writer must not stamp v2
+        # for a feature it did not use.
+        frame = pack_frame("repro/test", b"\x93\x1c\x5a", compress=True)
+        version, flags = _frame_header(frame)
+        assert version == WIRE_BASE_VERSION
+        assert flags == 0
+        assert unpack_frame(frame)[1] == b"\x93\x1c\x5a"
+
+    def test_corrupt_deflate_stream_raises_wire_error(self):
+        packed = pack_frame("repro/test", {"zeros": np.zeros(4096)},
+                            compress=True)
+        _, _, flags, kind_length = struct.unpack_from("<4sHHH", packed, 0)
+        assert flags & 0x0001
+        body_start = 10 + kind_length + 8
+        body = bytearray(packed[body_start:-4])
+        body[1] ^= 0xFF
+        with pytest.raises(WireDecodeError, match="deflated"):
+            unpack_frame(_rebuild_with_body(packed, bytes(body)))
+
+    def test_trailing_garbage_after_deflate_stream_rejected(self):
+        packed = pack_frame("repro/test", {"zeros": np.zeros(4096)},
+                            compress=True)
+        _, _, _, kind_length = struct.unpack_from("<4sHHH", packed, 0)
+        body_start = 10 + kind_length + 8
+        body = packed[body_start:-4] + b"\x00\x00"
+        with pytest.raises(WireDecodeError, match="truncated or oversized"):
+            unpack_frame(_rebuild_with_body(packed, body))
+
+    def test_v1_frame_with_flags_rejected(self):
+        frame = bytearray(pack_frame("repro/test", 1))
+        struct.pack_into("<H", frame, 6, 0x0001)  # deflate flag on a v1 frame
+        with pytest.raises(WireDecodeError, match="unknown flags"):
+            unpack_frame(bytes(frame))
+
+    def test_unknown_v2_flag_rejected(self):
+        frame = bytearray(pack_frame("repro/test", np.zeros(512),
+                                     compress=True))
+        version, flags = _frame_header(bytes(frame))
+        assert version == WIRE_VERSION
+        struct.pack_into("<H", frame, 6, flags | 0x8000)
+        with pytest.raises(WireDecodeError, match="unknown flags"):
+            unpack_frame(bytes(frame))
+
+
+class TestPackedArrayCodec:
+    """The ``_ARRAY_PACKED`` per-array section: zlib and float32 downcast."""
+
+    def test_zlib_codec_is_lossless(self):
+        rng = np.random.default_rng(3)
+        arrays = {
+            "smooth": np.repeat(np.arange(64.0), 32),
+            "noisy": rng.standard_normal(100),
+            "ints": np.arange(1000, dtype=np.int32),
+        }
+        body, extended = encode_with_extensions(arrays, array_codec="zlib")
+        assert extended
+        decoded = decode_value(body)
+        for name, array in arrays.items():
+            assert decoded[name].dtype == array.dtype
+            assert np.array_equal(decoded[name], array,
+                                  equal_nan=False), name
+
+    def test_f32_codec_downcasts_float64_only(self):
+        value = {"f64": np.linspace(0.0, 1.0, 33),
+                 "i64": np.arange(10),
+                 "f32": np.float32([1.5, 2.5])}
+        decoded = decode_value(encode_value(value, array_codec="f32"))
+        # Round-trip through float32: lossy for f64 at ~1e-7 relative...
+        assert decoded["f64"].dtype == np.float64
+        assert np.array_equal(decoded["f64"],
+                              value["f64"].astype(np.float32).astype(np.float64))
+        # ...and a no-op for everything that is not float64.
+        assert np.array_equal(decoded["i64"], value["i64"])
+        assert decoded["i64"].dtype == np.int64
+        assert np.array_equal(decoded["f32"], value["f32"])
+
+    @pytest.mark.parametrize("codec", ARRAY_CODECS)
+    def test_every_codec_roundtrips_shapes_and_orders(self, codec):
+        rng = np.random.default_rng(5)
+        arrays = [np.zeros((0, 4)),
+                  rng.standard_normal((6, 5, 4)),
+                  np.asfortranarray(rng.standard_normal((8, 3)))]
+        decoded = decode_value(encode_value(arrays, array_codec=codec))
+        for original, copy in zip(arrays, decoded):
+            assert copy.shape == original.shape
+            expected = (original.astype(np.float32).astype(np.float64)
+                        if "f32" in codec else original)
+            assert np.array_equal(copy, expected)
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(WireEncodeError, match="unknown array codec"):
+            encode_value(np.zeros(4), array_codec="lz4")
+
+    def test_packed_sections_only_stamp_v2_when_used(self):
+        # A value with no numeric arrays uses no packed sections, so the
+        # frame must stay v1 even though the codec knob was set.
+        frame = pack_frame("repro/test", {"label": "x"}, array_codec="zlib")
+        version, _ = _frame_header(frame)
+        assert version == WIRE_BASE_VERSION
+
+    def test_corrupt_packed_section_raises_wire_error(self):
+        body, extended = encode_with_extensions(np.zeros(2048),
+                                                array_codec="zlib")
+        assert extended
+        corrupted = bytearray(body)
+        corrupted[-3] ^= 0x55  # inside the deflated payload
+        with pytest.raises(WireDecodeError):
+            decode_value(bytes(corrupted))
 
 
 # ---------------------------------------------- per-spec state round-trips
