@@ -82,13 +82,26 @@ def _jsonify(value: Any) -> Any:
 
 @dataclass(frozen=True)
 class Answer:
-    """Base of all answers: estimate, error bound, and a session snapshot."""
+    """Base of all answers: estimate, error bound, and a session snapshot.
+
+    ``missing_shards`` is non-empty only for degraded cluster answers
+    (``ShardedTracker.query(..., partial=True)`` with dead shards): the
+    estimate then covers the live shards only, and the named shards'
+    sub-streams are absent from it.  Plain trackers and healthy clusters
+    always answer with ``missing_shards == ()``.
+    """
 
     query: "Query"
     estimate: Any
     error_bound: Optional[float]
     items_processed: int
     total_messages: int
+    missing_shards: Tuple[int, ...] = field(default=(), kw_only=True)
+
+    @property
+    def is_partial(self) -> bool:
+        """True when shards are missing from this estimate."""
+        return bool(self.missing_shards)
 
     def to_dict(self) -> Dict[str, Any]:
         """The answer as JSON-safe plain data (for serving-style consumers).

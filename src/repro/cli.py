@@ -242,6 +242,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "the process backend: the wire codec (default), "
                           "deflated wire frames (zlib), or the legacy pickle "
                           "pipes, to measure codec/compression overhead")
+    sub.add_argument("--kill-shard-at", type=int, default=None, metavar="N",
+                     help="chaos mode for the --shards curve on the socket "
+                          "backend: after N items have been pushed, kill one "
+                          "worker's live sessions mid-stream and let the "
+                          "backend heal by replay; the run fails unless the "
+                          "healed cluster accounts for every item")
     sub.add_argument("--json", metavar="PATH", default=None, dest="json_path",
                      help="also write the measured rows as JSON to PATH "
                           "(machine-readable; what CI archives as artifacts)")
@@ -289,6 +295,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--listen", metavar="HOST:PORT", required=True,
                      help="endpoint to listen on (port 0 picks an ephemeral "
                           "port, printed on startup)")
+    sub.add_argument("--standby", action="store_true",
+                     help="note in the startup banner that this worker is a "
+                          "standby spare (list it under spare_addresses in "
+                          "the parent's backend_options so shards fail over "
+                          "to it when their primary worker dies)")
+    sub.add_argument("--drain-grace", type=float, default=None,
+                     metavar="SECONDS",
+                     help="on SIGTERM/Ctrl-C, stop accepting connections but "
+                          "give in-flight shard sessions up to SECONDS to "
+                          "finish before closing (default: stop immediately)")
 
     return parser
 
@@ -378,12 +394,21 @@ def _run_bench(args, out) -> None:
                 "transport (the socket backend is always wire-framed; the "
                 "shm backend always ships arrays through its rings)"
             )
-    if args.shards and args.backend == "socket":
-        raise SystemExit(
-            "bench launches its own shard clusters and cannot supply socket "
-            "worker addresses; use --backend process (or serial/thread) for "
-            "the scaling curve"
-        )
+    if args.kill_shard_at is not None:
+        # The chaos run only means something where the recovery machinery
+        # lives: the socket backend's reconnect-and-replay path.
+        if not args.shards:
+            raise SystemExit(
+                "--kill-shard-at injects a mid-stream worker kill into the "
+                "scaling curve and needs a --shards list (e.g. --shards 2)"
+            )
+        if args.backend != "socket":
+            raise SystemExit(
+                "--kill-shard-at exercises the socket backend's "
+                "reconnect-and-replay recovery; use --backend socket"
+            )
+        if args.kill_shard_at <= 0:
+            raise SystemExit("--kill-shard-at must be a positive item count")
 
     def _measure():
         rows = throughput_report_rows(num_items=args.num_items,
@@ -404,7 +429,8 @@ def _run_bench(args, out) -> None:
                 backend=args.backend,
                 backend_options=backend_options,
                 chunk_size=args.chunk_size,
-                seed=args.seed)
+                seed=args.seed,
+                kill_shard_at=args.kill_shard_at)
             scaling = sharded_report_rows(results)
         return rows, scaling
 
@@ -461,6 +487,7 @@ def _run_bench(args, out) -> None:
                 "shards": args.shards,
                 "backend": args.backend if args.shards else None,
                 "wire": args.wire,
+                "kill_shard_at": args.kill_shard_at,
             },
             "throughput": rows,
             "scaling": scaling,
@@ -578,19 +605,34 @@ def _run_track(args, out) -> None:
 
 def _run_worker(args, out) -> None:
     """Serve shard sessions for socket-backend parents until interrupted."""
+    import signal
+
     from .cluster.socket_backend import WorkerServer, parse_address
 
     host, port = parse_address(args.listen)
     server = WorkerServer(host, port)
     bound_host, bound_port = server.address
-    _emit(f"repro worker listening on {bound_host}:{bound_port} "
+    role = "standby worker" if args.standby else "worker"
+    _emit(f"repro {role} listening on {bound_host}:{bound_port} "
           "(wire-frame shard protocol; one session per connection; "
-          "stop with Ctrl-C)", out)
+          "stop with Ctrl-C or SIGTERM)", out)
+
+    def _terminate(signum, frame):  # pragma: no cover - signal delivery
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+    except KeyboardInterrupt:
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous)
+        if args.drain_grace and server.active_sessions:
+            _emit(f"draining {server.active_sessions} live session(s) "
+                  f"for up to {args.drain_grace:g}s before shutdown", out)
+            if not server.drain(args.drain_grace):
+                _emit(f"drain grace expired with {server.active_sessions} "
+                      "session(s) still attached; closing them", out)
         server.stop()
 
 

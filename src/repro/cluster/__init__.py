@@ -24,6 +24,7 @@ The production-scale execution layer above :mod:`repro.api`:
 """
 
 from .backends import (
+    DEFAULT_SHUTDOWN_TIMEOUT,
     BackendError,
     BackendSpec,
     EngineBackend,
@@ -43,7 +44,12 @@ from .sharded_tracker import (
 )
 from .sharding import shard_of_elements, shard_of_rows
 from .shm import ShmProcessBackend
-from .socket_backend import SocketBackend, WorkerServer
+from .socket_backend import (
+    DEFAULT_IO_TIMEOUT,
+    DEFAULT_REPLAY_LOG_BYTES,
+    SocketBackend,
+    WorkerServer,
+)
 
 __all__ = [
     # backends
@@ -60,6 +66,9 @@ __all__ = [
     "backend_registry_rows",
     "create_backend",
     "get_backend_spec",
+    "DEFAULT_IO_TIMEOUT",
+    "DEFAULT_REPLAY_LOG_BYTES",
+    "DEFAULT_SHUTDOWN_TIMEOUT",
     # sharding / merging
     "shard_of_elements",
     "shard_of_rows",

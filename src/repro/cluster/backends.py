@@ -48,8 +48,9 @@ import abc
 import multiprocessing
 import queue
 import threading
+import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 # worker_protocol only imports this module lazily (inside encode_reply), so
 # the module-level import here is cycle-free and keeps the per-message hot
@@ -124,6 +125,27 @@ class EngineBackend(abc.ABC):
         """
         return [self.call(shard, fn, *args) for shard in range(self._num_shards)]
 
+    def call_all_partial(self, fn: Callable, *args: Any
+                         ) -> Tuple[List[Any], Dict[int, "BackendError"]]:
+        """Run ``fn`` on every shard, collecting per-shard failures.
+
+        The graceful-degradation form of :meth:`call_all`: instead of
+        raising on the first failed shard, returns ``(results, errors)``
+        where ``results[shard]`` is ``None`` for each failed shard and
+        ``errors`` maps that shard index to its :class:`BackendError`.
+        Callers (``ShardedTracker.query(..., partial=True)``) merge the
+        live results and report the missing shards.
+        """
+        results: List[Any] = []
+        errors: Dict[int, BackendError] = {}
+        for shard in range(self._num_shards):
+            try:
+                results.append(self.call(shard, fn, *args))
+            except BackendError as exc:
+                results.append(None)
+                errors[shard] = exc
+        return results, errors
+
     def join(self) -> None:
         """Block until all submitted work has been executed on every shard."""
         self.call_all(_noop)
@@ -173,11 +195,18 @@ class SerialBackend(EngineBackend):
 
 
 # ------------------------------------------------------------------- thread
+#: Default seconds a backend waits for a worker to exit at shutdown before
+#: escalating (threads: warn and abandon; processes: terminate, then kill).
+DEFAULT_SHUTDOWN_TIMEOUT = 10.0
+
+
 class _ThreadShard:
     """One worker thread draining a FIFO queue of (fn, args, result_box)."""
 
-    def __init__(self, index: int, builder: Callable[[], Any]):
+    def __init__(self, index: int, builder: Callable[[], Any],
+                 shutdown_timeout: float = DEFAULT_SHUTDOWN_TIMEOUT):
         self._queue: "queue.Queue" = queue.Queue()
+        self._shutdown_timeout = float(shutdown_timeout)
         self._thread = threading.Thread(
             target=self._loop, args=(builder,),
             name=f"repro-shard-{index}", daemon=True,
@@ -222,7 +251,17 @@ class _ThreadShard:
 
     def stop(self) -> None:
         self._queue.put(None)
-        self._thread.join(timeout=10.0)
+        self._thread.join(timeout=self._shutdown_timeout)
+        if self._thread.is_alive():
+            # Threads cannot be terminated; the daemon flag keeps a stuck
+            # shard from blocking interpreter exit, but the abandonment
+            # must be loud, not silent.
+            warnings.warn(
+                f"shard worker thread {self._thread.name} did not exit "
+                f"within {self._shutdown_timeout:g}s and was abandoned "
+                "(daemon thread; it dies with the process)",
+                RuntimeWarning, stacklevel=2,
+            )
 
 
 class _ResultBox(list):
@@ -245,8 +284,14 @@ class ThreadBackend(EngineBackend):
 
     name = "thread"
 
+    def __init__(self,
+                 shutdown_timeout: float = DEFAULT_SHUTDOWN_TIMEOUT) -> None:
+        super().__init__()
+        self._shutdown_timeout = float(shutdown_timeout)
+
     def _launch(self, builders: Sequence[Callable[[], Any]]) -> None:
-        self._shards = [_ThreadShard(index, builder)
+        self._shards = [_ThreadShard(index, builder,
+                                     shutdown_timeout=self._shutdown_timeout)
                         for index, builder in enumerate(builders)]
 
     def submit(self, shard: int, fn: Callable, *args: Any) -> None:
@@ -269,11 +314,11 @@ class ThreadBackend(EngineBackend):
 
 # ------------------------------------------------------------------ process
 def _pickle_decode_command(message: Any) -> tuple:
-    """Adapt legacy pickle tuples to the ``(op, fn, args)`` worker contract."""
+    """Adapt legacy pickle tuples to the ``(op, fn, args, seq)`` contract."""
     op = message[0]
     fn = message[1] if len(message) > 1 else None
     args = tuple(message[2]) if len(message) > 2 else ()
-    return op, fn, args
+    return op, fn, args, None
 
 
 def _process_worker_main(conn: Any, transport: str) -> None:
@@ -299,10 +344,11 @@ def _process_worker_main(conn: Any, transport: str) -> None:
                     f"shard reply could not be serialized: {exc!r}"
                 )))
 
-        session = WorkerSession(conn.recv, safe_send,
-                                decode=_pickle_decode_command,
-                                encode=lambda status, value: (status, value),
-                                peek=None)
+        session = WorkerSession(
+            conn.recv, safe_send,
+            decode=_pickle_decode_command,
+            encode=lambda status, value, acked=None: (status, value),
+            peek=None)
     try:
         session.serve()
     finally:
@@ -347,7 +393,7 @@ class RemoteShardHandle:
 
 
 def drain_call_all(shards: Sequence[RemoteShardHandle], fn: Callable,
-                   args: tuple) -> List[Any]:
+                   args: tuple, *, collect_errors: bool = False) -> Any:
     """Fan a ``call`` out to every shard, then collect every reply.
 
     The command goes to all shards before any reply is read, so independent
@@ -356,19 +402,26 @@ def drain_call_all(shards: Sequence[RemoteShardHandle], fn: Callable,
     raised.  An unread reply would desynchronize that shard's command/reply
     stream and make every later call return the previous round's answer
     (the PR 4 regression this encodes).
+
+    With ``collect_errors=True`` nothing is raised: the return value is
+    ``(results, errors)`` with ``results[shard] is None`` and
+    ``errors[shard]`` set for each failed shard — the graceful-degradation
+    path behind ``call_all_partial``.
     """
     first_error: Optional[BackendError] = None
+    errors: Dict[int, BackendError] = {}
     awaiting: List[Optional[RemoteShardHandle]] = []
-    for handle in shards:
+    for index, handle in enumerate(shards):
         try:
             handle.send_command("call", fn, args)
             awaiting.append(handle)
         except BackendError as exc:
             if first_error is None:
                 first_error = exc
+            errors[index] = exc
             awaiting.append(None)
     results: List[Any] = []
-    for handle in awaiting:
+    for index, handle in enumerate(awaiting):
         if handle is None:
             results.append(None)
             continue
@@ -377,7 +430,10 @@ def drain_call_all(shards: Sequence[RemoteShardHandle], fn: Callable,
         except BackendError as exc:
             if first_error is None:
                 first_error = exc
+            errors[index] = exc
             results.append(None)
+    if collect_errors:
+        return results, errors
     if first_error is not None:
         raise first_error
     return results
@@ -387,9 +443,12 @@ class _ProcessShard(RemoteShardHandle):
     """Parent-side handle of one persistent worker process."""
 
     def __init__(self, index: int, builder: Callable[[], Any], context: Any,
-                 transport: str):
+                 transport: str, io_timeout: Optional[float] = None,
+                 shutdown_timeout: float = DEFAULT_SHUTDOWN_TIMEOUT):
         self._wire = transport != "pickle"
         self._compress = transport == "zlib"
+        self._io_timeout = None if io_timeout is None else float(io_timeout)
+        self._shutdown_timeout = float(shutdown_timeout)
         self.conn, child_conn = context.Pipe(duplex=True)
         self.process = context.Process(
             target=_process_worker_main, args=(child_conn, transport),
@@ -397,9 +456,17 @@ class _ProcessShard(RemoteShardHandle):
         )
         self.process.start()
         child_conn.close()
-        self.send_command("launch", None, (builder,))
-        status, value = self.recv_reply()
+        # The handle is not yet registered with the backend, so a failed
+        # launch must reap its own process and pipe — the parent would
+        # otherwise leak one live worker per partial-create failure.
+        try:
+            self.send_command("launch", None, (builder,))
+            status, value = self.recv_reply()
+        except BaseException:
+            self._abandon()
+            raise
         if status != "ready":
+            self._abandon()
             raise BackendError(f"shard {index} failed to start: {value!r}")
 
     def send_command(self, op: str, fn: Optional[Callable], args: tuple) -> None:
@@ -416,6 +483,12 @@ class _ProcessShard(RemoteShardHandle):
             ) from exc
 
     def recv_reply(self) -> Any:
+        if self._io_timeout is not None and not self.conn.poll(self._io_timeout):
+            raise BackendError(
+                f"shard worker {self.process.name} sent no reply within the "
+                f"{self._io_timeout:g}s io_timeout "
+                f"(pid={self.process.pid}, alive={self.process.is_alive()})"
+            )
         try:
             data = self.conn.recv_bytes() if self._wire else self.conn.recv()
         except (EOFError, OSError) as exc:
@@ -430,11 +503,42 @@ class _ProcessShard(RemoteShardHandle):
             self.send_command("stop", None, ())
         except BackendError:
             pass
-        self.process.join(timeout=10.0)
-        if self.process.is_alive():  # pragma: no cover - hung worker
+        self._reap()
+        self.conn.close()
+
+    def _abandon(self) -> None:
+        """Tear down a handle whose launch never completed (no stop owed)."""
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._reap()
+
+    def _reap(self) -> None:
+        """Wait for the worker to exit, escalating join → terminate → kill.
+
+        A worker stuck in an uninterruptible state must never be silently
+        abandoned: each escalation step warns with the shard's name so the
+        operator knows which worker misbehaved.
+        """
+        self.process.join(timeout=self._shutdown_timeout)
+        if self.process.is_alive():
+            warnings.warn(
+                f"shard worker {self.process.name} (pid={self.process.pid}) "
+                f"did not exit within {self._shutdown_timeout:g}s; "
+                "escalating to terminate()",
+                RuntimeWarning, stacklevel=3,
+            )
             self.process.terminate()
             self.process.join(timeout=5.0)
-        self.conn.close()
+        if self.process.is_alive():
+            warnings.warn(
+                f"shard worker {self.process.name} (pid={self.process.pid}) "
+                "survived terminate(); escalating to kill()",
+                RuntimeWarning, stacklevel=3,
+            )
+            self.process.kill()
+            self.process.join(timeout=5.0)
 
 
 class ProcessBackend(EngineBackend):
@@ -456,7 +560,8 @@ class ProcessBackend(EngineBackend):
     name = "process"
 
     def __init__(self, start_method: Optional[str] = None,
-                 transport: str = "wire"):
+                 transport: str = "wire", io_timeout: Optional[float] = None,
+                 shutdown_timeout: float = DEFAULT_SHUTDOWN_TIMEOUT):
         super().__init__()
         if start_method is None:
             start_method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
@@ -467,13 +572,17 @@ class ProcessBackend(EngineBackend):
             )
         self._context = multiprocessing.get_context(start_method)
         self._transport = transport
+        self._io_timeout = None if io_timeout is None else float(io_timeout)
+        self._shutdown_timeout = float(shutdown_timeout)
 
     def _launch(self, builders: Sequence[Callable[[], Any]]) -> None:
         self._shards: List[_ProcessShard] = []
         try:
             for index, builder in enumerate(builders):
                 self._shards.append(
-                    _ProcessShard(index, builder, self._context, self._transport)
+                    _ProcessShard(index, builder, self._context, self._transport,
+                                  io_timeout=self._io_timeout,
+                                  shutdown_timeout=self._shutdown_timeout)
                 )
         except BaseException:
             self.close()
@@ -489,6 +598,10 @@ class ProcessBackend(EngineBackend):
 
     def call_all(self, fn: Callable, *args: Any) -> List[Any]:
         return drain_call_all(self._shards, fn, args)
+
+    def call_all_partial(self, fn: Callable, *args: Any
+                         ) -> Tuple[List[Any], Dict[int, BackendError]]:
+        return drain_call_all(self._shards, fn, args, collect_errors=True)
 
     def close(self) -> None:
         for shard in getattr(self, "_shards", []):

@@ -154,24 +154,29 @@ def _merged_bound(materials: List[Dict[str, Any]]) -> Optional[float]:
     return sum(bounds)
 
 
-def _snapshot(query: Query, materials: List[Dict[str, Any]]) -> Dict[str, Any]:
+def _snapshot(query: Query, materials: List[Dict[str, Any]],
+              missing_shards: Iterable[int] = ()) -> Dict[str, Any]:
     return {
         "query": query,
         "items_processed": sum(shard["items"] for shard in materials),
         "total_messages": sum(shard["messages"] for shard in materials),
+        "missing_shards": tuple(missing_shards),
     }
 
 
-def merge_answer(query: Query, materials: List[Dict[str, Any]]) -> Answer:
+def merge_answer(query: Query, materials: List[Dict[str, Any]], *,
+                 missing_shards: Iterable[int] = ()) -> Answer:
     """Fold per-shard material dictionaries into one frozen ``Answer``.
 
     The merged ``error_bound`` is always the *sum* of the per-shard bounds
     (``Σ_s ε·Ŵ_s`` / ``Σ_s ε·F̂_s``), and the ``items``/``messages``
-    snapshot aggregates the whole cluster.
+    snapshot aggregates the whole cluster.  ``missing_shards`` flags a
+    degraded merge: ``materials`` then holds the live shards only and the
+    answer carries the absent shard indices (``Answer.is_partial``).
     """
     if not materials:
         raise ValueError("need materials from at least one shard")
-    snapshot = _snapshot(query, materials)
+    snapshot = _snapshot(query, materials, missing_shards)
     if isinstance(query, HeavyHitters):
         estimates = merge_counter_maps(shard["estimates"] for shard in materials)
         total = sum(shard["total"] for shard in materials)

@@ -56,7 +56,12 @@ from ..api.tracker import Tracker
 from ..streaming.items import MatrixRowBatch, WeightedItemBatch
 from ..streaming.runner import DEFAULT_CHUNK_SIZE
 from ..utils.validation import check_positive_int
-from .backends import EngineBackend, create_backend, get_backend_spec
+from .backends import (
+    BackendError,
+    EngineBackend,
+    create_backend,
+    get_backend_spec,
+)
 from .merge import (
     HH_QUERIES,
     MATRIX_QUERIES,
@@ -334,7 +339,7 @@ class ShardedTracker:
         self._backend.join()
 
     # ---------------------------------------------------------------- queries
-    def query(self, query: Query) -> Answer:
+    def query(self, query: Query, *, partial: bool = False) -> Answer:
         """Answer a typed query by merging per-shard state at this instant.
 
         The merged ``Answer`` carries the combined error bound (the sum of
@@ -348,6 +353,15 @@ class ShardedTracker:
         extracted and wire-encoded on the worker, so the answer to "what
         has the cluster seen of everything submitted before this call?" is
         assembled without ever pausing the whole cluster.
+
+        ``partial=True`` opts into graceful degradation: shards whose
+        workers have failed (and could not be recovered) are skipped, the
+        live shards' materials merge as usual, and the answer's
+        ``missing_shards`` names the absent shard indices
+        (``answer.is_partial`` is then True).  Only when *every* shard is
+        unavailable does the query still raise.  Default (``False``): any
+        failed shard raises, as a lost shard silently missing from an
+        estimate is worse than an error.
         """
         self._check_open()
         if not isinstance(query, Query):
@@ -362,8 +376,63 @@ class ShardedTracker:
                 f"{type(query).__name__} queries do not apply to "
                 f"{self._domain!r} spec {self._spec!r}"
             )
-        materials = self._backend.call_all(shard_query_materials, query)
-        return merge_answer(query, materials)
+        if not partial:
+            materials = self._backend.call_all(shard_query_materials, query)
+            return merge_answer(query, materials)
+        materials, errors = self._backend.call_all_partial(
+            shard_query_materials, query)
+        live = [shard for shard in materials if shard is not None]
+        if not live:
+            raise BackendError(
+                f"partial query failed: all {self._num_shards} shard(s) "
+                f"are unavailable"
+            ) from (errors[min(errors)] if errors else None)
+        return merge_answer(query, live, missing_shards=sorted(errors))
+
+    # ------------------------------------------------- elastic membership
+    def add_worker(self, address: Any) -> list:
+        """Grow the worker set, live-rebalancing shards onto the new worker.
+
+        Socket backend only.  The key→shard map never changes — only the
+        shard→worker placement does (via snapshot handoff), so in-flight
+        chunks keep routing consistently.  Returns the moved shard indices.
+        """
+        self._check_open()
+        return self._elastic_backend().add_worker(address)
+
+    def remove_worker(self, address: Any) -> list:
+        """Shrink the worker set, evacuating its shards to the remaining ones.
+
+        Socket backend only.  Works even when the retiring worker is
+        already dead (shards rebuild from snapshot + replay).  Returns the
+        moved shard indices.
+        """
+        self._check_open()
+        return self._elastic_backend().remove_worker(address)
+
+    def move_shard(self, shard: int, address: Any) -> None:
+        """Relocate one shard's live session to another worker."""
+        self._check_open()
+        self._elastic_backend().move_shard(shard, address)
+
+    def placement(self) -> list:
+        """Current shard→worker placement (socket backend only)."""
+        self._check_open()
+        return self._elastic_backend().placement()
+
+    @property
+    def placement_version(self) -> int:
+        """Version counter of the shard→worker placement map."""
+        self._check_open()
+        return self._elastic_backend().placement_version
+
+    def _elastic_backend(self) -> Any:
+        if not hasattr(self._backend, "add_worker"):
+            raise BackendError(
+                f"the {self._backend_name!r} backend does not support "
+                "elastic membership; use backend='socket'"
+            )
+        return self._backend
 
     def stats(self) -> ShardedTrackerStats:
         """Aggregate items/message accounting over the whole cluster."""

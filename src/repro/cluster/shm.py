@@ -54,6 +54,7 @@ import numpy as np
 
 from ..wire import WireDecodeError
 from .backends import (
+    DEFAULT_SHUTDOWN_TIMEOUT,
     BackendError,
     BackendSpec,
     ProcessBackend,
@@ -256,10 +257,16 @@ class _ShmShard(_ProcessShard):
     """Parent-side handle of one worker process plus its ring."""
 
     def __init__(self, index: int, builder: Callable[[], Any], context: Any,
-                 ring_bytes: int):
+                 ring_bytes: int, io_timeout: Optional[float] = None,
+                 shutdown_timeout: float = DEFAULT_SHUTDOWN_TIMEOUT):
         self._wire = True
         self._compress = False
+        self._io_timeout = None if io_timeout is None else float(io_timeout)
+        self._shutdown_timeout = float(shutdown_timeout)
         self._ring: Optional[ShmRing] = ShmRing(ring_bytes)
+        # A failed launch must reap its own process, pipe AND ring — this
+        # handle is not yet registered with the backend, so nothing else
+        # can (the satellite of the partial-create leak fix).
         try:
             self.conn, child_conn = context.Pipe(duplex=True)
             self.process = context.Process(
@@ -271,10 +278,13 @@ class _ShmShard(_ProcessShard):
             self.send_command("launch", None, (builder,))
             status, value = self.recv_reply()
         except BaseException:
+            if hasattr(self, "process"):
+                self._abandon()
             self._destroy_ring()
             raise
         if status != "ready":
-            self.stop()
+            self._abandon()
+            self._destroy_ring()
             raise BackendError(f"shard {index} failed to start: {value!r}")
 
     def _sink(self, array: np.ndarray) -> Optional[Tuple[int, int]]:
@@ -333,8 +343,12 @@ class ShmProcessBackend(ProcessBackend):
     name = "shm"
 
     def __init__(self, start_method: Optional[str] = None,
-                 ring_bytes: int = DEFAULT_RING_BYTES):
-        super().__init__(start_method=start_method, transport="wire")
+                 ring_bytes: int = DEFAULT_RING_BYTES,
+                 io_timeout: Optional[float] = None,
+                 shutdown_timeout: float = DEFAULT_SHUTDOWN_TIMEOUT):
+        super().__init__(start_method=start_method, transport="wire",
+                         io_timeout=io_timeout,
+                         shutdown_timeout=shutdown_timeout)
         if int(ring_bytes) < MIN_RING_BYTES:
             raise ValueError(
                 f"ring_bytes must be at least {MIN_RING_BYTES}, got {ring_bytes}"
@@ -346,7 +360,9 @@ class ShmProcessBackend(ProcessBackend):
         try:
             for index, builder in enumerate(builders):
                 self._shards.append(
-                    _ShmShard(index, builder, self._context, self._ring_bytes)
+                    _ShmShard(index, builder, self._context, self._ring_bytes,
+                              io_timeout=self._io_timeout,
+                              shutdown_timeout=self._shutdown_timeout)
                 )
         except BaseException:
             self.close()

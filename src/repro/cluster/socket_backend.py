@@ -27,16 +27,53 @@ execution are bit-identical for every registered protocol spec (answers,
 message accounting, seeded draws) — the equivalence suite pins this on a
 localhost loop.
 
+**Fault tolerance.**  Every socket I/O runs under a deadline (``io_timeout``
+for established sessions, ``connect_timeout`` for connect *and* the launch
+handshake), so a hung worker surfaces as a :class:`BackendError` naming the
+shard and the deadline instead of blocking forever.  Each shard handle
+keeps a bounded replay log of its submitted-but-possibly-unacknowledged
+command frames (every submit is stamped with a monotonic sequence number;
+workers drop duplicates), plus a periodic state snapshot once the log
+exceeds ``replay_log_bytes`` — a transient worker death or TCP reset is
+healed by reconnecting (to the same address, or a standby from
+``spare_addresses``), restoring the snapshot, and replaying the log
+bit-identically.  Deadline expiry is *not* retried: reconnecting to a hung
+worker would just hang again, so timeouts poison the shard handle and
+surface immediately.
+
+**Elastic membership.**  :meth:`SocketBackend.add_worker` /
+:meth:`~SocketBackend.remove_worker` / :meth:`~SocketBackend.move_shard`
+move shard sessions between live workers mid-stream via the same
+state-frame handoff (snapshot on the old worker, restore on the new one,
+then cut over), without touching the key→shard map — only the
+shard→address placement changes, so in-flight chunks keep routing
+consistently.  The placement map is versioned
+(:attr:`~SocketBackend.placement_version`).
+
 :class:`WorkerServer` is the embeddable form of ``repro worker``: tests and
 notebooks can host workers in-process (``WorkerServer().start()`` binds an
-ephemeral localhost port) without shelling out.
+ephemeral localhost port) without shelling out.  It tracks its live shard
+sessions, so chaos tests can sever all of them at once
+(:meth:`WorkerServer.kill_sessions`) and operators can drain a worker
+before retiring it (:meth:`WorkerServer.drain`).
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..wire import WireDecodeError, recv_frame, send_frame
 from .backends import (
@@ -48,9 +85,11 @@ from .backends import (
     _register,
     drain_call_all,
 )
-from .worker_protocol import WorkerSession, encode_command
+from .worker_protocol import WorkerSession, decode_reply, encode_command
 
 __all__ = [
+    "DEFAULT_IO_TIMEOUT",
+    "DEFAULT_REPLAY_LOG_BYTES",
     "SocketBackend",
     "WorkerServer",
     "parse_address",
@@ -58,6 +97,17 @@ __all__ = [
 ]
 
 AddressLike = Union[str, Tuple[str, int]]
+
+#: Default seconds a shard session may go silent (send or reply) before the
+#: call fails with a per-shard diagnosis.  Generous on purpose: a query
+#: against a large shard legitimately takes seconds, never minutes.
+DEFAULT_IO_TIMEOUT = 300.0
+
+#: Default replay-log budget per shard.  When the log of unacknowledged
+#: submit frames outgrows this, the parent snapshots the shard's state
+#: (one state-frame call) and trims the log, so recovery replays a bounded
+#: tail instead of the whole stream.
+DEFAULT_REPLAY_LOG_BYTES = 1 << 24
 
 
 def parse_address(address: AddressLike) -> Tuple[str, int]:
@@ -97,67 +147,379 @@ def parse_address_list(addresses: Union[AddressLike, Sequence[AddressLike]]
     return parsed
 
 
+def _shard_state_frame(tracker: Any) -> bytes:
+    """Worker-side: the shard tracker's full state as one checkpoint frame.
+
+    Used by the parent's replay machinery (periodic snapshots that bound the
+    replay log) and by live shard handoff; the frame restores bit-identically
+    via the same ``_RestoreShardBuilder`` path cluster checkpoints use.
+    """
+    from ..api.state import tracker_frame
+
+    return tracker_frame(tracker)
+
+
+def _addr(address: Tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
 class _SocketShard(RemoteShardHandle):
-    """Parent-side handle of one shard session on a remote worker."""
+    """Parent-side handle of one shard session on a remote worker.
+
+    The handle owns the shard's fault-tolerance state: the monotonic submit
+    sequence counter, the bounded replay log of unacknowledged submit
+    frames, the latest ``(seq, state-frame)`` snapshot, and the in-flight
+    call frame (re-sent after a reconnect — calls are read-only by the
+    backend contract, so re-executing one is safe).  A deadline expiry
+    poisons the handle (``_broken``); connection loss and corrupt replies
+    trigger bounded recovery instead.
+    """
 
     def __init__(self, index: int, address: Tuple[str, int],
                  builder: Callable[[], Any], connect_timeout: float,
-                 compress: bool = False):
+                 compress: bool = False,
+                 io_timeout: Optional[float] = DEFAULT_IO_TIMEOUT,
+                 spare_addresses: Sequence[Tuple[str, int]] = (),
+                 reconnect_attempts: int = 3,
+                 reconnect_backoff: float = 0.2,
+                 replay_log_bytes: int = DEFAULT_REPLAY_LOG_BYTES):
         self.index = index
         self.address = address
         self.compress = compress
+        self._connect_timeout = float(connect_timeout)
+        self._io_timeout = None if io_timeout is None else float(io_timeout)
+        self._spares: List[Tuple[str, int]] = list(spare_addresses)
+        self._reconnect_attempts = max(1, int(reconnect_attempts))
+        self._reconnect_backoff = float(reconnect_backoff)
+        self._replay_log_bytes = int(replay_log_bytes)
+        self._builder = builder
+        self._next_seq = 0
+        self._log: List[Tuple[int, bytes]] = []
+        self._log_bytes = 0
+        self._snapshot: Optional[Tuple[int, bytes]] = None
+        self._inflight: Optional[bytes] = None
+        self._broken: Optional[str] = None
+        self.recoveries = 0
+        # The initial launch is deliberately fail-fast: an unreachable or
+        # stalling worker at create() time is a configuration error the
+        # caller should see immediately, not something to retry around.
+        self.sock = self._connect_and_launch(address, builder, None)
+
+    # ----------------------------------------------------------- connection
+    def _connect_and_launch(self, address: Tuple[str, int],
+                            builder: Any,
+                            resume_seq: Optional[int]) -> socket.socket:
+        """Connect and complete the launch handshake, under deadline.
+
+        ``resume_seq=None`` is a fresh launch (``(builder,)`` args — byte
+        identical to the pre-recovery protocol); an integer is a
+        recovery/handoff relaunch that primes the worker's applied-seq
+        counter.  The connect timeout stays armed through the whole
+        handshake: a worker that accepts and then never replies ``ready``
+        must fail ``create()`` within the deadline, not hang it forever.
+        Any failure closes the socket (the session is not yet registered
+        anywhere else) and raises :class:`BackendError`.
+        """
         try:
-            self.sock = socket.create_connection(address,
-                                                 timeout=connect_timeout)
+            sock = socket.create_connection(address,
+                                            timeout=self._connect_timeout)
         except OSError as exc:
             raise BackendError(
-                f"cannot reach worker {address[0]}:{address[1]} for shard "
-                f"{index}: {exc}"
+                f"cannot reach worker {_addr(address)} for shard "
+                f"{self.index}: {exc}"
             ) from exc
-        # Blocking from here on; small frames should not wait for Nagle.
-        self.sock.settimeout(None)
+        # Small frames should not wait for Nagle.
         try:
-            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:  # pragma: no cover - exotic socket families
             pass
-        # Any handshake failure must close the connected socket: the shard
-        # is not yet registered with the backend, so nothing else will.
+        args = (builder,) if resume_seq is None else (builder, int(resume_seq))
         try:
-            self.send_command("launch", None, (builder,))
-            status, value = self.recv_reply()
+            send_frame(sock, encode_command("launch", None, args,
+                                            compress=self.compress))
+            status, value = _decode_reply_as_backend_errors(recv_frame(sock))
+        except socket.timeout as exc:
+            sock.close()
+            raise BackendError(
+                f"worker {_addr(address)} accepted shard {self.index}'s "
+                f"connection but sent no launch reply within the "
+                f"{self._connect_timeout:g}s connect_timeout (hung worker?)"
+            ) from exc
+        except (EOFError, ConnectionError, OSError) as exc:
+            sock.close()
+            raise BackendError(
+                f"worker {_addr(address)} dropped shard {self.index}'s "
+                f"connection during the launch handshake: {exc}"
+            ) from exc
+        except WireDecodeError as exc:
+            sock.close()
+            raise BackendError(
+                f"worker {_addr(address)} sent shard {self.index} a corrupt "
+                f"launch reply: {exc}"
+            ) from exc
         except BaseException:
-            self.close()
+            sock.close()
             raise
         if status != "ready":
-            self.close()
+            sock.close()
             raise BackendError(
-                f"shard {index} failed to start on "
-                f"{address[0]}:{address[1]}: {value!r}"
+                f"shard {self.index} failed to start on "
+                f"{_addr(address)}: {value!r}"
+            )
+        sock.settimeout(self._io_timeout)
+        return sock
+
+    def _poison(self, reason: str) -> None:
+        self._broken = reason
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _check_usable(self) -> None:
+        if self._broken is not None:
+            raise BackendError(
+                f"shard {self.index} is unusable: {self._broken}"
             )
 
+    # ------------------------------------------------------------- commands
     def send_command(self, op: str, fn: Optional[Callable], args: tuple) -> None:
+        self._check_usable()
+        if op == "submit":
+            self._next_seq += 1
+            frame = encode_command(op, fn, args, seq=self._next_seq,
+                                   compress=self.compress)
+            self._log.append((self._next_seq, frame))
+            self._log_bytes += len(frame)
+            self._send_resilient(frame)
+            if self._log_bytes > self._replay_log_bytes:
+                self._sync_snapshot()
+        elif op == "call":
+            frame = encode_command(op, fn, args, compress=self.compress)
+            self._inflight = frame
+            self._send_resilient(frame)
+        else:
+            # stop (and any future fire-and-forget op): not replayable, not
+            # worth recovering a connection for.
+            try:
+                send_frame(self.sock, encode_command(op, fn, args,
+                                                     compress=self.compress))
+            except OSError as exc:
+                raise BackendError(
+                    f"worker {_addr(self.address)} is gone: {exc}"
+                ) from exc
+
+    def _send_resilient(self, frame: bytes) -> None:
+        """Ship one logged/in-flight frame, recovering the connection once.
+
+        The frame is already recorded (replay log for submits, ``_inflight``
+        for calls) *before* this is called, so a successful ``_recover``
+        re-delivers it via replay — nothing further to do here.
+        """
         try:
-            send_frame(self.sock,
-                       encode_command(op, fn, args, compress=self.compress))
+            send_frame(self.sock, frame)
+        except socket.timeout as exc:
+            # The peer stopped draining: its receive path is wedged, so a
+            # reconnect would wedge identically.  Deadline discipline says
+            # fail loudly now.
+            reason = (
+                f"send to worker {_addr(self.address)} stalled past the "
+                f"{self._io_timeout:g}s io_timeout (worker not draining)"
+            )
+            self._poison(reason)
+            raise BackendError(f"shard {self.index}: {reason}") from exc
         except OSError as exc:
-            raise BackendError(
-                f"worker {self.address[0]}:{self.address[1]} is gone: {exc}"
-            ) from exc
+            self._recover(f"connection lost mid-send: {exc}")
 
     def recv_reply(self) -> Any:
-        try:
-            data = recv_frame(self.sock)
-        except (EOFError, ConnectionError, OSError) as exc:
-            raise BackendError(
-                f"worker {self.address[0]}:{self.address[1]} died mid-call"
-            ) from exc
-        except WireDecodeError as exc:  # e.g. an implausible length prefix
-            raise BackendError(
-                f"worker {self.address[0]}:{self.address[1]} sent a corrupt "
-                f"frame: {exc}"
-            ) from exc
-        return _decode_reply_as_backend_errors(data)
+        self._check_usable()
+        failures = 0
+        while True:
+            try:
+                reply = decode_reply(recv_frame(self.sock))
+            except socket.timeout as exc:
+                reason = (
+                    f"no reply from worker {_addr(self.address)} within the "
+                    f"{self._io_timeout:g}s io_timeout (hung or overloaded "
+                    f"worker; raise io_timeout in backend_options if the "
+                    f"shard work is legitimately this slow)"
+                )
+                self._poison(reason)
+                raise BackendError(f"shard {self.index}: {reason}") from exc
+            except (EOFError, ConnectionError, OSError) as exc:
+                failures += 1
+                if failures > self._reconnect_attempts:
+                    reason = f"connection lost mid-call and kept failing: {exc}"
+                    self._poison(reason)
+                    raise BackendError(
+                        f"shard {self.index}: {reason}"
+                    ) from exc
+                self._recover(f"connection lost mid-call: {exc}")
+                continue
+            except WireDecodeError as exc:
+                # A torn or corrupted reply: the stream framing can no
+                # longer be trusted, so treat it like a connection loss —
+                # reconnect, restore, replay, re-ask.
+                failures += 1
+                if failures > self._reconnect_attempts:
+                    reason = f"kept sending corrupt reply frames: {exc}"
+                    self._poison(reason)
+                    raise BackendError(
+                        f"shard {self.index}: worker {_addr(self.address)} "
+                        f"{reason}"
+                    ) from exc
+                self._recover(f"corrupt reply frame: {exc}")
+                continue
+            self._inflight = None
+            return reply
 
+    # ------------------------------------------------------------- recovery
+    def _recover(self, cause: str) -> None:
+        """Heal a lost connection: reconnect, restore state, replay the log.
+
+        Candidates are the shard's current address first, then the spare
+        standby list; each gets ``reconnect_attempts`` rounds with a
+        deterministic linear backoff.  On success the shard's state is
+        bit-identical to an uninterrupted run (snapshot restore + idempotent
+        sequenced replay); on exhaustion the handle is poisoned.
+        """
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        candidates = [self.address] + [
+            spare for spare in self._spares if spare != self.address
+        ]
+        last_error: Optional[BaseException] = None
+        for attempt in range(self._reconnect_attempts):
+            for candidate in candidates:
+                if attempt:
+                    time.sleep(self._reconnect_backoff * attempt)
+                try:
+                    self._relaunch_on(candidate)
+                except BackendError as exc:
+                    last_error = exc
+                    continue
+                self.address = candidate
+                self.recoveries += 1
+                return
+        reason = (
+            f"{cause}; recovery exhausted {self._reconnect_attempts} "
+            f"attempt(s) across {len(candidates)} worker(s) "
+            f"({', '.join(_addr(c) for c in candidates)})"
+        )
+        self._poison(reason)
+        raise BackendError(f"shard {self.index}: {reason}") from last_error
+
+    def _relaunch_on(self, address: Tuple[str, int]) -> None:
+        """Start a fresh session on ``address`` and bring it up to date.
+
+        The new worker gets the last snapshot (or the original builder when
+        none was taken), primed with the snapshot's sequence number; then
+        every logged submit frame is replayed byte-for-byte — the worker
+        drops any it already applied — and the in-flight call frame, if
+        any, is re-sent so the pending ``recv_reply`` finds its answer.
+        """
+        if self._snapshot is not None:
+            snap_seq, payload = self._snapshot
+            from .sharded_tracker import _RestoreShardBuilder
+
+            builder: Any = _RestoreShardBuilder(payload=payload,
+                                                index=self.index)
+        else:
+            snap_seq, builder = 0, self._builder
+        sock = self._connect_and_launch(address, builder, snap_seq)
+        try:
+            for seq, frame in self._log:
+                if seq > snap_seq:
+                    send_frame(sock, frame)
+            if self._inflight is not None:
+                send_frame(sock, self._inflight)
+        except OSError as exc:
+            sock.close()
+            raise BackendError(
+                f"worker {_addr(address)} dropped shard {self.index}'s "
+                f"replay: {exc}"
+            ) from exc
+        self.sock = sock
+
+    def _sync_snapshot(self) -> None:
+        """Snapshot the shard's state and trim the replay log.
+
+        One round trip: a ``call`` of :func:`_shard_state_frame`, sequenced
+        after every logged submit (per-shard FIFO), so the returned frame
+        reflects exactly the submits up to ``_next_seq``.  Note this call —
+        like any call — surfaces a deferred submit error; with the default
+        16 MiB log budget that only shifts *where* a failed submit is
+        reported, never whether.
+        """
+        seq_at = self._next_seq
+        frame = encode_command("call", _shard_state_frame, (),
+                               compress=self.compress)
+        self._inflight = frame
+        self._send_resilient(frame)
+        status, value = self.recv_reply()
+        if status == "error":
+            raise BackendError(
+                f"shard {self.index} failed while snapshotting: {value!r}"
+            ) from (value if isinstance(value, BaseException) else None)
+        self._snapshot = (seq_at, value)
+        self._log = []
+        self._log_bytes = 0
+
+    # -------------------------------------------------------------- handoff
+    def relocate(self, address: Tuple[str, int]) -> None:
+        """Move this shard's live session to ``address`` (make-before-break).
+
+        Snapshot through the current connection, launch the restored
+        session on the *new* worker first, and only then stop the old one —
+        a failed move leaves the shard running where it was.  The snapshot
+        also resets the replay log (it is the freshest possible recovery
+        point).
+        """
+        self._check_usable()
+        self._sync_snapshot()
+        snap_seq, payload = self._snapshot  # type: ignore[misc]
+        from .sharded_tracker import _RestoreShardBuilder
+
+        new_sock = self._connect_and_launch(
+            address, _RestoreShardBuilder(payload=payload, index=self.index),
+            snap_seq)
+        old_sock = self.sock
+        self.sock, self.address = new_sock, address
+        try:
+            send_frame(old_sock, encode_command("stop", None, (),
+                                                compress=self.compress))
+        except OSError:  # the old worker dying now no longer matters
+            pass
+        try:
+            old_sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def evacuate(self, address: Tuple[str, int]) -> None:
+        """Move this shard to ``address`` even if its current worker is dead.
+
+        Tries the graceful :meth:`relocate`; when the current worker cannot
+        even be snapshotted, rebuilds the session on the target from the
+        last snapshot (or the original builder) plus the replay log — the
+        same bit-identical path crash recovery uses.
+        """
+        try:
+            self.relocate(address)
+            return
+        except BackendError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        self._broken = None
+        self._relaunch_on(address)
+        self.address = address
+        self.recoveries += 1
+
+    # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
         try:
             self.sock.close()
@@ -165,10 +527,12 @@ class _SocketShard(RemoteShardHandle):
             pass
 
     def stop(self) -> None:
-        try:
-            self.send_command("stop", None, ())
-        except BackendError:
-            pass
+        if self._broken is None:
+            try:
+                send_frame(self.sock, encode_command("stop", None, (),
+                                                     compress=self.compress))
+            except OSError:
+                pass
         self.close()
 
 
@@ -182,12 +546,27 @@ class SocketBackend(EngineBackend):
         sequence of addresses/pairs.  Shard ``i`` connects to address
         ``i % len(addresses)``.
     connect_timeout:
-        Seconds to wait for each worker connection at launch.
+        Seconds to wait for each worker connection *and* its launch
+        handshake at launch/handoff time.
     compress:
         Deflate command frame bodies before they hit the network — the
         right trade when workers sit behind a real network link rather
         than loopback.  Workers decode compressed and plain frames alike,
         so mixed-version fleets need no coordination.
+    io_timeout:
+        Deadline (seconds) on every send/reply of an established shard
+        session; ``None`` disables it.  Expiry fails the call with a
+        per-shard diagnosis and poisons the shard — a hung worker is not
+        retried (reconnecting to it would hang identically).
+    spare_addresses:
+        Standby workers recovery may fail over to when a shard's worker
+        dies and its own address stays unreachable.
+    reconnect_attempts / reconnect_backoff:
+        Bounded-recovery knobs: rounds of reconnection per failure and the
+        deterministic linear backoff (seconds) between rounds.
+    replay_log_bytes:
+        Per-shard budget for the replay log of unacknowledged submit
+        frames; exceeding it triggers a state snapshot that trims the log.
     """
 
     name = "socket"
@@ -195,7 +574,13 @@ class SocketBackend(EngineBackend):
     def __init__(self,
                  addresses: Union[AddressLike, Sequence[AddressLike], None] = None,
                  connect_timeout: float = 10.0,
-                 compress: bool = False):
+                 compress: bool = False,
+                 io_timeout: Optional[float] = DEFAULT_IO_TIMEOUT,
+                 spare_addresses: Union[AddressLike, Sequence[AddressLike],
+                                        None] = None,
+                 reconnect_attempts: int = 3,
+                 reconnect_backoff: float = 0.2,
+                 replay_log_bytes: int = DEFAULT_REPLAY_LOG_BYTES):
         super().__init__()
         if addresses is None:
             # The only registered backend with a required option; every
@@ -211,6 +596,13 @@ class SocketBackend(EngineBackend):
         self._addresses = parse_address_list(addresses)
         self._connect_timeout = float(connect_timeout)
         self._compress = bool(compress)
+        self._io_timeout = None if io_timeout is None else float(io_timeout)
+        self._spares = (parse_address_list(spare_addresses)
+                        if spare_addresses else [])
+        self._reconnect_attempts = int(reconnect_attempts)
+        self._reconnect_backoff = float(reconnect_backoff)
+        self._replay_log_bytes = int(replay_log_bytes)
+        self._placement_version = 0
 
     def _launch(self, builders: Sequence[Callable[[], Any]]) -> None:
         self._shards: List[_SocketShard] = []
@@ -219,7 +611,12 @@ class SocketBackend(EngineBackend):
                 address = self._addresses[index % len(self._addresses)]
                 self._shards.append(
                     _SocketShard(index, address, builder,
-                                 self._connect_timeout, self._compress)
+                                 self._connect_timeout, self._compress,
+                                 io_timeout=self._io_timeout,
+                                 spare_addresses=self._spares,
+                                 reconnect_attempts=self._reconnect_attempts,
+                                 reconnect_backoff=self._reconnect_backoff,
+                                 replay_log_bytes=self._replay_log_bytes)
                 )
         except BaseException:
             self.close()
@@ -235,6 +632,85 @@ class SocketBackend(EngineBackend):
 
     def call_all(self, fn: Callable, *args: Any) -> List[Any]:
         return drain_call_all(self._shards, fn, args)
+
+    def call_all_partial(self, fn: Callable, *args: Any
+                         ) -> Tuple[List[Any], Dict[int, BackendError]]:
+        return drain_call_all(self._shards, fn, args, collect_errors=True)
+
+    # -------------------------------------------------- elastic membership
+    @property
+    def placement_version(self) -> int:
+        """Bumped whenever the shard→worker placement changes."""
+        return self._placement_version
+
+    def placement(self) -> List[Tuple[str, int]]:
+        """Current shard→worker map: ``placement()[i]`` hosts shard ``i``."""
+        return [shard.address for shard in self._shards]
+
+    def move_shard(self, shard: int, address: AddressLike) -> None:
+        """Relocate one live shard session to ``address`` (make-before-break)."""
+        target = parse_address(address)
+        self._shards[self._check_shard(shard)].relocate(target)
+        self._placement_version += 1
+
+    def add_worker(self, address: AddressLike) -> List[int]:
+        """Grow the worker set and rebalance shards onto the new member.
+
+        Shards move (live, via state handoff) from the most-loaded workers
+        until the new worker hosts its fair share
+        (``num_shards // num_workers``); ordering is deterministic.
+        Returns the moved shard indices.
+        """
+        if not self._launched:
+            raise BackendError("backend not launched")
+        target = parse_address(address)
+        if target not in self._addresses:
+            self._addresses.append(target)
+        fair = self._num_shards // len(self._addresses)
+        moved: List[int] = []
+        while sum(1 for s in self._shards if s.address == target) < fair:
+            load: Dict[Tuple[str, int], int] = {}
+            for s in self._shards:
+                if s.address != target:
+                    load[s.address] = load.get(s.address, 0) + 1
+            if not load:
+                break
+            donor = max(sorted(load), key=lambda a: load[a])
+            victim = [s for s in self._shards if s.address == donor][-1]
+            victim.relocate(target)
+            moved.append(victim.index)
+        if moved:
+            self._placement_version += 1
+        return moved
+
+    def remove_worker(self, address: AddressLike) -> List[int]:
+        """Shrink the worker set, evacuating its shards to the remaining ones.
+
+        Shards hosted on ``address`` move round-robin onto the surviving
+        workers — live when the retiring worker still answers, rebuilt from
+        snapshot+replay when it is already dead.  Removing the last worker
+        is refused.  Returns the moved shard indices.
+        """
+        if not self._launched:
+            raise BackendError("backend not launched")
+        target = parse_address(address)
+        remaining = [a for a in self._addresses if a != target]
+        if not remaining:
+            raise BackendError(
+                "cannot remove the last worker from the socket backend; "
+                "add_worker() a replacement first"
+            )
+        moved: List[int] = []
+        for shard in self._shards:
+            if shard.address == target:
+                shard.evacuate(remaining[len(moved) % len(remaining)])
+                moved.append(shard.index)
+        self._addresses = remaining
+        for shard in self._shards:
+            shard._spares = [a for a in shard._spares if a != target]
+        if moved:
+            self._placement_version += 1
+        return moved
 
     def close(self) -> None:
         for shard in getattr(self, "_shards", []):
@@ -266,6 +742,11 @@ class WorkerServer:
     single worker can host many shards.  Use :meth:`serve_forever` in a
     dedicated process (the ``repro worker`` CLI) or :meth:`start` /
     :meth:`stop` to embed a worker in the current process (tests, notebooks).
+
+    Live session sockets are tracked: :attr:`active_sessions` counts them,
+    :meth:`kill_sessions` severs them all abruptly (fault injection — the
+    parent sees a TCP reset and heals via replay), and :meth:`drain` waits
+    for them to finish naturally (graceful worker retirement).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0):
@@ -276,6 +757,8 @@ class WorkerServer:
         self._threads: List[threading.Thread] = []
         self._accept_thread: Optional[threading.Thread] = None
         self._sessions_served = 0
+        self._session_lock = threading.Lock()
+        self._session_socks: Set[socket.socket] = set()
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -287,6 +770,48 @@ class WorkerServer:
         """Number of shard connections accepted so far."""
         return self._sessions_served
 
+    @property
+    def active_sessions(self) -> int:
+        """Number of shard sessions currently connected."""
+        with self._session_lock:
+            return len(self._session_socks)
+
+    def kill_sessions(self) -> int:
+        """Abruptly sever every live shard session (fault injection).
+
+        Each session socket is shut down and closed out from under its
+        serving thread — the parent side experiences exactly what a worker
+        crash or network partition looks like.  Returns the number of
+        sessions killed.  The listener stays up, so parents reconnect to
+        the same address and heal via snapshot + replay.
+        """
+        with self._session_lock:
+            victims = list(self._session_socks)
+        for sock in victims:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        return len(victims)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every live shard session has ended.
+
+        Graceful-retirement helper (the ``repro worker --drain-grace`` path
+        and ``remove_worker`` flows): returns True once no sessions remain,
+        False if ``timeout`` seconds elapsed first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.active_sessions:
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+        return True
+
     def serve_forever(self) -> None:
         """Accept and serve shard connections until :meth:`stop` is called."""
         while not self._closed.is_set():
@@ -295,6 +820,8 @@ class WorkerServer:
             except OSError:
                 return  # listener closed by stop()
             self._sessions_served += 1
+            with self._session_lock:
+                self._session_socks.add(conn)
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,),
                 name=f"repro-worker-session-{self._sessions_served}",
@@ -306,8 +833,7 @@ class WorkerServer:
             self._threads = [t for t in self._threads if t.is_alive()]
             self._threads.append(thread)
 
-    @staticmethod
-    def _serve_connection(conn: socket.socket) -> None:
+    def _serve_connection(self, conn: socket.socket) -> None:
         try:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:  # pragma: no cover
@@ -316,6 +842,8 @@ class WorkerServer:
         try:
             WorkerSession(transport.recv, transport.send).serve()
         finally:
+            with self._session_lock:
+                self._session_socks.discard(conn)
             try:
                 conn.close()
             except OSError:  # pragma: no cover
@@ -332,6 +860,14 @@ class WorkerServer:
     def stop(self) -> None:
         """Stop accepting; running shard sessions end with their connections."""
         self._closed.set()
+        # shutdown() before close(): close() alone does not wake a thread
+        # blocked in accept() — the kernel socket survives via the in-flight
+        # syscall and would accept one more connection from a reconnecting
+        # parent that believes this worker is still alive.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # not listening yet, or platform refuses shutdown here
         try:
             self._listener.close()
         except OSError:  # pragma: no cover

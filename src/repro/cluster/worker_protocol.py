@@ -5,9 +5,11 @@ multi-host socket backend's TCP connections — drives its shard workers with
 the same four commands, each one :mod:`repro.wire` frame:
 
 =========  =================================================================
-``launch``   args ``(builder,)``; the worker constructs its shard
-             ``Tracker`` by calling the (wire-encodable, dataclass) builder
-             and replies ``ready``
+``launch``   args ``(builder,)`` or ``(builder, resume_seq)``; the worker
+             constructs its shard ``Tracker`` by calling the
+             (wire-encodable, dataclass) builder, primes its applied-seq
+             counter from ``resume_seq`` (a recovery/handoff relaunch) and
+             replies ``ready``
 ``submit``   fire-and-forget ``fn(tracker, *args)``; failures are held and
              reported at the next ``call`` (FIFO order is preserved)
 ``call``     run ``fn(tracker, *args)`` after all queued work and reply
@@ -23,6 +25,17 @@ frames all cross process and host boundaries without pickle.  Replies are
 wire frames too; a result the codec cannot represent degrades to an
 ``error`` reply naming the offending type (mirroring the old pickle
 backend's ``_safe_send``), never a torn frame.
+
+**Sequence numbers and idempotent replay.**  A ``submit`` command may carry
+a monotonic ``seq`` stamp (the socket backend's replay log assigns one per
+submit).  The worker remembers the highest seq it has applied and silently
+drops any sequenced submit at or below it, so a parent that reconnects
+after a transient failure can replay its unacknowledged log without ever
+double-applying a chunk.  Every reply carries the worker's current applied
+seq as ``acked``, giving the parent (and the fault-injection tests) a
+progress acknowledgment that rides the existing reply kind — no new frame
+vocabulary.  Unsequenced commands (every pre-existing caller) behave
+exactly as before.
 
 :class:`WorkerSession` is the worker-side loop shared by
 ``repro.cluster.backends`` (pipe transport) and
@@ -46,6 +59,7 @@ __all__ = [
     "peek_command_op",
     "encode_reply",
     "decode_reply",
+    "decode_reply_acked",
     "WorkerSession",
 ]
 
@@ -54,36 +68,45 @@ REPLY_KIND = "repro/worker-reply"
 
 
 def encode_command(op: str, fn: Any = None, args: Tuple[Any, ...] = (), *,
-                   compress: bool = False, array_sink: Any = None) -> bytes:
+                   seq: Optional[int] = None, compress: bool = False,
+                   array_sink: Any = None) -> bytes:
     """Pack one command frame (``fn`` may be None for launch/stop).
 
     The op rides in the frame *kind* (``repro/worker-command:submit``) as
     well as the body, so a worker that cannot decode the body — a corrupted
     frame, an untrusted function reference — can still tell from the header
     whether the sender is waiting for a reply, and keep the command/reply
-    protocol synchronized.  ``compress`` deflates the command body (the
-    ``"zlib"`` pipe transport and the socket backend's ``compress`` option);
-    workers decode compressed and plain commands alike, so the knob is
-    sender-local and needs no negotiation beyond the frame version.
-    ``array_sink`` diverts large array payloads out of band (the ``"shm"``
-    backend's shared-memory ring); the frame then carries references the
-    receiver resolves via ``decode_command``'s ``array_source``.
+    protocol synchronized.  ``seq`` stamps the command with a monotonic
+    sequence number for idempotent replay (omitted entirely when ``None``,
+    so unsequenced frames are byte-identical to the pre-seq protocol).
+    ``compress`` deflates the command body (the ``"zlib"`` pipe transport
+    and the socket backend's ``compress`` option); workers decode
+    compressed and plain commands alike, so the knob is sender-local and
+    needs no negotiation beyond the frame version.  ``array_sink`` diverts
+    large array payloads out of band (the ``"shm"`` backend's
+    shared-memory ring); the frame then carries references the receiver
+    resolves via ``decode_command``'s ``array_source``.
     """
-    return pack_frame(f"{COMMAND_KIND}:{op}",
-                      {"op": op, "fn": fn, "args": tuple(args)},
+    body = {"op": op, "fn": fn, "args": tuple(args)}
+    if seq is not None:
+        body["seq"] = int(seq)
+    return pack_frame(f"{COMMAND_KIND}:{op}", body,
                       compress=compress, array_sink=array_sink)
 
 
 def decode_command(data: bytes, *, array_source: Any = None
-                   ) -> Tuple[str, Any, Tuple[Any, ...]]:
-    """Unpack a command frame into ``(op, fn, args)``."""
+                   ) -> Tuple[str, Any, Tuple[Any, ...], Optional[int]]:
+    """Unpack a command frame into ``(op, fn, args, seq)``."""
     kind, body = unpack_frame(data, array_source=array_source)
     if kind != COMMAND_KIND and not kind.startswith(COMMAND_KIND + ":"):
         raise WireDecodeError(f"expected a worker command frame, got {kind!r}")
     if not isinstance(body, dict) or not isinstance(body.get("op"), str):
         raise WireDecodeError("malformed worker command body")
+    seq = body.get("seq")
+    if seq is not None and not isinstance(seq, int):
+        raise WireDecodeError("malformed worker command seq")
     try:
-        return body["op"], body.get("fn"), tuple(body.get("args", ()))
+        return body["op"], body.get("fn"), tuple(body.get("args", ())), seq
     except TypeError as exc:
         raise WireDecodeError("malformed worker command body") from exc
 
@@ -96,17 +119,25 @@ def peek_command_op(data: bytes) -> Optional[str]:
     return None
 
 
-def encode_reply(status: str, value: Any) -> bytes:
-    """Pack one reply frame, degrading unencodable values to an error reply."""
+def encode_reply(status: str, value: Any, acked: Optional[int] = None) -> bytes:
+    """Pack one reply frame, degrading unencodable values to an error reply.
+
+    ``acked`` is the worker's applied-seq watermark; it rides every reply
+    so the parent's replay machinery can observe worker progress without
+    extra round trips.
+    """
+    body = {"status": status, "value": value}
+    if acked is not None:
+        body["acked"] = int(acked)
     try:
-        return pack_frame(REPLY_KIND, {"status": status, "value": value})
+        return pack_frame(REPLY_KIND, body)
     except WireEncodeError as exc:
         from .backends import BackendError
 
-        return pack_frame(REPLY_KIND, {
-            "status": "error",
-            "value": BackendError(f"shard reply could not be serialized: {exc}"),
-        })
+        body["value"] = BackendError(
+            f"shard reply could not be serialized: {exc}")
+        body["status"] = "error"
+        return pack_frame(REPLY_KIND, body)
 
 
 def decode_reply(data: bytes) -> Tuple[str, Any]:
@@ -115,6 +146,15 @@ def decode_reply(data: bytes) -> Tuple[str, Any]:
     if not isinstance(body, dict) or not isinstance(body.get("status"), str):
         raise WireDecodeError("malformed worker reply body")
     return body["status"], body.get("value")
+
+
+def decode_reply_acked(data: bytes) -> Optional[int]:
+    """The applied-seq watermark a reply frame carries (``None`` if absent)."""
+    _, body = unpack_frame(data, expected_kind=REPLY_KIND)
+    if not isinstance(body, dict):
+        raise WireDecodeError("malformed worker reply body")
+    acked = body.get("acked")
+    return int(acked) if isinstance(acked, int) else None
 
 
 class WorkerSession:
@@ -136,8 +176,9 @@ class WorkerSession:
     """
 
     def __init__(self, recv: Callable[[], bytes], send: Callable[[bytes], None],
-                 decode: Callable[[Any], Tuple[str, Any, Tuple[Any, ...]]] = decode_command,
-                 encode: Callable[[str, Any], Any] = encode_reply,
+                 decode: Callable[[Any], Tuple[str, Any, Tuple[Any, ...],
+                                               Optional[int]]] = decode_command,
+                 encode: Callable[..., Any] = encode_reply,
                  peek: Optional[Callable[[Any], Optional[str]]] = peek_command_op):
         self._recv = recv
         self._send = send
@@ -146,6 +187,12 @@ class WorkerSession:
         self._peek = peek
         self._tracker: Any = None
         self._pending_error: Optional[BaseException] = None
+        self._applied_seq = 0
+
+    @property
+    def applied_seq(self) -> int:
+        """Highest submit sequence number applied (or primed at relaunch)."""
+        return self._applied_seq
 
     def serve(self) -> None:
         """Run the command loop; returns when stopped or disconnected."""
@@ -155,7 +202,7 @@ class WorkerSession:
             except (EOFError, ConnectionError, OSError):
                 return
             try:
-                op, fn, args = self._decode(data)
+                op, fn, args, seq = self._decode(data)
             except WireDecodeError as exc:
                 if not self._handle_undecodable(data, exc):
                     return
@@ -166,6 +213,10 @@ class WorkerSession:
                 if not self._launch(args):
                     return
             elif op == "submit":
+                if seq is not None:
+                    if seq <= self._applied_seq:
+                        continue  # idempotent replay: already applied
+                    self._applied_seq = seq
                 if self._pending_error is None:
                     try:
                         fn(self._tracker, *args)
@@ -173,15 +224,18 @@ class WorkerSession:
                         self._pending_error = exc
             elif op == "call":
                 if self._pending_error is not None:
-                    self._send(self._encode("error", self._pending_error))
+                    self._send(self._encode("error", self._pending_error,
+                                            self._applied_seq))
                     self._pending_error = None
                 else:
                     try:
                         result = fn(self._tracker, *args)
                     except BaseException as exc:
-                        self._send(self._encode("error", exc))
+                        self._send(self._encode("error", exc,
+                                                self._applied_seq))
                     else:
-                        self._send(self._encode("ok", result))
+                        self._send(self._encode("ok", result,
+                                                self._applied_seq))
             else:
                 # An op this build does not know: we cannot tell whether the
                 # sender awaits a reply, so any guess could desynchronize
@@ -201,23 +255,36 @@ class WorkerSession:
         """
         op = self._peek(data) if self._peek is not None else None
         if op == "call":
-            self._send(self._encode("error", exc))
+            self._send(self._encode("error", exc, self._applied_seq))
             return True
         if op == "submit":
             if self._pending_error is None:
                 self._pending_error = exc
             return True
         if op == "launch":
-            self._send(self._encode("error", exc))
+            self._send(self._encode("error", exc, self._applied_seq))
         return False
 
     def _launch(self, args: Tuple[Any, ...]) -> bool:
-        """Build the shard tracker; False ends the session (failed start)."""
+        """Build the shard tracker; False ends the session (failed start).
+
+        ``args`` is ``(builder,)`` for a fresh launch or
+        ``(builder, resume_seq)`` for a recovery/handoff relaunch, where
+        ``resume_seq`` primes the applied-seq counter so the replay of the
+        parent's log continues exactly where the restored state left off.
+        """
         try:
-            (builder,) = args
+            if not 1 <= len(args) <= 2:
+                raise ValueError(
+                    f"launch takes (builder,) or (builder, resume_seq), "
+                    f"got {len(args)} args"
+                )
+            builder = args[0]
+            resume_seq = int(args[1]) if len(args) == 2 else 0
             self._tracker = builder()
+            self._applied_seq = resume_seq
         except BaseException as exc:
-            self._send(self._encode("error", exc))
+            self._send(self._encode("error", exc, self._applied_seq))
             return False
-        self._send(self._encode("ready", None))
+        self._send(self._encode("ready", None, self._applied_seq))
         return True

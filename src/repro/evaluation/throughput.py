@@ -234,6 +234,7 @@ class ShardScalingResult:
     num_items: int
     chunk_size: int
     seconds: float
+    killed_at: Optional[int] = None
 
     @property
     def rate(self) -> float:
@@ -250,6 +251,8 @@ class ShardScalingResult:
             "items": self.num_items,
             "items_per_sec": round(self.rate),
         }
+        if self.killed_at is not None:
+            row["killed_at"] = self.killed_at
         if baseline_rate:
             row["speedup_vs_1_shard"] = round(self.rate / baseline_rate, 2)
         return row
@@ -269,6 +272,7 @@ def measure_sharded_throughput(
     chunk_size: int = BENCH_CHUNK_SIZE,
     repeats: int = 1,
     backend_options: Optional[Dict[str, Any]] = None,
+    kill_shard_at: Optional[int] = None,
 ) -> List[ShardScalingResult]:
     """Scaling curve: items/sec of a ``ShardedTracker`` versus shard count.
 
@@ -282,33 +286,97 @@ def measure_sharded_throughput(
     through to the backend constructor — ``{"transport": "pickle"}`` flips
     the process backend onto its legacy pickle pipes so ``bench --wire``
     can measure the wire codec's dispatch overhead against them.
-    """
-    from ..cluster import ShardedTracker  # local import: cluster sits above
 
+    With ``backend="socket"`` and no ``addresses`` in ``backend_options``
+    the bench spins up two embedded :class:`~repro.cluster.WorkerServer`
+    instances on localhost, so ``bench --backend socket --shards N`` is
+    self-contained.  ``kill_shard_at`` is the chaos knob: once that many
+    items have been pushed, every live session on the last embedded worker
+    is severed mid-stream and the backend must heal by reconnect + replay;
+    the measurement then *asserts* that the healed cluster accounted for
+    every item, so a recovery regression fails the bench instead of
+    silently shipping a partial rate.
+    """
+    from ..cluster import BackendError, ShardedTracker  # cluster sits above
+
+    if kill_shard_at is not None and kill_shard_at <= 0:
+        raise ValueError("kill_shard_at must be a positive item count")
     generator = ZipfianStreamGenerator(universe_size=universe_size, skew=skew,
                                        beta=beta, seed=seed)
     batch = WeightedItemBatch.from_pairs(generator.generate(num_items).items)
+    options = dict(backend_options) if backend_options else {}
+    servers: List[Any] = []
+    if backend == "socket" and not options.get("addresses"):
+        from ..cluster.socket_backend import WorkerServer
+
+        servers = [WorkerServer("127.0.0.1", 0).start() for _ in range(2)]
+        options["addresses"] = ["{0}:{1}".format(*server.address)
+                                for server in servers]
+    if kill_shard_at is not None and not servers:
+        raise ValueError(
+            "kill_shard_at needs the embedded localhost workers; use "
+            "backend='socket' without explicit addresses"
+        )
     results = []
-    for shards in shard_counts:
-        best = float("inf")
-        for _ in range(max(1, repeats)):
-            cluster = ShardedTracker.create(
-                spec, shards=shards, backend=backend,
-                backend_options=backend_options,
-                chunk_size=chunk_size, num_sites=num_sites, epsilon=epsilon,
-            )
-            try:
-                started = time.perf_counter()
-                cluster.run(batch)      # returns after the cluster drains
-                best = min(best, time.perf_counter() - started)
-            finally:
-                cluster.close()
-        results.append(ShardScalingResult(
-            workload="zipfian-heavy-hitters-sharded",
-            spec=spec, backend=backend, shards=shards,
-            num_items=len(batch), chunk_size=chunk_size, seconds=best,
-        ))
+    try:
+        for shards in shard_counts:
+            best = float("inf")
+            for _ in range(max(1, repeats)):
+                cluster = ShardedTracker.create(
+                    spec, shards=shards, backend=backend,
+                    backend_options=options or None,
+                    chunk_size=chunk_size, num_sites=num_sites,
+                    epsilon=epsilon,
+                )
+                try:
+                    started = time.perf_counter()
+                    if kill_shard_at is None:
+                        cluster.run(batch)  # returns once the cluster drains
+                    else:
+                        _run_with_kill(cluster, batch, chunk_size,
+                                       kill_shard_at, servers[-1])
+                    best = min(best, time.perf_counter() - started)
+                    if kill_shard_at is not None:
+                        processed = cluster.stats().items_processed
+                        if processed != len(batch):
+                            raise BackendError(
+                                f"chaos run lost items: the healed cluster "
+                                f"accounted for {processed} of {len(batch)} "
+                                f"items after the mid-stream worker kill"
+                            )
+                finally:
+                    cluster.close()
+            results.append(ShardScalingResult(
+                workload="zipfian-heavy-hitters-sharded",
+                spec=spec, backend=backend, shards=shards,
+                num_items=len(batch), chunk_size=chunk_size, seconds=best,
+                killed_at=kill_shard_at,
+            ))
+    finally:
+        for server in servers:
+            server.stop()
     return results
+
+
+def _run_with_kill(cluster: Any, batch: WeightedItemBatch, chunk_size: int,
+                   kill_shard_at: int, victim: Any) -> None:
+    """Push ``batch`` in chunks, severing ``victim``'s sessions mid-stream.
+
+    The kill lands after the first chunk boundary at or past
+    ``kill_shard_at`` items, while later chunks are still coming — the
+    socket backend must reconnect and replay for the stream to finish.
+    """
+    pushed = 0
+    killed = False
+    while pushed < len(batch):
+        cluster.push_batch(batch[pushed:pushed + chunk_size])
+        pushed += min(chunk_size, len(batch) - pushed)
+        if not killed and pushed >= kill_shard_at:
+            victim.kill_sessions()
+            killed = True
+    if not killed:
+        victim.kill_sessions()
+    cluster.flush()
 
 
 def sharded_report_rows(results: Sequence[ShardScalingResult]) -> List[Dict[str, Any]]:

@@ -116,11 +116,32 @@ class TestWireAndWorkerCli:
                      "--protocols", "P1", "--shards", "1",
                      "--backend", "serial", "--wire", "pickle"])
 
-    def test_bench_socket_backend_rejected_up_front(self):
-        with pytest.raises(SystemExit, match="process"):
+    def test_bench_kill_shard_at_requires_shards(self):
+        with pytest.raises(SystemExit, match="--shards"):
+            run_cli(["bench", "--num-items", "2000", "--num-rows", "200",
+                     "--protocols", "P1", "--backend", "socket",
+                     "--kill-shard-at", "1000"])
+
+    def test_bench_kill_shard_at_requires_socket_backend(self):
+        with pytest.raises(SystemExit, match="socket"):
             run_cli(["bench", "--num-items", "2000", "--num-rows", "200",
                      "--protocols", "P1", "--shards", "1",
-                     "--backend", "socket"])
+                     "--backend", "process", "--kill-shard-at", "1000"])
+
+    def test_bench_kill_shard_at_must_be_positive(self):
+        with pytest.raises(SystemExit, match="positive"):
+            run_cli(["bench", "--num-items", "2000", "--num-rows", "200",
+                     "--protocols", "P1", "--shards", "1",
+                     "--backend", "socket", "--kill-shard-at", "0"])
+
+    def test_worker_parser_accepts_fault_tolerance_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["worker", "--listen", "127.0.0.1:0",
+                                  "--standby", "--drain-grace", "2.5"])
+        assert args.standby is True
+        assert args.drain_grace == 2.5
+        args = parser.parse_args(["worker", "--listen", "127.0.0.1:0"])
+        assert args.standby is False and args.drain_grace is None
 
     def test_track_workers_requires_socket_backend(self):
         with pytest.raises(SystemExit, match="socket"):
