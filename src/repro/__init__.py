@@ -47,6 +47,7 @@ from .api import (
     create,
     get_spec,
 )
+from .gateway import Gateway, GatewayClient, GatewayError
 from .heavy_hitters import (
     BatchedMisraGriesProtocol,
     ExactForwardingProtocol,
@@ -112,6 +113,10 @@ __all__ = [
     "available_specs",
     "create",
     "get_spec",
+    # serving gateway
+    "Gateway",
+    "GatewayClient",
+    "GatewayError",
     # heavy hitters
     "BatchedMisraGriesProtocol",
     "ExactForwardingProtocol",

@@ -127,6 +127,57 @@ class Answer:
         """The :meth:`to_dict` payload serialized with :func:`json.dumps`."""
         return json.dumps(self.to_dict(), **dumps_kwargs)
 
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "Answer":
+        """Re-hydrate a :meth:`to_dict` payload into a typed ``Answer``.
+
+        The inverse the serving path needs: gateway clients receive answers
+        as JSON and reconstruct the frozen dataclasses — the answer and
+        query classes are resolved by the names the payload carries, tuple
+        fields (heavy hitters, ``missing_shards``) become tuples again and
+        matrix estimates/query directions become ``float64`` arrays.  Raises
+        ``ValueError`` on payloads that do not name a known answer/query
+        type (a malformed or foreign document, not an encoding bug).
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"Answer.from_dict needs a to_dict() payload, got "
+                f"{type(payload).__name__}"
+            )
+        answer_cls = _ANSWER_TYPES.get(payload.get("answer"))
+        if answer_cls is None:
+            raise ValueError(
+                f"unknown answer type {payload.get('answer')!r}; expected "
+                f"one of {sorted(_ANSWER_TYPES)}"
+            )
+        query_payload = payload.get("query")
+        if not isinstance(query_payload, dict):
+            raise ValueError("answer payload carries no query dictionary")
+        query_cls = _QUERY_TYPES.get(query_payload.get("type"))
+        if query_cls is None:
+            raise ValueError(
+                f"unknown query type {query_payload.get('type')!r}; expected "
+                f"one of {sorted(_QUERY_TYPES)}"
+            )
+        query_kwargs = {
+            name: value for name, value in query_payload.items()
+            if name != "type"
+        }
+        if query_cls is Norms and query_kwargs.get("directions") is not None:
+            query_kwargs["directions"] = np.asarray(
+                query_kwargs["directions"], dtype=np.float64)
+        kwargs: Dict[str, Any] = {"query": query_cls(**query_kwargs)}
+        for field_info in dataclasses.fields(answer_cls):
+            if field_info.name == "query":
+                continue
+            value = payload.get(field_info.name)
+            if field_info.name == "estimate":
+                value = _rehydrate_estimate(answer_cls, value)
+            elif field_info.name == "missing_shards":
+                value = tuple(int(shard) for shard in (value or ()))
+            kwargs[field_info.name] = value
+        return answer_cls(**kwargs)
+
 
 @dataclass(frozen=True)
 class Query:
@@ -371,3 +422,60 @@ class ApproximationError(Query):
             error_bound=normalised,
             **self._snapshot(protocol),
         )
+
+
+# ------------------------------------------------------- from_dict machinery
+# Name → class maps for Answer.from_dict; plain ``Answer`` is included because
+# ApproximationError answers with the base class directly.
+_ANSWER_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        Answer,
+        HeavyHittersAnswer,
+        FrequencyAnswer,
+        TotalWeightAnswer,
+        CovarianceAnswer,
+        NormsAnswer,
+        SketchMatrixAnswer,
+        FrobeniusSquaredAnswer,
+    )
+}
+
+_QUERY_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        HeavyHitters,
+        Frequency,
+        TotalWeight,
+        Covariance,
+        Norms,
+        SketchMatrix,
+        FrobeniusSquared,
+        ApproximationError,
+    )
+}
+
+# Answer classes whose estimate is a matrix/vector (nested lists in JSON).
+_ARRAY_ESTIMATES = (CovarianceAnswer, SketchMatrixAnswer)
+
+
+def _rehydrate_estimate(answer_cls: type, value: Any) -> Any:
+    """Undo ``_jsonify`` on an answer's ``estimate`` field."""
+    if value is None:
+        return None
+    if answer_cls is HeavyHittersAnswer:
+        return tuple(
+            HeavyHitter(
+                element=item["element"],
+                estimated_weight=item["estimated_weight"],
+                relative_weight=item["relative_weight"],
+            )
+            for item in value
+        )
+    if issubclass(answer_cls, _ARRAY_ESTIMATES):
+        return np.asarray(value, dtype=np.float64)
+    if answer_cls is NormsAnswer and isinstance(value, list):
+        return np.asarray(value, dtype=np.float64)
+    # Scalar estimates (frequency, total weight, Frobenius, error metric)
+    # pass through untouched so int/float fidelity is preserved.
+    return value

@@ -22,9 +22,13 @@ Examples
     repro-experiments protocols
     repro-experiments track --protocol hh/P3 --num-items 50000 --phi 0.05
     repro-experiments worker --listen 0.0.0.0:7071
+    repro-experiments worker --listen 0.0.0.0:7071 --tls-cert server.pem \
+        --tls-key server.key --auth-token s3cret
     repro-experiments track --protocol hh/P2 --shards 2 --backend socket \
         --workers host-a:7071,host-b:7071
+    repro-experiments serve --spec hh/P2 --shards 2 --listen 127.0.0.1:8080
     repro-experiments bench --shards 1,2 --backend process --wire pickle
+    repro-experiments bench --gateway --gateway-clients 1,8,32 --json out.json
     repro-experiments list
 """
 
@@ -84,6 +88,8 @@ _EXPERIMENTS = {
     "protocols": "The protocol registry: spec names, classes and parameters",
     "track": "Run one tracking session for a registry spec (--protocol hh/P3)",
     "worker": "Host shard sessions for the socket backend (--listen HOST:PORT)",
+    "serve": "Serve a tracking session over HTTP/JSON (--spec hh/P2 "
+             "--listen HOST:PORT)",
 }
 
 
@@ -254,6 +260,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--profile", action="store_true",
                      help="run the measurements under cProfile and print the "
                           "top 20 functions by cumulative time")
+    sub.add_argument("--gateway", action="store_true",
+                     help="also load-test the HTTP serving gateway: mixed "
+                          "push+query traffic at --gateway-clients "
+                          "concurrency levels, reporting QPS and p50/p99 "
+                          "latency (rows land under 'gateway' in --json)")
+    sub.add_argument("--gateway-clients", type=_parse_int_list,
+                     default=None, metavar="N1,N2,...",
+                     help="concurrency levels for --gateway (default 1,8,32)")
+    sub.add_argument("--gateway-requests", type=int, default=150,
+                     metavar="N",
+                     help="requests per client per level for --gateway")
+    sub.add_argument("--gateway-spec", type=_parse_spec, default="hh/P2",
+                     help="registry spec served by the embedded --gateway "
+                          "load test")
+    sub.add_argument("--gateway-url", metavar="URL", default=None,
+                     help="drive an already-running gateway at URL instead "
+                          "of standing up an embedded one (CI mode)")
+    sub.add_argument("--gateway-auth-token", metavar="TOKEN", default=None,
+                     help="bearer token for --gateway / --gateway-url")
     sub.add_argument("--seed", type=int, default=2014)
 
     subparsers.add_parser("protocols", help=_EXPERIMENTS["protocols"])
@@ -305,6 +330,70 @@ def build_parser() -> argparse.ArgumentParser:
                      help="on SIGTERM/Ctrl-C, stop accepting connections but "
                           "give in-flight shard sessions up to SECONDS to "
                           "finish before closing (default: stop immediately)")
+    sub.add_argument("--tls-cert", metavar="PEM", default=None,
+                     help="serve the shard protocol over TLS with this "
+                          "certificate (connecting backends then need "
+                          "tls_ca=... in backend_options)")
+    sub.add_argument("--tls-key", metavar="PEM", default=None,
+                     help="private key for --tls-cert (omit if the cert file "
+                          "bundles the key)")
+    sub.add_argument("--tls-ca", metavar="PEM", default=None,
+                     help="require client certificates signed by this CA "
+                          "(mutual TLS)")
+    sub.add_argument("--auth-token", metavar="TOKEN", default=None,
+                     help="require connecting backends to answer an HMAC "
+                          "challenge with this shared token (pass the same "
+                          "token as auth_token in backend_options)")
+
+    sub = subparsers.add_parser("serve", help=_EXPERIMENTS["serve"])
+    sub.add_argument("--spec", type=_parse_spec, required=True,
+                     help="registry spec name to serve, e.g. hh/P2 or "
+                          "matrix/P2 (see `repro-experiments protocols`)")
+    sub.add_argument("--listen", metavar="HOST:PORT", default="127.0.0.1:8080",
+                     help="HTTP endpoint to listen on (port 0 picks an "
+                          "ephemeral port, printed on startup)")
+    sub.add_argument("--shards", type=int, default=1,
+                     help="shard the served session over this many "
+                          "coordinator groups")
+    sub.add_argument("--backend", choices=available_backends(),
+                     default="serial",
+                     help="engine backend for the served session")
+    sub.add_argument("--workers", metavar="HOST:PORT,HOST:PORT,...",
+                     default=None,
+                     help="worker endpoints for --backend socket (started "
+                          "with `repro-experiments worker --listen`)")
+    sub.add_argument("--num-sites", type=int, default=10,
+                     help="number of sites m")
+    sub.add_argument("--epsilon", type=float, default=0.05,
+                     help="approximation parameter")
+    sub.add_argument("--dimension", type=int, default=32,
+                     help="row dimension (matrix domain only)")
+    sub.add_argument("--seed", type=int, default=2014)
+    sub.add_argument("--chunk-size", type=_parse_chunk_size, default=4096)
+    sub.add_argument("--auth-token", metavar="TOKEN", default=None,
+                     help="require `Authorization: Bearer TOKEN` on every "
+                          "request except /v1/healthz")
+    sub.add_argument("--tls-cert", metavar="PEM", default=None,
+                     help="serve HTTPS with this certificate")
+    sub.add_argument("--tls-key", metavar="PEM", default=None,
+                     help="private key for --tls-cert")
+    sub.add_argument("--request-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="per-request deadline (504 when exceeded)")
+    sub.add_argument("--max-body-bytes", type=int, default=None,
+                     metavar="BYTES",
+                     help="reject request bodies larger than this with 413")
+    sub.add_argument("--worker-tls-ca", metavar="PEM", default=None,
+                     help="CA bundle that signed the --backend socket "
+                          "workers' --tls-cert (enables TLS to the workers)")
+    sub.add_argument("--worker-tls-cert", metavar="PEM", default=None,
+                     help="client certificate presented to --tls-ca workers "
+                          "(mutual TLS)")
+    sub.add_argument("--worker-tls-key", metavar="PEM", default=None,
+                     help="private key for --worker-tls-cert")
+    sub.add_argument("--worker-auth-token", metavar="TOKEN", default=None,
+                     help="shared token answering the workers' --auth-token "
+                          "HMAC challenge")
 
     return parser
 
@@ -409,6 +498,8 @@ def _run_bench(args, out) -> None:
             )
         if args.kill_shard_at <= 0:
             raise SystemExit("--kill-shard-at must be a positive item count")
+    if args.gateway_url is not None and not args.gateway:
+        raise SystemExit("--gateway-url requires --gateway")
 
     def _measure():
         rows = throughput_report_rows(num_items=args.num_items,
@@ -432,16 +523,32 @@ def _run_bench(args, out) -> None:
                 seed=args.seed,
                 kill_shard_at=args.kill_shard_at)
             scaling = sharded_report_rows(results)
-        return rows, scaling
+        gateway = None
+        if args.gateway:
+            from .evaluation.gateway_bench import (
+                DEFAULT_CLIENT_COUNTS,
+                gateway_report_rows,
+                measure_gateway_load,
+            )
+
+            results = measure_gateway_load(
+                spec=args.gateway_spec,
+                client_counts=args.gateway_clients or DEFAULT_CLIENT_COUNTS,
+                requests_per_client=args.gateway_requests,
+                seed=args.seed,
+                gateway_url=args.gateway_url,
+                auth_token=args.gateway_auth_token)
+            gateway = gateway_report_rows(results)
+        return rows, scaling, gateway
 
     if args.profile:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
-        rows, scaling = profiler.runcall(_measure)
+        rows, scaling, gateway = profiler.runcall(_measure)
     else:
-        rows, scaling = _measure()
+        rows, scaling, gateway = _measure()
 
     _emit(format_table(rows, title="Ingestion throughput (per-item vs batched)"),
           out)
@@ -461,6 +568,21 @@ def _run_bench(args, out) -> None:
             suffix = f" ({speedup}x vs 1 shard)" if speedup else ""
             _emit(f"{row['shards']} shard(s) [{row['backend']}]: "
                   f"{row['items_per_sec']:,} items/sec{suffix}", out)
+    if gateway is not None:
+        _emit(format_table(gateway,
+                           columns=["clients", "requests", "queries",
+                                    "pushes", "requests_per_second",
+                                    "queries_per_second", "p50_latency_ms",
+                                    "p99_latency_ms"],
+                           title="Gateway load (mixed push+query over HTTP)"),
+              out)
+        for row in gateway:
+            _emit(f"{row['clients']} client(s) [{row['spec']}, "
+                  f"{row['backend']} backend]: "
+                  f"{row['requests_per_second']:,.0f} req/sec "
+                  f"({row['queries_per_second']:,.0f} queries/sec), "
+                  f"p50 {row['p50_latency_ms']:.2f} ms, "
+                  f"p99 {row['p99_latency_ms']:.2f} ms", out)
 
     if args.profile:
         import io as _io
@@ -488,9 +610,13 @@ def _run_bench(args, out) -> None:
                 "backend": args.backend if args.shards else None,
                 "wire": args.wire,
                 "kill_shard_at": args.kill_shard_at,
+                "gateway_spec": args.gateway_spec if args.gateway else None,
+                "gateway_requests_per_client":
+                    args.gateway_requests if args.gateway else None,
             },
             "throughput": rows,
             "scaling": scaling,
+            "gateway": gateway,
         }
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -531,6 +657,10 @@ def _make_session(spec, args, build_kwargs: dict):
         if args.backend != "socket":
             raise SystemExit("--workers requires --backend socket")
         backend_options = {"addresses": args.workers}
+        for option in ("tls_ca", "tls_cert", "tls_key", "auth_token"):
+            value = getattr(args, f"worker_{option}", None)
+            if value is not None:
+                backend_options[option] = value
     elif args.backend == "socket":
         raise SystemExit(
             "--backend socket needs --workers HOST:PORT[,HOST:PORT...] "
@@ -607,21 +737,46 @@ def _run_worker(args, out) -> None:
     """Serve shard sessions for socket-backend parents until interrupted."""
     import signal
 
-    from .cluster.socket_backend import WorkerServer, parse_address
+    from .cluster.socket_backend import (
+        WorkerServer,
+        parse_address,
+        server_ssl_context,
+    )
 
+    if args.tls_key and not args.tls_cert:
+        raise SystemExit("--tls-key requires --tls-cert")
+    if args.tls_ca and not args.tls_cert:
+        raise SystemExit("--tls-ca requires --tls-cert (the worker must "
+                         "present its own certificate to verify clients)")
+    ssl_context = None
+    if args.tls_cert:
+        ssl_context = server_ssl_context(args.tls_cert, keyfile=args.tls_key,
+                                         cafile=args.tls_ca)
     host, port = parse_address(args.listen)
-    server = WorkerServer(host, port)
-    bound_host, bound_port = server.address
-    role = "standby worker" if args.standby else "worker"
-    _emit(f"repro {role} listening on {bound_host}:{bound_port} "
-          "(wire-frame shard protocol; one session per connection; "
-          "stop with Ctrl-C or SIGTERM)", out)
+    server = WorkerServer(host, port, ssl_context=ssl_context,
+                          auth_token=args.auth_token)
 
     def _terminate(signum, frame):  # pragma: no cover - signal delivery
         raise KeyboardInterrupt
 
+    # Install the handler before announcing readiness: the banner tells
+    # orchestration scripts they may now manage (and terminate) us.
     previous = signal.signal(signal.SIGTERM, _terminate)
     try:
+        bound_host, bound_port = server.address
+        role = "standby worker" if args.standby else "worker"
+        tls_status = ("mutual-tls" if args.tls_ca else "on") if ssl_context \
+            else "off"
+        auth_status = "hmac-token" if args.auth_token else "off"
+        # Readiness line on stderr so orchestration scripts (and the CI
+        # gateway job) can wait on the bind without parsing stdout.
+        print(f"repro-worker ready host={bound_host} port={bound_port} "
+              f"tls={tls_status} auth={auth_status}",
+              file=sys.stderr, flush=True)
+        _emit(f"repro {role} listening on {bound_host}:{bound_port} "
+              f"(wire-frame shard protocol; tls={tls_status} "
+              f"auth={auth_status}; one session per connection; "
+              "stop with Ctrl-C or SIGTERM)", out)
         server.serve_forever()
     except KeyboardInterrupt:
         pass
@@ -634,6 +789,63 @@ def _run_worker(args, out) -> None:
                 _emit(f"drain grace expired with {server.active_sessions} "
                       "session(s) still attached; closing them", out)
         server.stop()
+
+
+def _run_serve(args, out) -> None:
+    """Serve one tracking session over the HTTP/JSON gateway."""
+    import signal
+
+    from .cluster.socket_backend import parse_address, server_ssl_context
+    from .gateway import Gateway
+
+    if args.tls_key and not args.tls_cert:
+        raise SystemExit("--tls-key requires --tls-cert")
+    ssl_context = None
+    if args.tls_cert:
+        ssl_context = server_ssl_context(args.tls_cert, keyfile=args.tls_key)
+    spec = get_spec(args.spec)
+    tracker = _make_session(
+        spec, args, _spec_kwargs(spec, {"num_sites": args.num_sites,
+                                        "epsilon": args.epsilon,
+                                        "dimension": args.dimension,
+                                        "seed": args.seed}))
+    host, port = parse_address(args.listen)
+    gateway_kwargs = {}
+    if args.max_body_bytes is not None:
+        gateway_kwargs["max_body_bytes"] = args.max_body_bytes
+    gateway = Gateway(tracker, host=host, port=port,
+                      auth_token=args.auth_token,
+                      request_timeout=args.request_timeout,
+                      ssl_context=ssl_context, **gateway_kwargs)
+
+    def _terminate(signum, frame):  # pragma: no cover - signal delivery
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        gateway.start()
+        tls_status = "on" if ssl_context else "off"
+        auth_status = "bearer-token" if args.auth_token else "off"
+        shards = getattr(tracker, "num_shards", 1)
+        backend = getattr(tracker, "backend_name", "in-process")
+        # Readiness on stderr, mirroring the worker banner, so scripts can
+        # block on the bind.
+        print(f"repro-gateway ready url={gateway.url} spec={spec.name} "
+              f"shards={shards} tls={tls_status} auth={auth_status}",
+              file=sys.stderr, flush=True)
+        _emit(f"serving {spec.name} ({shards} shard(s), {backend} backend) "
+              f"at {gateway.url} — routes: POST /v1/push, "
+              "GET /v1/query/<kind>, GET /v1/stats, GET /v1/healthz, "
+              "POST /v1/checkpoint; stop with Ctrl-C or SIGTERM", out)
+        while not gateway.join(timeout=1.0):
+            pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        gateway.stop()
+        if isinstance(tracker, ShardedTracker):
+            tracker.close()
 
 
 def _run_figure67(args, out) -> None:
@@ -679,6 +891,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         _run_track(args, out)
     elif args.command == "worker":
         _run_worker(args, out)
+    elif args.command == "serve":
+        _run_serve(args, out)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return 0

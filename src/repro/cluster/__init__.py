@@ -49,6 +49,8 @@ from .socket_backend import (
     DEFAULT_REPLAY_LOG_BYTES,
     SocketBackend,
     WorkerServer,
+    client_ssl_context,
+    server_ssl_context,
 )
 
 __all__ = [
@@ -66,6 +68,8 @@ __all__ = [
     "backend_registry_rows",
     "create_backend",
     "get_backend_spec",
+    "client_ssl_context",
+    "server_ssl_context",
     "DEFAULT_IO_TIMEOUT",
     "DEFAULT_REPLAY_LOG_BYTES",
     "DEFAULT_SHUTDOWN_TIMEOUT",

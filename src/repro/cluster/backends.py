@@ -81,6 +81,15 @@ class EngineBackend(abc.ABC):
 
     name: str = "abstract"
 
+    #: True when submit/call may be issued from more than one caller thread
+    #: at once.  Most backends multiplex one transport per shard (pipe,
+    #: socket, shared-memory ring) from the dispatching thread's frames, so
+    #: concurrent dispatch would interleave frames and corrupt the session —
+    #: callers like the serving gateway must then funnel all dispatch
+    #: through a single thread.  The thread backend's per-shard queues are
+    #: genuinely thread-safe, so it opts in.
+    dispatch_concurrency_safe: bool = False
+
     def __init__(self) -> None:
         self._num_shards = 0
         self._launched = False
@@ -283,6 +292,8 @@ class ThreadBackend(EngineBackend):
     """One worker thread per shard (FIFO per shard, shards run concurrently)."""
 
     name = "thread"
+    # Per-shard queue.Queue dispatch: safe to submit/call from many threads.
+    dispatch_concurrency_safe = True
 
     def __init__(self,
                  shutdown_timeout: float = DEFAULT_SHUTDOWN_TIMEOUT) -> None:

@@ -254,6 +254,18 @@ class ShardedTracker:
         return self._backend_name
 
     @property
+    def dispatch_concurrency_safe(self) -> bool:
+        """True when queries may be dispatched concurrently with ingestion.
+
+        Mirrors the engine backend's
+        :attr:`~repro.cluster.backends.EngineBackend.dispatch_concurrency_safe`:
+        the serving gateway runs queries on a separate executor only when
+        this is True, otherwise it funnels them through its single writer
+        thread.
+        """
+        return bool(getattr(self._backend, "dispatch_concurrency_safe", False))
+
+    @property
     def chunk_size(self) -> Optional[int]:
         """Per-shard engine chunk size (``None`` = per-item dispatch)."""
         return self._chunk_size

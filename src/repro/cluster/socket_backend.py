@@ -60,7 +60,10 @@ before retiring it (:meth:`WorkerServer.drain`).
 
 from __future__ import annotations
 
+import hmac
+import os
 import socket
+import ssl
 import threading
 import time
 from typing import (
@@ -75,7 +78,14 @@ from typing import (
     Union,
 )
 
-from ..wire import WireDecodeError, recv_frame, send_frame
+from ..wire import (
+    WireDecodeError,
+    pack_frame,
+    peek_kind,
+    recv_frame,
+    send_frame,
+    unpack_frame,
+)
 from .backends import (
     BackendError,
     BackendSpec,
@@ -85,15 +95,24 @@ from .backends import (
     _register,
     drain_call_all,
 )
-from .worker_protocol import WorkerSession, decode_reply, encode_command
+from .worker_protocol import (
+    WorkerSession,
+    decode_reply,
+    encode_command,
+    encode_reply,
+)
 
 __all__ = [
+    "AUTH_CHALLENGE_KIND",
+    "AUTH_RESPONSE_KIND",
     "DEFAULT_IO_TIMEOUT",
     "DEFAULT_REPLAY_LOG_BYTES",
     "SocketBackend",
     "WorkerServer",
+    "client_ssl_context",
     "parse_address",
     "parse_address_list",
+    "server_ssl_context",
 ]
 
 AddressLike = Union[str, Tuple[str, int]]
@@ -108,6 +127,56 @@ DEFAULT_IO_TIMEOUT = 300.0
 #: (one state-frame call) and trims the log, so recovery replays a bounded
 #: tail instead of the whole stream.
 DEFAULT_REPLAY_LOG_BYTES = 1 << 24
+
+#: Frame kinds of the HMAC challenge-response launch handshake.  When a
+#: worker runs with ``--auth-token`` it sends a challenge (random nonce)
+#: immediately after accepting (and TLS-wrapping) a connection; the parent
+#: must answer with ``HMAC-SHA256(token, nonce)`` before anything else is
+#: served.  Reconnect/replay recovery goes through the same
+#: ``_connect_and_launch`` path, so a healed connection re-authenticates
+#: before any replay frame is sent.
+AUTH_CHALLENGE_KIND = "repro/worker-auth-challenge"
+AUTH_RESPONSE_KIND = "repro/worker-auth-response"
+
+_AUTH_NONCE_BYTES = 32
+
+#: Seconds a worker allows one accepted connection to finish its TLS and/or
+#: auth handshake.  Bounded so a port-scanner or a plaintext client hitting
+#: a TLS worker occupies a serving thread briefly, not forever.
+DEFAULT_HANDSHAKE_TIMEOUT = 10.0
+
+
+def _auth_mac(token: str, nonce: bytes) -> bytes:
+    return hmac.new(token.encode("utf-8"), nonce, "sha256").digest()
+
+
+def server_ssl_context(certfile: str, keyfile: Optional[str] = None,
+                       cafile: Optional[str] = None) -> ssl.SSLContext:
+    """A worker-side TLS context: server cert + optional client-cert check.
+
+    ``cafile`` switches on mutual TLS — connections must then present a
+    client certificate signed by that CA (``CERT_REQUIRED``).
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.load_cert_chain(certfile, keyfile)
+    if cafile:
+        context.load_verify_locations(cafile=cafile)
+        context.verify_mode = ssl.CERT_REQUIRED
+    return context
+
+
+def client_ssl_context(cafile: Optional[str] = None,
+                       certfile: Optional[str] = None,
+                       keyfile: Optional[str] = None) -> ssl.SSLContext:
+    """A parent-side TLS context trusting ``cafile`` (hostname-checked).
+
+    ``certfile``/``keyfile`` add a client certificate for workers that
+    demand mutual TLS (``--tls-ca`` on the worker).
+    """
+    context = ssl.create_default_context(cafile=cafile)
+    if certfile:
+        context.load_cert_chain(certfile, keyfile)
+    return context
 
 
 def parse_address(address: AddressLike) -> Tuple[str, int]:
@@ -182,10 +251,14 @@ class _SocketShard(RemoteShardHandle):
                  spare_addresses: Sequence[Tuple[str, int]] = (),
                  reconnect_attempts: int = 3,
                  reconnect_backoff: float = 0.2,
-                 replay_log_bytes: int = DEFAULT_REPLAY_LOG_BYTES):
+                 replay_log_bytes: int = DEFAULT_REPLAY_LOG_BYTES,
+                 ssl_context: Optional[ssl.SSLContext] = None,
+                 auth_token: Optional[str] = None):
         self.index = index
         self.address = address
         self.compress = compress
+        self._ssl_context = ssl_context
+        self._auth_token = auth_token
         self._connect_timeout = float(connect_timeout)
         self._io_timeout = None if io_timeout is None else float(io_timeout)
         self._spares: List[Tuple[str, int]] = list(spare_addresses)
@@ -215,8 +288,11 @@ class _SocketShard(RemoteShardHandle):
         identical to the pre-recovery protocol); an integer is a
         recovery/handoff relaunch that primes the worker's applied-seq
         counter.  The connect timeout stays armed through the whole
-        handshake: a worker that accepts and then never replies ``ready``
+        handshake — TCP connect, TLS wrap, auth challenge-response, and the
+        launch reply: a worker that accepts and then never replies ``ready``
         must fail ``create()`` within the deadline, not hang it forever.
+        Because recovery and handoff relaunches come through here too, a
+        healed connection re-runs TLS and auth before any replay frame.
         Any failure closes the socket (the session is not yet registered
         anywhere else) and raises :class:`BackendError`.
         """
@@ -233,11 +309,29 @@ class _SocketShard(RemoteShardHandle):
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:  # pragma: no cover - exotic socket families
             pass
+        if self._ssl_context is not None:
+            try:
+                sock = self._ssl_context.wrap_socket(
+                    sock, server_hostname=address[0])
+            except (OSError, ssl.SSLError) as exc:
+                # SSLError subclasses OSError; both land here.  Covers an
+                # expired/untrusted certificate on either side, a mutual-TLS
+                # worker rejecting our client cert, and a plaintext worker
+                # answering the ClientHello with garbage.
+                sock.close()
+                raise BackendError(
+                    f"TLS handshake with worker {_addr(address)} failed for "
+                    f"shard {self.index}: {exc} (check the worker's "
+                    f"--tls-cert/--tls-key/--tls-ca against this backend's "
+                    f"tls_ca/tls_cert/tls_key options)"
+                ) from exc
+        if self._auth_token is not None:
+            self._authenticate(sock, address)
         args = (builder,) if resume_seq is None else (builder, int(resume_seq))
         try:
             send_frame(sock, encode_command("launch", None, args,
                                             compress=self.compress))
-            status, value = _decode_reply_as_backend_errors(recv_frame(sock))
+            reply = recv_frame(sock)
         except socket.timeout as exc:
             sock.close()
             raise BackendError(
@@ -247,9 +341,14 @@ class _SocketShard(RemoteShardHandle):
             ) from exc
         except (EOFError, ConnectionError, OSError) as exc:
             sock.close()
+            hint = ""
+            if self._ssl_context is None:
+                hint = (" — if the worker listens with --tls-cert, this "
+                        "backend must enable TLS too (tls_ca in "
+                        "backend_options)")
             raise BackendError(
                 f"worker {_addr(address)} dropped shard {self.index}'s "
-                f"connection during the launch handshake: {exc}"
+                f"connection during the launch handshake: {exc}{hint}"
             ) from exc
         except WireDecodeError as exc:
             sock.close()
@@ -260,6 +359,23 @@ class _SocketShard(RemoteShardHandle):
         except BaseException:
             sock.close()
             raise
+        if peek_kind(reply) == AUTH_CHALLENGE_KIND:
+            # The worker demands authentication we are not configured for.
+            sock.close()
+            raise BackendError(
+                f"worker {_addr(address)} requires authentication but shard "
+                f"{self.index} has no auth_token; pass "
+                f"backend_options={{'auth_token': ...}} matching the "
+                f"worker's --auth-token"
+            )
+        try:
+            status, value = _decode_reply_as_backend_errors(reply)
+        except WireDecodeError as exc:
+            sock.close()
+            raise BackendError(
+                f"worker {_addr(address)} sent shard {self.index} a corrupt "
+                f"launch reply: {exc}"
+            ) from exc
         if status != "ready":
             sock.close()
             raise BackendError(
@@ -268,6 +384,48 @@ class _SocketShard(RemoteShardHandle):
             )
         sock.settimeout(self._io_timeout)
         return sock
+
+    def _authenticate(self, sock: socket.socket,
+                      address: Tuple[str, int]) -> None:
+        """Answer the worker's HMAC challenge (parent side of the handshake)."""
+        try:
+            challenge = recv_frame(sock)
+        except socket.timeout as exc:
+            sock.close()
+            raise BackendError(
+                f"worker {_addr(address)} sent shard {self.index} no auth "
+                f"challenge within the {self._connect_timeout:g}s "
+                f"connect_timeout — an auth_token is configured here but "
+                f"the worker does not appear to run with --auth-token "
+                f"(or the TLS settings disagree: a --tls-cert worker needs "
+                f"tls_ca in backend_options)"
+            ) from exc
+        except (EOFError, ConnectionError, OSError) as exc:
+            sock.close()
+            raise BackendError(
+                f"worker {_addr(address)} dropped shard {self.index}'s "
+                f"connection before the auth challenge: {exc}"
+            ) from exc
+        try:
+            _kind, nonce = unpack_frame(challenge,
+                                        expected_kind=AUTH_CHALLENGE_KIND)
+        except WireDecodeError as exc:
+            sock.close()
+            raise BackendError(
+                f"worker {_addr(address)} sent shard {self.index} an "
+                f"unexpected frame instead of an auth challenge "
+                f"(worker not running with --auth-token?): {exc}"
+            ) from exc
+        try:
+            send_frame(sock, pack_frame(
+                AUTH_RESPONSE_KIND,
+                _auth_mac(self._auth_token, bytes(nonce))))
+        except OSError as exc:
+            sock.close()
+            raise BackendError(
+                f"worker {_addr(address)} dropped shard {self.index}'s "
+                f"auth response: {exc}"
+            ) from exc
 
     def _poison(self, reason: str) -> None:
         self._broken = reason
@@ -567,6 +725,16 @@ class SocketBackend(EngineBackend):
     replay_log_bytes:
         Per-shard budget for the replay log of unacknowledged submit
         frames; exceeding it triggers a state snapshot that trims the log.
+    tls_ca / tls_cert / tls_key:
+        Enable TLS to the workers: ``tls_ca`` is the CA bundle that must
+        have signed the workers' ``--tls-cert`` (hostname-checked);
+        ``tls_cert``/``tls_key`` add a client certificate for workers that
+        demand mutual TLS (``--tls-ca``).  Alternatively pass a ready
+        ``ssl_context`` (programmatic use; overrides the file options).
+    auth_token:
+        Shared secret for the worker's HMAC challenge-response launch
+        handshake (``--auth-token`` on the worker).  Never sent on the
+        wire — only an HMAC over the worker's one-time nonce is.
     """
 
     name = "socket"
@@ -580,7 +748,12 @@ class SocketBackend(EngineBackend):
                                         None] = None,
                  reconnect_attempts: int = 3,
                  reconnect_backoff: float = 0.2,
-                 replay_log_bytes: int = DEFAULT_REPLAY_LOG_BYTES):
+                 replay_log_bytes: int = DEFAULT_REPLAY_LOG_BYTES,
+                 tls_ca: Optional[str] = None,
+                 tls_cert: Optional[str] = None,
+                 tls_key: Optional[str] = None,
+                 ssl_context: Optional[ssl.SSLContext] = None,
+                 auth_token: Optional[str] = None):
         super().__init__()
         if addresses is None:
             # The only registered backend with a required option; every
@@ -602,6 +775,11 @@ class SocketBackend(EngineBackend):
         self._reconnect_attempts = int(reconnect_attempts)
         self._reconnect_backoff = float(reconnect_backoff)
         self._replay_log_bytes = int(replay_log_bytes)
+        if ssl_context is None and (tls_ca or tls_cert):
+            ssl_context = client_ssl_context(cafile=tls_ca, certfile=tls_cert,
+                                             keyfile=tls_key)
+        self._ssl_context = ssl_context
+        self._auth_token = auth_token
         self._placement_version = 0
 
     def _launch(self, builders: Sequence[Callable[[], Any]]) -> None:
@@ -616,7 +794,9 @@ class SocketBackend(EngineBackend):
                                  spare_addresses=self._spares,
                                  reconnect_attempts=self._reconnect_attempts,
                                  reconnect_backoff=self._reconnect_backoff,
-                                 replay_log_bytes=self._replay_log_bytes)
+                                 replay_log_bytes=self._replay_log_bytes,
+                                 ssl_context=self._ssl_context,
+                                 auth_token=self._auth_token)
                 )
         except BaseException:
             self.close()
@@ -749,16 +929,32 @@ class WorkerServer:
     for them to finish naturally (graceful worker retirement).
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 ssl_context: Optional[ssl.SSLContext] = None,
+                 auth_token: Optional[str] = None,
+                 handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT):
         self._listener = socket.create_server((host, port), backlog=16,
                                               reuse_port=False)
         self._host = host
+        self._ssl_context = ssl_context
+        self._auth_token = auth_token
+        self._handshake_timeout = float(handshake_timeout)
         self._closed = threading.Event()
         self._threads: List[threading.Thread] = []
         self._accept_thread: Optional[threading.Thread] = None
         self._sessions_served = 0
         self._session_lock = threading.Lock()
         self._session_socks: Set[socket.socket] = set()
+
+    @property
+    def uses_tls(self) -> bool:
+        """True when accepted connections are TLS-wrapped."""
+        return self._ssl_context is not None
+
+    @property
+    def requires_auth(self) -> bool:
+        """True when connections must pass the HMAC launch handshake."""
+        return self._auth_token is not None
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -833,11 +1029,70 @@ class WorkerServer:
             self._threads = [t for t in self._threads if t.is_alive()]
             self._threads.append(thread)
 
+    def _secure_connection(self, conn: socket.socket) -> socket.socket:
+        """Run the TLS wrap and/or HMAC handshake on one accepted socket.
+
+        Both steps happen under ``handshake_timeout`` so a plaintext client
+        hitting a TLS port, or a client that never answers the challenge,
+        releases this serving thread quickly.  Auth failure sends the parent
+        a worker-protocol error reply first — its pending launch then fails
+        with a :class:`BackendError` naming the shard instead of a bare
+        connection reset.  Raises on any failure; the caller closes up.
+        """
+        if self._ssl_context is None and self._auth_token is None:
+            return conn
+        conn.settimeout(self._handshake_timeout)
+        if self._ssl_context is not None:
+            conn = self._ssl_context.wrap_socket(conn, server_side=True)
+        if self._auth_token is not None:
+            nonce = os.urandom(_AUTH_NONCE_BYTES)
+            send_frame(conn, pack_frame(AUTH_CHALLENGE_KIND, nonce))
+            try:
+                _kind, mac = unpack_frame(recv_frame(conn),
+                                          expected_kind=AUTH_RESPONSE_KIND)
+                authentic = isinstance(mac, (bytes, bytearray)) and \
+                    hmac.compare_digest(bytes(mac),
+                                        _auth_mac(self._auth_token, nonce))
+            except WireDecodeError:
+                # Includes an unauthenticated parent whose launch command
+                # arrived where the auth response belonged.
+                authentic = False
+            if not authentic:
+                try:
+                    send_frame(conn, encode_reply("error", BackendError(
+                        "worker authentication failed: wrong or missing "
+                        "auth token")))
+                except OSError:  # pragma: no cover - peer already gone
+                    pass
+                raise PermissionError("launch handshake auth failed")
+        conn.settimeout(None)
+        return conn
+
     def _serve_connection(self, conn: socket.socket) -> None:
+        raw = conn
         try:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:  # pragma: no cover
             pass
+        try:
+            conn = self._secure_connection(conn)
+        except Exception:
+            # TLS/auth rejection: not a session, just clean up quietly.
+            with self._session_lock:
+                self._session_socks.discard(raw)
+            for sock in {raw, conn}:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+            return
+        if conn is not raw:
+            # kill_sessions() must sever the socket actually in use; the
+            # TLS wrap detached the raw socket's file descriptor into the
+            # SSLSocket, so swap it in the live-session set.
+            with self._session_lock:
+                self._session_socks.discard(raw)
+                self._session_socks.add(conn)
         transport = _SocketFrameTransport(conn)
         try:
             WorkerSession(transport.recv, transport.send).serve()

@@ -1,0 +1,212 @@
+"""Gateway load benchmark: queries/sec and latency under concurrent clients.
+
+The serving gateway's reason to exist is concurrent load — many HTTP
+clients pushing and querying one tracker at once — so this benchmark
+measures exactly that: an embedded :class:`~repro.gateway.Gateway` over a
+:class:`~repro.cluster.ShardedTracker`, driven by ``1 / 8 / 32`` client
+threads issuing mixed traffic (a configurable fraction of batched pushes
+among the queries) through persistent keep-alive connections.  Reported
+per concurrency level: requests/sec (overall QPS), query-only QPS, and
+p50/p99 request latency.
+
+Used by ``repro-experiments bench --gateway`` (rows land in the ``--json``
+report) and the CI gateway job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.sharded_tracker import ShardedTracker
+from ..data.zipfian import ZipfianStreamGenerator
+from ..gateway import Gateway, GatewayClient
+
+__all__ = [
+    "GatewayLoadResult",
+    "gateway_report_rows",
+    "measure_gateway_load",
+]
+
+#: Concurrency levels of the standard sweep.
+DEFAULT_CLIENT_COUNTS = (1, 8, 32)
+
+
+@dataclass(frozen=True)
+class GatewayLoadResult:
+    """One concurrency level of the gateway load sweep."""
+
+    spec: str
+    backend: str
+    shards: int
+    clients: int
+    requests: int
+    queries: int
+    pushes: int
+    items_pushed: int
+    elapsed_seconds: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / max(self.elapsed_seconds, 1e-12)
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.queries / max(self.elapsed_seconds, 1e-12)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec,
+            "backend": self.backend,
+            "shards": self.shards,
+            "clients": self.clients,
+            "requests": self.requests,
+            "queries": self.queries,
+            "pushes": self.pushes,
+            "items_pushed": self.items_pushed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "requests_per_second": self.requests_per_second,
+            "queries_per_second": self.queries_per_second,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+        }
+
+
+def _client_loop(url: str, auth_token: Optional[str], items: List[List[Any]],
+                 requests_per_client: int, push_every: int, phi: float,
+                 barrier: threading.Barrier, latencies: List[float],
+                 counts: Dict[str, int], lock: threading.Lock,
+                 errors: List[BaseException]) -> None:
+    """One load generator: keep-alive client, mixed push+query traffic."""
+    try:
+        client = GatewayClient(url, auth_token=auth_token)
+        client.healthz()  # establish the connection outside the timed window
+        barrier.wait()
+        local_latencies: List[float] = []
+        queries = pushes = pushed_items = 0
+        for sequence in range(requests_per_client):
+            is_push = push_every > 0 and sequence % push_every == 0
+            begin = time.perf_counter()
+            if is_push:
+                client.push(items=items)
+                pushes += 1
+                pushed_items += len(items)
+            else:
+                client.query("heavy_hitters", {"phi": phi})
+                queries += 1
+            local_latencies.append(time.perf_counter() - begin)
+        client.close()
+        with lock:
+            latencies.extend(local_latencies)
+            counts["queries"] += queries
+            counts["pushes"] += pushes
+            counts["items_pushed"] += pushed_items
+    except BaseException as exc:  # noqa: BLE001 - surfaced by the caller
+        errors.append(exc)
+        try:
+            barrier.abort()
+        except threading.BrokenBarrierError:  # pragma: no cover
+            pass
+
+
+def measure_gateway_load(
+    spec: str = "hh/P2",
+    shards: int = 2,
+    backend: str = "thread",
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    requests_per_client: int = 150,
+    push_every: int = 4,
+    batch_items: int = 512,
+    num_sites: int = 10,
+    epsilon: float = 0.05,
+    phi: float = 0.05,
+    seed: int = 2014,
+    backend_options: Optional[Dict[str, Any]] = None,
+    gateway_url: Optional[str] = None,
+    auth_token: Optional[str] = None,
+) -> List[GatewayLoadResult]:
+    """Run the mixed push+query load sweep and return one row per level.
+
+    By default an embedded gateway + sharded tracker is stood up per sweep
+    (``backend``/``backend_options`` choose the engine); pass
+    ``gateway_url`` to drive an already-running gateway instead (the CI
+    job's mode — the spec/shards fields of the rows are then taken from
+    the live gateway's ``/v1/healthz``).  Every 4th request per client is
+    a ``batch_items``-item push (``push_every=0`` disables pushes).
+    """
+    sample = ZipfianStreamGenerator(seed=seed).generate(batch_items)
+    items = [[int(element), float(weight)]
+             for element, weight in sample.items]
+    owns_gateway = gateway_url is None
+    cluster: Optional[ShardedTracker] = None
+    gateway: Optional[Gateway] = None
+    if owns_gateway:
+        cluster = ShardedTracker.create(
+            spec, shards=shards, backend=backend,
+            backend_options=backend_options,
+            num_sites=num_sites, epsilon=epsilon)
+        gateway = Gateway(cluster, auth_token=auth_token).start()
+        url = gateway.url
+        row_backend, row_shards = backend, shards
+    else:
+        url = gateway_url
+        probe = GatewayClient(url, auth_token=auth_token)
+        health = probe.healthz()
+        probe.close()
+        spec = health.get("spec", spec)
+        row_backend = "remote"
+        row_shards = int(health.get("shards", shards))
+    results: List[GatewayLoadResult] = []
+    try:
+        for clients in client_counts:
+            latencies: List[float] = []
+            counts = {"queries": 0, "pushes": 0, "items_pushed": 0}
+            errors: List[BaseException] = []
+            lock = threading.Lock()
+            barrier = threading.Barrier(clients + 1)
+            threads = [
+                threading.Thread(
+                    target=_client_loop,
+                    args=(url, auth_token, items, requests_per_client,
+                          push_every, phi, barrier, latencies, counts, lock,
+                          errors),
+                    name=f"gateway-load-{clients}-{index}", daemon=True)
+                for index in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            begin = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - begin
+            if errors:
+                raise errors[0]
+            ordered = np.sort(np.asarray(latencies, dtype=np.float64))
+            results.append(GatewayLoadResult(
+                spec=spec, backend=row_backend, shards=row_shards,
+                clients=clients, requests=len(ordered),
+                queries=counts["queries"], pushes=counts["pushes"],
+                items_pushed=counts["items_pushed"],
+                elapsed_seconds=elapsed,
+                p50_latency_ms=float(np.percentile(ordered, 50) * 1e3),
+                p99_latency_ms=float(np.percentile(ordered, 99) * 1e3),
+            ))
+    finally:
+        if gateway is not None:
+            gateway.stop()
+        if cluster is not None:
+            cluster.close()
+    return results
+
+
+def gateway_report_rows(results: Sequence[GatewayLoadResult]
+                        ) -> List[Dict[str, Any]]:
+    """The sweep as JSON-report rows (``bench --json``)."""
+    return [result.as_dict() for result in results]

@@ -1,0 +1,36 @@
+"""``repro.gateway`` — the asyncio HTTP/JSON serving front-end.
+
+The "millions of users" layer: one :class:`Gateway` multiplexes any number
+of concurrent HTTP clients onto a single
+:class:`~repro.cluster.ShardedTracker` (or plain
+:class:`~repro.api.Tracker`), serving batched ingest through a
+deterministic single-writer queue and barrier-free typed queries rendered
+as ``Answer.to_dict()`` JSON — with bearer-token auth, per-request
+deadlines, body limits, structured JSON errors, and optional TLS.
+
+* :mod:`repro.gateway.server` — the :class:`Gateway` itself (routes,
+  concurrency model, auth).
+* :mod:`repro.gateway.http` — the stdlib HTTP/1.1 framing it speaks.
+* :mod:`repro.gateway.client` — :class:`GatewayClient`, a keep-alive
+  stdlib client whose ``typed_query`` re-hydrates real ``Answer`` objects
+  via ``Answer.from_dict``.
+
+Start one against a live tracker (CLI: ``repro-experiments serve``)::
+
+    with Gateway(cluster, auth_token="s3cret") as gateway:
+        client = GatewayClient(gateway.url, auth_token="s3cret")
+        client.push(items=[("cat", 2.0), ("dog", 1.0)])
+        answer = client.typed_query("heavy_hitters", {"phi": 0.1})
+"""
+
+from .client import GatewayClient, GatewayError
+from .http import HttpError
+from .server import Gateway, QUERY_KINDS
+
+__all__ = [
+    "Gateway",
+    "GatewayClient",
+    "GatewayError",
+    "HttpError",
+    "QUERY_KINDS",
+]

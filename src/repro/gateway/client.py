@@ -1,0 +1,162 @@
+"""A small stdlib client for the serving gateway.
+
+:class:`GatewayClient` wraps one ``http.client`` keep-alive connection —
+cheap enough for load-testing loops — and speaks the gateway's JSON
+vocabulary: ``push`` for ingest, ``query``/``typed_query`` for answers
+(the latter re-hydrating a real :class:`~repro.api.queries.Answer` via
+``Answer.from_dict``), plus ``stats``/``healthz``/``checkpoint``/
+``move_shard``.  Gateway-side failures raise :class:`GatewayError`
+carrying the HTTP status and the structured error message.
+
+The client is intentionally not thread-safe (one connection, sequential
+request/response); concurrent load uses one client per thread.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import ssl
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+from urllib.parse import urlencode, urlsplit
+
+from ..api.queries import Answer
+
+__all__ = ["GatewayClient", "GatewayError"]
+
+
+class GatewayError(RuntimeError):
+    """An error response (or transport failure) from the gateway."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = int(status)
+        self.message = message
+
+
+class GatewayClient:
+    """Talk JSON to one gateway over a persistent HTTP(S) connection."""
+
+    def __init__(self, base_url: str, *, auth_token: Optional[str] = None,
+                 timeout: float = 30.0,
+                 ssl_context: Optional[ssl.SSLContext] = None):
+        split = urlsplit(base_url)
+        if split.scheme not in ("http", "https") or not split.hostname:
+            raise ValueError(
+                f"base_url must look like http(s)://host:port, got "
+                f"{base_url!r}")
+        self._host = split.hostname
+        self._port = split.port or (443 if split.scheme == "https" else 80)
+        self._https = split.scheme == "https"
+        self._ssl_context = ssl_context
+        self._timeout = float(timeout)
+        self._auth_token = auth_token
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ---------------------------------------------------------- plumbing
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            if self._https:
+                self._conn = http.client.HTTPSConnection(
+                    self._host, self._port, timeout=self._timeout,
+                    context=self._ssl_context)
+            else:
+                self._conn = http.client.HTTPConnection(
+                    self._host, self._port, timeout=self._timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def request(self, method: str, path: str,
+                payload: Optional[Any] = None) -> Any:
+        """One JSON round trip; returns the decoded response document."""
+        body = None if payload is None else \
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if self._auth_token is not None:
+            headers["Authorization"] = f"Bearer {self._auth_token}"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # A dropped keep-alive connection (gateway restart, idle
+                # reap) gets one clean reconnect; a live failure re-raises.
+                self.close()
+                if attempt:
+                    raise
+        document = json.loads(data) if data else None
+        if response.status >= 400:
+            message = ""
+            if isinstance(document, dict):
+                message = document.get("error", {}).get("message", "")
+            raise GatewayError(response.status, message or repr(data[:200]))
+        return document
+
+    # ------------------------------------------------------------- routes
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/stats")
+
+    def push(self, items: Optional[Sequence[Any]] = None,
+             rows: Optional[Any] = None,
+             site_ids: Optional[Sequence[int]] = None) -> Dict[str, Any]:
+        """Ingest one batch: ``items`` ([element, weight] pairs) or ``rows``."""
+        payload: Dict[str, Any] = {}
+        if items is not None:
+            payload["items"] = [[element, float(weight)]
+                                for element, weight in items]
+        if rows is not None:
+            payload["rows"] = [[float(x) for x in row] for row in rows]
+        if site_ids is not None:
+            payload["site_ids"] = [int(site) for site in site_ids]
+        return self.request("POST", "/v1/push", payload)
+
+    def query(self, kind: str, params: Optional[Dict[str, Any]] = None,
+              body: Optional[Dict[str, Any]] = None,
+              partial: bool = False) -> Dict[str, Any]:
+        """One typed query; returns the raw ``Answer.to_dict()`` document."""
+        if body is not None:
+            payload = dict(body)
+            if partial:
+                payload["partial"] = True
+            if params:
+                payload.update(params)
+            return self.request("POST", f"/v1/query/{kind}", payload)
+        query: Dict[str, Any] = dict(params or {})
+        if partial:
+            query["partial"] = "true"
+        suffix = f"?{urlencode(query)}" if query else ""
+        return self.request("GET", f"/v1/query/{kind}{suffix}")
+
+    def typed_query(self, kind: str, params: Optional[Dict[str, Any]] = None,
+                    body: Optional[Dict[str, Any]] = None,
+                    partial: bool = False) -> Answer:
+        """Like :meth:`query` but re-hydrated into a typed ``Answer``."""
+        document = self.query(kind, params=params, body=body, partial=partial)
+        document.pop("partial", None)
+        return Answer.from_dict(document)
+
+    def checkpoint(self, path: Union[str, Any]) -> Dict[str, Any]:
+        return self.request("POST", "/v1/checkpoint", {"path": str(path)})
+
+    def move_shard(self, shard: int,
+                   address: Union[str, Tuple[str, int]]) -> Dict[str, Any]:
+        if isinstance(address, tuple):
+            address = f"{address[0]}:{address[1]}"
+        return self.request("POST", "/v1/admin/move_shard",
+                            {"shard": int(shard), "address": address})

@@ -1,0 +1,181 @@
+"""Minimal HTTP/1.1 request/response plumbing over asyncio streams.
+
+Deliberately stdlib-only and small: the gateway speaks plain HTTP/1.1 with
+``Content-Length`` bodies (no chunked transfer, no multipart), JSON in and
+JSON out, and keep-alive connections so a load-testing client can reuse one
+TCP (or TLS) connection for thousands of requests.  Everything a request
+can get wrong — an oversized body, a malformed request line, a missing
+length — surfaces as an :class:`HttpError` carrying the right status code,
+which the server renders as a structured JSON error document.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "render_response",
+    "json_response",
+    "error_response",
+]
+
+#: Cap on the request line + headers block; requests are tiny JSON affairs,
+#: so 64 KiB of headers is already generous.
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request-level failure with the HTTP status it should produce."""
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Mapping[str, str]] = None):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str                       # raw request target, query string and all
+    path: str                         # decoded path without the query string
+    params: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)  # lower-cased names
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON (``None`` for an empty body)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") \
+                from exc
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should survive this exchange (HTTP/1.1)."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(reader: asyncio.StreamReader, *,
+                       max_body_bytes: int) -> Request:
+    """Read and parse one request; raise ``EOFError`` on a clean close.
+
+    Raises :class:`HttpError` for anything malformed or over limits — the
+    connection handler renders it and (except for keep-alive-able 4xx on a
+    parsed request) closes the stream, because after a framing error the
+    byte stream can no longer be trusted.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError("connection closed between requests") from exc
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request head exceeds the header limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head exceeds the header limit")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked request bodies are not supported; "
+                             "send Content-Length")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "malformed Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > max_body_bytes:
+            raise HttpError(
+                413, f"request body of {length} bytes exceeds the gateway's "
+                     f"{max_body_bytes}-byte limit")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "request body shorter than Content-Length") \
+                from exc
+    elif method in ("POST", "PUT", "PATCH"):
+        # No length and no chunked support: an entity body cannot follow.
+        # (A bodyless POST is fine — Content-Length: 0 or nothing at all.)
+        pass
+    split = urlsplit(target)
+    params = {name: value for name, value in parse_qsl(split.query)}
+    return Request(method=method, target=target, path=unquote(split.path),
+                   params=params, headers=headers, body=body)
+
+
+def render_response(status: int, body: bytes,
+                    content_type: str = "application/json",
+                    headers: Optional[Mapping[str, str]] = None,
+                    keep_alive: bool = True) -> bytes:
+    """Serialize one HTTP/1.1 response."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(payload: Any, status: int = 200,
+                  headers: Optional[Mapping[str, str]] = None,
+                  keep_alive: bool = True) -> bytes:
+    """A JSON document as a complete response."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return render_response(status, body, headers=headers,
+                           keep_alive=keep_alive)
+
+
+def error_response(status: int, message: str,
+                   headers: Optional[Mapping[str, str]] = None,
+                   keep_alive: bool = True) -> bytes:
+    """The gateway's structured JSON error document."""
+    return json_response({"error": {"status": status, "message": message}},
+                         status=status, headers=headers,
+                         keep_alive=keep_alive)

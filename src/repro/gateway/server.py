@@ -1,0 +1,557 @@
+"""The asyncio serving gateway: many HTTP clients, one tracker.
+
+:class:`Gateway` multiplexes any number of concurrent HTTP/JSON clients
+onto a single :class:`~repro.api.Tracker` or
+:class:`~repro.cluster.ShardedTracker`:
+
+====== ======================== ===========================================
+Method Route                    Purpose
+====== ======================== ===========================================
+POST   ``/v1/push``             batched ingest (``items`` or ``rows``)
+GET    ``/v1/query/<kind>``     typed queries as ``Answer.to_dict()`` JSON
+POST   ``/v1/query/<kind>``     same, parameters in the JSON body
+GET    ``/v1/stats``            items/message accounting snapshot
+GET    ``/v1/healthz``          liveness + spec/shard identity
+POST   ``/v1/checkpoint``       checkpoint the tracker to a server path
+POST   ``/v1/admin/move_shard`` live shard handoff (socket backend)
+====== ======================== ===========================================
+
+**Concurrency model.**  The asyncio event loop only parses HTTP and
+serializes JSON; every touch of the tracker happens on executor threads.
+All *writes* (push, checkpoint, shard moves, stats) funnel through a
+single-thread executor — the writer queue — so the transport order of
+ingest batches is deterministic: batches hit the backend in exactly the
+order their requests finished arriving, and nothing ever interleaves two
+``push_batch`` fan-outs.  *Queries* run on a separate reader pool when the
+backend advertises
+:attr:`~repro.cluster.backends.EngineBackend.dispatch_concurrency_safe`
+(per-shard FIFO snapshots make them barrier-free, so readers never block
+the ingest path); on single-transport backends they share the writer
+queue, which keeps them correct — and the HTTP side of ingest (accepting
+connections, reading bodies) still proceeds concurrently either way.
+
+Every route enforces bearer-token auth when the gateway has an
+``auth_token``, a per-request deadline (``request_timeout``), and the
+``max_body_bytes`` ingest limit; failures come back as structured JSON
+``{"error": {"status": ..., "message": ...}}`` documents.  Pass an
+``ssl_context`` (e.g. from
+:func:`repro.cluster.server_ssl_context`) to serve HTTPS.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hmac
+import ssl
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..api.queries import (
+    Answer,
+    ApproximationError,
+    Covariance,
+    Frequency,
+    FrobeniusSquared,
+    HeavyHitters,
+    Norms,
+    Query,
+    SketchMatrix,
+    TotalWeight,
+    _jsonify,
+)
+from ..api.registry import DOMAIN_HEAVY_HITTERS, get_spec
+from ..cluster.backends import BackendError
+from ..cluster.sharded_tracker import ShardedTracker
+from .http import (
+    HttpError,
+    Request,
+    error_response,
+    json_response,
+    read_request,
+)
+
+__all__ = ["Gateway", "QUERY_KINDS"]
+
+#: Default cap on one request body; a 1M-item weighted batch is ~30 MB of
+#: JSON, so the default admits realistically large ingest batches while
+#: bounding memory per in-flight request.
+DEFAULT_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+
+def _float_param(request: Request, body: Any, name: str,
+                 default: Optional[float]) -> Optional[float]:
+    if isinstance(body, dict) and name in body:
+        raw: Any = body[name]
+    elif name in request.params:
+        raw = request.params[name]
+    else:
+        return default
+    try:
+        return float(raw)
+    except (TypeError, ValueError) as exc:
+        raise HttpError(400, f"query parameter {name!r} must be a number, "
+                             f"got {raw!r}") from exc
+
+
+def _element_param(request: Request, body: Any) -> Any:
+    """The element of a frequency query: body JSON keeps its type, a query
+    string value is tried as an integer first (URL parameters are untyped,
+    and integer element labels are this repo's default)."""
+    if isinstance(body, dict) and "element" in body:
+        return body["element"]
+    if "element" in request.params:
+        raw = request.params["element"]
+        try:
+            return int(raw)
+        except ValueError:
+            return raw
+    raise HttpError(400, "frequency queries need an 'element' parameter")
+
+
+def _build_heavy_hitters(request: Request, body: Any) -> Query:
+    return HeavyHitters(phi=_float_param(request, body, "phi", 0.05))
+
+
+def _build_frequency(request: Request, body: Any) -> Query:
+    return Frequency(element=_element_param(request, body))
+
+
+def _build_norms(request: Request, body: Any) -> Query:
+    if not isinstance(body, dict) or "directions" not in body:
+        raise HttpError(400, "norms queries need a JSON body with "
+                             "'directions' (one vector or a list of them)")
+    try:
+        directions = np.asarray(body["directions"], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise HttpError(400, f"malformed 'directions': {exc}") from exc
+    return Norms(directions=directions)
+
+
+#: Route-suffix → query builder; the response is always the typed answer's
+#: ``to_dict()`` JSON, so ``Answer.from_dict`` re-hydrates it client-side.
+QUERY_KINDS: Dict[str, Callable[[Request, Any], Query]] = {
+    "heavy_hitters": _build_heavy_hitters,
+    "frequency": _build_frequency,
+    "total_weight": lambda request, body: TotalWeight(),
+    "covariance": lambda request, body: Covariance(),
+    "norms": _build_norms,
+    "sketch": lambda request, body: SketchMatrix(),
+    "frobenius": lambda request, body: FrobeniusSquared(),
+    "error": lambda request, body: ApproximationError(),
+}
+
+_TRUE_VALUES = ("1", "true", "yes", "on")
+
+
+class Gateway:
+    """Serve one tracker to many concurrent HTTP/JSON clients.
+
+    Parameters
+    ----------
+    tracker:
+        The :class:`~repro.api.Tracker` or
+        :class:`~repro.cluster.ShardedTracker` to serve.  The gateway
+        dispatches to it but does not own it — closing the gateway leaves
+        the tracker usable (and un-flushed ingest is flushed on ``stop()``).
+    host / port:
+        Listen endpoint; port ``0`` binds an ephemeral port (read
+        :attr:`address` after :meth:`start`).
+    auth_token:
+        When set, every route but ``/v1/healthz`` (the open liveness
+        probe) requires ``Authorization: Bearer <token>``; anything else
+        gets a 401 with ``WWW-Authenticate``.
+    max_body_bytes / request_timeout:
+        Per-request body cap (413 beyond it) and deadline in seconds (504
+        on expiry — the tracker work keeps its writer-queue slot, but the
+        client is released).
+    query_threads:
+        Size of the reader pool used when the backend supports concurrent
+        dispatch; ignored otherwise.
+    ssl_context:
+        Serve HTTPS instead of HTTP.
+    """
+
+    def __init__(self, tracker: Any, *, host: str = "127.0.0.1",
+                 port: int = 0, auth_token: Optional[str] = None,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+                 query_threads: int = 8,
+                 ssl_context: Optional[ssl.SSLContext] = None):
+        self._tracker = tracker
+        self._host = host
+        self._port = int(port)
+        self._auth_token = auth_token
+        self._max_body_bytes = int(max_body_bytes)
+        self._request_timeout = float(request_timeout)
+        self._ssl_context = ssl_context
+        self._sharded = isinstance(tracker, ShardedTracker)
+        spec = tracker.spec
+        if spec is None:
+            raise ValueError("the gateway needs a registry-created tracker "
+                             "(tracker.spec is None)")
+        self._spec = spec
+        self._domain = get_spec(spec).domain
+        # The single-writer queue: every tracker mutation goes through this
+        # one thread, in event-loop submission order.
+        self._writer = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-gateway-writer")
+        concurrent_queries = bool(
+            getattr(tracker, "dispatch_concurrency_safe", False))
+        self._reader = ThreadPoolExecutor(
+            max_workers=max(1, int(query_threads)),
+            thread_name_prefix="repro-gateway-reader",
+        ) if concurrent_queries else self._writer
+        self.concurrent_queries = concurrent_queries
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The resolved ``(host, port)`` endpoint (after startup)."""
+        if self._address is None:
+            raise RuntimeError("gateway not started")
+        return self._address
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running gateway."""
+        host, port = self.address
+        scheme = "https" if self._ssl_context is not None else "http"
+        return f"{scheme}://{host}:{port}"
+
+    def start(self) -> "Gateway":
+        """Serve in a background thread; returns once the port is bound."""
+        if self._thread is not None:
+            raise RuntimeError("gateway already started")
+        self._thread = threading.Thread(target=self._run_loop,
+                                        name="repro-gateway", daemon=True)
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._startup_error
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        self._run_loop()
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for a background serve loop; True once it has exited."""
+        thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout=timeout)
+        return not thread.is_alive()
+
+    def stop(self) -> None:
+        """Stop serving, drain the writer queue, release the executors."""
+        loop, stop_requested = self._loop, self._stop_requested
+        if loop is not None and stop_requested is not None \
+                and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop_requested.set)
+            except RuntimeError:  # loop finished in between
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._writer.shutdown(wait=True)
+        if self._reader is not self._writer:
+            self._reader.shutdown(wait=True)
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive serve
+            pass
+        except BaseException as exc:
+            self._startup_error = exc
+        finally:
+            self._started.set()
+            try:
+                loop.close()
+            finally:
+                asyncio.set_event_loop(None)
+
+    async def _main(self) -> None:
+        self._stop_requested = asyncio.Event()
+        self._conn_tasks: set = set()
+        server = await asyncio.start_server(
+            self._handle_connection, host=self._host, port=self._port,
+            ssl=self._ssl_context)
+        self._server = server
+        self._address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        try:
+            await self._stop_requested.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # Idle keep-alive connections sit parked in read_request; cancel
+            # them so the loop closes without abandoning their handlers.
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks,
+                                     return_exceptions=True)
+
+    # ------------------------------------------------------------ connection
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body_bytes=self._max_body_bytes)
+                except EOFError:
+                    return
+                except HttpError as err:
+                    # Framing is broken; answer once and hang up.
+                    writer.write(error_response(err.status, err.message,
+                                                headers=err.headers,
+                                                keep_alive=False))
+                    await writer.drain()
+                    return
+                response = await self._respond(request)
+                writer.write(response)
+                await writer.drain()
+                self.requests_served += 1
+                if not request.keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            return
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def _respond(self, request: Request) -> bytes:
+        try:
+            self._check_auth(request)
+            handler = self._route(request)
+            payload = await asyncio.wait_for(handler,
+                                             timeout=self._request_timeout)
+            return json_response(payload, keep_alive=request.keep_alive)
+        except asyncio.TimeoutError:
+            return error_response(
+                504, f"request exceeded the gateway's "
+                     f"{self._request_timeout:g}s deadline",
+                keep_alive=request.keep_alive)
+        except HttpError as err:
+            return error_response(err.status, err.message,
+                                  headers=err.headers,
+                                  keep_alive=request.keep_alive)
+        except (BackendError, TypeError, ValueError) as exc:
+            # Tracker-level rejections (wrong-domain query, bad shapes,
+            # unsupported backend operations) are the client's doing.
+            return error_response(400, f"{type(exc).__name__}: {exc}",
+                                  keep_alive=request.keep_alive)
+        except Exception as exc:  # noqa: BLE001 - last-resort server error
+            return error_response(500, f"{type(exc).__name__}: {exc}",
+                                  keep_alive=request.keep_alive)
+
+    def _check_auth(self, request: Request) -> None:
+        if self._auth_token is None:
+            return
+        if request.path == "/v1/healthz":
+            # The liveness probe stays open so orchestration (load
+            # balancers, the CI job, GatewayClient's pre-connect) can wait
+            # on readiness without holding the secret.
+            return
+        provided = request.headers.get("authorization", "")
+        expected = f"Bearer {self._auth_token}"
+        if not hmac.compare_digest(provided.encode("utf-8"),
+                                   expected.encode("utf-8")):
+            raise HttpError(401, "missing or invalid bearer token",
+                            headers={"WWW-Authenticate": "Bearer"})
+
+    # ---------------------------------------------------------------- routes
+    def _route(self, request: Request) -> Awaitable[Any]:
+        path, method = request.path, request.method
+        if path == "/v1/healthz":
+            self._require(method, "GET")
+            return self._healthz()
+        if path == "/v1/stats":
+            self._require(method, "GET")
+            return self._run_write(self._do_stats)
+        if path == "/v1/push":
+            self._require(method, "POST")
+            return self._push(request)
+        if path.startswith("/v1/query/"):
+            self._require(method, "GET", "POST")
+            return self._query(request, path[len("/v1/query/"):])
+        if path == "/v1/checkpoint":
+            self._require(method, "POST")
+            return self._checkpoint(request)
+        if path == "/v1/admin/move_shard":
+            self._require(method, "POST")
+            return self._move_shard(request)
+        raise HttpError(404, f"no such route: {path!r}")
+
+    @staticmethod
+    def _require(method: str, *allowed: str) -> None:
+        if method not in allowed:
+            raise HttpError(405, f"method {method} not allowed here "
+                                 f"(allowed: {', '.join(allowed)})",
+                            headers={"Allow": ", ".join(allowed)})
+
+    def _run_write(self, fn: Callable[[], Any]) -> Awaitable[Any]:
+        loop = asyncio.get_running_loop()
+        return loop.run_in_executor(self._writer, fn)
+
+    def _run_read(self, fn: Callable[[], Any]) -> Awaitable[Any]:
+        loop = asyncio.get_running_loop()
+        return loop.run_in_executor(self._reader, fn)
+
+    async def _healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "spec": self._spec,
+            "sharded": self._sharded,
+            "shards": self._tracker.num_shards if self._sharded else 1,
+            "requests_served": self.requests_served,
+        }
+
+    def _do_stats(self) -> Dict[str, Any]:
+        return _jsonify(dataclasses.asdict(self._tracker.stats()))
+
+    # ------------------------------------------------------------------ push
+    def _push(self, request: Request) -> Awaitable[Any]:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "push body must be a JSON object")
+        site_ids = body.get("site_ids")
+        if self._domain == DOMAIN_HEAVY_HITTERS:
+            raw = body.get("items")
+            if raw is None:
+                raise HttpError(400, "heavy-hitter push bodies need "
+                                     "'items': [[element, weight], ...]")
+            try:
+                batch: Any = [(item[0], float(item[1])) for item in raw]
+            except (TypeError, IndexError, ValueError) as exc:
+                raise HttpError(400, f"malformed 'items' entry: {exc}") \
+                    from exc
+        else:
+            raw = body.get("rows")
+            if raw is None:
+                raise HttpError(400, "matrix push bodies need "
+                                     "'rows': [[...], ...]")
+            try:
+                batch = np.asarray(raw, dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f"malformed 'rows': {exc}") from exc
+            if batch.ndim != 2:
+                raise HttpError(400, f"'rows' must be 2-d, got shape "
+                                     f"{batch.shape}")
+        count = len(batch)
+        if site_ids is not None and len(site_ids) != count:
+            raise HttpError(400, f"site_ids has {len(site_ids)} entries for "
+                                 f"{count} items")
+        return self._run_write(lambda: self._do_push(batch, site_ids, count))
+
+    def _do_push(self, batch: Any, site_ids: Optional[Any],
+                 count: int) -> Dict[str, Any]:
+        if self._sharded:
+            self._tracker.push_batch(batch, site_ids=site_ids)
+        elif site_ids is not None:
+            self._tracker.push_batch(site_ids, batch)
+        else:
+            self._tracker.run(batch, query_at_end=False)
+        return {"accepted": count}
+
+    # --------------------------------------------------------------- queries
+    def _query(self, request: Request, kind: str) -> Awaitable[Any]:
+        builder = QUERY_KINDS.get(kind)
+        if builder is None:
+            raise HttpError(404, f"unknown query kind {kind!r}; one of: "
+                                 f"{', '.join(sorted(QUERY_KINDS))}")
+        body = request.json() if request.method == "POST" else None
+        query = builder(request, body)
+        partial_raw = request.params.get("partial")
+        if partial_raw is None and isinstance(body, dict):
+            partial_raw = body.get("partial")
+        partial = str(partial_raw).lower() in _TRUE_VALUES \
+            if partial_raw is not None else False
+        if partial and not self._sharded:
+            raise HttpError(400, "partial=true needs a sharded tracker; "
+                                 "this gateway serves a plain Tracker")
+        return self._run_read(lambda: self._do_query(query, partial))
+
+    def _do_query(self, query: Query, partial: bool) -> Dict[str, Any]:
+        if self._sharded:
+            answer: Answer = self._tracker.query(query, partial=partial)
+        else:
+            answer = self._tracker.query(query)
+        payload = answer.to_dict()
+        payload["partial"] = answer.is_partial
+        return payload
+
+    # ----------------------------------------------------------------- admin
+    def _checkpoint(self, request: Request) -> Awaitable[Any]:
+        body = request.json()
+        if not isinstance(body, dict) or not body.get("path"):
+            raise HttpError(400, "checkpoint bodies need a server-side "
+                                 "'path' to save to")
+        path = str(body["path"])
+        return self._run_write(lambda: self._do_checkpoint(path))
+
+    def _do_checkpoint(self, path: str) -> Dict[str, Any]:
+        self._tracker.save(path)
+        return {"saved": path, "spec": self._spec}
+
+    def _move_shard(self, request: Request) -> Awaitable[Any]:
+        body = request.json()
+        if not isinstance(body, dict) or "shard" not in body \
+                or not body.get("address"):
+            raise HttpError(400, "move_shard bodies need 'shard' (index) "
+                                 "and 'address' (host:port)")
+        if not self._sharded:
+            raise HttpError(400, "move_shard needs a sharded tracker")
+        try:
+            shard = int(body["shard"])
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"malformed shard index: {body['shard']!r}") \
+                from exc
+        address = str(body["address"])
+        return self._run_write(lambda: self._do_move_shard(shard, address))
+
+    def _do_move_shard(self, shard: int, address: str) -> Dict[str, Any]:
+        self._tracker.move_shard(shard, address)
+        return {
+            "moved": shard,
+            "address": address,
+            "placement_version": self._tracker.placement_version,
+        }

@@ -1,0 +1,178 @@
+"""Socket-backend transport hardening: TLS and the HMAC launch handshake.
+
+Certificates are generated on the fly with the ``openssl`` binary (skipped
+when unavailable): a test CA, a server certificate for ``127.0.0.1`` (SAN
+``IP:127.0.0.1`` — the client context verifies hostnames), a client
+certificate for mutual TLS, and an **expired** client certificate for the
+failure-mode tests.
+
+What must hold:
+
+* TLS + auth change nothing about the answers: a cluster over a hardened
+  worker is bit-identical to a serial session — including through a
+  mid-stream session kill healed by reconnect/replay (the reconnect
+  re-runs the TLS and HMAC handshakes).
+* Every misconfiguration fails fast with a ``BackendError`` that names the
+  shard and says what to fix — wrong/missing token, plaintext client
+  against a TLS worker, expired client certificate.  No hangs: everything
+  resolves within ``connect_timeout``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import time
+
+import pytest
+
+import repro
+from repro.api.queries import TotalWeight
+from repro.cluster import BackendError, WorkerServer, server_ssl_context
+from repro.cluster.socket_backend import client_ssl_context
+
+pytestmark = pytest.mark.skipif(shutil.which("openssl") is None,
+                                reason="openssl binary not available")
+
+CONNECT_TIMEOUT = 2.0
+DEADLINE = 8.0  # generous ceiling: "failed fast", not "hung until io_timeout"
+
+
+def _openssl(*args, cwd) -> None:
+    subprocess.run(["openssl", *args], cwd=cwd, check=True,
+                   capture_output=True, timeout=60)
+
+
+@pytest.fixture(scope="module")
+def certs(tmp_path_factory):
+    """Generate the CA / server / client / expired-client certificates."""
+    root = tmp_path_factory.mktemp("tls-certs")
+    try:
+        _openssl("req", "-x509", "-newkey", "rsa:2048", "-nodes",
+                 "-keyout", "ca.key", "-out", "ca.pem", "-days", "2",
+                 "-subj", "/CN=repro-test-ca", cwd=root)
+        (root / "san.cnf").write_text("subjectAltName=IP:127.0.0.1\n")
+        _openssl("req", "-newkey", "rsa:2048", "-nodes",
+                 "-keyout", "server.key", "-out", "server.csr",
+                 "-subj", "/CN=127.0.0.1", cwd=root)
+        _openssl("x509", "-req", "-in", "server.csr", "-CA", "ca.pem",
+                 "-CAkey", "ca.key", "-CAcreateserial", "-out", "server.pem",
+                 "-days", "2", "-extfile", "san.cnf", cwd=root)
+        _openssl("req", "-newkey", "rsa:2048", "-nodes",
+                 "-keyout", "client.key", "-out", "client.csr",
+                 "-subj", "/CN=repro-client", cwd=root)
+        _openssl("x509", "-req", "-in", "client.csr", "-CA", "ca.pem",
+                 "-CAkey", "ca.key", "-out", "client.pem", "-days", "2",
+                 cwd=root)
+    except (subprocess.CalledProcessError, subprocess.TimeoutExpired) as exc:
+        pytest.skip(f"openssl certificate generation failed: {exc}")
+    try:
+        # An expired client certificate (signed, but validity in the past);
+        # needs OpenSSL >= 3.3 for -not_before/-not_after.
+        _openssl("x509", "-req", "-in", "client.csr", "-CA", "ca.pem",
+                 "-CAkey", "ca.key", "-out", "client-expired.pem",
+                 "-not_before", "20200101000000Z",
+                 "-not_after", "20200102000000Z", cwd=root)
+    except subprocess.CalledProcessError:
+        pass  # the expired-cert test skips itself below
+    return root
+
+
+def _tls_worker(certs, *, mutual: bool = False, auth_token=None):
+    context = server_ssl_context(
+        str(certs / "server.pem"), keyfile=str(certs / "server.key"),
+        cafile=str(certs / "ca.pem") if mutual else None)
+    return WorkerServer(ssl_context=context, auth_token=auth_token)
+
+
+def _cluster(server, **backend_options):
+    options = {"addresses": [f"127.0.0.1:{server.address[1]}"],
+               "connect_timeout": CONNECT_TIMEOUT,
+               "reconnect_backoff": 0.05,
+               **backend_options}
+    return repro.ShardedTracker.create("hh/P2", shards=2, num_sites=5,
+                                       epsilon=0.1, backend="socket",
+                                       backend_options=options)
+
+
+def _ca_options(certs, **extra):
+    return {"tls_ca": str(certs / "ca.pem"), **extra}
+
+
+class TestHardenedTransport:
+    def test_tls_auth_cluster_is_bit_identical_through_kill_and_heal(
+            self, certs):
+        """TLS + HMAC auth + a mid-stream kill: answers stay bit-identical
+        to the same cluster over a plain, never-killed transport (the
+        healed reconnect re-runs both the TLS and the HMAC handshake)."""
+        items = [(index % 13, float(index % 5 + 1)) for index in range(400)]
+
+        with WorkerServer() as plain_server:
+            reference = _cluster(plain_server)
+            reference.push_batch(items[:200])
+            reference.push_batch(items[200:])
+            expected = {
+                "total": reference.query(TotalWeight()).to_json(),
+                "hitters": reference.query(
+                    repro.HeavyHitters(phi=0.05)).to_json(),
+            }
+            reference.close()
+
+        with _tls_worker(certs, auth_token="secret") as server:
+            cluster = _cluster(server,
+                               **_ca_options(certs, auth_token="secret"))
+            cluster.push_batch(items[:200])
+            cluster.flush()
+            assert server.kill_sessions() > 0
+            cluster.push_batch(items[200:])
+
+            total = cluster.query(TotalWeight())
+            assert total.to_json() == expected["total"]
+            assert total.missing_shards == ()
+            hitters = cluster.query(repro.HeavyHitters(phi=0.05))
+            assert hitters.to_json() == expected["hitters"]
+            cluster.close()
+
+    def test_mutual_tls_with_client_certificate(self, certs):
+        with _tls_worker(certs, mutual=True) as server:
+            cluster = _cluster(
+                server, **_ca_options(certs,
+                                      tls_cert=str(certs / "client.pem"),
+                                      tls_key=str(certs / "client.key")))
+            cluster.push_batch([(1, 2.0), (2, 3.0)])
+            assert cluster.query(TotalWeight()).estimate == pytest.approx(5.0)
+            cluster.close()
+
+    def test_wrong_auth_token_fails_naming_the_shard(self, certs):
+        with WorkerServer(auth_token="right") as server:
+            started = time.monotonic()
+            with pytest.raises(BackendError, match=r"shard \d.*authentication"
+                                                   r"|authentication.*shard"):
+                _cluster(server, auth_token="wrong")
+            assert time.monotonic() - started < DEADLINE
+
+    def test_missing_auth_token_fails_with_instructions(self, certs):
+        with WorkerServer(auth_token="right") as server:
+            started = time.monotonic()
+            with pytest.raises(BackendError, match="auth_token"):
+                _cluster(server)
+            assert time.monotonic() - started < DEADLINE
+
+    def test_plaintext_client_against_tls_worker_fails_fast(self, certs):
+        with _tls_worker(certs) as server:
+            started = time.monotonic()
+            with pytest.raises(BackendError, match="tls|TLS"):
+                _cluster(server)
+            assert time.monotonic() - started < DEADLINE
+
+    def test_expired_client_certificate_fails_fast(self, certs):
+        expired = certs / "client-expired.pem"
+        if not expired.exists():
+            pytest.skip("openssl too old for -not_before/-not_after")
+        with _tls_worker(certs, mutual=True) as server:
+            started = time.monotonic()
+            with pytest.raises(BackendError):
+                _cluster(server, **_ca_options(
+                    certs, tls_cert=str(expired),
+                    tls_key=str(certs / "client.key")))
+            assert time.monotonic() - started < DEADLINE

@@ -15,6 +15,7 @@ EXAMPLES = [
     "image_feature_monitoring.py",
     "network_traffic_heavy_hitters.py",
     "distributed_lsi_logs.py",
+    "gateway_monitoring.py",
 ]
 
 
@@ -45,3 +46,11 @@ def test_traffic_example_reports_heavy_destinations():
     result = run_example("network_traffic_heavy_hitters.py")
     assert "True heavy destinations" in result.stdout
     assert "10.0." in result.stdout
+
+
+def test_gateway_example_serves_over_http():
+    result = run_example("gateway_monitoring.py")
+    assert "gateway serving hh/P2 at http://" in result.stdout
+    assert "/api/v2/checkout" in result.stdout
+    assert "partial=true poll: partial=False" in result.stdout
+    assert "typed total-weight answer: TotalWeightAnswer" in result.stdout

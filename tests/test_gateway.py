@@ -1,0 +1,442 @@
+"""Serving gateway: bit-identical concurrent serving plus the HTTP contract.
+
+The tentpole property: answers served over HTTP to many concurrent clients
+are **bit-identical** (same ``to_json`` document) to querying the same
+``ShardedTracker`` directly — for every registered spec, seed-parameterized
+via ``REPRO_PROPERTY_SEEDS`` like the rest of the property suites.  JSON is
+a faithful transport here because ``json`` round-trips floats exactly
+(``repr``-based) and ingest flows through the gateway's single-writer
+queue in arrival order.
+
+Alongside: ``Answer.from_dict`` round-trips for every query kind, the
+concurrency pin (a slow query must not block ongoing pushes), and the HTTP
+failure contract (401/400/404/405/413/504, partial-mode passthrough,
+checkpointing through ``POST /v1/checkpoint``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.queries import (
+    Answer,
+    ApproximationError,
+    Covariance,
+    Frequency,
+    FrobeniusSquared,
+    HeavyHitters,
+    Norms,
+    SketchMatrix,
+    TotalWeight,
+)
+from repro.gateway import Gateway, GatewayClient, GatewayError
+
+from test_api_state_roundtrip import HH_SPECS, MATRIX_SPECS, _params
+from test_protocol_equivalence_properties import (
+    SEEDS,
+    hh_stream,
+    matrix_stream,
+)
+
+CONCURRENT_CLIENTS = 8
+
+
+# --------------------------------------------------------------------------
+# Answer.from_dict: every query kind round-trips through its JSON document.
+# --------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def hh_tracker():
+    tracker = repro.Tracker.create("hh/P2", num_sites=5, epsilon=0.1)
+    tracker.push_batch([0] * 6, [("cat", 5.0), ("dog", 3.0), ("cat", 1.0),
+                                 ("owl", 2.0), ("cat", 4.0), ("dog", 1.0)])
+    return tracker
+
+
+@pytest.fixture(scope="module")
+def matrix_tracker():
+    tracker = repro.Tracker.create("matrix/P2", num_sites=5, dimension=4,
+                                   epsilon=0.2)
+    rows = np.random.default_rng(2014).normal(size=(40, 4))
+    tracker.push_batch(np.zeros(40, dtype=np.int64), rows)
+    return tracker
+
+
+HH_QUERIES = [
+    HeavyHitters(phi=0.1),
+    Frequency(element="cat"),
+    TotalWeight(),
+]
+MATRIX_QUERIES = [
+    Covariance(),
+    Norms(directions=np.asarray([1.0, 0.0, 0.0, 0.0])),
+    SketchMatrix(),
+    FrobeniusSquared(),
+    ApproximationError(),
+]
+
+
+class TestAnswerFromDict:
+    @pytest.mark.parametrize("query", HH_QUERIES,
+                             ids=[type(q).__name__ for q in HH_QUERIES])
+    def test_hh_round_trip(self, hh_tracker, query):
+        self._assert_round_trip(hh_tracker.query(query))
+
+    @pytest.mark.parametrize("query", MATRIX_QUERIES,
+                             ids=[type(q).__name__ for q in MATRIX_QUERIES])
+    def test_matrix_round_trip(self, matrix_tracker, query):
+        self._assert_round_trip(matrix_tracker.query(query))
+
+    @staticmethod
+    def _assert_round_trip(answer: Answer) -> None:
+        document = json.loads(answer.to_json())
+        back = Answer.from_dict(document)
+        assert type(back) is type(answer)
+        assert type(back.query) is type(answer.query)
+        # Bit-identical re-serialization is the round-trip property: every
+        # float survives exactly, arrays/tuples keep shape and order.
+        assert back.to_json() == answer.to_json()
+        assert back.missing_shards == ()
+
+    def test_partial_answer_round_trips_missing_shards(self, hh_tracker):
+        degraded = dataclasses.replace(hh_tracker.query(TotalWeight()),
+                                       missing_shards=(1, 3))
+        back = Answer.from_dict(json.loads(degraded.to_json()))
+        assert back.missing_shards == (1, 3)
+        assert back.is_partial
+
+    def test_every_query_kind_is_covered(self):
+        from repro.api.queries import _QUERY_TYPES
+
+        covered = {type(q).__name__ for q in HH_QUERIES + MATRIX_QUERIES}
+        assert covered == set(_QUERY_TYPES)
+
+    def test_rejects_non_dict_and_unknown_names(self):
+        with pytest.raises(ValueError, match="needs a to_dict"):
+            Answer.from_dict("nope")
+        with pytest.raises(ValueError, match="unknown answer type"):
+            Answer.from_dict({"answer": "MysteryAnswer", "query": {}})
+        with pytest.raises(ValueError, match="unknown query type"):
+            Answer.from_dict({"answer": "TotalWeightAnswer",
+                              "query": {"type": "Mystery"}})
+        with pytest.raises(ValueError, match="no query dictionary"):
+            Answer.from_dict({"answer": "TotalWeightAnswer"})
+
+
+# --------------------------------------------------------------------------
+# The tentpole: concurrent HTTP serving is bit-identical to direct queries
+# for every registered spec.
+# --------------------------------------------------------------------------
+def _gateway_queries(spec: str, sample, dimension: int):
+    """(kind, params, body, typed query) per domain — every GET/POST shape."""
+    if spec in HH_SPECS:
+        element = int(sample.items[0][0])
+        return [
+            ("heavy_hitters", {"phi": 0.1}, None, HeavyHitters(phi=0.1)),
+            ("frequency", {"element": element}, None,
+             Frequency(element=element)),
+            ("total_weight", None, None, TotalWeight()),
+        ]
+    direction = [1.0 if index == 0 else 0.0 for index in range(dimension)]
+    return [
+        ("covariance", None, None, Covariance()),
+        ("norms", None, {"directions": direction},
+         Norms(directions=np.asarray(direction, dtype=np.float64))),
+        ("sketch", None, None, SketchMatrix()),
+        ("frobenius", None, None, FrobeniusSquared()),
+        ("error", None, None, ApproximationError()),
+    ]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("spec", sorted(HH_SPECS) + sorted(MATRIX_SPECS))
+def test_gateway_serves_bit_identical_answers(spec, seed):
+    if spec in HH_SPECS:
+        sample, batch, sites = hh_stream(seed)
+        dimension = None
+        payload = {"items": [[int(element), float(weight)]
+                             for element, weight in sample.items]}
+        direct_items = [(int(element), float(weight))
+                        for element, weight in sample.items]
+    else:
+        dataset, batch, sites = matrix_stream(seed)
+        sample, dimension = None, dataset.dimension
+        payload = {"rows": batch.values.tolist()}
+        direct_items = batch.values
+    params = _params(spec, seed, dimension)
+    site_ids = [int(site) for site in sites]
+
+    direct = repro.ShardedTracker.create(spec, shards=2, backend="thread",
+                                         chunk_size=50, **params)
+    served = repro.ShardedTracker.create(spec, shards=2, backend="thread",
+                                         chunk_size=50, **params)
+    try:
+        with Gateway(served) as gateway:
+            ingest = GatewayClient(gateway.url)
+            reply = ingest.push(site_ids=site_ids, **payload)
+            ingest.close()
+            assert reply == {"accepted": len(batch)}
+            direct.push_batch(direct_items, site_ids=site_ids)
+            direct.flush()
+
+            queries = _gateway_queries(spec, sample, dimension)
+            expected = [json.loads(direct.query(query).to_json())
+                        for _kind, _params_, _body, query in queries]
+
+            mismatches = []
+            failures = []
+
+            def client_loop(worker: int) -> None:
+                try:
+                    client = GatewayClient(gateway.url)
+                    for (kind, params_, body, _query), want in zip(queries,
+                                                                   expected):
+                        document = client.query(kind, params=params_,
+                                                body=body)
+                        assert document.pop("partial") is False
+                        if document != want:
+                            mismatches.append((worker, kind))
+                    client.close()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=client_loop, args=(worker,))
+                       for worker in range(CONCURRENT_CLIENTS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if failures:
+                raise failures[0]
+            assert mismatches == []
+    finally:
+        direct.close()
+        served.close()
+
+
+def test_typed_query_equals_direct_answer():
+    """GatewayClient.typed_query returns the very Answer the tracker gives."""
+    sample, batch, sites = hh_stream(SEEDS[0])
+    params = _params("hh/P2", SEEDS[0], None)
+    direct = repro.ShardedTracker.create("hh/P2", shards=2, backend="thread",
+                                         chunk_size=50, **params)
+    served = repro.ShardedTracker.create("hh/P2", shards=2, backend="thread",
+                                         chunk_size=50, **params)
+    items = [(int(element), float(weight)) for element, weight in sample.items]
+    site_ids = [int(site) for site in sites]
+    try:
+        with Gateway(served) as gateway:
+            with GatewayClient(gateway.url) as client:
+                client.push(items=items, site_ids=site_ids)
+                typed = client.typed_query("heavy_hitters", {"phi": 0.1})
+        direct.push_batch(items, site_ids=site_ids)
+        expected = direct.query(HeavyHitters(phi=0.1))
+        assert typed.to_json() == expected.to_json()
+        assert typed.query == expected.query
+    finally:
+        direct.close()
+        served.close()
+
+
+# --------------------------------------------------------------------------
+# Concurrency pin: a slow query must not stall the ingest path.
+# --------------------------------------------------------------------------
+def _slow_query(tracker, delay: float):
+    real_query = tracker.query
+
+    def query(query, *, partial=False):
+        time.sleep(delay)
+        return real_query(query, partial=partial)
+
+    tracker.query = query
+
+
+def test_slow_query_interleaves_with_pushes():
+    cluster = repro.ShardedTracker.create("hh/P2", shards=2, backend="thread",
+                                          num_sites=5, epsilon=0.1)
+    _slow_query(cluster, delay=0.8)
+    try:
+        with Gateway(cluster) as gateway:
+            assert gateway.concurrent_queries  # thread backend: reader pool
+            result = {}
+
+            def slow_client():
+                with GatewayClient(gateway.url) as client:
+                    begin = time.monotonic()
+                    document = client.query("total_weight")
+                    result["elapsed"] = time.monotonic() - begin
+                    result["document"] = document
+
+            query_thread = threading.Thread(target=slow_client)
+            query_thread.start()
+            time.sleep(0.1)  # let the slow query occupy the reader pool
+
+            with GatewayClient(gateway.url) as pusher:
+                begin = time.monotonic()
+                for index in range(10):
+                    assert pusher.push(items=[[index, 1.0]]) == {"accepted": 1}
+                push_elapsed = time.monotonic() - begin
+            query_thread.join()
+
+            # The pushes finished while the slow query slept: ingest rides
+            # the writer queue, queries the reader pool.
+            assert result["elapsed"] >= 0.8
+            assert push_elapsed < result["elapsed"]
+            assert result["document"]["answer"] == "TotalWeightAnswer"
+
+            with GatewayClient(gateway.url) as client:
+                final = client.query("total_weight")
+            assert final["estimate"] == pytest.approx(10.0)
+    finally:
+        cluster.close()
+
+
+# --------------------------------------------------------------------------
+# The HTTP contract: auth, errors, limits, partial mode, checkpointing.
+# --------------------------------------------------------------------------
+@pytest.fixture()
+def served_cluster():
+    cluster = repro.ShardedTracker.create("hh/P2", shards=2, backend="thread",
+                                          num_sites=5, epsilon=0.1)
+    yield cluster
+    cluster.close()
+
+
+class TestHttpContract:
+    def test_bearer_auth(self, served_cluster):
+        with Gateway(served_cluster, auth_token="s3cret") as gateway:
+            anonymous = GatewayClient(gateway.url)
+            # The liveness probe stays open for orchestration...
+            assert anonymous.healthz()["status"] == "ok"
+            # ...every real route 401s without (or with a wrong) token.
+            with pytest.raises(GatewayError) as excinfo:
+                anonymous.stats()
+            assert excinfo.value.status == 401
+            anonymous.close()
+            wrong = GatewayClient(gateway.url, auth_token="wrong")
+            with pytest.raises(GatewayError) as excinfo:
+                wrong.push(items=[[1, 1.0]])
+            assert excinfo.value.status == 401
+            wrong.close()
+            with GatewayClient(gateway.url, auth_token="s3cret") as client:
+                assert client.push(items=[[1, 1.0]]) == {"accepted": 1}
+
+    def test_unknown_route_and_kind_404(self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                with pytest.raises(GatewayError) as excinfo:
+                    client.request("GET", "/v1/nope")
+                assert excinfo.value.status == 404
+                with pytest.raises(GatewayError) as excinfo:
+                    client.query("median")
+                assert excinfo.value.status == 404
+                assert "heavy_hitters" in excinfo.value.message
+
+    def test_wrong_method_405(self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                with pytest.raises(GatewayError) as excinfo:
+                    client.request("GET", "/v1/push")
+                assert excinfo.value.status == 405
+                with pytest.raises(GatewayError) as excinfo:
+                    client.request("POST", "/v1/stats", {})
+                assert excinfo.value.status == 405
+
+    def test_bad_requests_400(self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                with pytest.raises(GatewayError) as excinfo:
+                    client.query("frequency")  # no element
+                assert excinfo.value.status == 400
+                with pytest.raises(GatewayError) as excinfo:
+                    client.request("POST", "/v1/push", {})  # nothing to push
+                assert excinfo.value.status == 400
+                with pytest.raises(GatewayError) as excinfo:
+                    client.push(items=[[1, 1.0]], site_ids=[0, 1])  # length
+                assert excinfo.value.status == 400
+            # Malformed JSON straight over the socket.
+            host, port = gateway.address
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("POST", "/v1/push", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            conn.close()
+
+    def test_oversized_body_413(self, served_cluster):
+        with Gateway(served_cluster, max_body_bytes=1024) as gateway:
+            with GatewayClient(gateway.url) as client:
+                with pytest.raises(GatewayError) as excinfo:
+                    client.push(items=[[index, 1.0] for index in range(500)])
+                assert excinfo.value.status == 413
+
+    def test_deadline_504(self, served_cluster):
+        _slow_query(served_cluster, delay=1.5)
+        with Gateway(served_cluster, request_timeout=0.2) as gateway:
+            with GatewayClient(gateway.url) as client:
+                with pytest.raises(GatewayError) as excinfo:
+                    client.query("total_weight")
+                assert excinfo.value.status == 504
+                assert "deadline" in excinfo.value.message
+
+    def test_partial_passthrough(self, served_cluster):
+        real_query = served_cluster.query
+        seen = []
+
+        def query(query, *, partial=False):
+            seen.append(partial)
+            answer = real_query(query, partial=partial)
+            if partial:
+                answer = dataclasses.replace(answer, missing_shards=(1,))
+            return answer
+
+        served_cluster.query = query
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                healthy = client.query("total_weight")
+                degraded = client.query("total_weight", partial=True)
+        assert seen == [False, True]
+        assert healthy["partial"] is False
+        assert degraded["partial"] is True
+        assert degraded["missing_shards"] == [1]
+
+    def test_partial_on_plain_tracker_400(self):
+        tracker = repro.Tracker.create("hh/P2", num_sites=5, epsilon=0.1)
+        with Gateway(tracker) as gateway:
+            with GatewayClient(gateway.url) as client:
+                with pytest.raises(GatewayError) as excinfo:
+                    client.query("total_weight", partial=True)
+                assert excinfo.value.status == 400
+
+    def test_checkpoint_route_round_trips(self, served_cluster, tmp_path):
+        path = tmp_path / "served.ckpt"
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                client.push(items=[[index % 7, 2.0] for index in range(100)])
+                saved = client.checkpoint(path)
+        assert saved == {"saved": str(path), "spec": "hh/P2"}
+        resumed = repro.ShardedTracker.load(path)
+        try:
+            assert (resumed.query(TotalWeight()).to_json()
+                    == served_cluster.query(TotalWeight()).to_json())
+        finally:
+            resumed.close()
+
+    def test_stats_and_healthz_documents(self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                client.push(items=[[1, 1.0], [2, 2.0]])
+                health = client.healthz()
+                stats = client.stats()
+        assert health["spec"] == "hh/P2"
+        assert health["sharded"] is True
+        assert health["shards"] == 2
+        assert stats["items_processed"] == 2
+        assert stats["spec"] == "hh/P2"
