@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Compare a fresh ``bench --json`` report against a committed baseline.
+
+Usage::
+
+    python scripts/compare_bench.py BENCH_9.json bench-throughput.json
+
+Matches throughput rows by ``(workload, protocol)`` and flags any fresh
+``batched_items_per_sec`` below ``floor`` (default 0.7) times the
+baseline.  The floor is *soft*: regressions print GitHub-annotation
+``::warning`` lines (visible in the job summary) but the script exits 0,
+because CI runners vary too much in CPU for a hard throughput gate —
+the committed baseline documents the trajectory, the warning makes a
+slide visible without turning runner jitter into red builds.
+
+Exit codes: 0 always for throughput verdicts; 2 for unusable inputs
+(missing file, schema mismatch) so a misconfigured job fails loudly
+rather than silently comparing nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict
+
+
+def _load(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"::error::cannot read bench report {path!r}: {exc}")
+    if not isinstance(document, dict) or "throughput" not in document:
+        raise SystemExit(
+            f"::error::{path!r} is not a bench --json report "
+            "(no 'throughput' section)")
+    return document
+
+
+def _rows_by_key(document: Dict[str, Any]) -> Dict[tuple, Dict[str, Any]]:
+    return {(row.get("workload"), row.get("protocol")): row
+            for row in document.get("throughput") or []}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline (BENCH_9.json)")
+    parser.add_argument("fresh", help="freshly measured bench --json report")
+    parser.add_argument("--floor", type=float, default=0.7,
+                        help="soft floor as a fraction of the baseline "
+                             "items/sec (default 0.7)")
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    base_meta = baseline.get("meta", {})
+    fresh_meta = fresh.get("meta", {})
+    if base_meta.get("schema_version") != fresh_meta.get("schema_version"):
+        print(f"::warning::bench schema versions differ "
+              f"(baseline {base_meta.get('schema_version')}, "
+              f"fresh {fresh_meta.get('schema_version')}); "
+              "comparing matching rows anyway")
+
+    base_rows = _rows_by_key(baseline)
+    fresh_rows = _rows_by_key(fresh)
+    compared = regressed = 0
+    for key, base_row in sorted(base_rows.items(), key=repr):
+        fresh_row = fresh_rows.get(key)
+        if fresh_row is None:
+            continue
+        base_rate = base_row.get("batched_items_per_sec")
+        fresh_rate = fresh_row.get("batched_items_per_sec")
+        if not base_rate or not fresh_rate:
+            continue
+        compared += 1
+        ratio = fresh_rate / base_rate
+        label = f"{key[0]} [{key[1]}]"
+        if ratio < args.floor:
+            regressed += 1
+            print(f"::warning::throughput regression: {label} at "
+                  f"{fresh_rate:,.0f} items/sec is {ratio:.2f}x the "
+                  f"baseline {base_rate:,.0f} (soft floor {args.floor}x, "
+                  f"baseline sha {base_meta.get('git_sha', '?')[:12]})")
+        else:
+            print(f"ok: {label} {fresh_rate:,.0f} items/sec "
+                  f"({ratio:.2f}x baseline)")
+    if compared == 0:
+        raise SystemExit("::error::no comparable throughput rows between "
+                         f"{args.baseline!r} and {args.fresh!r}")
+    print(f"compared {compared} row(s); {regressed} below the "
+          f"{args.floor}x soft floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

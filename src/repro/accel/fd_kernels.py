@@ -42,10 +42,12 @@ deterministic.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import LATENCY_BUCKETS, REGISTRY
 from ..utils.linalg import thin_svd
 
 __all__ = [
@@ -72,6 +74,17 @@ _RANDOMIZED_POWER_ITERATIONS = 2
 #: Fixed seed for the range-finder test matrix: the kernel must be a pure
 #: function of its input for checkpoint/resume determinism.
 _RANDOMIZED_SEED = 20140731
+
+#: FD compaction telemetry.  Observed per compaction (one SVD-sized unit
+#: of work), never per row, and only when the registry is enabled — the
+#: kernels themselves stay pure functions of their inputs.
+_FD_COMPACTIONS = REGISTRY.counter(
+    "repro_fd_compactions_total",
+    "Frequent Directions shrink_rows compactions", labels=("svd_mode",))
+_FD_SVD_SECONDS = REGISTRY.histogram(
+    "repro_fd_svd_seconds",
+    "Wall time of one spectral kernel invocation", labels=("svd_mode",),
+    buckets=LATENCY_BUCKETS)
 
 
 def check_svd_mode(mode: str) -> str:
@@ -175,6 +188,16 @@ def spectral_decomposition(matrix: np.ndarray, mode: str = "auto",
     if array.size == 0:
         r = min(array.shape)
         return np.zeros(r), np.zeros((r, array.shape[1]))
+    started = perf_counter() if REGISTRY.enabled else None
+    try:
+        return _spectral_decomposition(array, mode, top)
+    finally:
+        if started is not None:
+            _FD_SVD_SECONDS.observe(perf_counter() - started, svd_mode=mode)
+
+
+def _spectral_decomposition(array: np.ndarray, mode: str,
+                            top: Optional[int]) -> Tuple[np.ndarray, np.ndarray]:
     if mode == "exact":
         _, s, vt = thin_svd(array)
     else:
@@ -227,7 +250,17 @@ def shrink_rows(matrix: np.ndarray, keep: int, mode: str = "auto"
     array = _as_matrix(matrix)
     if array.size == 0:
         return np.zeros((0, array.shape[1])), 0.0
+    started = perf_counter() if REGISTRY.enabled else None
+    try:
+        return _shrink_rows(array, keep, mode)
+    finally:
+        if started is not None:
+            _FD_COMPACTIONS.inc(svd_mode=mode)
+            _FD_SVD_SECONDS.observe(perf_counter() - started, svd_mode=mode)
 
+
+def _shrink_rows(array: np.ndarray, keep: int, mode: str
+                 ) -> Tuple[np.ndarray, float]:
     if mode == "exact":
         _, singular_values, vt = thin_svd(array)
         squared = singular_values ** 2
@@ -263,4 +296,4 @@ def shrink_rows(matrix: np.ndarray, keep: int, mode: str = "auto"
         shrunk, delta, kept = _shrink_from_spectrum(squared, keep)
         return shrunk[:kept, np.newaxis] * v[:, :kept].T, delta
     except np.linalg.LinAlgError:  # pragma: no cover - eigh rarely fails
-        return shrink_rows(array, keep, mode="exact")
+        return _shrink_rows(array, keep, "exact")

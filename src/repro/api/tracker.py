@@ -29,11 +29,14 @@ Build trackers from registry specs::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from ..obs.metrics import LATENCY_BUCKETS, REGISTRY
 from ..streaming.partition import Partitioner, RoundRobinPartitioner
 from ..streaming.protocol import DistributedProtocol
 from ..streaming.runner import DEFAULT_CHUNK_SIZE, RunResult, StreamingEngine
@@ -42,6 +45,24 @@ from .registry import create as _create_protocol
 from .registry import domain_of, spec_name_for
 
 __all__ = ["Tracker", "TrackerStats"]
+
+#: Session telemetry.  Points are recorded per call / per chunk (never per
+#: item inside the engine's hot loops) and only when the process registry
+#: is enabled; answers and seeded draws are never touched.
+_PUSHES = REGISTRY.counter(
+    "repro_tracker_pushes_total",
+    "Ingestion calls (push, push_batch, or run instalments)", labels=("spec",))
+_ITEMS = REGISTRY.counter(
+    "repro_tracker_items_total", "Stream items ingested", labels=("spec",))
+_QUERIES = REGISTRY.counter(
+    "repro_tracker_queries_total", "Typed queries answered",
+    labels=("spec", "kind"))
+_CHECKPOINT_BYTES = REGISTRY.counter(
+    "repro_tracker_checkpoint_bytes_total",
+    "Checkpoint bytes written by save()", labels=("spec",))
+_CHECKPOINT_SECONDS = REGISTRY.histogram(
+    "repro_tracker_checkpoint_seconds", "Checkpoint save wall time",
+    labels=("spec",), buckets=LATENCY_BUCKETS)
 
 
 @dataclass(frozen=True)
@@ -122,6 +143,7 @@ class Tracker:
                 f"has {protocol.num_sites}"
             )
         self._partitioner = partitioner
+        self._metric_spec = self._spec or type(protocol).__name__
 
     # ---------------------------------------------------------- construction
     @classmethod
@@ -186,10 +208,16 @@ class Tracker:
         sessions, a ``MatrixRow``/raw row for matrix sessions.
         """
         self._protocol.observe(site, item)
+        if REGISTRY.enabled:
+            _PUSHES.inc(spec=self._metric_spec)
+            _ITEMS.inc(spec=self._metric_spec)
 
     def push_batch(self, site_ids: Sequence[int], items: Any) -> None:
         """Ingest a chunk of items with explicit per-item site assignments."""
         self._protocol.observe_batch(site_ids, items)
+        if REGISTRY.enabled:
+            _PUSHES.inc(spec=self._metric_spec)
+            _ITEMS.inc(len(site_ids), spec=self._metric_spec)
 
     def run(self, source: Any,
             query: Optional[Callable[[DistributedProtocol], Any]] = None,
@@ -215,10 +243,16 @@ class Tracker:
         if continue_indices and self._protocol.items_processed:
             partitioner = _OffsetPartitioner(partitioner,
                                              self._protocol.items_processed)
-        return self._engine.run(self._protocol, source,
-                                partitioner=partitioner,
-                                query_at=query_at, query=query,
-                                query_at_end=query_at_end)
+        items_before = self._protocol.items_processed
+        result = self._engine.run(self._protocol, source,
+                                  partitioner=partitioner,
+                                  query_at=query_at, query=query,
+                                  query_at_end=query_at_end)
+        if REGISTRY.enabled:
+            _PUSHES.inc(spec=self._metric_spec)
+            _ITEMS.inc(self._protocol.items_processed - items_before,
+                       spec=self._metric_spec)
+        return result
 
     # ---------------------------------------------------------------- queries
     def query(self, query: Query) -> Answer:
@@ -237,6 +271,8 @@ class Tracker:
                 f"query must be a repro.api Query instance, got "
                 f"{type(query).__name__}"
             )
+        if REGISTRY.enabled:
+            _QUERIES.inc(spec=self._metric_spec, kind=type(query).__name__)
         return query.answer(self._protocol)
 
     def stats(self) -> TrackerStats:
@@ -265,7 +301,16 @@ class Tracker:
         """
         from .state import save_tracker
 
+        started = perf_counter() if REGISTRY.enabled else None
         save_tracker(self, path, compress=compress, float32=float32)
+        if started is not None:
+            _CHECKPOINT_SECONDS.observe(perf_counter() - started,
+                                        spec=self._metric_spec)
+            try:
+                _CHECKPOINT_BYTES.inc(os.path.getsize(path),
+                                      spec=self._metric_spec)
+            except (TypeError, OSError):
+                pass  # file-like targets have no on-disk size
 
     @classmethod
     def load(cls, path: Any, allow_pickle: bool = False) -> "Tracker":

@@ -204,6 +204,15 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--chunk-size", type=_parse_chunk_size, default=4096,
                          help="engine chunk size ('none' = item-at-a-time)")
 
+    def add_logging_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--log-json", action="store_true",
+                         help="emit structured JSON logs (one object per "
+                              "line on stderr) with request trace IDs")
+        sub.add_argument("--log-level", default="info",
+                         choices=["debug", "info", "warning", "error"],
+                         help="log threshold for --log-json (debug includes "
+                              "one line per shard command frame)")
+
     for name in ("figure1", "figure1e", "figure1f"):
         sub = subparsers.add_parser(name, help=_EXPERIMENTS[name])
         add_hh_options(sub)
@@ -344,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="require connecting backends to answer an HMAC "
                           "challenge with this shared token (pass the same "
                           "token as auth_token in backend_options)")
+    add_logging_options(sub)
 
     sub = subparsers.add_parser("serve", help=_EXPERIMENTS["serve"])
     sub.add_argument("--spec", type=_parse_spec, required=True,
@@ -394,6 +404,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--worker-auth-token", metavar="TOKEN", default=None,
                      help="shared token answering the workers' --auth-token "
                           "HMAC challenge")
+    sub.add_argument("--open-metrics", action="store_true",
+                     help="let GET /v1/metrics join /v1/healthz in the "
+                          "auth-exempt set (Prometheus scrapers without the "
+                          "bearer token)")
+    add_logging_options(sub)
 
     return parser
 
@@ -541,6 +556,9 @@ def _run_bench(args, out) -> None:
             gateway = gateway_report_rows(results)
         return rows, scaling, gateway
 
+    from time import perf_counter
+
+    bench_started = perf_counter()
     if args.profile:
         import cProfile
         import pstats
@@ -549,6 +567,7 @@ def _run_bench(args, out) -> None:
         rows, scaling, gateway = profiler.runcall(_measure)
     else:
         rows, scaling, gateway = _measure()
+    bench_duration = perf_counter() - bench_started
 
     _emit(format_table(rows, title="Ingestion throughput (per-item vs batched)"),
           out)
@@ -597,8 +616,11 @@ def _run_bench(args, out) -> None:
     if args.json_path:
         import json
 
+        from .evaluation.meta import bench_meta
+
         payload = {
             "meta": {
+                **bench_meta(bench_duration),
                 "num_items": args.num_items,
                 "num_rows": args.num_rows,
                 "chunk_size": args.chunk_size,
@@ -743,6 +765,10 @@ def _run_worker(args, out) -> None:
         server_ssl_context,
     )
 
+    if args.log_json:
+        from .obs.logging import configure_json_logging
+
+        configure_json_logging(args.log_level)
     if args.tls_key and not args.tls_cert:
         raise SystemExit("--tls-key requires --tls-cert")
     if args.tls_ca and not args.tls_cert:
@@ -798,6 +824,10 @@ def _run_serve(args, out) -> None:
     from .cluster.socket_backend import parse_address, server_ssl_context
     from .gateway import Gateway
 
+    if args.log_json:
+        from .obs.logging import configure_json_logging
+
+        configure_json_logging(args.log_level)
     if args.tls_key and not args.tls_cert:
         raise SystemExit("--tls-key requires --tls-cert")
     ssl_context = None
@@ -816,6 +846,7 @@ def _run_serve(args, out) -> None:
     gateway = Gateway(tracker, host=host, port=port,
                       auth_token=args.auth_token,
                       request_timeout=args.request_timeout,
+                      open_metrics=args.open_metrics,
                       ssl_context=ssl_context, **gateway_kwargs)
 
     def _terminate(signum, frame):  # pragma: no cover - signal delivery
@@ -836,7 +867,8 @@ def _run_serve(args, out) -> None:
         _emit(f"serving {spec.name} ({shards} shard(s), {backend} backend) "
               f"at {gateway.url} — routes: POST /v1/push, "
               "GET /v1/query/<kind>, GET /v1/stats, GET /v1/healthz, "
-              "POST /v1/checkpoint; stop with Ctrl-C or SIGTERM", out)
+              "GET /v1/metrics, POST /v1/checkpoint; "
+              "stop with Ctrl-C or SIGTERM", out)
         while not gateway.join(timeout=1.0):
             pass
     except KeyboardInterrupt:

@@ -50,7 +50,11 @@ import queue
 import threading
 import warnings
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.logging import current_trace_id
+from ..obs.metrics import LATENCY_BUCKETS, REGISTRY
 
 # worker_protocol only imports this module lazily (inside encode_reply), so
 # the module-level import here is cycle-free and keeps the per-message hot
@@ -74,6 +78,18 @@ __all__ = [
 
 class BackendError(RuntimeError):
     """A backend worker failed or the backend is unusable."""
+
+
+#: Remote-shard transport telemetry, shared by the process/shm pipes and
+#: the socket backend (which imports these families rather than minting
+#: duplicates).  Labelled by shard index — bounded cardinality.
+_CALL_SECONDS = REGISTRY.histogram(
+    "repro_backend_call_seconds",
+    "Round trip of one call command (send to decoded reply)",
+    labels=("shard",), buckets=LATENCY_BUCKETS)
+_DEADLINE_EXPIRIES = REGISTRY.counter(
+    "repro_backend_deadline_expiries_total",
+    "Replies that missed the configured io/reply deadline", labels=("shard",))
 
 
 class EngineBackend(abc.ABC):
@@ -343,6 +359,10 @@ def _process_worker_main(conn: Any, transport: str) -> None:
     ``"pickle"`` transport (kept so ``bench --wire pickle`` can measure the
     codec against it) moves plain tuples with ``send``/``recv``.
     """
+    # A fork-started worker inherits the parent's recorded series; drop
+    # them so this process reports only its own work (snapshots are keyed
+    # by hostname:pid, and the parent keeps its own copy).
+    REGISTRY.reset()
     if transport != "pickle":
         session = WorkerSession(conn.recv_bytes, conn.send_bytes)
     else:
@@ -460,6 +480,8 @@ class _ProcessShard(RemoteShardHandle):
         self._compress = transport == "zlib"
         self._io_timeout = None if io_timeout is None else float(io_timeout)
         self._shutdown_timeout = float(shutdown_timeout)
+        self.index = index
+        self._call_started: Optional[float] = None
         self.conn, child_conn = context.Pipe(duplex=True)
         self.process = context.Process(
             target=_process_worker_main, args=(child_conn, transport),
@@ -481,10 +503,13 @@ class _ProcessShard(RemoteShardHandle):
             raise BackendError(f"shard {index} failed to start: {value!r}")
 
     def send_command(self, op: str, fn: Optional[Callable], args: tuple) -> None:
+        if op == "call" and REGISTRY.enabled:
+            self._call_started = perf_counter()
         try:
             if self._wire:
                 self.conn.send_bytes(
-                    encode_command(op, fn, args, compress=self._compress))
+                    encode_command(op, fn, args, compress=self._compress,
+                                   trace=current_trace_id()))
             else:
                 self.conn.send((op, fn, args))
         except (BrokenPipeError, OSError) as exc:
@@ -495,6 +520,8 @@ class _ProcessShard(RemoteShardHandle):
 
     def recv_reply(self) -> Any:
         if self._io_timeout is not None and not self.conn.poll(self._io_timeout):
+            self._call_started = None
+            _DEADLINE_EXPIRIES.inc(shard=self.index)
             raise BackendError(
                 f"shard worker {self.process.name} sent no reply within the "
                 f"{self._io_timeout:g}s io_timeout "
@@ -503,10 +530,15 @@ class _ProcessShard(RemoteShardHandle):
         try:
             data = self.conn.recv_bytes() if self._wire else self.conn.recv()
         except (EOFError, OSError) as exc:
+            self._call_started = None
             raise BackendError(
                 f"shard worker {self.process.name} died "
                 f"(exitcode={self.process.exitcode})"
             ) from exc
+        if self._call_started is not None:
+            _CALL_SECONDS.observe(perf_counter() - self._call_started,
+                                  shard=self.index)
+            self._call_started = None
         return _decode_reply_as_backend_errors(data) if self._wire else data
 
     def stop(self) -> None:

@@ -37,8 +37,10 @@ Example::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,6 +55,7 @@ from ..api.state import (
     tracker_from_payload,
 )
 from ..api.tracker import Tracker
+from ..obs.metrics import LATENCY_BUCKETS, REGISTRY
 from ..streaming.items import MatrixRowBatch, WeightedItemBatch
 from ..streaming.runner import DEFAULT_CHUNK_SIZE
 from ..utils.validation import check_positive_int
@@ -82,6 +85,25 @@ _CLUSTER_FORMAT = "repro/cluster-checkpoint"
 #: Deterministic spacing of derived per-shard seeds (shard 0 keeps the
 #: user's seed so a one-shard cluster is bit-identical to a plain tracker).
 _SEED_STRIDE = 7919
+
+#: Parent-side cluster telemetry.  Shard-local work is counted worker-side
+#: by the ``repro_tracker_*`` families (and shipped back on the stats call
+#: frames); these families count what the facade dispatched.
+_CLUSTER_PUSHES = REGISTRY.counter(
+    "repro_cluster_pushes_total",
+    "Ingestion dispatches fanned out by the sharded facade", labels=("spec",))
+_CLUSTER_ITEMS = REGISTRY.counter(
+    "repro_cluster_items_total",
+    "Stream items dispatched to shards", labels=("spec",))
+_CLUSTER_QUERIES = REGISTRY.counter(
+    "repro_cluster_queries_total", "Merged cluster queries answered",
+    labels=("spec", "kind"))
+_CLUSTER_CHECKPOINT_BYTES = REGISTRY.counter(
+    "repro_cluster_checkpoint_bytes_total",
+    "Cluster checkpoint bytes written by save()", labels=("spec",))
+_CLUSTER_CHECKPOINT_SECONDS = REGISTRY.histogram(
+    "repro_cluster_checkpoint_seconds", "Cluster checkpoint save wall time",
+    labels=("spec",), buckets=LATENCY_BUCKETS)
 
 
 @dataclass(frozen=True)
@@ -154,9 +176,19 @@ def _shard_push_batch(tracker: Tracker, site_ids: np.ndarray, batch: Any) -> Non
     tracker.push_batch(site_ids, batch)
 
 
-def _shard_stats(tracker: Tracker) -> Tuple[int, int, Dict[str, int]]:
+def _shard_stats(tracker: Tracker) -> Tuple[int, int, Dict[str, int],
+                                            Dict[str, Any]]:
+    # The worker's whole metrics registry piggybacks on the stats reply —
+    # one extra wire-safe dict on a call frame that already makes the
+    # round trip, so the merged cluster view costs no new protocol op.
     return (tracker.items_processed, tracker.total_messages,
-            tracker.protocol.message_counts())
+            tracker.protocol.message_counts(), REGISTRY.snapshot())
+
+
+def _shard_ping(tracker: Tracker) -> str:
+    # Cheapest possible liveness probe: an empty round trip through the
+    # shard's FIFO proves the worker is alive and draining.
+    return "ok"
 
 
 def _shard_checkpoint(tracker: Tracker) -> bytes:
@@ -285,6 +317,9 @@ class ShardedTracker:
             shard = int(self._rows_dispatched % self._num_shards)
             self._rows_dispatched += 1
         self._backend.submit(shard, _shard_push, int(site), item)
+        if REGISTRY.enabled:
+            _CLUSTER_PUSHES.inc(spec=self._spec)
+            _CLUSTER_ITEMS.inc(spec=self._spec)
 
     def push_batch(self, items: Any,
                    site_ids: Optional[Sequence[int]] = None) -> None:
@@ -301,6 +336,9 @@ class ShardedTracker:
         batch = self._coerce_batch(items)
         if len(batch) == 0:
             return
+        if REGISTRY.enabled:
+            _CLUSTER_PUSHES.inc(spec=self._spec)
+            _CLUSTER_ITEMS.inc(len(batch), spec=self._spec)
         explicit = None
         if site_ids is not None:
             explicit = np.asarray(site_ids, dtype=np.int64)
@@ -388,6 +426,8 @@ class ShardedTracker:
                 f"{type(query).__name__} queries do not apply to "
                 f"{self._domain!r} spec {self._spec!r}"
             )
+        if REGISTRY.enabled:
+            _CLUSTER_QUERIES.inc(spec=self._spec, kind=type(query).__name__)
         if not partial:
             materials = self._backend.call_all(shard_query_materials, query)
             return merge_answer(query, materials)
@@ -457,14 +497,44 @@ class ShardedTracker:
             num_sites=int(self._params.get("num_sites", 0)),
             epsilon=self._params.get("epsilon"),
             chunk_size=self._chunk_size,
-            items_processed=sum(items for items, _, _ in per_shard),
-            total_messages=sum(messages for _, messages, _ in per_shard),
-            message_counts=merge_message_counts(
-                counts for _, _, counts in per_shard
-            ),
-            per_shard=tuple((items, messages)
-                            for items, messages, _ in per_shard),
+            items_processed=sum(row[0] for row in per_shard),
+            total_messages=sum(row[1] for row in per_shard),
+            message_counts=merge_message_counts(row[2] for row in per_shard),
+            per_shard=tuple((row[0], row[1]) for row in per_shard),
         )
+
+    def metrics_snapshot(self) -> List[Dict[str, Any]]:
+        """Registry snapshots for the cluster-wide merged metrics view.
+
+        Returns this process's snapshot plus one per *reachable* shard
+        (riding the same stats call frames :meth:`stats` uses); dead
+        shards are skipped so the metrics surface stays readable during an
+        outage.  Merge with :func:`repro.obs.merge_snapshots`, which
+        de-duplicates by worker identity — serial/thread/embedded-worker
+        shards sharing this process's registry collapse into one snapshot.
+        """
+        self._check_open()
+        snapshots: List[Dict[str, Any]] = [REGISTRY.snapshot()]
+        results, _errors = self._backend.call_all_partial(_shard_stats)
+        for row in results:
+            if row is not None and len(row) > 3 and row[3]:
+                snapshots.append(row[3])
+        return snapshots
+
+    def liveness(self) -> Dict[str, str]:
+        """Cheap per-shard liveness probe: ``{"0": "ok", "1": "unreachable: …"}``.
+
+        Each shard answers an empty call through its FIFO; shards whose
+        workers are dead (and could not be recovered) report the failure
+        text instead of ``"ok"``.  Powers the gateway's ``/v1/healthz``.
+        """
+        self._check_open()
+        _results, errors = self._backend.call_all_partial(_shard_ping)
+        return {
+            str(shard): (f"unreachable: {errors[shard]}" if shard in errors
+                         else "ok")
+            for shard in range(self._num_shards)
+        }
 
     # ----------------------------------------------------------- persistence
     def save(self, path: Any) -> None:
@@ -477,6 +547,7 @@ class ShardedTracker:
         counter); :meth:`load` resumes the whole cluster bit-identically.
         """
         self._check_open()
+        started = perf_counter() if REGISTRY.enabled else None
         payloads = self._backend.call_all(_shard_checkpoint)
         _write(path, {
             "format": _CLUSTER_FORMAT,
@@ -489,6 +560,14 @@ class ShardedTracker:
             "rows_dispatched": self._rows_dispatched,
             "shard_payloads": payloads,
         })
+        if started is not None:
+            _CLUSTER_CHECKPOINT_SECONDS.observe(perf_counter() - started,
+                                                spec=self._spec)
+            try:
+                _CLUSTER_CHECKPOINT_BYTES.inc(os.path.getsize(path),
+                                              spec=self._spec)
+            except (TypeError, OSError):
+                pass  # file-like targets have no on-disk size
 
     @classmethod
     def load(cls, path: Any, backend: Optional[str] = None,

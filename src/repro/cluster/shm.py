@@ -52,6 +52,8 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.logging import current_trace_id
+from ..obs.metrics import REGISTRY
 from ..wire import WireDecodeError
 from .backends import (
     DEFAULT_SHUTDOWN_TIMEOUT,
@@ -240,6 +242,9 @@ class _RingReader:
 def _shm_worker_main(conn: Any, ring_name: str) -> None:
     """Worker loop: the ordinary wire worker protocol over the pipe, with
     shared-memory references resolved from the shard's ring."""
+    # Same post-fork hygiene as _process_worker_main: inherited series
+    # belong to the parent, not this worker's hostname:pid snapshot.
+    REGISTRY.reset()
     reader = _RingReader(ring_name)
     session = WorkerSession(
         conn.recv_bytes, conn.send_bytes,
@@ -263,6 +268,8 @@ class _ShmShard(_ProcessShard):
         self._compress = False
         self._io_timeout = None if io_timeout is None else float(io_timeout)
         self._shutdown_timeout = float(shutdown_timeout)
+        self.index = index
+        self._call_started = None
         self._ring: Optional[ShmRing] = ShmRing(ring_bytes)
         # A failed launch must reap its own process, pipe AND ring — this
         # handle is not yet registered with the backend, so nothing else
@@ -298,9 +305,12 @@ class _ShmShard(_ProcessShard):
         return (start, length)
 
     def send_command(self, op: str, fn: Optional[Callable], args: tuple) -> None:
+        if op == "call" and REGISTRY.enabled:
+            self._call_started = time.perf_counter()
         try:
             self.conn.send_bytes(
-                encode_command(op, fn, args, array_sink=self._sink))
+                encode_command(op, fn, args, array_sink=self._sink,
+                               trace=current_trace_id()))
         except (BrokenPipeError, OSError) as exc:
             raise BackendError(
                 f"shard worker {self.process.name} is gone "

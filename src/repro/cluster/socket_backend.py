@@ -86,11 +86,15 @@ from ..wire import (
     send_frame,
     unpack_frame,
 )
+from ..obs.logging import current_trace_id, get_logger
+from ..obs.metrics import REGISTRY
 from .backends import (
     BackendError,
     BackendSpec,
     EngineBackend,
     RemoteShardHandle,
+    _CALL_SECONDS,
+    _DEADLINE_EXPIRIES,
     _decode_reply_as_backend_errors,
     _register,
     drain_call_all,
@@ -232,6 +236,33 @@ def _addr(address: Tuple[str, int]) -> str:
     return f"{address[0]}:{address[1]}"
 
 
+_LOG = get_logger("repro.cluster")
+
+#: Fault-tolerance telemetry, labelled by shard index.  Recovery events
+#: are rare by construction, so these counters sit on cold paths; only
+#: the per-call round-trip histogram (shared ``repro_backend_call_seconds``
+#: family from :mod:`repro.cluster.backends`) touches the steady state,
+#: and it is guarded by the registry's enabled flag.
+_RECONNECTS = REGISTRY.counter(
+    "repro_backend_reconnects_total",
+    "Successful shard connection recoveries (incl. failover/evacuate)",
+    labels=("shard",))
+_REPLAY_FRAMES = REGISTRY.counter(
+    "repro_backend_replay_frames_total",
+    "Logged submit frames replayed to a relaunched worker", labels=("shard",))
+_REPLAY_BYTES = REGISTRY.counter(
+    "repro_backend_replayed_bytes_total",
+    "Bytes of submit frames replayed to a relaunched worker",
+    labels=("shard",))
+_SNAPSHOT_TRIMS = REGISTRY.counter(
+    "repro_backend_snapshot_trims_total",
+    "Replay-log snapshot-and-trim cycles", labels=("shard",))
+_HANDOFFS = REGISTRY.counter(
+    "repro_backend_handoffs_total",
+    "Live shard handoffs (relocate/evacuate) to another worker",
+    labels=("shard",))
+
+
 class _SocketShard(RemoteShardHandle):
     """Parent-side handle of one shard session on a remote worker.
 
@@ -271,6 +302,7 @@ class _SocketShard(RemoteShardHandle):
         self._log_bytes = 0
         self._snapshot: Optional[Tuple[int, bytes]] = None
         self._inflight: Optional[bytes] = None
+        self._call_started: Optional[float] = None
         self._broken: Optional[str] = None
         self.recoveries = 0
         # The initial launch is deliberately fail-fast: an unreachable or
@@ -429,6 +461,7 @@ class _SocketShard(RemoteShardHandle):
 
     def _poison(self, reason: str) -> None:
         self._broken = reason
+        self._call_started = None
         try:
             self.sock.close()
         except OSError:  # pragma: no cover
@@ -446,6 +479,7 @@ class _SocketShard(RemoteShardHandle):
         if op == "submit":
             self._next_seq += 1
             frame = encode_command(op, fn, args, seq=self._next_seq,
+                                   trace=current_trace_id(),
                                    compress=self.compress)
             self._log.append((self._next_seq, frame))
             self._log_bytes += len(frame)
@@ -453,7 +487,10 @@ class _SocketShard(RemoteShardHandle):
             if self._log_bytes > self._replay_log_bytes:
                 self._sync_snapshot()
         elif op == "call":
-            frame = encode_command(op, fn, args, compress=self.compress)
+            frame = encode_command(op, fn, args, trace=current_trace_id(),
+                                   compress=self.compress)
+            if REGISTRY.enabled:
+                self._call_started = time.perf_counter()
             self._inflight = frame
             self._send_resilient(frame)
         else:
@@ -496,6 +533,7 @@ class _SocketShard(RemoteShardHandle):
             try:
                 reply = decode_reply(recv_frame(self.sock))
             except socket.timeout as exc:
+                _DEADLINE_EXPIRIES.inc(shard=self.index)
                 reason = (
                     f"no reply from worker {_addr(self.address)} within the "
                     f"{self._io_timeout:g}s io_timeout (hung or overloaded "
@@ -529,6 +567,10 @@ class _SocketShard(RemoteShardHandle):
                 self._recover(f"corrupt reply frame: {exc}")
                 continue
             self._inflight = None
+            if self._call_started is not None:
+                _CALL_SECONDS.observe(time.perf_counter() - self._call_started,
+                                      shard=self.index)
+                self._call_started = None
             return reply
 
     # ------------------------------------------------------------- recovery
@@ -560,6 +602,10 @@ class _SocketShard(RemoteShardHandle):
                     continue
                 self.address = candidate
                 self.recoveries += 1
+                _RECONNECTS.inc(shard=self.index)
+                _LOG.info("shard connection recovered",
+                          extra={"shard": self.index, "cause": cause,
+                                 "address": _addr(candidate)})
                 return
         reason = (
             f"{cause}; recovery exhausted {self._reconnect_attempts} "
@@ -587,10 +633,14 @@ class _SocketShard(RemoteShardHandle):
         else:
             snap_seq, builder = 0, self._builder
         sock = self._connect_and_launch(address, builder, snap_seq)
+        replayed_frames = 0
+        replayed_bytes = 0
         try:
             for seq, frame in self._log:
                 if seq > snap_seq:
                     send_frame(sock, frame)
+                    replayed_frames += 1
+                    replayed_bytes += len(frame)
             if self._inflight is not None:
                 send_frame(sock, self._inflight)
         except OSError as exc:
@@ -599,6 +649,9 @@ class _SocketShard(RemoteShardHandle):
                 f"worker {_addr(address)} dropped shard {self.index}'s "
                 f"replay: {exc}"
             ) from exc
+        if replayed_frames:
+            _REPLAY_FRAMES.inc(replayed_frames, shard=self.index)
+            _REPLAY_BYTES.inc(replayed_bytes, shard=self.index)
         self.sock = sock
 
     def _sync_snapshot(self) -> None:
@@ -624,6 +677,7 @@ class _SocketShard(RemoteShardHandle):
         self._snapshot = (seq_at, value)
         self._log = []
         self._log_bytes = 0
+        _SNAPSHOT_TRIMS.inc(shard=self.index)
 
     # -------------------------------------------------------------- handoff
     def relocate(self, address: Tuple[str, int]) -> None:
@@ -645,6 +699,9 @@ class _SocketShard(RemoteShardHandle):
             snap_seq)
         old_sock = self.sock
         self.sock, self.address = new_sock, address
+        _HANDOFFS.inc(shard=self.index)
+        _LOG.info("shard relocated",
+                  extra={"shard": self.index, "address": _addr(address)})
         try:
             send_frame(old_sock, encode_command("stop", None, (),
                                                 compress=self.compress))
@@ -676,6 +733,10 @@ class _SocketShard(RemoteShardHandle):
         self._relaunch_on(address)
         self.address = address
         self.recoveries += 1
+        _RECONNECTS.inc(shard=self.index)
+        _HANDOFFS.inc(shard=self.index)
+        _LOG.info("shard evacuated",
+                  extra={"shard": self.index, "address": _addr(address)})
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:

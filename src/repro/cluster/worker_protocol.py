@@ -48,8 +48,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, Tuple
 
+from ..obs.logging import get_logger, set_trace_id
 from ..wire import WireDecodeError, pack_frame, peek_kind, unpack_frame
 from ..wire.codec import WireEncodeError
+
+_LOG = get_logger("repro.worker")
 
 __all__ = [
     "COMMAND_KIND",
@@ -68,8 +71,8 @@ REPLY_KIND = "repro/worker-reply"
 
 
 def encode_command(op: str, fn: Any = None, args: Tuple[Any, ...] = (), *,
-                   seq: Optional[int] = None, compress: bool = False,
-                   array_sink: Any = None) -> bytes:
+                   seq: Optional[int] = None, trace: Optional[str] = None,
+                   compress: bool = False, array_sink: Any = None) -> bytes:
     """Pack one command frame (``fn`` may be None for launch/stop).
 
     The op rides in the frame *kind* (``repro/worker-command:submit``) as
@@ -90,13 +93,24 @@ def encode_command(op: str, fn: Any = None, args: Tuple[Any, ...] = (), *,
     body = {"op": op, "fn": fn, "args": tuple(args)}
     if seq is not None:
         body["seq"] = int(seq)
+    if trace is not None:
+        # Like seq: omitted entirely when absent, so untraced frames stay
+        # byte-identical to the pre-trace protocol.
+        body["trace"] = str(trace)
     return pack_frame(f"{COMMAND_KIND}:{op}", body,
                       compress=compress, array_sink=array_sink)
 
 
 def decode_command(data: bytes, *, array_source: Any = None
                    ) -> Tuple[str, Any, Tuple[Any, ...], Optional[int]]:
-    """Unpack a command frame into ``(op, fn, args, seq)``."""
+    """Unpack a command frame into ``(op, fn, args, seq)``.
+
+    A frame carrying a ``trace`` field re-binds the decoding context's
+    trace ID (see :mod:`repro.obs.logging`) so worker-side log lines
+    correlate with the originating gateway request; frames without one
+    clear it.  The 4-tuple shape is unchanged — trace is context, not
+    payload.
+    """
     kind, body = unpack_frame(data, array_source=array_source)
     if kind != COMMAND_KIND and not kind.startswith(COMMAND_KIND + ":"):
         raise WireDecodeError(f"expected a worker command frame, got {kind!r}")
@@ -105,6 +119,8 @@ def decode_command(data: bytes, *, array_source: Any = None
     seq = body.get("seq")
     if seq is not None and not isinstance(seq, int):
         raise WireDecodeError("malformed worker command seq")
+    trace = body.get("trace")
+    set_trace_id(trace if isinstance(trace, str) else None)
     try:
         return body["op"], body.get("fn"), tuple(body.get("args", ())), seq
     except TypeError as exc:
@@ -207,6 +223,11 @@ class WorkerSession:
                 if not self._handle_undecodable(data, exc):
                     return
                 continue
+            if _LOG.isEnabledFor(10):  # DEBUG: one line per command frame,
+                # carrying the frame's trace ID via the logging context.
+                _LOG.debug("worker command",
+                           extra={"op": op, "seq": seq,
+                                  "fn": getattr(fn, "__name__", None)})
             if op == "stop":
                 return
             if op == "launch":

@@ -1,0 +1,40 @@
+"""Provenance metadata for machine-readable benchmark reports.
+
+``bench --json`` stamps every report with a schema version, the git
+revision the numbers were measured at, and the wall-clock duration of
+the measurement, so CI can compare a fresh run against a committed
+baseline (``BENCH_9.json``) and know exactly what produced each side.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from typing import Any, Dict, Optional
+
+__all__ = ["BENCH_SCHEMA_VERSION", "bench_meta", "git_revision"]
+
+#: Bump when the shape of the ``bench --json`` document changes.
+BENCH_SCHEMA_VERSION = 2
+
+
+def git_revision(cwd: Optional[str] = None) -> str:
+    """The current git commit SHA, or ``"unknown"`` outside a checkout."""
+
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10.0, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = output.stdout.strip()
+    return sha if output.returncode == 0 and sha else "unknown"
+
+
+def bench_meta(duration_seconds: float) -> Dict[str, Any]:
+    """The provenance block of a ``bench --json`` report."""
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": git_revision(),
+        "duration_seconds": round(float(duration_seconds), 3),
+    }

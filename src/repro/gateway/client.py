@@ -4,8 +4,8 @@
 cheap enough for load-testing loops — and speaks the gateway's JSON
 vocabulary: ``push`` for ingest, ``query``/``typed_query`` for answers
 (the latter re-hydrating a real :class:`~repro.api.queries.Answer` via
-``Answer.from_dict``), plus ``stats``/``healthz``/``checkpoint``/
-``move_shard``.  Gateway-side failures raise :class:`GatewayError`
+``Answer.from_dict``), plus ``stats``/``healthz``/``metrics``/
+``checkpoint``/``move_shard``.  Gateway-side failures raise :class:`GatewayError`
 carrying the HTTP status and the structured error message.
 
 The client is intentionally not thread-safe (one connection, sequential
@@ -38,7 +38,7 @@ class GatewayClient:
     """Talk JSON to one gateway over a persistent HTTP(S) connection."""
 
     def __init__(self, base_url: str, *, auth_token: Optional[str] = None,
-                 timeout: float = 30.0,
+                 timeout: float = 30.0, trace_id: Optional[str] = None,
                  ssl_context: Optional[ssl.SSLContext] = None):
         split = urlsplit(base_url)
         if split.scheme not in ("http", "https") or not split.hostname:
@@ -51,6 +51,9 @@ class GatewayClient:
         self._ssl_context = ssl_context
         self._timeout = float(timeout)
         self._auth_token = auth_token
+        #: Optional trace ID sent as ``X-Trace-Id`` on every request, so a
+        #: whole client session correlates in the gateway/worker logs.
+        self._trace_id = trace_id
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ---------------------------------------------------------- plumbing
@@ -76,12 +79,12 @@ class GatewayClient:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
-    def request(self, method: str, path: str,
-                payload: Optional[Any] = None) -> Any:
-        """One JSON round trip; returns the decoded response document."""
-        body = None if payload is None else \
-            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    def _exchange(self, method: str, path: str,
+                  body: Optional[bytes]) -> Tuple[int, bytes]:
+        """One HTTP round trip; returns ``(status, raw_body)``."""
         headers = {"Content-Type": "application/json"}
+        if self._trace_id is not None:
+            headers["X-Trace-Id"] = self._trace_id
         if self._auth_token is not None:
             headers["Authorization"] = f"Bearer {self._auth_token}"
         for attempt in (0, 1):
@@ -97,17 +100,48 @@ class GatewayClient:
                 self.close()
                 if attempt:
                     raise
+        return response.status, data
+
+    def request(self, method: str, path: str,
+                payload: Optional[Any] = None) -> Any:
+        """One JSON round trip; returns the decoded response document."""
+        body = None if payload is None else \
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        status, data = self._exchange(method, path, body)
         document = json.loads(data) if data else None
-        if response.status >= 400:
+        if status >= 400:
             message = ""
             if isinstance(document, dict):
                 message = document.get("error", {}).get("message", "")
-            raise GatewayError(response.status, message or repr(data[:200]))
+            raise GatewayError(status, message or repr(data[:200]))
         return document
 
     # ------------------------------------------------------------- routes
     def healthz(self) -> Dict[str, Any]:
-        return self.request("GET", "/v1/healthz")
+        """The health document; a degraded cluster (503) still returns it.
+
+        A gateway whose shards are unreachable answers 503 with the same
+        JSON shape (``status: "degraded"`` and the per-shard states), and
+        that report is the whole point of calling ``healthz`` — so it is
+        returned, not raised.  Anything else error-shaped raises.
+        """
+        status, data = self._exchange("GET", "/v1/healthz", None)
+        document = json.loads(data) if data else None
+        if isinstance(document, dict) and "shards" in document:
+            return document
+        if status >= 400:
+            message = ""
+            if isinstance(document, dict):
+                message = document.get("error", {}).get("message", "")
+            raise GatewayError(status, message or repr(data[:200]))
+        return document
+
+    def metrics(self) -> str:
+        """The ``/v1/metrics`` Prometheus text exposition (not JSON)."""
+        status, data = self._exchange("GET", "/v1/metrics", None)
+        if status >= 400:
+            raise GatewayError(status, repr(data[:200]))
+        return data.decode("utf-8")
 
     def stats(self) -> Dict[str, Any]:
         return self.request("GET", "/v1/stats")

@@ -42,6 +42,7 @@ _REASONS = {
     413: "Payload Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 

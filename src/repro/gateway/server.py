@@ -11,7 +11,8 @@ POST   ``/v1/push``             batched ingest (``items`` or ``rows``)
 GET    ``/v1/query/<kind>``     typed queries as ``Answer.to_dict()`` JSON
 POST   ``/v1/query/<kind>``     same, parameters in the JSON body
 GET    ``/v1/stats``            items/message accounting snapshot
-GET    ``/v1/healthz``          liveness + spec/shard identity
+GET    ``/v1/healthz``          per-shard liveness + spec/shard identity
+GET    ``/v1/metrics``          Prometheus text exposition (cluster-merged)
 POST   ``/v1/checkpoint``       checkpoint the tracker to a server path
 POST   ``/v1/admin/move_shard`` live shard handoff (socket backend)
 ====== ======================== ===========================================
@@ -43,9 +44,11 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import hmac
+import json
 import ssl
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
 import numpy as np
@@ -66,15 +69,55 @@ from ..api.queries import (
 from ..api.registry import DOMAIN_HEAVY_HITTERS, get_spec
 from ..cluster.backends import BackendError
 from ..cluster.sharded_tracker import ShardedTracker
+from ..obs.logging import (
+    TRACE_HEADER,
+    current_trace_id,
+    get_logger,
+    new_trace_id,
+    reset_trace_id,
+    set_trace_id,
+    trace_context,
+)
+from ..obs.metrics import (
+    LATENCY_BUCKETS,
+    REGISTRY,
+    merge_snapshots,
+    render_prometheus,
+)
 from .http import (
     HttpError,
     Request,
     error_response,
     json_response,
     read_request,
+    render_response,
 )
 
-__all__ = ["Gateway", "QUERY_KINDS"]
+__all__ = ["Gateway", "QUERY_KINDS", "PROMETHEUS_CONTENT_TYPE"]
+
+_LOG = get_logger("repro.gateway")
+
+#: Content type of the ``/v1/metrics`` exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Per-route serving telemetry.  The route label is normalized through
+#: ``_route_label`` (unknown paths collapse to ``"other"``) so label
+#: cardinality is bounded by the route table, not by client traffic.
+_REQUESTS = REGISTRY.counter(
+    "repro_gateway_requests_total", "HTTP requests served",
+    labels=("route", "method", "status"))
+_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_gateway_request_seconds",
+    "Request latency from parsed request to rendered response",
+    labels=("route",), buckets=LATENCY_BUCKETS)
+_INFLIGHT = REGISTRY.gauge(
+    "repro_gateway_inflight_requests", "Requests currently being handled")
+_REQUEST_BYTES = REGISTRY.counter(
+    "repro_gateway_request_body_bytes_total",
+    "Request body bytes received", labels=("route",))
+_RESPONSE_BYTES = REGISTRY.counter(
+    "repro_gateway_response_bytes_total",
+    "Response bytes written (headers included)", labels=("route",))
 
 #: Default cap on one request body; a 1M-item weighted batch is ~30 MB of
 #: JSON, so the default admits realistically large ingest batches while
@@ -149,6 +192,34 @@ QUERY_KINDS: Dict[str, Callable[[Request, Any], Query]] = {
 _TRUE_VALUES = ("1", "true", "yes", "on")
 
 
+@dataclasses.dataclass(frozen=True)
+class _RawResponse:
+    """A handler result that is not a 200 JSON document.
+
+    ``/v1/metrics`` returns Prometheus text and a degraded ``/v1/healthz``
+    returns its JSON payload under a 503 — both ride this carrier through
+    the shared ``_respond`` plumbing instead of special-casing routes.
+    """
+
+    body: bytes
+    status: int = 200
+    content_type: str = "application/json"
+
+
+_KNOWN_ROUTES = ("/v1/healthz", "/v1/metrics", "/v1/stats", "/v1/push",
+                 "/v1/checkpoint", "/v1/admin/move_shard")
+
+
+def _route_label(path: str) -> str:
+    """Collapse a request path onto the bounded route-label vocabulary."""
+    if path in _KNOWN_ROUTES:
+        return path
+    if path.startswith("/v1/query/"):
+        kind = path[len("/v1/query/"):]
+        return f"/v1/query/{kind}" if kind in QUERY_KINDS else "/v1/query/other"
+    return "other"
+
+
 class Gateway:
     """Serve one tracker to many concurrent HTTP/JSON clients.
 
@@ -173,6 +244,11 @@ class Gateway:
     query_threads:
         Size of the reader pool used when the backend supports concurrent
         dispatch; ignored otherwise.
+    open_metrics:
+        When true, ``GET /v1/metrics`` joins ``/v1/healthz`` in the
+        auth-exempt set so a Prometheus scraper does not need the bearer
+        token.  Off by default — metric label values include spec names
+        and routes, which some deployments treat as sensitive.
     ssl_context:
         Serve HTTPS instead of HTTP.
     """
@@ -181,12 +257,13 @@ class Gateway:
                  port: int = 0, auth_token: Optional[str] = None,
                  max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
                  request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
-                 query_threads: int = 8,
+                 query_threads: int = 8, open_metrics: bool = False,
                  ssl_context: Optional[ssl.SSLContext] = None):
         self._tracker = tracker
         self._host = host
         self._port = int(port)
         self._auth_token = auth_token
+        self._open_metrics = bool(open_metrics)
         self._max_body_bytes = int(max_body_bytes)
         self._request_timeout = float(request_timeout)
         self._ssl_context = ssl_context
@@ -359,29 +436,68 @@ class Gateway:
                 pass
 
     async def _respond(self, request: Request) -> bytes:
+        trace = request.headers.get(TRACE_HEADER) or new_trace_id()
+        route = _route_label(request.path)
+        started = perf_counter() if REGISTRY.enabled else None
+        if REGISTRY.enabled:
+            _INFLIGHT.add(1.0)
+            if request.body:
+                _REQUEST_BYTES.inc(len(request.body), route=route)
+        token = set_trace_id(trace)
+        try:
+            response, status = await self._dispatch(request, trace)
+        finally:
+            reset_trace_id(token)
+            if started is not None:
+                elapsed = perf_counter() - started
+                _INFLIGHT.add(-1.0)
+                _REQUEST_SECONDS.observe(elapsed, route=route)
+        if REGISTRY.enabled:
+            _REQUESTS.inc(route=route, method=request.method,
+                          status=str(status))
+            _RESPONSE_BYTES.inc(len(response), route=route)
+        if _LOG.isEnabledFor(20):
+            _LOG.info("request", extra={
+                "route": route, "method": request.method, "status": status,
+                "path": request.path, "trace_id": trace})
+        return response
+
+    async def _dispatch(self, request: Request,
+                        trace: str) -> Tuple[bytes, int]:
+        """Route + run one request; returns ``(response_bytes, status)``."""
+        trace_headers = {"X-Trace-Id": trace}
         try:
             self._check_auth(request)
             handler = self._route(request)
             payload = await asyncio.wait_for(handler,
                                              timeout=self._request_timeout)
-            return json_response(payload, keep_alive=request.keep_alive)
+            if isinstance(payload, _RawResponse):
+                return render_response(
+                    payload.status, payload.body,
+                    content_type=payload.content_type, headers=trace_headers,
+                    keep_alive=request.keep_alive), payload.status
+            return json_response(payload, headers=trace_headers,
+                                 keep_alive=request.keep_alive), 200
         except asyncio.TimeoutError:
             return error_response(
                 504, f"request exceeded the gateway's "
                      f"{self._request_timeout:g}s deadline",
-                keep_alive=request.keep_alive)
+                headers=trace_headers, keep_alive=request.keep_alive), 504
         except HttpError as err:
-            return error_response(err.status, err.message,
-                                  headers=err.headers,
-                                  keep_alive=request.keep_alive)
+            headers = dict(err.headers)
+            headers.update(trace_headers)
+            return error_response(err.status, err.message, headers=headers,
+                                  keep_alive=request.keep_alive), err.status
         except (BackendError, TypeError, ValueError) as exc:
             # Tracker-level rejections (wrong-domain query, bad shapes,
             # unsupported backend operations) are the client's doing.
             return error_response(400, f"{type(exc).__name__}: {exc}",
-                                  keep_alive=request.keep_alive)
+                                  headers=trace_headers,
+                                  keep_alive=request.keep_alive), 400
         except Exception as exc:  # noqa: BLE001 - last-resort server error
             return error_response(500, f"{type(exc).__name__}: {exc}",
-                                  keep_alive=request.keep_alive)
+                                  headers=trace_headers,
+                                  keep_alive=request.keep_alive), 500
 
     def _check_auth(self, request: Request) -> None:
         if self._auth_token is None:
@@ -390,6 +506,8 @@ class Gateway:
             # The liveness probe stays open so orchestration (load
             # balancers, the CI job, GatewayClient's pre-connect) can wait
             # on readiness without holding the secret.
+            return
+        if request.path == "/v1/metrics" and self._open_metrics:
             return
         provided = request.headers.get("authorization", "")
         expected = f"Bearer {self._auth_token}"
@@ -404,6 +522,9 @@ class Gateway:
         if path == "/v1/healthz":
             self._require(method, "GET")
             return self._healthz()
+        if path == "/v1/metrics":
+            self._require(method, "GET")
+            return self._metrics()
         if path == "/v1/stats":
             self._require(method, "GET")
             return self._run_write(self._do_stats)
@@ -428,22 +549,62 @@ class Gateway:
                                  f"(allowed: {', '.join(allowed)})",
                             headers={"Allow": ", ".join(allowed)})
 
+    @staticmethod
+    def _with_trace(fn: Callable[[], Any]) -> Callable[[], Any]:
+        """Carry the event loop's trace ID into an executor thread.
+
+        ``run_in_executor`` does not propagate contextvars, so the worker
+        thread would otherwise emit logs and command frames without the
+        request's trace ID.
+        """
+        trace = current_trace_id()
+        if trace is None:
+            return fn
+
+        def bound() -> Any:
+            with trace_context(trace):
+                return fn()
+
+        return bound
+
     def _run_write(self, fn: Callable[[], Any]) -> Awaitable[Any]:
         loop = asyncio.get_running_loop()
-        return loop.run_in_executor(self._writer, fn)
+        return loop.run_in_executor(self._writer, self._with_trace(fn))
 
     def _run_read(self, fn: Callable[[], Any]) -> Awaitable[Any]:
         loop = asyncio.get_running_loop()
-        return loop.run_in_executor(self._reader, fn)
+        return loop.run_in_executor(self._reader, self._with_trace(fn))
 
-    async def _healthz(self) -> Dict[str, Any]:
-        return {
-            "status": "ok",
+    async def _healthz(self) -> Any:
+        if self._sharded:
+            shards = await self._run_write(self._tracker.liveness)
+        else:
+            shards = {"0": "ok"}
+        healthy = all(state == "ok" for state in shards.values())
+        payload = {
+            "status": "ok" if healthy else "degraded",
             "spec": self._spec,
             "sharded": self._sharded,
-            "shards": self._tracker.num_shards if self._sharded else 1,
+            "shards": shards,
             "requests_served": self.requests_served,
         }
+        if healthy:
+            return payload
+        return _RawResponse(
+            json.dumps(payload, separators=(",", ":")).encode("utf-8"),
+            status=503)
+
+    async def _metrics(self) -> _RawResponse:
+        text = await self._run_write(self._render_metrics)
+        return _RawResponse(text.encode("utf-8"),
+                            content_type=PROMETHEUS_CONTENT_TYPE)
+
+    def _render_metrics(self) -> str:
+        if self._sharded:
+            snapshots = self._tracker.metrics_snapshot()
+        else:
+            snapshots = [REGISTRY.snapshot()]
+        return render_prometheus(merge_snapshots(snapshots))
 
     def _do_stats(self) -> Dict[str, Any]:
         return _jsonify(dataclasses.asdict(self._tracker.stats()))

@@ -1,0 +1,49 @@
+"""Observability layer: metrics kernel, Prometheus rendering, JSON logs.
+
+Stdlib-only and import-cycle free — every other ``repro`` package may
+depend on ``repro.obs``; ``repro.obs`` depends on nothing above it.
+"""
+
+from .logging import (
+    TRACE_HEADER,
+    JsonLogFormatter,
+    configure_json_logging,
+    current_trace_id,
+    get_logger,
+    new_trace_id,
+    reset_trace_id,
+    set_trace_id,
+    trace_context,
+)
+from .metrics import (
+    LATENCY_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    render_prometheus,
+    worker_identity,
+)
+
+__all__ = [
+    "TRACE_HEADER",
+    "JsonLogFormatter",
+    "configure_json_logging",
+    "current_trace_id",
+    "get_logger",
+    "new_trace_id",
+    "reset_trace_id",
+    "set_trace_id",
+    "trace_context",
+    "LATENCY_BUCKETS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "render_prometheus",
+    "worker_identity",
+]

@@ -1,0 +1,128 @@
+"""Structured JSON logging with request/trace-ID correlation.
+
+Trace IDs are plain hex strings minted from :mod:`uuid` (never from the
+seeded numpy generators — observability must not perturb experiment
+randomness).  They travel on a :mod:`contextvars` context variable so
+one ID follows a request across the gateway's event loop, through the
+executor threads that touch the tracker, onto the cluster command
+frames, and into worker-side log lines.
+
+``asyncio``'s ``run_in_executor`` does **not** propagate contextvars
+into the worker thread, so code handing work to an executor must capture
+``current_trace_id()`` first and re-bind it inside the submitted
+callable (the gateway does exactly this).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import sys
+import uuid
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "TRACE_HEADER",
+    "JsonLogFormatter",
+    "configure_json_logging",
+    "current_trace_id",
+    "get_logger",
+    "new_trace_id",
+    "reset_trace_id",
+    "set_trace_id",
+    "trace_context",
+]
+
+#: HTTP header carrying (or receiving) the request trace ID.
+TRACE_HEADER = "x-trace-id"
+
+_TRACE: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_trace_id", default=None)
+
+#: ``LogRecord`` attributes that are plumbing, not payload; anything else
+#: attached via ``extra=`` is emitted as a JSON field.
+_RECORD_INTERNALS = frozenset((
+    "args", "asctime", "created", "exc_info", "exc_text", "filename",
+    "funcName", "levelname", "levelno", "lineno", "module", "msecs",
+    "message", "msg", "name", "pathname", "process", "processName",
+    "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+))
+
+
+def new_trace_id() -> str:
+    """Mint a 16-hex-char trace ID (uuid4-backed, RNG-state neutral)."""
+
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> Optional[str]:
+    return _TRACE.get()
+
+
+def set_trace_id(trace_id: Optional[str]) -> "contextvars.Token":
+    """Bind ``trace_id`` to the current context; returns the reset token."""
+
+    return _TRACE.set(trace_id)
+
+
+def reset_trace_id(token: "contextvars.Token") -> None:
+    """Undo a :func:`set_trace_id` using the token it returned."""
+
+    _TRACE.reset(token)
+
+
+@contextmanager
+def trace_context(trace_id: Optional[str]) -> Iterator[Optional[str]]:
+    token = _TRACE.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _TRACE.reset(token)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, message, trace_id, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", None) or current_trace_id()
+        if trace_id:
+            doc["trace_id"] = trace_id
+        for key, value in record.__dict__.items():
+            if key in _RECORD_INTERNALS or key == "trace_id" or key in doc:
+                continue
+            doc[key] = value
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+def configure_json_logging(level: str = "info", stream: Any = None) -> logging.Handler:
+    """Route every ``repro.*`` logger to one JSON-per-line stderr handler.
+
+    Installed by ``repro-experiments serve/worker --log-json``; returns
+    the handler so tests can point it at a capture buffer.
+    """
+
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    root = logging.getLogger("repro")
+    root.handlers[:] = [handler]
+    root.setLevel(getattr(logging, level.upper(), logging.INFO))
+    root.propagate = False
+    return handler
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Namespaced logger (``get_logger("gateway")`` → ``repro.gateway``)."""
+
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

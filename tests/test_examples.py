@@ -16,6 +16,7 @@ EXAMPLES = [
     "network_traffic_heavy_hitters.py",
     "distributed_lsi_logs.py",
     "gateway_monitoring.py",
+    "metrics_dashboard.py",
 ]
 
 

@@ -435,8 +435,168 @@ class TestHttpContract:
                 client.push(items=[[1, 1.0], [2, 2.0]])
                 health = client.healthz()
                 stats = client.stats()
+        assert health["status"] == "ok"
         assert health["spec"] == "hh/P2"
         assert health["sharded"] is True
-        assert health["shards"] == 2
+        assert health["shards"] == {"0": "ok", "1": "ok"}
         assert stats["items_processed"] == 2
         assert stats["spec"] == "hh/P2"
+
+    def test_healthz_503_when_a_shard_is_unreachable(self, served_cluster):
+        served_cluster.liveness = lambda: {
+            "0": "ok", "1": "unreachable: BackendError: shard 1 lost"}
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                health = client.healthz()
+            # The degraded report comes back as a document, but over the
+            # wire it is a 503 — what a load balancer keys on.
+            host, port = gateway.address
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("GET", "/v1/healthz")
+            assert conn.getresponse().status == 503
+            conn.close()
+        assert health["status"] == "degraded"
+        assert health["shards"]["0"] == "ok"
+        assert health["shards"]["1"].startswith("unreachable")
+
+    def test_metrics_route_serves_prometheus_text(self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                client.push(items=[[1, 1.0], [2, 2.0]])
+                client.query("total_weight")
+                text = client.metrics()
+        assert "# TYPE repro_gateway_requests_total counter" in text
+        assert 'route="/v1/push"' in text
+        assert "repro_gateway_request_seconds_bucket" in text
+        assert "repro_cluster_items_total" in text
+
+    def test_metrics_auth_follows_open_metrics_flag(self, served_cluster):
+        with Gateway(served_cluster, auth_token="s3cret") as gateway:
+            anonymous = GatewayClient(gateway.url)
+            with pytest.raises(GatewayError) as excinfo:
+                anonymous.metrics()
+            assert excinfo.value.status == 401
+            anonymous.close()
+            with GatewayClient(gateway.url, auth_token="s3cret") as client:
+                assert "repro_gateway_requests_total" in client.metrics()
+        with Gateway(served_cluster, auth_token="s3cret",
+                     open_metrics=True) as gateway:
+            with GatewayClient(gateway.url) as anonymous:
+                assert "repro_gateway_requests_total" in anonymous.metrics()
+
+    def test_trace_id_echoes_in_response_header(self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            host, port = gateway.address
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("GET", "/v1/healthz",
+                         headers={"X-Trace-Id": "cafe0123cafe0123"})
+            response = conn.getresponse()
+            response.read()
+            assert response.getheader("X-Trace-Id") == "cafe0123cafe0123"
+            # A request without the header gets a minted ID back.
+            conn.request("GET", "/v1/healthz")
+            response = conn.getresponse()
+            response.read()
+            minted = response.getheader("X-Trace-Id")
+            assert minted and minted != "cafe0123cafe0123"
+            conn.close()
+
+
+# --------------------------------------------------------------------------
+# GatewayClient's one-shot reconnect: a dropped keep-alive connection heals
+# exactly once; a second transport failure surfaces to the caller.
+# --------------------------------------------------------------------------
+class _OneResponsePerConnectionServer:
+    """An HTTP stub that closes every connection after a single response.
+
+    From the client's perspective this is a gateway whose keep-alive reaping
+    races the next request: the advertised ``Connection: keep-alive`` socket
+    is dead by the time the client reuses it.
+    """
+
+    _BODY = b'{"status":"ok"}'
+    _RESPONSE = (b"HTTP/1.1 200 OK\r\n"
+                 b"Content-Type: application/json\r\n"
+                 b"Content-Length: %d\r\n"
+                 b"Connection: keep-alive\r\n\r\n" % len(_BODY)) + _BODY
+
+    def __init__(self):
+        import socket as socket_module
+
+        self._sock = socket_module.create_server(("127.0.0.1", 0))
+        self._sock.settimeout(0.2)
+        self.port = self._sock.getsockname()[1]
+        self.connections_accepted = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        import socket as socket_module
+
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket_module.timeout:
+                continue
+            except OSError:
+                return
+            self.connections_accepted += 1
+            try:
+                conn.settimeout(5.0)
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+                if data:
+                    conn.sendall(self._RESPONSE)
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def stop(self):
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5.0)
+
+
+class TestClientReconnectRetry:
+    def test_dropped_keep_alive_heals_exactly_once(self):
+        server = _OneResponsePerConnectionServer()
+        try:
+            with GatewayClient(f"http://127.0.0.1:{server.port}") as client:
+                # First request: fresh connection, clean exchange.
+                assert client.request("GET", "/v1/healthz") == {"status": "ok"}
+                assert server.connections_accepted == 1
+                # The server has since closed that socket.  The retry loop
+                # must reconnect exactly once and succeed transparently.
+                assert client.request("GET", "/v1/healthz") == {"status": "ok"}
+                assert server.connections_accepted == 2
+                # And again: one reconnect per dropped exchange, every time.
+                assert client.request("GET", "/v1/healthz") == {"status": "ok"}
+                assert server.connections_accepted == 3
+        finally:
+            server.stop()
+
+    def test_second_transport_failure_surfaces(self):
+        server = _OneResponsePerConnectionServer()
+        try:
+            client = GatewayClient(f"http://127.0.0.1:{server.port}")
+            assert client.request("GET", "/v1/healthz") == {"status": "ok"}
+        finally:
+            server.stop()
+        # The stale keep-alive connection fails (first attempt), and the
+        # reconnect attempt hits a closed port (second attempt) — which
+        # must propagate, not loop.
+        with pytest.raises(OSError):
+            client.request("GET", "/v1/healthz")
+        client.close()
