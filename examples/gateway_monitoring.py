@@ -7,15 +7,21 @@ the way real dashboards and agents would — over plain HTTP with stdlib
 ``urllib``, no repro import on the client side required.
 
 Three concurrent ingest "agents" (think per-datacenter log shippers) POST
-batches of ``(endpoint, latency_ms)`` observations to ``/v1/push`` while a
-monitoring loop polls ``GET /v1/query/heavy_hitters`` and ``/v1/stats`` to
-watch which API endpoints dominate total latency.  One poll passes
-``?partial=true`` — the degraded-mode flag that lets a dashboard keep
-rendering from the reachable shards if part of the cluster is down — and the
-example prints the ``partial`` / ``missing_shards`` fields that come back.
-At the end the session is checkpointed through ``POST /v1/checkpoint`` and
-one typed query shows ``GatewayClient`` re-hydrating a real ``Answer``
-object via ``Answer.from_dict``.
+batches of ``(endpoint, latency_ms)`` observations to ``/v1/push`` with
+nothing but ``urllib``, then a dashboard loop polls
+``GET /v1/query/heavy_hitters`` and ``/v1/stats`` through the ETag-aware
+:class:`~repro.gateway.GatewayClient`: the first poll pays the full
+fan-out, every repeat between pushes revalidates its ``ETag`` with
+``If-None-Match`` and is answered ``304 Not Modified`` straight from the
+client-side document cache (``client.not_modified`` counts them), and the
+first push afterwards moves the ingest epoch so the next poll gets a
+fresh answer.  One poll passes ``?partial=true`` — the degraded-mode flag
+that lets a dashboard keep rendering from the reachable shards if part of
+the cluster is down — and the example prints the ``partial`` /
+``missing_shards`` fields that come back (partial answers are never
+cached or tagged).  At the end the session is checkpointed through
+``POST /v1/checkpoint`` and one typed query shows ``GatewayClient``
+re-hydrating a real ``Answer`` object via ``Answer.from_dict``.
 
 Run with:  python examples/gateway_monitoring.py
 """
@@ -38,6 +44,7 @@ NUM_AGENTS = 3
 BATCHES_PER_AGENT = 8
 OBSERVATIONS_PER_BATCH = 400
 PHI = 0.05
+DASHBOARD_POLLS = 6
 
 # A handful of genuinely expensive endpoints among a long tail.
 ENDPOINTS = [f"/api/v2/resource/{index}" for index in range(200)]
@@ -103,8 +110,16 @@ def main() -> None:
               f"({totals} per agent)")
 
         # The dashboard's view: which endpoints dominate total latency?
-        answer = http_json(
-            f"{base_url}/v1/query/heavy_hitters?phi={PHI}")
+        # Polled through the ETag-aware client — the first poll pays the
+        # full shard fan-out, every repeat between pushes revalidates with
+        # If-None-Match and is answered 304 from the client's own cache.
+        client = GatewayClient(base_url, auth_token=AUTH_TOKEN)
+        for _ in range(DASHBOARD_POLLS):
+            answer = client.query("heavy_hitters", {"phi": PHI})
+        print(f"\n{DASHBOARD_POLLS} dashboard polls: "
+              f"{client.not_modified} answered 304 Not Modified "
+              "(ETag revalidation, zero gateway fan-outs)")
+        assert client.not_modified == DASHBOARD_POLLS - 1, client.not_modified
         print(f"\nEndpoints above {PHI:.0%} of total latency "
               f"(error bound {answer['error_bound']:.4g}):")
         for hitter in answer["estimate"]:
@@ -112,6 +127,19 @@ def main() -> None:
                   f"{hitter['relative_weight']:.3f}")
         hot_found = {hitter["element"] for hitter in answer["estimate"]}
         assert set(HOT_ENDPOINTS) <= hot_found, (HOT_ENDPOINTS, hot_found)
+
+        # One straggler batch moves the ingest epoch: the next poll's
+        # validator no longer matches, so the gateway re-evaluates and the
+        # client caches the fresh answer under the new ETag.
+        polls_before = client.not_modified
+        client.push(items=[["/api/v2/export", 500.0]])
+        refreshed = client.query("heavy_hitters", {"phi": PHI})
+        assert client.not_modified == polls_before, \
+            "a post-push poll must not be served 304"
+        assert refreshed["items_processed"] == answer["items_processed"] + 1
+        print("post-push poll re-evaluated (epoch moved, ETag rotated): "
+              f"{answer['items_processed']} -> "
+              f"{refreshed['items_processed']} items behind the answer")
 
         # Degraded-mode poll: partial=true keeps the dashboard rendering
         # even if shards are unreachable; here the cluster is healthy, so
@@ -122,9 +150,10 @@ def main() -> None:
               f"missing_shards={degraded.get('missing_shards', ())} "
               f"(all shards reachable)")
 
-        stats = http_json(f"{base_url}/v1/stats")
+        stats = client.stats()
         print(f"stats: {stats['items_processed']} items over "
-              f"{stats['shards']} shards, "
+              f"{stats['shards']} shards at ingest epoch "
+              f"{stats['ingest_epoch']}, "
               f"{stats['total_messages']} protocol messages "
               "(site-to-coordinator traffic the protocol saved vs "
               "forwarding every observation)")
@@ -137,8 +166,8 @@ def main() -> None:
 
         # Typed client: GatewayClient.typed_query returns a real Answer
         # object (Answer.from_dict), so downstream code can keep using the
-        # library types it already knows.
-        client = GatewayClient(base_url, auth_token=AUTH_TOKEN)
+        # library types it already knows — and it rides the same
+        # conditional-GET path as the raw document polls.
         typed = client.typed_query("total_weight")
         client.close()
         print(f"\ntyped total-weight answer: {type(typed).__name__} "

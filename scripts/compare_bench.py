@@ -3,11 +3,14 @@
 
 Usage::
 
-    python scripts/compare_bench.py BENCH_9.json bench-throughput.json
+    python scripts/compare_bench.py BENCH_10.json bench-throughput.json
 
 Matches throughput rows by ``(workload, protocol)`` and flags any fresh
 ``batched_items_per_sec`` below ``floor`` (default 0.7) times the
-baseline.  The floor is *soft*: regressions print GitHub-annotation
+baseline.  When both reports carry a ``query_mix`` section (``bench
+--query-mix``), its rows are matched by ``(clients, cache)`` and fresh
+``queries_per_second`` is held to the same soft floor.  The floor is
+*soft*: regressions print GitHub-annotation
 ``::warning`` lines (visible in the job summary) but the script exits 0,
 because CI runners vary too much in CPU for a hard throughput gate —
 the committed baseline documents the trajectory, the warning makes a
@@ -44,9 +47,14 @@ def _rows_by_key(document: Dict[str, Any]) -> Dict[tuple, Dict[str, Any]]:
             for row in document.get("throughput") or []}
 
 
+def _query_mix_by_key(document: Dict[str, Any]) -> Dict[tuple, Dict[str, Any]]:
+    return {(row.get("clients"), row.get("cache")): row
+            for row in document.get("query_mix") or []}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed baseline (BENCH_9.json)")
+    parser.add_argument("baseline", help="committed baseline (BENCH_10.json)")
     parser.add_argument("fresh", help="freshly measured bench --json report")
     parser.add_argument("--floor", type=float, default=0.7,
                         help="soft floor as a fraction of the baseline "
@@ -85,6 +93,28 @@ def main(argv=None) -> int:
                   f"baseline sha {base_meta.get('git_sha', '?')[:12]})")
         else:
             print(f"ok: {label} {fresh_rate:,.0f} items/sec "
+                  f"({ratio:.2f}x baseline)")
+    base_mix = _query_mix_by_key(baseline)
+    fresh_mix = _query_mix_by_key(fresh)
+    for key, base_row in sorted(base_mix.items(), key=repr):
+        fresh_row = fresh_mix.get(key)
+        if fresh_row is None:
+            continue
+        base_rate = base_row.get("queries_per_second")
+        fresh_rate = fresh_row.get("queries_per_second")
+        if not base_rate or not fresh_rate:
+            continue
+        compared += 1
+        ratio = fresh_rate / base_rate
+        label = f"query-mix {key[0]} client(s), cache {key[1]}"
+        if ratio < args.floor:
+            regressed += 1
+            print(f"::warning::query-mix regression: {label} at "
+                  f"{fresh_rate:,.0f} queries/sec is {ratio:.2f}x the "
+                  f"baseline {base_rate:,.0f} (soft floor {args.floor}x, "
+                  f"baseline sha {base_meta.get('git_sha', '?')[:12]})")
+        else:
+            print(f"ok: {label} {fresh_rate:,.0f} queries/sec "
                   f"({ratio:.2f}x baseline)")
     if compared == 0:
         raise SystemExit("::error::no comparable throughput rows between "

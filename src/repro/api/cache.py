@@ -1,0 +1,160 @@
+"""Epoch-guarded answer caching for the query hot path.
+
+The paper's whole premise is that a small mergeable summary answers
+queries cheaply — and between two ingest instalments the summary does not
+move at all, so neither does any answer computed from it.  This module
+implements that memoize-until-invalidated discipline as a small LRU:
+
+* the **key** is the query's canonical identity
+  (:meth:`~repro.api.queries.Query.cache_key`) combined with the session's
+  monotonic ``ingest_epoch`` (and, for clusters, the shard→worker
+  ``placement_version``), so any ingestion, restore, or shard handoff
+  invalidates every previously cached answer *by construction* — entries
+  are never mutated or purged on write, they simply stop being addressable;
+* the **value** is the *same frozen* :class:`~repro.api.queries.Answer`
+  a fresh evaluation would return — bit-identical estimates, bounds and
+  accounting snapshots, because nothing between two epochs changes them;
+* ``max_entries`` bounds memory (least-recently-used eviction) and ``ttl``
+  optionally bounds staleness of the *serving clock* (an entry older than
+  ``ttl`` seconds re-evaluates even at an unchanged epoch — useful when
+  answers embed wall-clock-adjacent context, never needed for
+  correctness).
+
+A cache built with ``max_entries=0`` is disabled: ``get``/``put`` return
+immediately without taking the lock, so the hot path costs one attribute
+check and nothing else.
+
+The cache is thread-safe (one lock around the ordered map) because the
+serving gateway hits it from a pool of reader threads while the writer
+thread bumps the epoch.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from time import monotonic
+from typing import Any, Hashable, Optional, Tuple
+
+from ..obs.metrics import REGISTRY
+
+__all__ = ["AnswerCache", "DEFAULT_CACHE_SIZE"]
+
+#: Default LRU capacity of a session's answer cache.  Sized for serving
+#: workloads (dashboards rotate through a handful of query shapes); one
+#: entry is one frozen ``Answer``, so memory stays in sketch territory.
+DEFAULT_CACHE_SIZE = 128
+
+_HITS = REGISTRY.counter(
+    "repro_cache_hits_total",
+    "Answer-cache hits (query served without re-evaluation)",
+    labels=("spec",))
+_MISSES = REGISTRY.counter(
+    "repro_cache_misses_total",
+    "Answer-cache misses (query evaluated and cached)", labels=("spec",))
+_EVICTIONS = REGISTRY.counter(
+    "repro_cache_evictions_total",
+    "Answer-cache LRU/TTL evictions", labels=("spec",))
+
+
+class AnswerCache:
+    """A thread-safe LRU of frozen answers keyed by (query, epoch, ...).
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity; ``0`` disables the cache entirely (both ``get`` and
+        ``put`` become constant-time no-ops).
+    ttl:
+        Optional wall-clock lifetime in seconds; entries older than this
+        re-evaluate even when their epoch is still current.  ``None``
+        (default) trusts the epoch guard alone, which is always correct.
+    spec:
+        Registry spec label for the ``repro_cache_*`` metric series.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE,
+                 ttl: Optional[float] = None, spec: str = "unknown"):
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive or None, got {ttl}")
+        self.max_entries = int(max_entries)
+        self.ttl = ttl
+        self._spec = spec
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = \
+            OrderedDict()
+        #: Local counters mirrored into the ``repro_cache_*`` metric series.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when this cache stores anything at all."""
+        return self.max_entries > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Any:
+        """The cached answer under ``key``, or ``None``.
+
+        A hit refreshes the entry's LRU position; a TTL-expired entry is
+        dropped and counts as both an eviction and a miss.
+        """
+        if self.max_entries == 0:
+            return None
+        now = monotonic() if self.ttl is not None else 0.0
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            elif self.ttl is not None and now - entry[0] > self.ttl:
+                del self._entries[key]
+                self.evictions += 1
+                self.misses += 1
+                entry = None
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if REGISTRY.enabled:
+            if entry is None:
+                _MISSES.inc(spec=self._spec)
+            else:
+                _HITS.inc(spec=self._spec)
+        return entry[1] if entry is not None else None
+
+    def put(self, key: Hashable, answer: Any) -> None:
+        """Store ``answer`` under ``key``, evicting LRU entries over capacity."""
+        if self.max_entries == 0:
+            return
+        stamp = monotonic() if self.ttl is not None else 0.0
+        evicted = 0
+        with self._lock:
+            self._entries[key] = (stamp, answer)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+        if evicted and REGISTRY.enabled:
+            _EVICTIONS.inc(evicted, spec=self._spec)
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep their totals)."""
+        with self._lock:
+            self._entries.clear()
+
+    # Trackers must stay picklable (the process backend ships builders, and
+    # tests pickle whole sessions); a cache pickles as its configuration
+    # only — entries and counters are process-local serving state, and the
+    # lock cannot cross process boundaries anyway.
+    def __getstate__(self) -> dict:
+        return {"max_entries": self.max_entries, "ttl": self.ttl,
+                "spec": self._spec}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["max_entries"], state["ttl"], state["spec"])

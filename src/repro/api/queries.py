@@ -179,6 +179,24 @@ class Answer:
         return answer_cls(**kwargs)
 
 
+def _canonical_param(value: Any) -> Hashable:
+    """One query parameter as a hashable canonical form.
+
+    Arrays (the ``Norms`` directions, which make the dataclass ``eq=False``)
+    canonicalize by shape/dtype/contents so two queries asking for the same
+    directions share one cache slot; unhashable leftovers raise
+    ``TypeError``, which callers treat as "not cacheable".
+    """
+    if isinstance(value, np.ndarray):
+        contiguous = np.ascontiguousarray(value)
+        return ("ndarray", contiguous.shape, contiguous.dtype.str,
+                contiguous.tobytes())
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_param(item) for item in value)
+    hash(value)  # raises TypeError for unhashable element labels
+    return value
+
+
 @dataclass(frozen=True)
 class Query:
     """Base of all typed queries; subclasses implement :meth:`answer`."""
@@ -186,6 +204,20 @@ class Query:
     def answer(self, protocol: DistributedProtocol) -> Answer:
         """Evaluate this query against ``protocol`` right now."""
         raise NotImplementedError
+
+    def cache_key(self) -> Hashable:
+        """This query's canonical identity for answer caching/ETags.
+
+        The key is the query kind plus every parameter in canonical form
+        (``Norms`` directions canonicalize by shape/dtype/bytes, so the
+        ``eq=False`` dataclasses still key correctly).  Raises ``TypeError``
+        for queries whose parameters cannot be hashed (e.g. a ``Frequency``
+        on an unhashable element label) — such queries bypass the cache.
+        """
+        return (type(self).__name__,) + tuple(
+            (field_info.name, _canonical_param(getattr(self, field_info.name)))
+            for field_info in dataclasses.fields(self)
+        )
 
     # ------------------------------------------------------------ internals
     def _snapshot(self, protocol: DistributedProtocol) -> dict:

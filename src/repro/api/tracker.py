@@ -40,6 +40,7 @@ from ..obs.metrics import LATENCY_BUCKETS, REGISTRY
 from ..streaming.partition import Partitioner, RoundRobinPartitioner
 from ..streaming.protocol import DistributedProtocol
 from ..streaming.runner import DEFAULT_CHUNK_SIZE, RunResult, StreamingEngine
+from .cache import DEFAULT_CACHE_SIZE, AnswerCache
 from .queries import Answer, Query
 from .registry import create as _create_protocol
 from .registry import domain_of, spec_name_for
@@ -78,6 +79,9 @@ class TrackerStats:
     total_messages: int
     message_counts: Dict[str, int]
     chunk_size: Optional[int]
+    #: Monotonic ingest watermark: bumps on every push/push_batch/run call
+    #: (and across restore), so equal epochs imply identical answers.
+    ingest_epoch: int = 0
 
 
 class _OffsetPartitioner(Partitioner):
@@ -119,13 +123,20 @@ class Tracker:
         Engine chunk size for ``run``; ``None`` selects per-item dispatch.
     partitioner:
         Site-assignment policy for ``run``; defaults to round-robin.
+    cache_size / cache_ttl:
+        Answer-cache knobs (see :class:`~repro.api.cache.AnswerCache`):
+        queries repeated at an unchanged :attr:`ingest_epoch` return the
+        same frozen answer without re-evaluation.  ``cache_size=0``
+        disables caching entirely.
     """
 
     def __init__(self, protocol: DistributedProtocol, *,
                  spec: Optional[str] = None,
                  params: Optional[Dict[str, Any]] = None,
                  chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
-                 partitioner: Optional[Partitioner] = None):
+                 partitioner: Optional[Partitioner] = None,
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 cache_ttl: Optional[float] = None):
         if not isinstance(protocol, DistributedProtocol):
             raise TypeError(
                 f"protocol must be a DistributedProtocol, got "
@@ -144,12 +155,21 @@ class Tracker:
             )
         self._partitioner = partitioner
         self._metric_spec = self._spec or type(protocol).__name__
+        # Seeding the watermark from the items already processed makes a
+        # restored session resume at a *different* epoch than a fresh one,
+        # so answers (and gateway ETags) cached against the old session
+        # never validate against the new — the "bumped on restore" rule.
+        self._ingest_epoch = int(protocol.items_processed)
+        self._cache = AnswerCache(cache_size, cache_ttl,
+                                  spec=self._metric_spec)
 
     # ---------------------------------------------------------- construction
     @classmethod
     def create(cls, spec: str, *,
                chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
                partitioner: Optional[Partitioner] = None,
+               cache_size: int = DEFAULT_CACHE_SIZE,
+               cache_ttl: Optional[float] = None,
                **params: Any) -> "Tracker":
         """Build a tracker from a registry spec name plus spec parameters.
 
@@ -161,7 +181,8 @@ class Tracker:
         """
         protocol = _create_protocol(spec, **params)
         return cls(protocol, spec=spec, params=params, chunk_size=chunk_size,
-                   partitioner=partitioner)
+                   partitioner=partitioner, cache_size=cache_size,
+                   cache_ttl=cache_ttl)
 
     # ------------------------------------------------------------ properties
     @property
@@ -199,6 +220,21 @@ class Tracker:
         """Total message units exchanged (the paper's ``msg`` metric)."""
         return self._protocol.total_messages
 
+    @property
+    def ingest_epoch(self) -> int:
+        """The monotonic ingest watermark (bumps on every ingestion call).
+
+        Two queries at equal epochs see identical protocol state, which is
+        what lets the answer cache (and the gateway's ETag validators)
+        serve repeats without touching the protocol.
+        """
+        return self._ingest_epoch
+
+    @property
+    def answer_cache(self) -> AnswerCache:
+        """The session's answer cache (hit/miss/eviction introspection)."""
+        return self._cache
+
     # -------------------------------------------------------------- ingestion
     def push(self, site: int, item: Any) -> None:
         """Ingest one stream item at ``site``.
@@ -207,6 +243,7 @@ class Tracker:
         ``WeightedItem``/``(element, weight)`` tuple for heavy-hitter
         sessions, a ``MatrixRow``/raw row for matrix sessions.
         """
+        self._ingest_epoch += 1
         self._protocol.observe(site, item)
         if REGISTRY.enabled:
             _PUSHES.inc(spec=self._metric_spec)
@@ -214,6 +251,7 @@ class Tracker:
 
     def push_batch(self, site_ids: Sequence[int], items: Any) -> None:
         """Ingest a chunk of items with explicit per-item site assignments."""
+        self._ingest_epoch += 1
         self._protocol.observe_batch(site_ids, items)
         if REGISTRY.enabled:
             _PUSHES.inc(spec=self._metric_spec)
@@ -243,6 +281,7 @@ class Tracker:
         if continue_indices and self._protocol.items_processed:
             partitioner = _OffsetPartitioner(partitioner,
                                              self._protocol.items_processed)
+        self._ingest_epoch += 1
         items_before = self._protocol.items_processed
         result = self._engine.run(self._protocol, source,
                                   partitioner=partitioner,
@@ -273,7 +312,20 @@ class Tracker:
             )
         if REGISTRY.enabled:
             _QUERIES.inc(spec=self._metric_spec, kind=type(query).__name__)
-        return query.answer(self._protocol)
+        key = None
+        if self._cache.enabled:
+            try:
+                key = (query.cache_key(), self._ingest_epoch)
+            except TypeError:
+                key = None  # unhashable parameters bypass the cache
+            if key is not None:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    return cached
+        answer = query.answer(self._protocol)
+        if key is not None:
+            self._cache.put(key, answer)
+        return answer
 
     def stats(self) -> TrackerStats:
         """A snapshot of the session for dashboards/logging."""
@@ -287,6 +339,7 @@ class Tracker:
             total_messages=self._protocol.total_messages,
             message_counts=self._protocol.message_counts(),
             chunk_size=self._engine.chunk_size,
+            ingest_epoch=self._ingest_epoch,
         )
 
     # ----------------------------------------------------------- persistence

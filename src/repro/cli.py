@@ -288,6 +288,25 @@ def build_parser() -> argparse.ArgumentParser:
                           "of standing up an embedded one (CI mode)")
     sub.add_argument("--gateway-auth-token", metavar="TOKEN", default=None,
                      help="bearer token for --gateway / --gateway-url")
+    sub.add_argument("--query-mix", action="store_true",
+                     help="also bench the read hot path: repeated+rotating "
+                          "queries at --gateway-clients concurrency levels "
+                          "with the answer cache off and on, reporting query "
+                          "QPS and p50/p99 (rows land under 'query_mix' in "
+                          "--json)")
+    sub.add_argument("--query-mix-queries", type=int, default=200,
+                     metavar="N",
+                     help="queries per client per level for --query-mix")
+    sub.add_argument("--query-mix-spec", type=_parse_spec, default="matrix/P2",
+                     help="registry spec served by the embedded --query-mix "
+                          "cluster (matrix specs rotate covariance/frobenius/"
+                          "sketch reads; hh specs rotate thresholds)")
+    sub.add_argument("--query-mix-shards", type=int, default=2, metavar="N",
+                     help="shard count of the embedded --query-mix cluster")
+    sub.add_argument("--query-mix-backend", choices=available_backends(),
+                     default="process",
+                     help="engine backend of the embedded --query-mix "
+                          "cluster")
     sub.add_argument("--seed", type=int, default=2014)
 
     subparsers.add_parser("protocols", help=_EXPERIMENTS["protocols"])
@@ -393,6 +412,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--max-body-bytes", type=int, default=None,
                      metavar="BYTES",
                      help="reject request bodies larger than this with 413")
+    sub.add_argument("--cache-size", type=int, default=None, metavar="N",
+                     help="answer-cache LRU capacity of the served session "
+                          "(0 disables epoch-guarded caching and ETags; "
+                          "default 128)")
+    sub.add_argument("--cache-ttl", type=float, default=None,
+                     metavar="SECONDS",
+                     help="optional wall-clock lifetime of cached answers "
+                          "(default: epoch guard only)")
+    sub.add_argument("--coalesce-max-items", type=int, default=None,
+                     metavar="N",
+                     help="max items merged into one coalesced push dispatch "
+                          "(0 disables write coalescing; default 32768)")
+    sub.add_argument("--coalesce-max-bytes", type=int, default=None,
+                     metavar="BYTES",
+                     help="max request-body bytes merged into one coalesced "
+                          "push dispatch (default 8388608)")
     sub.add_argument("--worker-tls-ca", metavar="PEM", default=None,
                      help="CA bundle that signed the --backend socket "
                           "workers' --tls-cert (enables TLS to the workers)")
@@ -554,7 +589,23 @@ def _run_bench(args, out) -> None:
                 gateway_url=args.gateway_url,
                 auth_token=args.gateway_auth_token)
             gateway = gateway_report_rows(results)
-        return rows, scaling, gateway
+        query_mix = None
+        if args.query_mix:
+            from .evaluation.gateway_bench import (
+                DEFAULT_CLIENT_COUNTS,
+                measure_query_mix,
+                query_mix_report_rows,
+            )
+
+            results = measure_query_mix(
+                spec=args.query_mix_spec,
+                shards=args.query_mix_shards,
+                backend=args.query_mix_backend,
+                client_counts=args.gateway_clients or DEFAULT_CLIENT_COUNTS,
+                queries_per_client=args.query_mix_queries,
+                seed=args.seed)
+            query_mix = query_mix_report_rows(results)
+        return rows, scaling, gateway, query_mix
 
     from time import perf_counter
 
@@ -564,9 +615,9 @@ def _run_bench(args, out) -> None:
         import pstats
 
         profiler = cProfile.Profile()
-        rows, scaling, gateway = profiler.runcall(_measure)
+        rows, scaling, gateway, query_mix = profiler.runcall(_measure)
     else:
-        rows, scaling, gateway = _measure()
+        rows, scaling, gateway, query_mix = _measure()
     bench_duration = perf_counter() - bench_started
 
     _emit(format_table(rows, title="Ingestion throughput (per-item vs batched)"),
@@ -602,6 +653,27 @@ def _run_bench(args, out) -> None:
                   f"({row['queries_per_second']:,.0f} queries/sec), "
                   f"p50 {row['p50_latency_ms']:.2f} ms, "
                   f"p99 {row['p99_latency_ms']:.2f} ms", out)
+    if query_mix is not None:
+        _emit(format_table(query_mix,
+                           columns=["clients", "cache", "queries",
+                                    "not_modified", "queries_per_second",
+                                    "p50_latency_ms", "p99_latency_ms"],
+                           title="Query mix (repeated+rotating reads, cache "
+                                 "off vs on)"),
+              out)
+        off_p50 = {row["clients"]: row["p50_latency_ms"]
+                   for row in query_mix if row["cache"] == "off"}
+        for row in query_mix:
+            if row["cache"] != "on":
+                continue
+            baseline = off_p50.get(row["clients"])
+            speedup = (f", {baseline / row['p50_latency_ms']:.1f}x faster "
+                       "p50 than uncached"
+                       if baseline and row["p50_latency_ms"] > 0 else "")
+            _emit(f"{row['clients']} client(s) [{row['spec']}, cache on]: "
+                  f"{row['queries_per_second']:,.0f} queries/sec, "
+                  f"p50 {row['p50_latency_ms']:.2f} ms "
+                  f"({row['not_modified']} served 304){speedup}", out)
 
     if args.profile:
         import io as _io
@@ -635,10 +707,19 @@ def _run_bench(args, out) -> None:
                 "gateway_spec": args.gateway_spec if args.gateway else None,
                 "gateway_requests_per_client":
                     args.gateway_requests if args.gateway else None,
+                "query_mix_spec":
+                    args.query_mix_spec if args.query_mix else None,
+                "query_mix_queries_per_client":
+                    args.query_mix_queries if args.query_mix else None,
+                "query_mix_shards":
+                    args.query_mix_shards if args.query_mix else None,
+                "query_mix_backend":
+                    args.query_mix_backend if args.query_mix else None,
             },
             "throughput": rows,
             "scaling": scaling,
             "gateway": gateway,
+            "query_mix": query_mix,
         }
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -688,14 +769,19 @@ def _make_session(spec, args, build_kwargs: dict):
             "--backend socket needs --workers HOST:PORT[,HOST:PORT...] "
             "(start workers with `repro-experiments worker --listen`)"
         )
+    cache_kwargs = {}
+    if getattr(args, "cache_size", None) is not None:
+        cache_kwargs["cache_size"] = args.cache_size
+    if getattr(args, "cache_ttl", None) is not None:
+        cache_kwargs["cache_ttl"] = args.cache_ttl
     if args.shards > 1 or args.backend != "serial":
         return ShardedTracker.create(spec.name, shards=args.shards,
                                      backend=args.backend,
                                      backend_options=backend_options,
                                      chunk_size=args.chunk_size,
-                                     **build_kwargs)
+                                     **cache_kwargs, **build_kwargs)
     return Tracker.create(spec.name, chunk_size=args.chunk_size,
-                          **build_kwargs)
+                          **cache_kwargs, **build_kwargs)
 
 
 def _run_track(args, out) -> None:
@@ -843,6 +929,10 @@ def _run_serve(args, out) -> None:
     gateway_kwargs = {}
     if args.max_body_bytes is not None:
         gateway_kwargs["max_body_bytes"] = args.max_body_bytes
+    if args.coalesce_max_items is not None:
+        gateway_kwargs["coalesce_max_items"] = args.coalesce_max_items
+    if args.coalesce_max_bytes is not None:
+        gateway_kwargs["coalesce_max_bytes"] = args.coalesce_max_bytes
     gateway = Gateway(tracker, host=host, port=port,
                       auth_token=args.auth_token,
                       request_timeout=args.request_timeout,

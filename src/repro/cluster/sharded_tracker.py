@@ -44,6 +44,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api.cache import DEFAULT_CACHE_SIZE, AnswerCache
 from ..api.queries import Answer, Query
 from ..api.registry import DOMAIN_HEAVY_HITTERS, get_spec
 from ..api.state import (
@@ -119,7 +120,14 @@ class ShardedTrackerStats:
     items_processed: int
     total_messages: int
     message_counts: Dict[str, int]
-    per_shard: Tuple[Tuple[int, int], ...]  #: (items, messages) per shard
+    #: (items, messages) per shard; ``None`` for shards that were
+    #: unreachable when the snapshot was taken (named in missing_shards).
+    per_shard: Tuple[Optional[Tuple[int, int]], ...]
+    #: Monotonic cluster-wide ingest watermark (see ``ingest_epoch``).
+    ingest_epoch: int = 0
+    #: Shards whose workers were unreachable; the sums above cover the
+    #: live shards only.  Always empty on a healthy cluster.
+    missing_shards: Tuple[int, ...] = ()
 
 
 # ------------------------------------------------------------ shard builders
@@ -211,8 +219,11 @@ class ShardedTracker:
                  backend: str = "serial",
                  chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
                  backend_options: Optional[Dict[str, Any]] = None,
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 cache_ttl: Optional[float] = None,
                  _builders: Optional[Sequence[Any]] = None,
-                 _rows_dispatched: int = 0):
+                 _rows_dispatched: int = 0,
+                 _ingest_epoch: int = 0):
         registry_spec = get_spec(spec)
         self._spec = registry_spec.name
         self._domain = registry_spec.domain
@@ -220,6 +231,8 @@ class ShardedTracker:
         self._num_shards = check_positive_int(shards, name="shards")
         self._chunk_size = chunk_size
         self._rows_dispatched = int(_rows_dispatched)
+        self._ingest_epoch = int(_ingest_epoch)
+        self._cache = AnswerCache(cache_size, cache_ttl, spec=self._spec)
         self._backend_name = get_backend_spec(backend).name
         if _builders is None:
             registry_spec.validate(dict(self._params))  # fail before launch
@@ -246,12 +259,16 @@ class ShardedTracker:
                backend: str = "serial",
                chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
                backend_options: Optional[Dict[str, Any]] = None,
+               cache_size: int = DEFAULT_CACHE_SIZE,
+               cache_ttl: Optional[float] = None,
                **params: Any) -> "ShardedTracker":
         """Build a sharded session from a registry spec name.
 
         ``params`` are the spec parameters of ``repro.create`` — every shard
         gets the same configuration (seeded specs derive distinct per-shard
-        seeds; shard 0 keeps the caller's seed).
+        seeds; shard 0 keeps the caller's seed).  ``cache_size``/
+        ``cache_ttl`` configure the merged-answer cache (``cache_size=0``
+        disables it; see :class:`~repro.api.cache.AnswerCache`).
 
         Examples
         --------
@@ -262,7 +279,8 @@ class ShardedTracker:
         >>> cluster.close()
         """
         return cls(spec, params, shards=shards, backend=backend,
-                   chunk_size=chunk_size, backend_options=backend_options)
+                   chunk_size=chunk_size, backend_options=backend_options,
+                   cache_size=cache_size, cache_ttl=cache_ttl)
 
     # ------------------------------------------------------------ properties
     @property
@@ -302,24 +320,43 @@ class ShardedTracker:
         """Per-shard engine chunk size (``None`` = per-item dispatch)."""
         return self._chunk_size
 
+    @property
+    def ingest_epoch(self) -> int:
+        """Monotonic cluster-wide ingest watermark.
+
+        Bumps on every ingestion dispatch, on restore, and on shard
+        handoff — so equal epochs (at an equal placement version) imply
+        identical merged answers, the invariant the answer cache and the
+        gateway's ETag validators rely on.
+        """
+        return self._ingest_epoch
+
+    @property
+    def answer_cache(self) -> AnswerCache:
+        """The cluster's merged-answer cache (hit/miss introspection)."""
+        return self._cache
+
     # -------------------------------------------------------------- ingestion
     def push(self, site: int, item: Any) -> None:
-        """Ingest one stream item at ``site`` of its element/row's shard."""
+        """Ingest one stream item at ``site`` of its element/row's shard.
+
+        Single items ride the same columnar ``push_batch`` path as chunks
+        (a one-item batch), so shard assignment, epoch accounting and the
+        wire shape are identical whether callers push one item or many.
+        """
         self._check_open()
         if self._domain == DOMAIN_HEAVY_HITTERS:
-            element = getattr(item, "element", None)
-            if element is None and isinstance(item, tuple):
-                element = item[0]
-            elif element is None:
-                element = item
-            shard = int(shard_of_elements([element], self._num_shards)[0])
+            if hasattr(item, "element"):
+                batch: Any = WeightedItemBatch.from_items([item])
+            elif isinstance(item, tuple):
+                batch = WeightedItemBatch.from_pairs([item])
+            else:
+                batch = WeightedItemBatch.from_pairs([(item, 1.0)])
+        elif hasattr(item, "values"):
+            batch = MatrixRowBatch.from_rows([item.values])
         else:
-            shard = int(self._rows_dispatched % self._num_shards)
-            self._rows_dispatched += 1
-        self._backend.submit(shard, _shard_push, int(site), item)
-        if REGISTRY.enabled:
-            _CLUSTER_PUSHES.inc(spec=self._spec)
-            _CLUSTER_ITEMS.inc(spec=self._spec)
+            batch = MatrixRowBatch.from_rows([item])
+        self.push_batch(batch, site_ids=[int(site)])
 
     def push_batch(self, items: Any,
                    site_ids: Optional[Sequence[int]] = None) -> None:
@@ -336,6 +373,10 @@ class ShardedTracker:
         batch = self._coerce_batch(items)
         if len(batch) == 0:
             return
+        # Bump *before* dispatching: a query keyed at the new epoch can only
+        # be answered (and cached) after this batch entered the per-shard
+        # FIFOs, so a post-push query never revives a pre-push answer.
+        self._ingest_epoch += 1
         if REGISTRY.enabled:
             _CLUSTER_PUSHES.inc(spec=self._spec)
             _CLUSTER_ITEMS.inc(len(batch), spec=self._spec)
@@ -429,8 +470,23 @@ class ShardedTracker:
         if REGISTRY.enabled:
             _CLUSTER_QUERIES.inc(spec=self._spec, kind=type(query).__name__)
         if not partial:
+            key = None
+            if self._cache.enabled:
+                try:
+                    key = (query.cache_key(),) + self._cache_generation()
+                except TypeError:
+                    key = None  # unhashable parameters bypass the cache
+                if key is not None:
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        return cached
             materials = self._backend.call_all(shard_query_materials, query)
-            return merge_answer(query, materials)
+            answer = merge_answer(query, materials)
+            if key is not None:
+                self._cache.put(key, answer)
+            return answer
+        # Partial answers are never cached: their coverage depends on which
+        # shards happened to be reachable, not on the ingest watermark.
         materials, errors = self._backend.call_all_partial(
             shard_query_materials, query)
         live = [shard for shard in materials if shard is not None]
@@ -450,7 +506,9 @@ class ShardedTracker:
         chunks keep routing consistently.  Returns the moved shard indices.
         """
         self._check_open()
-        return self._elastic_backend().add_worker(address)
+        moved = self._elastic_backend().add_worker(address)
+        self._ingest_epoch += 1  # handoff invalidates cached answers
+        return moved
 
     def remove_worker(self, address: Any) -> list:
         """Shrink the worker set, evacuating its shards to the remaining ones.
@@ -460,12 +518,15 @@ class ShardedTracker:
         moved shard indices.
         """
         self._check_open()
-        return self._elastic_backend().remove_worker(address)
+        moved = self._elastic_backend().remove_worker(address)
+        self._ingest_epoch += 1  # handoff invalidates cached answers
+        return moved
 
     def move_shard(self, shard: int, address: Any) -> None:
         """Relocate one shard's live session to another worker."""
         self._check_open()
         self._elastic_backend().move_shard(shard, address)
+        self._ingest_epoch += 1  # handoff invalidates cached answers
 
     def placement(self) -> list:
         """Current shard→worker placement (socket backend only)."""
@@ -486,10 +547,32 @@ class ShardedTracker:
             )
         return self._backend
 
+    def _cache_generation(self) -> Tuple[int, int]:
+        """The (epoch, placement version) pair answer-cache keys embed.
+
+        Non-elastic backends have no placement map; their placement
+        version is a constant 0 and invalidation rides the epoch alone.
+        """
+        return (self._ingest_epoch,
+                int(getattr(self._backend, "placement_version", 0)))
+
     def stats(self) -> ShardedTrackerStats:
-        """Aggregate items/message accounting over the whole cluster."""
+        """Aggregate items/message accounting over the whole cluster.
+
+        Tolerant of dead shards (like the metrics/liveness surfaces): the
+        sums cover the reachable shards, unreachable ones appear as
+        ``None`` in ``per_shard`` and are named in ``missing_shards`` — a
+        degraded cluster still reports instead of failing the whole stats
+        surface.  Only when *every* shard is unreachable does this raise.
+        """
         self._check_open()
-        per_shard = self._backend.call_all(_shard_stats)
+        results, errors = self._backend.call_all_partial(_shard_stats)
+        live = [row for row in results if row is not None]
+        if not live:
+            raise BackendError(
+                f"stats failed: all {self._num_shards} shard(s) are "
+                f"unavailable"
+            ) from (errors[min(errors)] if errors else None)
         return ShardedTrackerStats(
             spec=self._spec,
             backend=self._backend_name,
@@ -497,10 +580,13 @@ class ShardedTracker:
             num_sites=int(self._params.get("num_sites", 0)),
             epsilon=self._params.get("epsilon"),
             chunk_size=self._chunk_size,
-            items_processed=sum(row[0] for row in per_shard),
-            total_messages=sum(row[1] for row in per_shard),
-            message_counts=merge_message_counts(row[2] for row in per_shard),
-            per_shard=tuple((row[0], row[1]) for row in per_shard),
+            items_processed=sum(row[0] for row in live),
+            total_messages=sum(row[1] for row in live),
+            message_counts=merge_message_counts(row[2] for row in live),
+            per_shard=tuple(None if row is None else (row[0], row[1])
+                            for row in results),
+            ingest_epoch=self._ingest_epoch,
+            missing_shards=tuple(sorted(errors)),
         )
 
     def metrics_snapshot(self) -> List[Dict[str, Any]]:
@@ -558,6 +644,7 @@ class ShardedTracker:
             "backend": self._backend_name,
             "chunk_size": self._chunk_size,
             "rows_dispatched": self._rows_dispatched,
+            "ingest_epoch": self._ingest_epoch,
             "shard_payloads": payloads,
         })
         if started is not None:
@@ -602,6 +689,10 @@ class ShardedTracker:
             backend_options=backend_options,
             _builders=builders,
             _rows_dispatched=payload.get("rows_dispatched", 0),
+            # +1 is the "bumped on restore" rule: answers (and ETags) cached
+            # against the saved session never validate against the restored
+            # one, even at an identical ingest history.
+            _ingest_epoch=payload.get("ingest_epoch", 0) + 1,
         )
 
     # ----------------------------------------------------------- lifecycle

@@ -28,8 +28,11 @@ from ..gateway import Gateway, GatewayClient
 
 __all__ = [
     "GatewayLoadResult",
+    "QueryMixResult",
     "gateway_report_rows",
     "measure_gateway_load",
+    "measure_query_mix",
+    "query_mix_report_rows",
 ]
 
 #: Concurrency levels of the standard sweep.
@@ -209,4 +212,192 @@ def measure_gateway_load(
 def gateway_report_rows(results: Sequence[GatewayLoadResult]
                         ) -> List[Dict[str, Any]]:
     """The sweep as JSON-report rows (``bench --json``)."""
+    return [result.as_dict() for result in results]
+
+
+# --------------------------------------------------------------- query mix
+@dataclass(frozen=True)
+class QueryMixResult:
+    """One (concurrency level, cache mode) cell of the query-mix sweep."""
+
+    spec: str
+    backend: str
+    shards: int
+    clients: int
+    cache: str                    # "on" | "off"
+    queries: int
+    not_modified: int             # client-side 304 serves across all clients
+    elapsed_seconds: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.queries / max(self.elapsed_seconds, 1e-12)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec,
+            "backend": self.backend,
+            "shards": self.shards,
+            "clients": self.clients,
+            "cache": self.cache,
+            "queries": self.queries,
+            "not_modified": self.not_modified,
+            "elapsed_seconds": self.elapsed_seconds,
+            "queries_per_second": self.queries_per_second,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+        }
+
+
+def _query_client_loop(url: str, auth_token: Optional[str],
+                       query_set: List[Tuple[str, Dict[str, Any]]],
+                       queries_per_client: int, etag_cache_size: int,
+                       barrier: threading.Barrier, latencies: List[float],
+                       counts: Dict[str, int], lock: threading.Lock,
+                       errors: List[BaseException]) -> None:
+    """One read-only load generator rotating through a small query set.
+
+    Each query in ``query_set`` is issued once to warm the ETag cache,
+    then the timed loop repeats the rotation — the dashboard-refresh
+    shape the answer cache and conditional GET exist for.
+    """
+    try:
+        client = GatewayClient(url, auth_token=auth_token,
+                               etag_cache_size=etag_cache_size)
+        client.healthz()  # connection + warmup outside the timed window
+        for kind, params in query_set:
+            client.query(kind, params)
+        barrier.wait()
+        local_latencies: List[float] = []
+        for sequence in range(queries_per_client):
+            kind, params = query_set[sequence % len(query_set)]
+            begin = time.perf_counter()
+            client.query(kind, params)
+            local_latencies.append(time.perf_counter() - begin)
+        not_modified = client.not_modified
+        client.close()
+        with lock:
+            latencies.extend(local_latencies)
+            counts["queries"] += len(local_latencies)
+            counts["not_modified"] += not_modified
+    except BaseException as exc:  # noqa: BLE001 - surfaced by the caller
+        errors.append(exc)
+        try:
+            barrier.abort()
+        except threading.BrokenBarrierError:  # pragma: no cover
+            pass
+
+
+def measure_query_mix(
+    spec: str = "matrix/P2",
+    shards: int = 2,
+    backend: str = "process",
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    queries_per_client: int = 200,
+    distinct_queries: int = 4,
+    preload_items: int = 8192,
+    num_sites: int = 10,
+    epsilon: float = 0.05,
+    dimension: int = 64,
+    seed: int = 2014,
+    backend_options: Optional[Dict[str, Any]] = None,
+) -> List[QueryMixResult]:
+    """Measure the read hot path with the answer cache off and on.
+
+    Stands up one embedded gateway per cache mode over an identically
+    preloaded cluster, then drives ``client_counts`` levels of read-only
+    clients, each rotating through ``distinct_queries`` query shapes
+    (all repeats after the first pass — the cacheable shape).  Matrix
+    specs rotate covariance/frobenius/sketch reads over ``dimension``-wide
+    rows; heavy-hitter specs rotate thresholds.  ``cache="off"`` disables
+    both the server answer cache and the clients' ETag caches, so the off
+    rows measure the full fan-out on every query; ``cache="on"`` rows
+    measure epoch-guarded serving plus 304 revalidation.  One row per
+    (cache mode, concurrency level).
+    """
+    from ..api import get_spec
+    from ..streaming.items import MatrixRowBatch, WeightedItemBatch
+
+    registry_spec = get_spec(spec)
+    accepted = {param.name for param in registry_spec.params}
+    base_params = {"num_sites": num_sites, "epsilon": epsilon,
+                   "dimension": dimension, "seed": seed}
+    spec_params = {name: value for name, value in base_params.items()
+                   if name in accepted}
+    if "sketch_size" in accepted and "epsilon" not in accepted:
+        spec_params.setdefault("sketch_size",
+                               max(1, int(np.ceil(2.0 / epsilon))))
+    query_set: List[Tuple[str, Dict[str, Any]]]
+    if registry_spec.domain == "hh":
+        sample = ZipfianStreamGenerator(seed=seed).generate(preload_items)
+        preload = WeightedItemBatch.from_pairs(sample.items)
+        query_set = [("heavy_hitters", {"phi": round(0.02 + 0.01 * index, 6)})
+                     for index in range(distinct_queries)]
+    else:
+        rng = np.random.default_rng(seed)
+        preload = MatrixRowBatch.from_rows(
+            rng.standard_normal((preload_items, dimension)))
+        rotation = [("covariance", {}), ("frobenius", {}), ("sketch", {}),
+                    ("error", {})]
+        query_set = [rotation[index % len(rotation)]
+                     for index in range(distinct_queries)]
+    results: List[QueryMixResult] = []
+    for cache_mode in ("off", "on"):
+        cache_size = 0 if cache_mode == "off" else None
+        create_kwargs: Dict[str, Any] = dict(
+            shards=shards, backend=backend, backend_options=backend_options,
+            **spec_params)
+        if cache_size is not None:
+            create_kwargs["cache_size"] = cache_size
+        cluster = ShardedTracker.create(spec, **create_kwargs)
+        cluster.push_batch(preload)
+        gateway = Gateway(cluster).start()
+        try:
+            etag_cache_size = 0 if cache_mode == "off" else 32
+            for clients in client_counts:
+                latencies: List[float] = []
+                counts = {"queries": 0, "not_modified": 0}
+                errors: List[BaseException] = []
+                lock = threading.Lock()
+                barrier = threading.Barrier(clients + 1)
+                threads = [
+                    threading.Thread(
+                        target=_query_client_loop,
+                        args=(gateway.url, None, query_set,
+                              queries_per_client, etag_cache_size, barrier,
+                              latencies, counts, lock, errors),
+                        name=f"query-mix-{cache_mode}-{clients}-{index}",
+                        daemon=True)
+                    for index in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                barrier.wait()
+                begin = time.perf_counter()
+                for thread in threads:
+                    thread.join()
+                elapsed = time.perf_counter() - begin
+                if errors:
+                    raise errors[0]
+                ordered = np.sort(np.asarray(latencies, dtype=np.float64))
+                results.append(QueryMixResult(
+                    spec=spec, backend=backend, shards=shards,
+                    clients=clients, cache=cache_mode,
+                    queries=counts["queries"],
+                    not_modified=counts["not_modified"],
+                    elapsed_seconds=elapsed,
+                    p50_latency_ms=float(np.percentile(ordered, 50) * 1e3),
+                    p99_latency_ms=float(np.percentile(ordered, 99) * 1e3),
+                ))
+        finally:
+            gateway.stop()
+            cluster.close()
+    return results
+
+
+def query_mix_report_rows(results: Sequence[QueryMixResult]
+                          ) -> List[Dict[str, Any]]:
+    """The query-mix sweep as JSON-report rows (``bench --json``)."""
     return [result.as_dict() for result in results]

@@ -3,7 +3,7 @@
 ``bench --json`` stamps every report with a schema version, the git
 revision the numbers were measured at, and the wall-clock duration of
 the measurement, so CI can compare a fresh run against a committed
-baseline (``BENCH_9.json``) and know exactly what produced each side.
+baseline (``BENCH_10.json``) and know exactly what produced each side.
 """
 
 from __future__ import annotations
@@ -14,7 +14,7 @@ from typing import Any, Dict, Optional
 __all__ = ["BENCH_SCHEMA_VERSION", "bench_meta", "git_revision"]
 
 #: Bump when the shape of the ``bench --json`` document changes.
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 
 def git_revision(cwd: Optional[str] = None) -> str:

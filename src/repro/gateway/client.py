@@ -17,12 +17,17 @@ from __future__ import annotations
 import http.client
 import json
 import ssl
-from typing import Any, Dict, Optional, Sequence, Tuple, Union
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 from urllib.parse import urlencode, urlsplit
 
 from ..api.queries import Answer
 
 __all__ = ["GatewayClient", "GatewayError"]
+
+#: Default capacity of the client-side ETag→document cache (distinct query
+#: shapes a dashboard rotates through; 0 disables conditional requests).
+DEFAULT_ETAG_CACHE_SIZE = 32
 
 
 class GatewayError(RuntimeError):
@@ -39,6 +44,7 @@ class GatewayClient:
 
     def __init__(self, base_url: str, *, auth_token: Optional[str] = None,
                  timeout: float = 30.0, trace_id: Optional[str] = None,
+                 etag_cache_size: int = DEFAULT_ETAG_CACHE_SIZE,
                  ssl_context: Optional[ssl.SSLContext] = None):
         split = urlsplit(base_url)
         if split.scheme not in ("http", "https") or not split.hostname:
@@ -55,6 +61,13 @@ class GatewayClient:
         #: whole client session correlates in the gateway/worker logs.
         self._trace_id = trace_id
         self._conn: Optional[http.client.HTTPConnection] = None
+        # Conditional-GET plumbing: parsed query documents are remembered
+        # per (method, path, body) with the gateway's ETag; repeats send
+        # ``If-None-Match`` and a 304 re-serves the remembered document.
+        self._etag_cache_size = max(0, int(etag_cache_size))
+        self._etag_cache: "OrderedDict[Tuple[str, str, bytes], Tuple[str, Any]]" = OrderedDict()
+        #: Conditional requests answered 304 (served from the local cache).
+        self.not_modified = 0
 
     # ---------------------------------------------------------- plumbing
     def _connection(self) -> http.client.HTTPConnection:
@@ -79,14 +92,21 @@ class GatewayClient:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
-    def _exchange(self, method: str, path: str,
-                  body: Optional[bytes]) -> Tuple[int, bytes]:
-        """One HTTP round trip; returns ``(status, raw_body)``."""
+    def _exchange(self, method: str, path: str, body: Optional[bytes],
+                  extra_headers: Optional[Mapping[str, str]] = None,
+                  ) -> Tuple[int, Dict[str, str], bytes]:
+        """One HTTP round trip; returns ``(status, headers, raw_body)``.
+
+        Response header names come back lower-cased (the gateway's own
+        request-header convention).
+        """
         headers = {"Content-Type": "application/json"}
         if self._trace_id is not None:
             headers["X-Trace-Id"] = self._trace_id
         if self._auth_token is not None:
             headers["Authorization"] = f"Bearer {self._auth_token}"
+        if extra_headers:
+            headers.update(extra_headers)
         for attempt in (0, 1):
             conn = self._connection()
             try:
@@ -100,20 +120,54 @@ class GatewayClient:
                 self.close()
                 if attempt:
                     raise
-        return response.status, data
+        response_headers = {name.lower(): value
+                            for name, value in response.getheaders()}
+        return response.status, response_headers, data
 
     def request(self, method: str, path: str,
                 payload: Optional[Any] = None) -> Any:
-        """One JSON round trip; returns the decoded response document."""
+        """One JSON round trip; returns the decoded response document.
+
+        Query routes (``/v1/query/*``) are transparently conditional when
+        the ETag cache is enabled: a repeat of a remembered request sends
+        ``If-None-Match`` and a ``304 Not Modified`` re-serves the cached
+        document without the gateway re-evaluating anything.
+        """
         body = None if payload is None else \
             json.dumps(payload, separators=(",", ":")).encode("utf-8")
-        status, data = self._exchange(method, path, body)
+        cache_key = None
+        conditional: Optional[Dict[str, str]] = None
+        cached: Optional[Tuple[str, Any]] = None
+        if self._etag_cache_size and path.startswith("/v1/query/"):
+            cache_key = (method, path, body or b"")
+            cached = self._etag_cache.get(cache_key)
+            if cached is not None:
+                conditional = {"If-None-Match": cached[0]}
+        status, response_headers, data = self._exchange(
+            method, path, body, extra_headers=conditional)
+        if status == 304 and cached is not None:
+            self.not_modified += 1
+            self._etag_cache.move_to_end(cache_key)
+            # Top-level copy only: callers may pop keys (typed_query drops
+            # "partial") without corrupting the cache, but nested values
+            # are shared — a hit is a read-only snapshot, not a deep copy.
+            document = cached[1]
+            return dict(document) if isinstance(document, dict) else document
         document = json.loads(data) if data else None
         if status >= 400:
             message = ""
             if isinstance(document, dict):
                 message = document.get("error", {}).get("message", "")
             raise GatewayError(status, message or repr(data[:200]))
+        if cache_key is not None and status == 200:
+            etag = response_headers.get("etag")
+            if etag:
+                self._etag_cache[cache_key] = (etag, document)
+                self._etag_cache.move_to_end(cache_key)
+                while len(self._etag_cache) > self._etag_cache_size:
+                    self._etag_cache.popitem(last=False)
+                document = dict(document) if isinstance(document, dict) \
+                    else document
         return document
 
     # ------------------------------------------------------------- routes
@@ -125,7 +179,7 @@ class GatewayClient:
         that report is the whole point of calling ``healthz`` — so it is
         returned, not raised.  Anything else error-shaped raises.
         """
-        status, data = self._exchange("GET", "/v1/healthz", None)
+        status, _headers, data = self._exchange("GET", "/v1/healthz", None)
         document = json.loads(data) if data else None
         if isinstance(document, dict) and "shards" in document:
             return document
@@ -138,7 +192,7 @@ class GatewayClient:
 
     def metrics(self) -> str:
         """The ``/v1/metrics`` Prometheus text exposition (not JSON)."""
-        status, data = self._exchange("GET", "/v1/metrics", None)
+        status, _headers, data = self._exchange("GET", "/v1/metrics", None)
         if status >= 400:
             raise GatewayError(status, repr(data[:200]))
         return data.decode("utf-8")

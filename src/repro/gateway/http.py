@@ -32,6 +32,7 @@ MAX_HEADER_BYTES = 64 * 1024
 
 _REASONS = {
     200: "OK",
+    304: "Not Modified",
     400: "Bad Request",
     401: "Unauthorized",
     403: "Forbidden",

@@ -43,13 +43,16 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import hashlib
 import hmac
 import json
 import ssl
 import threading
+from collections import deque
+from contextlib import nullcontext
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
-from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -118,6 +121,14 @@ _REQUEST_BYTES = REGISTRY.counter(
 _RESPONSE_BYTES = REGISTRY.counter(
     "repro_gateway_response_bytes_total",
     "Response bytes written (headers included)", labels=("route",))
+_NOT_MODIFIED = REGISTRY.counter(
+    "repro_gateway_not_modified_total",
+    "Conditional queries answered 304 from the ETag validator alone "
+    "(zero executor hops)", labels=("route",))
+_COALESCED = REGISTRY.counter(
+    "repro_gateway_coalesced_pushes_total",
+    "Push requests that rode a coalesced dispatch instead of their own "
+    "(writer-queue hops saved)")
 
 #: Default cap on one request body; a 1M-item weighted batch is ~30 MB of
 #: JSON, so the default admits realistically large ingest batches while
@@ -125,6 +136,12 @@ _RESPONSE_BYTES = REGISTRY.counter(
 DEFAULT_MAX_BODY_BYTES = 32 * 1024 * 1024
 
 DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: Coalescing bounds: one merged dispatch never exceeds this many items /
+#: this many request-body bytes.  The item bound keeps per-dispatch latency
+#: flat; the byte bound keeps peak memory of a merged batch bounded.
+DEFAULT_COALESCE_MAX_ITEMS = 32768
+DEFAULT_COALESCE_MAX_BYTES = 8 * 1024 * 1024
 
 
 def _float_param(request: Request, body: Any, name: str,
@@ -204,6 +221,74 @@ class _RawResponse:
     body: bytes
     status: int = 200
     content_type: str = "application/json"
+    #: Extra response headers (e.g. ``ETag``); merged over the trace headers.
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclasses.dataclass
+class _QueuedPush:
+    """One parsed push request waiting in the coalescing queue.
+
+    The request's HTTP handler awaits ``future``; the writer thread
+    resolves it with the per-request ack (or the dispatch error) after the
+    batch — alone or merged with its queue neighbours — hits the tracker.
+    """
+
+    batch: Any                      # list of pairs (hh) or 2-d array (matrix)
+    site_ids: Optional[List[int]]
+    count: int
+    nbytes: int                     # request body size (coalescing budget)
+    future: asyncio.Future
+    loop: asyncio.AbstractEventLoop
+    trace: Optional[str]
+
+
+def _etag_matches(header: Optional[str], etag: str) -> bool:
+    """RFC 9110 ``If-None-Match``: any listed validator (or ``*``) matches."""
+    if not header:
+        return False
+    if header.strip() == "*":
+        return True
+    return etag in (tag.strip() for tag in header.split(","))
+
+
+async def _already_done(value: Any) -> Any:
+    """Wrap an immediately-available result as the awaitable ``_route`` returns."""
+    return value
+
+
+def _merge_push_group(group: List[_QueuedPush]) -> Tuple[Any, Optional[list]]:
+    """Concatenate a run of queued pushes into one columnar batch.
+
+    Arrival order is preserved item-for-item: entry ``i``'s items precede
+    entry ``i+1``'s exactly as two separate dispatches would have.
+    """
+    if len(group) == 1:
+        return group[0].batch, group[0].site_ids
+    if isinstance(group[0].batch, np.ndarray):
+        batch: Any = np.concatenate([entry.batch for entry in group], axis=0)
+    else:
+        batch = [item for entry in group for item in entry.batch]
+    site_ids = None
+    if group[0].site_ids is not None:
+        site_ids = [site for entry in group for site in entry.site_ids]
+    return batch, site_ids
+
+
+def _resolve_future(future: asyncio.Future, result: Any,
+                    error: Optional[BaseException]) -> None:
+    """Complete a push future on its event loop (no-op if already done).
+
+    The future may have been cancelled by the request deadline while its
+    entry sat in the queue — the write still happens (same contract as the
+    writer-executor path), only the ack has no one left to read it.
+    """
+    if future.done():
+        return
+    if error is not None:
+        future.set_exception(error)
+    else:
+        future.set_result(result)
 
 
 _KNOWN_ROUTES = ("/v1/healthz", "/v1/metrics", "/v1/stats", "/v1/push",
@@ -244,6 +329,12 @@ class Gateway:
     query_threads:
         Size of the reader pool used when the backend supports concurrent
         dispatch; ignored otherwise.
+    coalesce_max_items / coalesce_max_bytes:
+        Write-coalescing bounds: adjacent queued pushes merge into one
+        columnar ``push_batch`` dispatch up to this many items / this many
+        request-body bytes (arrival order preserved, per-request acks
+        individually accurate).  ``coalesce_max_items=0`` disables
+        coalescing — every push dispatches alone, exactly as before.
     open_metrics:
         When true, ``GET /v1/metrics`` joins ``/v1/healthz`` in the
         auth-exempt set so a Prometheus scraper does not need the bearer
@@ -258,6 +349,8 @@ class Gateway:
                  max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
                  request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
                  query_threads: int = 8, open_metrics: bool = False,
+                 coalesce_max_items: int = DEFAULT_COALESCE_MAX_ITEMS,
+                 coalesce_max_bytes: int = DEFAULT_COALESCE_MAX_BYTES,
                  ssl_context: Optional[ssl.SSLContext] = None):
         self._tracker = tracker
         self._host = host
@@ -278,6 +371,12 @@ class Gateway:
         # one thread, in event-loop submission order.
         self._writer = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-gateway-writer")
+        # Parsed pushes waiting for the writer thread; adjacent compatible
+        # entries coalesce into one dispatch (bounded below).
+        self._push_queue: "deque[_QueuedPush]" = deque()
+        self._push_lock = threading.Lock()
+        self._coalesce_max_items = int(coalesce_max_items)
+        self._coalesce_max_bytes = int(coalesce_max_bytes)
         concurrent_queries = bool(
             getattr(tracker, "dispatch_concurrency_safe", False))
         self._reader = ThreadPoolExecutor(
@@ -472,9 +571,11 @@ class Gateway:
             payload = await asyncio.wait_for(handler,
                                              timeout=self._request_timeout)
             if isinstance(payload, _RawResponse):
+                headers = dict(trace_headers)
+                headers.update(payload.headers)
                 return render_response(
                     payload.status, payload.body,
-                    content_type=payload.content_type, headers=trace_headers,
+                    content_type=payload.content_type, headers=headers,
                     keep_alive=request.keep_alive), payload.status
             return json_response(payload, headers=trace_headers,
                                  keep_alive=request.keep_alive), 200
@@ -641,17 +742,93 @@ class Gateway:
         if site_ids is not None and len(site_ids) != count:
             raise HttpError(400, f"site_ids has {len(site_ids)} entries for "
                                  f"{count} items")
-        return self._run_write(lambda: self._do_push(batch, site_ids, count))
+        return self._enqueue_push(batch, site_ids, count,
+                                  len(request.body or b""))
 
-    def _do_push(self, batch: Any, site_ids: Optional[Any],
-                 count: int) -> Dict[str, Any]:
+    def _enqueue_push(self, batch: Any, site_ids: Optional[Any],
+                      count: int, nbytes: int) -> "asyncio.Future":
+        """Queue one parsed push for the writer thread and return its ack.
+
+        Every enqueue also submits a drain job to the single-writer
+        executor; whichever drain job runs first dispatches the whole
+        pending run of compatible pushes as one ``push_batch``, and later
+        jobs find an empty queue.  Queue order is event-loop arrival
+        order, so the transport order of batches stays deterministic.
+        """
+        loop = asyncio.get_running_loop()
+        entry = _QueuedPush(
+            batch=batch,
+            site_ids=list(site_ids) if site_ids is not None else None,
+            count=count, nbytes=nbytes, future=loop.create_future(),
+            loop=loop, trace=current_trace_id())
+        with self._push_lock:
+            self._push_queue.append(entry)
+        self._writer.submit(self._drain_pushes)
+        return entry.future
+
+    def _coalescible(self, head: _QueuedPush, nxt: _QueuedPush,
+                     items: int, nbytes: int) -> bool:
+        """Whether ``nxt`` may join a merged dispatch led by ``head``."""
+        if items + nxt.count > max(self._coalesce_max_items, 0):
+            return False
+        if nbytes + nxt.nbytes > self._coalesce_max_bytes:
+            return False
+        if (head.site_ids is None) != (nxt.site_ids is None):
+            return False  # explicit and partitioner-assigned sites never mix
+        if isinstance(head.batch, np.ndarray) and (
+                not isinstance(nxt.batch, np.ndarray)
+                or head.batch.shape[1:] != nxt.batch.shape[1:]):
+            return False  # a malformed row width fails alone, not the group
+        return True
+
+    def _drain_pushes(self) -> None:
+        """Writer-thread side of the push path: dispatch pending entries.
+
+        Pops the queue in arrival order, merging adjacent compatible
+        entries up to the coalescing bounds into one columnar
+        ``push_batch``; each merged request's future still resolves to its
+        own ``{"accepted": n}`` ack, and a dispatch failure fails exactly
+        the requests whose items were in it.
+        """
+        while True:
+            with self._push_lock:
+                if not self._push_queue:
+                    return
+                group = [self._push_queue.popleft()]
+                items, nbytes = group[0].count, group[0].nbytes
+                while self._push_queue and self._coalescible(
+                        group[0], self._push_queue[0], items, nbytes):
+                    entry = self._push_queue.popleft()
+                    group.append(entry)
+                    items += entry.count
+                    nbytes += entry.nbytes
+            try:
+                batch, site_ids = _merge_push_group(group)
+                with trace_context(group[0].trace) if group[0].trace \
+                        else nullcontext():
+                    self._do_push(batch, site_ids)
+            except BaseException as exc:  # noqa: BLE001 - shipped to clients
+                error: Optional[BaseException] = exc
+            else:
+                error = None
+                if len(group) > 1 and REGISTRY.enabled:
+                    _COALESCED.inc(len(group) - 1)
+            for entry in group:
+                result = None if error is not None \
+                    else {"accepted": entry.count}
+                try:
+                    entry.loop.call_soon_threadsafe(
+                        _resolve_future, entry.future, result, error)
+                except RuntimeError:  # pragma: no cover - loop shut down
+                    pass
+
+    def _do_push(self, batch: Any, site_ids: Optional[Any]) -> None:
         if self._sharded:
             self._tracker.push_batch(batch, site_ids=site_ids)
         elif site_ids is not None:
             self._tracker.push_batch(site_ids, batch)
         else:
             self._tracker.run(batch, query_at_end=False)
-        return {"accepted": count}
 
     # --------------------------------------------------------------- queries
     def _query(self, request: Request, kind: str) -> Awaitable[Any]:
@@ -669,7 +846,48 @@ class Gateway:
         if partial and not self._sharded:
             raise HttpError(400, "partial=true needs a sharded tracker; "
                                  "this gateway serves a plain Tracker")
-        return self._run_read(lambda: self._do_query(query, partial))
+        etag = None if partial else self._etag_for(query)
+        if etag is not None and _etag_matches(
+                request.headers.get("if-none-match"), etag):
+            # The validator alone proves the cached document is current —
+            # answer 304 straight off the event loop, zero executor hops.
+            if REGISTRY.enabled:
+                _NOT_MODIFIED.inc(route=_route_label(request.path))
+            return _already_done(_RawResponse(
+                b"", status=304, headers=(("ETag", etag),)))
+        return self._answer_query(query, partial, etag)
+
+    async def _answer_query(self, query: Query, partial: bool,
+                            etag: Optional[str]) -> Any:
+        payload = await self._run_read(
+            lambda: self._do_query(query, partial))
+        if etag is None:
+            return payload
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        return _RawResponse(body, headers=(("ETag", etag),))
+
+    def _etag_for(self, query: Query) -> Optional[str]:
+        """The query's current validator: ``"<spec>-<epoch>-<query-hash>"``.
+
+        The epoch is read *before* the query runs, so a push racing the
+        evaluation can only make the stamped validator stale early (extra
+        re-validation), never let it cover data it does not have.  The
+        query hash folds in the canonical parameters and the cluster's
+        placement version, so a shard handoff invalidates validators even
+        at an unchanged epoch counter.
+        """
+        epoch = getattr(self._tracker, "ingest_epoch", None)
+        if epoch is None:
+            return None
+        try:
+            key = query.cache_key()
+        except TypeError:
+            return None  # unhashable parameters have no stable validator
+        generation = getattr(self._tracker, "_cache_generation", None)
+        placement = generation()[1] if generation is not None else 0
+        digest = hashlib.sha1(
+            repr((key, placement)).encode("utf-8")).hexdigest()[:16]
+        return f'"{self._spec}-{epoch}-{digest}"'
 
     def _do_query(self, query: Query, partial: bool) -> Dict[str, Any]:
         if self._sharded:

@@ -1,0 +1,372 @@
+"""Epoch-guarded answer caching: identity, invalidation and freshness.
+
+The hot-path contract of PR 10: a cached answer is the *same frozen
+object* a fresh evaluation would return, every ingestion/restore/handoff
+invalidates by construction (the epoch in the key moves, the entries are
+never touched), and a query issued after an acknowledged push can never
+observe pre-push state.  Covered here:
+
+* :class:`~repro.api.cache.AnswerCache` unit behaviour (LRU, TTL,
+  disabled mode, pickling as configuration);
+* ``ingest_epoch`` plumbing on :class:`~repro.api.Tracker` and
+  :class:`~repro.cluster.ShardedTracker` (push/batch/run/restore bumps);
+* bit-identity of cached answers for **every** registered spec
+  (seed-parameterized like the state round-trip suite);
+* a concurrent push/query stress test asserting the freshness watermark;
+* invalidation on ``move_shard`` (placement generation) and checkpoint
+  restore;
+* the degraded ``stats()`` surface (``missing_shards`` instead of a
+  hard failure).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    Covariance,
+    FrobeniusSquared,
+    HeavyHitters,
+    Norms,
+    TotalWeight,
+)
+from repro.api.cache import AnswerCache
+from repro.cluster.backends import BackendError
+from repro.cluster.socket_backend import WorkerServer
+from repro.streaming.items import WeightedItemBatch
+
+from test_api_state_roundtrip import (
+    HH_SPECS,
+    MATRIX_SPECS,
+    _params,
+)
+from test_protocol_equivalence_properties import (
+    SEEDS,
+    hh_stream,
+    matrix_stream,
+)
+
+CHUNK = 50
+
+
+# --------------------------------------------------------------------------
+# AnswerCache unit behaviour.
+# --------------------------------------------------------------------------
+class TestAnswerCacheUnit:
+    def test_lru_eviction_and_counters(self):
+        cache = AnswerCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refreshes a's LRU slot
+        cache.put("c", 3)                   # evicts b, the LRU entry
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.hits == 3
+        assert cache.misses == 1
+
+    def test_ttl_expiry_counts_as_eviction_and_miss(self, monkeypatch):
+        clock = [100.0]
+        monkeypatch.setattr("repro.api.cache.monotonic", lambda: clock[0])
+        cache = AnswerCache(max_entries=4, ttl=5.0)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        clock[0] += 6.0
+        assert cache.get("k") is None
+        assert cache.evictions == 1
+        assert cache.misses == 1
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = AnswerCache(max_entries=0)
+        assert not cache.enabled
+        cache.put("k", "v")
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AnswerCache(max_entries=-1)
+        with pytest.raises(ValueError):
+            AnswerCache(ttl=0.0)
+
+    def test_pickles_as_configuration_only(self):
+        cache = AnswerCache(max_entries=7, ttl=3.0, spec="hh/P2")
+        cache.put("k", "v")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.max_entries == 7
+        assert clone.ttl == 3.0
+        assert clone.get("k") is None       # entries are process-local
+        assert len(clone) == 0
+
+
+# --------------------------------------------------------------------------
+# Epoch plumbing on the tracker facades.
+# --------------------------------------------------------------------------
+class TestIngestEpoch:
+    def test_tracker_epoch_bumps_on_every_ingest_form(self):
+        tracker = repro.Tracker.create("hh/exact", num_sites=3)
+        assert tracker.ingest_epoch == 0
+        tracker.push(0, ("a", 2.0))
+        assert tracker.ingest_epoch == 1
+        tracker.push_batch([0, 1], WeightedItemBatch.from_pairs(
+            [("b", 1.0), ("c", 1.0)]))
+        assert tracker.ingest_epoch == 2
+        tracker.run(WeightedItemBatch.from_pairs([("d", 1.0)]))
+        assert tracker.ingest_epoch == 3
+        assert tracker.stats().ingest_epoch == 3
+
+    def test_sharded_epoch_bumps_and_lands_in_stats(self):
+        with repro.ShardedTracker.create("hh/exact", shards=2,
+                                         backend="thread",
+                                         num_sites=4) as cluster:
+            assert cluster.ingest_epoch == 0
+            cluster.push(0, ("a", 2.0))
+            assert cluster.ingest_epoch == 1
+            cluster.push_batch(WeightedItemBatch.from_pairs(
+                [("b", 1.0), ("c", 1.0)]))
+            assert cluster.ingest_epoch == 2
+            assert cluster.stats().ingest_epoch == 2
+
+    def test_cached_hit_is_the_same_frozen_object(self):
+        tracker = repro.Tracker.create("hh/exact", num_sites=2)
+        tracker.run(WeightedItemBatch.from_pairs([("a", 5.0), ("b", 1.0)]))
+        first = tracker.query(TotalWeight())
+        second = tracker.query(TotalWeight())
+        assert second is first
+        assert tracker.answer_cache.hits == 1
+        third = tracker.query(HeavyHitters(phi=0.1))
+        assert tracker.query(HeavyHitters(phi=0.1)) is third
+
+    def test_push_invalidates_by_construction(self):
+        tracker = repro.Tracker.create("hh/exact", num_sites=2)
+        tracker.run(WeightedItemBatch.from_pairs([("a", 5.0)]))
+        stale = tracker.query(TotalWeight())
+        assert stale.estimate == pytest.approx(5.0)
+        tracker.push(0, ("b", 3.0))
+        fresh = tracker.query(TotalWeight())
+        assert fresh is not stale
+        assert fresh.estimate == pytest.approx(8.0)
+
+    def test_cache_size_zero_disables_memoization(self):
+        tracker = repro.Tracker.create("hh/exact", num_sites=2, cache_size=0)
+        tracker.run(WeightedItemBatch.from_pairs([("a", 5.0)]))
+        first = tracker.query(TotalWeight())
+        second = tracker.query(TotalWeight())
+        assert first is not second
+        assert first == second
+
+    def test_restore_seeds_a_fresh_epoch(self, tmp_path):
+        tracker = repro.Tracker.create("hh/exact", num_sites=2)
+        tracker.run(WeightedItemBatch.from_pairs(
+            [("a", 1.0), ("b", 1.0), ("c", 1.0)]))
+        path = tmp_path / "tracker.ckpt"
+        tracker.save(path)
+        loaded = repro.Tracker.load(path)
+        # Seeded from items_processed: a restored session can never reuse
+        # epoch values an earlier cached answer was keyed under.
+        assert loaded.ingest_epoch == 3
+        assert loaded.query(TotalWeight()) == tracker.query(TotalWeight())
+
+    def test_sharded_restore_bumps_past_the_saved_epoch(self, tmp_path):
+        path = tmp_path / "cluster.ckpt"
+        with repro.ShardedTracker.create("hh/exact", shards=2,
+                                         backend="thread",
+                                         num_sites=4) as cluster:
+            cluster.push_batch(WeightedItemBatch.from_pairs(
+                [("a", 1.0), ("b", 2.0)]))
+            saved_epoch = cluster.ingest_epoch
+            cluster.save(path)
+            expected = cluster.query(TotalWeight())
+        with repro.ShardedTracker.load(path, backend="thread") as loaded:
+            assert loaded.ingest_epoch == saved_epoch + 1
+            assert loaded.query(TotalWeight()) == expected
+
+
+# --------------------------------------------------------------------------
+# Bit-identity of cached answers for every registered spec.
+# --------------------------------------------------------------------------
+def _identity_queries(spec, dimension):
+    if spec in HH_SPECS:
+        return [HeavyHitters(phi=0.06), TotalWeight()]
+    probe = np.zeros(dimension, dtype=np.float64)
+    probe[0] = 1.0
+    return [Covariance(), FrobeniusSquared(), Norms(directions=probe)]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("spec", sorted(HH_SPECS) + sorted(MATRIX_SPECS))
+def test_cached_answers_bit_identical_to_fresh_fanout(spec, seed):
+    """For every spec: a cache hit is the frozen answer an uncached
+    fan-out produces, bit for bit."""
+    if spec in HH_SPECS:
+        _sample, batch, sites = hh_stream(seed)
+        dimension = None
+    else:
+        dataset, batch, sites = matrix_stream(seed)
+        dimension = dataset.dimension
+    params = _params(spec, seed, dimension)
+    site_ids = [int(site) for site in sites]
+
+    cached = repro.ShardedTracker.create(spec, shards=2, backend="thread",
+                                         chunk_size=CHUNK, **params)
+    uncached = repro.ShardedTracker.create(spec, shards=2, backend="thread",
+                                           chunk_size=CHUNK, cache_size=0,
+                                           **params)
+    try:
+        for cluster in (cached, uncached):
+            cluster.push_batch(batch, site_ids=site_ids)
+            cluster.flush()
+        for query in _identity_queries(spec, dimension):
+            fresh = uncached.query(query)
+            first = cached.query(query)
+            hit = cached.query(query)
+            assert hit is first                      # same frozen object
+            assert hit.to_json() == fresh.to_json()  # bit-identical payload
+    finally:
+        cached.close()
+        uncached.close()
+
+
+# --------------------------------------------------------------------------
+# Concurrency: a post-push query never observes pre-push state.
+# --------------------------------------------------------------------------
+def test_concurrent_push_query_serves_no_stale_answer():
+    """Readers racing a writer: every answer's total weight must cover at
+    least every push acknowledged before the query was issued."""
+    with repro.ShardedTracker.create("hh/exact", shards=2, backend="thread",
+                                     num_sites=4) as cluster:
+        acknowledged = [0.0]    # total weight of completed pushes
+        stop = threading.Event()
+        violations = []
+        failures = []
+
+        def writer():
+            try:
+                for round_ in range(200):
+                    cluster.push_batch(WeightedItemBatch.from_pairs(
+                        [(round_ % 17, 1.0), (round_ % 5, 1.0)]))
+                    acknowledged[0] += 2.0
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    watermark = acknowledged[0]
+                    answer = cluster.query(TotalWeight())
+                    if answer.estimate < watermark - 1e-9:
+                        violations.append((watermark, answer.estimate))
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=writer)]
+        threads += [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        assert violations == []
+        assert cluster.query(TotalWeight()).estimate == pytest.approx(400.0)
+        assert cluster.ingest_epoch == 200
+
+
+def test_cached_hit_epoch_matches_watermark_at_serve_time():
+    """Cache keys carry the epoch: a hit can only be served while the
+    cluster watermark still equals the epoch the answer was stored at."""
+    with repro.ShardedTracker.create("hh/exact", shards=2, backend="thread",
+                                     num_sites=4) as cluster:
+        cluster.push_batch(WeightedItemBatch.from_pairs([("a", 1.0)]))
+        epoch_at_store = cluster.ingest_epoch
+        cluster.query(TotalWeight())
+        before = cluster.answer_cache.hits
+        assert cluster.ingest_epoch == epoch_at_store
+        cluster.query(TotalWeight())
+        assert cluster.answer_cache.hits == before + 1
+        cluster.push_batch(WeightedItemBatch.from_pairs([("b", 1.0)]))
+        assert cluster.ingest_epoch != epoch_at_store
+        cluster.query(TotalWeight())             # new epoch -> miss, re-eval
+        assert cluster.answer_cache.hits == before + 1
+
+
+# --------------------------------------------------------------------------
+# Invalidation on live shard handoff (placement generation).
+# --------------------------------------------------------------------------
+def test_move_shard_invalidates_cached_answers():
+    sample, batch, _ = hh_stream(SEEDS[0])
+    params = _params("hh/P2", SEEDS[0], None)
+    with WorkerServer() as a, WorkerServer() as b:
+        cluster = repro.ShardedTracker.create(
+            "hh/P2", shards=2, backend="socket", chunk_size=CHUNK,
+            backend_options={"addresses": [a.address],
+                             "reconnect_backoff": 0.05},
+            **params)
+        try:
+            cluster.push_batch(batch)
+            cluster.flush()
+            reference = cluster.query(TotalWeight())
+            generation = cluster._cache_generation()
+            hits_before = cluster.answer_cache.hits
+            cluster.move_shard(0, b.address)
+            # Both the epoch and the placement version moved: nothing
+            # cached before the handoff is addressable afterwards.
+            assert cluster._cache_generation() != generation
+            after = cluster.query(TotalWeight())
+            assert cluster.answer_cache.hits == hits_before
+            assert after.to_json() == reference.to_json()
+        finally:
+            cluster.close()
+
+
+# --------------------------------------------------------------------------
+# Degraded stats: missing shards are reported, not fatal.
+# --------------------------------------------------------------------------
+class _PartiallyDeadBackend:
+    """Delegates to a live backend but fails a fixed shard set."""
+
+    def __init__(self, inner, dead):
+        self._inner = inner
+        self._dead = set(dead)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def call_all_partial(self, fn, *args):
+        results, errors = self._inner.call_all_partial(fn, *args)
+        for shard in self._dead:
+            results[shard] = None
+            errors[shard] = BackendError(f"shard {shard} lost")
+        return results, errors
+
+
+def test_stats_reports_missing_shards_instead_of_failing():
+    with repro.ShardedTracker.create("hh/exact", shards=3, backend="thread",
+                                     num_sites=4) as cluster:
+        cluster.push_batch(WeightedItemBatch.from_pairs(
+            [("a", 1.0), ("b", 2.0), ("c", 3.0)]))
+        healthy = cluster.stats()
+        assert healthy.missing_shards == ()
+        assert all(row is not None for row in healthy.per_shard)
+
+        cluster._backend = _PartiallyDeadBackend(cluster._backend, {1})
+        degraded = cluster.stats()
+        assert degraded.missing_shards == (1,)
+        assert degraded.per_shard[1] is None
+        assert degraded.per_shard[0] is not None
+        # Sums cover the reachable shards only.
+        live_items = sum(row[0] for row in degraded.per_shard
+                         if row is not None)
+        assert degraded.items_processed == live_items
+
+        cluster._backend = _PartiallyDeadBackend(cluster._backend, {0, 1, 2})
+        with pytest.raises(BackendError, match="all 3 shard"):
+            cluster.stats()
+        cluster._backend = cluster._backend._inner._inner

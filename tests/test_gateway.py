@@ -600,3 +600,229 @@ class TestClientReconnectRetry:
         with pytest.raises(OSError):
             client.request("GET", "/v1/healthz")
         client.close()
+
+
+# --------------------------------------------------------------------------
+# Conditional GET: ETags, 304 revalidation, the client's document cache.
+# --------------------------------------------------------------------------
+class TestConditionalGet:
+    @staticmethod
+    def _raw_get(gateway, path, headers=None):
+        host, port = gateway.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("GET", path, headers=headers or {})
+            response = conn.getresponse()
+            body = response.read()
+            return (response.status,
+                    {name.lower(): value
+                     for name, value in response.getheaders()},
+                    body)
+        finally:
+            conn.close()
+
+    def test_etag_304_round_trip(self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                client.push(items=[[1, 5.0], [2, 3.0]])
+
+            status, headers, body = self._raw_get(
+                gateway, "/v1/query/total_weight")
+            assert status == 200
+            etag = headers["etag"]
+            # The mandated shape: "<spec>-<epoch>-<query-hash>".
+            assert etag.startswith('"hh/P2-')
+            assert json.loads(body)["estimate"] == pytest.approx(8.0)
+
+            status, headers, body = self._raw_get(
+                gateway, "/v1/query/total_weight",
+                {"If-None-Match": etag})
+            assert status == 304
+            assert body == b""
+            assert headers["etag"] == etag
+
+            # A wildcard or a list containing the ETag also revalidates.
+            status, _headers, _body = self._raw_get(
+                gateway, "/v1/query/total_weight",
+                {"If-None-Match": f'"unrelated", {etag}'})
+            assert status == 304
+            status, _headers, _body = self._raw_get(
+                gateway, "/v1/query/total_weight", {"If-None-Match": "*"})
+            assert status == 304
+
+    def test_push_moves_the_etag(self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                client.push(items=[[1, 5.0]])
+                status, headers, _body = self._raw_get(
+                    gateway, "/v1/query/total_weight")
+                stale_etag = headers["etag"]
+                client.push(items=[[2, 3.0]])
+                status, headers, body = self._raw_get(
+                    gateway, "/v1/query/total_weight",
+                    {"If-None-Match": stale_etag})
+                # The epoch moved, so the validator no longer matches: the
+                # full fresh answer comes back, never a stale 304.
+                assert status == 200
+                assert headers["etag"] != stale_etag
+                assert json.loads(body)["estimate"] == pytest.approx(8.0)
+
+    def test_partial_answers_carry_no_etag(self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                client.push(items=[[1, 1.0]])
+            status, headers, _body = self._raw_get(
+                gateway, "/v1/query/total_weight?partial=true")
+            assert status == 200
+            assert "etag" not in headers
+
+    def test_client_revalidates_and_counts_304s(self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                client.push(items=[[1, 5.0], [2, 3.0]])
+                first = client.query("total_weight")
+                assert client.not_modified == 0
+                second = client.query("total_weight")
+                assert client.not_modified == 1
+                assert second == first
+                # POST-body queries revalidate independently of GETs.
+                third = client.query("heavy_hitters", body={"phi": 0.1})
+                fourth = client.query("heavy_hitters", body={"phi": 0.1})
+                assert client.not_modified == 2
+                assert fourth == third
+                # Ingest invalidates: the next query pays the full trip.
+                client.push(items=[[3, 1.0]])
+                fresh = client.query("total_weight")
+                assert client.not_modified == 2
+                assert fresh["estimate"] == pytest.approx(9.0)
+
+    def test_client_etag_cache_disabled(self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url, etag_cache_size=0) as client:
+                client.push(items=[[1, 5.0]])
+                client.query("total_weight")
+                client.query("total_weight")
+                assert client.not_modified == 0
+
+    def test_typed_query_round_trips_through_the_304_path(self,
+                                                          served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                client.push(items=[[1, 5.0], [2, 3.0]])
+                first = client.typed_query("heavy_hitters",
+                                           params={"phi": 0.1})
+                again = client.typed_query("heavy_hitters",
+                                           params={"phi": 0.1})
+                assert client.not_modified == 1
+                assert again == first
+
+    def test_not_modified_metric_counts_304s(self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                client.push(items=[[1, 1.0]])
+                client.query("total_weight")
+                client.query("total_weight")
+                text = client.metrics()
+        import re
+
+        match = re.search(r'repro_gateway_not_modified_total'
+                          r'\{route="/v1/query/total_weight"\} (\d+)', text)
+        # The registry is process-global, so other tests may have counted
+        # 304s already — the series must exist and cover this test's hit.
+        assert match is not None
+        assert int(match.group(1)) >= 1
+
+
+# --------------------------------------------------------------------------
+# Coalesced push dispatch: merged writes, per-request acks, exact totals.
+# --------------------------------------------------------------------------
+class TestCoalescedPushes:
+    def test_concurrent_pushes_ack_individually_and_sum_exactly(
+            self, served_cluster):
+        clients, pushes_each = 6, 20
+        with Gateway(served_cluster) as gateway:
+            failures = []
+
+            def pusher(worker):
+                try:
+                    with GatewayClient(gateway.url) as client:
+                        for index in range(pushes_each):
+                            reply = client.push(items=[
+                                [worker * 1000 + index, 1.0],
+                                [worker * 1000 + index, 2.0],
+                                [worker, 1.0]])
+                            assert reply == {"accepted": 3}
+                except BaseException as exc:  # noqa: BLE001
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=pusher, args=(worker,))
+                       for worker in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if failures:
+                raise failures[0]
+            with GatewayClient(gateway.url) as client:
+                stats = client.stats()
+        assert stats["items_processed"] == clients * pushes_each * 3
+
+    def test_coalescing_disabled_with_zero_max_items(self, served_cluster):
+        with Gateway(served_cluster, coalesce_max_items=0) as gateway:
+            with GatewayClient(gateway.url) as client:
+                for index in range(5):
+                    assert client.push(items=[[index, 1.0]]) == \
+                        {"accepted": 1}
+                stats = client.stats()
+        assert stats["items_processed"] == 5
+
+    def test_mixed_hh_and_site_pushes_keep_exact_accounting(
+            self, served_cluster):
+        with Gateway(served_cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                assert client.push(items=[[1, 1.0]],
+                                   site_ids=[0]) == {"accepted": 1}
+                assert client.push(items=[[2, 2.0], [3, 3.0]]) == \
+                    {"accepted": 2}
+                assert client.push(items=[[4, 4.0]],
+                                   site_ids=[1]) == {"accepted": 1}
+                stats = client.stats()
+                total = client.query("total_weight")
+        assert stats["items_processed"] == 4
+        assert total["estimate"] == pytest.approx(10.0)
+
+
+# --------------------------------------------------------------------------
+# Degraded /v1/stats: missing shards are a field, not a 500.
+# --------------------------------------------------------------------------
+def test_stats_route_reports_missing_shards_instead_of_500():
+    from repro.cluster.backends import BackendError
+
+    cluster = repro.ShardedTracker.create("hh/P2", shards=2, backend="thread",
+                                          num_sites=5, epsilon=0.1)
+
+    class _DeadShardBackend:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+        def call_all_partial(self, fn, *args):
+            results, errors = self._inner.call_all_partial(fn, *args)
+            results[1] = None
+            errors[1] = BackendError("shard 1 lost")
+            return results, errors
+
+    try:
+        with Gateway(cluster) as gateway:
+            with GatewayClient(gateway.url) as client:
+                client.push(items=[[1, 1.0], [2, 2.0]])
+                cluster._backend = _DeadShardBackend(cluster._backend)
+                stats = client.stats()
+        assert stats["missing_shards"] == [1]
+        assert stats["per_shard"][1] is None
+        assert stats["items_processed"] >= 1
+    finally:
+        cluster._backend = cluster._backend._inner
+        cluster.close()
